@@ -1,0 +1,57 @@
+"""Ablation bench: where each optimization matters (Section 3).
+
+The paper predicts: with few micro-batches, warmup/ending dominate and
+*adaptive recomputation* provides most of the win; with many, the steady
+phase dominates and *adaptive partitioning* becomes important. This bench
+sweeps the micro-batch count and measures the two deltas:
+
+* recomputation gain  = DAPPLE-Full  ->  Even Partitioning
+* partitioning gain   = Even Partitioning  ->  AdaPipe
+"""
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.evaluate import evaluate_plan
+from repro.core.search import (
+    PlannerContext,
+    plan_adapipe,
+    plan_even_partitioning,
+    plan_policy,
+)
+from repro.core.strategies import RecomputePolicy
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import gpt3_175b
+
+
+def _gains(num_micro_batches):
+    train = TrainingConfig(
+        sequence_length=16384, global_batch_size=num_micro_batches
+    )
+    ctx = PlannerContext(
+        cluster_a(),
+        gpt3_175b(),
+        train,
+        ParallelConfig(8, 8, 1),
+        memory_limit_bytes=70 * 1024**3,
+    )
+    cluster = ctx.cluster
+    full = evaluate_plan(
+        plan_policy(ctx, RecomputePolicy.FULL, "DAPPLE-Full"), cluster
+    ).iteration_time
+    even = evaluate_plan(plan_even_partitioning(ctx), cluster).iteration_time
+    ada = evaluate_plan(plan_adapipe(ctx), cluster).iteration_time
+    return full / even, even / ada
+
+
+def test_optimization_contributions_shift_with_micro_batches(benchmark):
+    few = benchmark.pedantic(lambda: _gains(8), rounds=1, iterations=1)
+    many = _gains(64)
+
+    print(
+        f"\nn=8:  recomputation gain {few[0]:.3f}x, partitioning gain {few[1]:.3f}x"
+        f"\nn=64: recomputation gain {many[0]:.3f}x, partitioning gain {many[1]:.3f}x"
+    )
+    # Recomputation always helps; partitioning's relative share grows with n.
+    assert few[0] > 1.05 and many[0] > 1.05
+    partitioning_share_few = (few[1] - 1.0) / max(few[0] - 1.0, 1e-9)
+    partitioning_share_many = (many[1] - 1.0) / max(many[0] - 1.0, 1e-9)
+    assert partitioning_share_many >= partitioning_share_few * 0.9

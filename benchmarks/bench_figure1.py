@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 1 (per-stage memory, GPT-3, full vs no recompute)."""
+
+from benchmarks.common import run_and_record
+
+
+def test_figure1(benchmark):
+    result = run_and_record(benchmark, "figure1")
+    # Shape assertions: no-recompute decreases with stage id and crosses
+    # the 80 GB limit at seq 16384.
+    no16k = next(r for r in result.rows if r[0].startswith("No") and r[1] == "16384")
+    values = [float(v) for v in no16k[2:]]
+    assert values == sorted(values, reverse=True)
+    assert values[0] > 80.0 > values[-1]

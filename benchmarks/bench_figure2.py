@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 2 (GPipe vs 1F1B schedules)."""
+
+from benchmarks.common import run_and_record
+
+
+def test_figure2(benchmark):
+    result = run_and_record(benchmark, "figure2")
+    gpipe = next(r for r in result.rows if r[0] == "GPipe")
+    onef1b = next(r for r in result.rows if "1F1B" in r[0])
+    assert gpipe[1] == onef1b[1]  # same makespan
+    assert gpipe[3] != onef1b[3]  # different memory profiles

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 3 (the AdaPipe overview, executed)."""
+
+from benchmarks.common import run_and_record
+
+
+def test_figure3(benchmark):
+    result = run_and_record(benchmark, "figure3")
+    times = [float(row[1][:-1]) for row in result.rows]
+    # full recompute -> adaptive recompute -> adaptive partitioning:
+    # each optimization step strictly helps, the paper's Figure 3 arc.
+    assert times[0] > times[1] >= times[2]

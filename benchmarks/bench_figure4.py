@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 4 (the computation-unit division)."""
+
+from benchmarks.common import run_and_record
+
+
+def test_figure4(benchmark):
+    result = run_and_record(benchmark, "figure4")
+    units = {row[1] for row in result.rows}
+    assert {"attn.q", "attn.core", "attn.out", "ffn.in", "ffn.act",
+            "ffn.out", "embed.lookup", "head.proj"} <= units
+    always = {row[1] for row in result.rows if row[5] == "always saved"}
+    assert always == {"attn.out", "ffn.out"}

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 6 (GPT-3 end-to-end, cluster A)."""
+
+from benchmarks.common import run_and_record
+
+
+def test_figure6(benchmark):
+    result = run_and_record(benchmark, "figure6")
+    non_column = result.headers.index("DAPPLE-Non")
+    full_column = result.headers.index("DAPPLE-Full")
+    ada_column = result.headers.index("AdaPipe")
+    for row in result.rows:
+        assert row[full_column] != "OOM"  # full recompute always fits
+        assert row[ada_column] != "OOM"
+    # GPT-3 at 16384: no-recompute baselines OOM, AdaPipe shows its largest
+    # wins (paper: up to 1.32x).
+    long_seq = next(r for r in result.rows if r[0] == "16384")
+    assert long_seq[non_column] == "OOM"
+    factor = float(long_seq[-1].split("x")[0])
+    assert factor > 1.1

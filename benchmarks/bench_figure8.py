@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 8 (peak per-stage memory of every method)."""
+
+from benchmarks.common import run_and_record
+
+
+def test_figure8(benchmark):
+    result = run_and_record(benchmark, "figure8", fast=False)
+    rows = {row[0]: row for row in result.rows}
+
+    non = [float(v) for v in rows["DAPPLE-Non"][1:9]]
+    assert rows["DAPPLE-Non"][-1] == "OOM"
+    assert 2.0 < non[0] / non[-1] < 2.7  # paper: 2.33x imbalance
+
+    chimera_non = [float(v) for v in rows["Chimera-Non"][1:9]]
+    assert max(chimera_non[3:5]) >= max(chimera_non[0], chimera_non[-1])
+
+    for name in ("Even Partitioning", "AdaPipe"):
+        values = [float(v) for v in rows[name][1:9]]
+        assert rows[name][-1] == "yes"
+        # Balanced near the 70 GiB constraint on the pressured stages.
+        assert max(values) <= 72.0
+        assert min(values[:5]) >= 65.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 9 (per-stage micro-step time)."""
+
+from benchmarks.common import run_and_record
+
+
+def test_figure9(benchmark):
+    result = run_and_record(benchmark, "figure9", fast=False)
+    rows = {row[0]: row for row in result.rows}
+
+    def spread(name):
+        return float(rows[name][-1][:-1])
+
+    # -Full baselines are flat; Even Partitioning develops a front-loaded
+    # slope (paper: 1.17x); AdaPipe re-flattens it.
+    assert spread("DAPPLE-Full") < 1.10
+    assert spread("Even Partitioning") > spread("DAPPLE-Full")
+    assert spread("AdaPipe") < spread("Even Partitioning")
+
+    even = [float(v) for v in rows["Even Partitioning"][1:9]]
+    assert even[0] > even[-1]

@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the core primitives.
+
+Not a paper artifact: these time the building blocks the search engine
+leans on, so performance regressions in the hot paths (the knapsack DP and
+the event-driven simulator) are visible in the benchmark history.
+"""
+
+import pytest
+
+from repro.core.recompute_dp import UnitItem, optimize_stage_recompute
+from repro.pipeline.schedules import one_f_one_b_schedule
+from repro.pipeline.simulator import simulate
+from repro.pipeline.tasks import StageCosts
+
+
+@pytest.mark.parametrize("copies", [8, 32], ids=["small", "large"])
+def test_knapsack_solve(benchmark, copies):
+    items = [
+        UnitItem(
+            name=f"u{i}",
+            value=1.0 + i * 0.37,
+            weight_bytes=float((i + 1) * 4096 * 1024),
+            copies=copies,
+        )
+        for i in range(8)
+    ]
+    budget = 8 * copies * 4096 * 1024 / 2
+
+    result = benchmark(
+        optimize_stage_recompute, items, budget, 4
+    )
+    assert result.feasible and result.saved_value > 0
+
+
+@pytest.mark.parametrize("p,n", [(8, 64), (16, 128)], ids=["8x64", "16x128"])
+def test_simulator_throughput(benchmark, p, n):
+    costs = [
+        StageCosts(forward=1.0, backward=2.0, activation_bytes=1.0)
+        for _ in range(p)
+    ]
+    schedule = one_f_one_b_schedule(costs, n, hop_time=0.01)
+
+    result = benchmark(simulate, schedule)
+    assert result.iteration_time > 0
+    tasks = 2 * p * n
+    seconds = benchmark.stats.stats.mean
+    print(f"\n{tasks} tasks in {seconds * 1e3:.1f} ms "
+          f"({tasks / seconds:,.0f} tasks/s)")

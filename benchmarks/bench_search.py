@@ -1,0 +1,33 @@
+"""Bench: the two-level DP search itself.
+
+Section 5.3 claims the entire search takes "only seconds" for GPT-3 and
+Llama 2 thanks to the isomorphism cache and GCD quantization; this bench
+measures the full AdaPipe planning time for the paper's headline configs.
+"""
+
+import pytest
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.search import PlannerContext, plan_adapipe
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import gpt3_175b, llama2_70b
+
+
+@pytest.mark.parametrize(
+    "spec_fn,parallel,seq,batch",
+    [
+        (gpt3_175b, ParallelConfig(8, 8, 1), 16384, 32),
+        (llama2_70b, ParallelConfig(4, 8, 1), 16384, 32),
+    ],
+    ids=["gpt3-175b", "llama2-70b"],
+)
+def test_search_latency(benchmark, spec_fn, parallel, seq, batch):
+    train = TrainingConfig(sequence_length=seq, global_batch_size=batch)
+    ctx = PlannerContext(
+        cluster_a(), spec_fn(), train, parallel, memory_limit_bytes=70 * 1024**3
+    )
+
+    plan = benchmark.pedantic(lambda: plan_adapipe(ctx), rounds=1, iterations=1)
+    assert plan.feasible
+    stats = benchmark.stats.stats
+    assert stats.max < 60.0  # "the entire search process takes only seconds"

@@ -1,0 +1,27 @@
+"""Bench: regenerate Table 4 (per-stage recomputation/partitioning config)."""
+
+from benchmarks.common import run_and_record
+
+
+def test_table4(benchmark):
+    result = run_and_record(benchmark, "table4")
+    for method in ("AdaPipe", "Even Partitioning"):
+        saved = next(
+            [int(v) for v in row[2:]]
+            for row in result.rows
+            if row[0] == method and row[1] == "Saved Units"
+        )
+        # Later stages afford to save substantially more (paper: 39 -> 124).
+        assert saved[-1] > 1.4 * saved[0]
+    ada_layers = next(
+        [int(v) for v in row[2:]]
+        for row in result.rows
+        if row[0] == "AdaPipe" and row[1] == "# Layers"
+    )
+    even_layers = next(
+        [int(v) for v in row[2:]]
+        for row in result.rows
+        if row[0] == "Even Partitioning" and row[1] == "# Layers"
+    )
+    assert sum(ada_layers) == sum(even_layers)  # both cover the whole model
+    assert sum(ada_layers[4:]) >= sum(ada_layers[:4])  # layers move late

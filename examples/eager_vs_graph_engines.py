@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Two execution engines, one plan: graph-style vs eager recomputation.
+
+The paper implements AdaPipe twice — on MindSpore (whole-graph compiled)
+and on PyTorch (eager). This repository mirrors that: the manual-backward
+module engine plays the graph role, and a tape autograd with
+torch-style ``checkpoint()`` plays the eager role. Both engines share the
+same weight buffers, execute the same unit-granular recomputation choices,
+and — as this example verifies — produce identical losses and
+machine-epsilon-identical gradients.
+
+Run:  python examples/eager_vs_graph_engines.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.model.spec import tiny_llama
+from repro.training.eager import EagerTransformer
+from repro.training.modules import build_model
+
+BATCH, SEQ = 4, 32
+
+
+def main() -> None:
+    spec = tiny_llama(num_layers=4, hidden_size=48, vocab_size=64)
+    model = build_model(spec, seed=11)
+    eager = EagerTransformer(model)  # shares the same weight arrays
+
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, spec.vocab_size, size=(BATCH, SEQ))
+    targets = rng.integers(0, spec.vocab_size, size=(BATCH, SEQ))
+
+    # Graph-style engine: hand-written backward, replay-based recompute.
+    started = time.perf_counter()
+    manual_loss = model.loss_and_grad(tokens, targets)
+    manual_seconds = time.perf_counter() - started
+    manual_grads = {
+        n: p.grad.copy() for n, p in model.named_parameters() if p.grad is not None
+    }
+
+    # Eager engine: dynamic tape, same math.
+    started = time.perf_counter()
+    loss = eager.loss(tokens, targets)
+    loss.backward()
+    eager_seconds = time.perf_counter() - started
+
+    gap = max(
+        np.abs(manual_grads[n] - eager.params[n].grad).max() for n in manual_grads
+    )
+    print(f"graph engine loss {manual_loss:.10f}  ({manual_seconds * 1e3:.1f} ms)")
+    print(f"eager engine loss {float(loss.data):.10f}  ({eager_seconds * 1e3:.1f} ms)")
+    print(f"max gradient gap: {gap:.2e}\n")
+
+    # Unit-granular checkpointing in eager mode: recompute everything
+    # except the attention core (the expensive-to-recompute unit).
+    eager.zero_grad()
+    saved = [{"attn.core"} for _ in model.layers]
+    started = time.perf_counter()
+    ckpt_loss = eager.loss(tokens, targets, saved)
+    ckpt_loss.backward()
+    ckpt_seconds = time.perf_counter() - started
+    ckpt_gap = max(
+        np.abs(manual_grads[n] - eager.params[n].grad).max() for n in manual_grads
+    )
+    print("eager with per-unit checkpoint (save only attn.core):")
+    print(f"  loss {float(ckpt_loss.data):.10f}  ({ckpt_seconds * 1e3:.1f} ms, "
+          f"~1 extra forward)")
+    print(f"  max gradient gap vs graph engine: {ckpt_gap:.2e}")
+    print("\nrecomputation is a pure memory/time trade — the gradients do "
+          "not know it happened.")
+
+
+if __name__ == "__main__":
+    main()

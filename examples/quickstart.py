@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: plan GPT-3 training with AdaPipe and inspect the result.
+
+Builds the paper's headline configuration — GPT-3 (175B) on a cluster of
+A100-80GB nodes with (tensor, pipeline, data) parallelism (8, 8, 1) and a
+16384-token sequence — runs AdaPipe's two-level dynamic program, and prints
+the resulting per-stage recomputation and partitioning plan next to the
+DAPPLE-Full baseline, together with simulated iteration times.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.evaluate import evaluate_plan
+from repro.core.search import PlannerContext, plan_adapipe, plan_policy
+from repro.core.strategies import RecomputePolicy
+from repro.hardware import cluster_a
+from repro.model import gpt3_175b
+
+
+def main() -> None:
+    cluster = cluster_a()
+    spec = gpt3_175b()
+    train = TrainingConfig(sequence_length=16384, global_batch_size=32)
+    parallel = ParallelConfig(tensor_parallel=8, pipeline_parallel=8, data_parallel=1)
+
+    ctx = PlannerContext(
+        cluster, spec, train, parallel, memory_limit_bytes=70 * 1024**3
+    )
+
+    print(f"model: {spec.name} ({spec.total_params() / 1e9:.0f}B params)")
+    print(f"workload: seq={train.sequence_length}, "
+          f"{train.num_micro_batches(parallel)} micro-batches, strategy {parallel}")
+    print()
+
+    adapipe = plan_adapipe(ctx)
+    print(adapipe.describe())
+    print()
+
+    baseline = plan_policy(ctx, RecomputePolicy.FULL, "DAPPLE-Full")
+    for plan in (baseline, adapipe):
+        evaluation = evaluate_plan(plan, cluster)
+        time = evaluation.iteration_time
+        print(f"{plan.method:12s} simulated iteration: "
+              f"{'OOM' if time is None else f'{time:.2f}s'}")
+
+    base_time = evaluate_plan(baseline, cluster).iteration_time
+    ada_time = evaluate_plan(adapipe, cluster).iteration_time
+    if base_time and ada_time:
+        print(f"\nAdaPipe speedup over DAPPLE-Full: {base_time / ada_time:.2f}x "
+              f"(paper reports up to 1.32x on GPT-3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Train a tiny Llama under an AdaPipe plan — real forward/backward passes.
+
+End-to-end demonstration of the execution engine: plan a 2-stage pipeline
+for a tiny Llama-style model with a deliberately tight memory budget (so
+the planner must recompute in stage 0 and can save more in stage 1), then
+actually train it on the synthetic character stream and verify against a
+monolithic reference run.
+
+Run:  python examples/train_tiny_llama.py
+"""
+
+import numpy as np
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.search import PlannerContext, plan_adapipe
+from repro.hardware import cluster_a
+from repro.model.spec import tiny_llama
+from repro.training import Adam, SyntheticTextDataset, build_model
+from repro.training.pipeline_exec import PipelineExecutor
+
+SEQ = 32
+MICRO_BATCHES = 4
+STEPS = 40
+
+
+def main() -> None:
+    spec = tiny_llama(num_layers=4, hidden_size=48, vocab_size=64)
+    train_cfg = TrainingConfig(
+        sequence_length=SEQ,
+        global_batch_size=MICRO_BATCHES,
+        micro_batch_size=1,
+        sequence_parallel=False,
+        flash_attention=False,
+    )
+    ctx = PlannerContext(
+        cluster_a(1),
+        spec,
+        train_cfg,
+        ParallelConfig(1, 2, 1),
+        memory_limit_bytes=24 * 1024**2,
+    )
+    plan = plan_adapipe(ctx)
+    print(plan.describe())
+    print(f"saved units per stage: {plan.saved_unit_counts()}\n")
+
+    model = build_model(spec, seed=7)
+    executor = PipelineExecutor(model, plan)
+    optimizer = Adam(model.named_parameters(), lr=3e-3)
+    dataset = SyntheticTextDataset(vocab_size=spec.vocab_size)
+
+    losses = []
+    for step, (tokens, targets) in enumerate(
+        dataset.batches(MICRO_BATCHES, SEQ, STEPS)
+    ):
+        model.zero_grad()
+        stats = executor.train_step(tokens, targets)
+        optimizer.step()
+        losses.append(stats.loss)
+        if step % 10 == 0 or step == STEPS - 1:
+            peaks = ", ".join(f"{p / 1024:.0f}K" for p in stats.peak_context_bytes)
+            print(f"step {step:3d}  loss {stats.loss:.4f}  "
+                  f"peak saved-context bytes per stage: [{peaks}]")
+
+    print(f"\nloss: {losses[0]:.4f} -> {losses[-1]:.4f} "
+          f"(drop {losses[0] - losses[-1]:.4f})")
+
+    # Cross-check one gradient step against the monolithic reference.
+    reference = build_model(spec, seed=7)
+    tokens, targets = next(dataset.batches(MICRO_BATCHES, SEQ, 1, stream_seed=99))
+    ref_loss = reference.loss_and_grad(tokens, targets)
+    fresh = build_model(spec, seed=7)
+    stats = PipelineExecutor(fresh, plan).train_step(tokens, targets)
+    gap = max(
+        np.abs(rp.grad - pp.grad).max()
+        for (_, rp), (_, pp) in zip(
+            reference.named_parameters(), fresh.named_parameters()
+        )
+        if rp.grad is not None
+    )
+    print(f"pipelined loss {stats.loss:.6f} vs reference {ref_loss:.6f}; "
+          f"max gradient gap {gap:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""AdaPipe (ASPLOS 2024) reproduction.
+
+Adaptive recomputation and adaptive partitioning for pipeline-parallel LLM
+training, reproduced as a self-contained Python library: the two-level DP
+search engine, analytic cost/memory models, an event-driven pipeline
+simulator, all evaluated baselines, and a real (numpy) training engine
+that executes the searched plans.
+
+Quick start::
+
+    from repro import (
+        ParallelConfig, TrainingConfig, PlannerContext,
+        plan_adapipe, evaluate_plan, cluster_a, gpt3_175b,
+    )
+
+    ctx = PlannerContext(
+        cluster_a(), gpt3_175b(),
+        TrainingConfig(sequence_length=16384, global_batch_size=32),
+        ParallelConfig(8, 8, 1),
+    )
+    plan = plan_adapipe(ctx)
+    print(plan.describe())
+    print(evaluate_plan(plan, ctx.cluster).iteration_time)
+
+See README.md for the tour, DESIGN.md for the system inventory, and
+docs/USAGE.md for recipes.
+"""
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.evaluate import evaluate_plan
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.core.search import (
+    PlannerContext,
+    enumerate_parallel_strategies,
+    plan_adapipe,
+    plan_even_partitioning,
+    plan_policy,
+)
+from repro.core.strategies import RecomputePolicy
+from repro.hardware.cluster import cluster_a, cluster_b
+from repro.model.spec import gpt3_175b, llama2_70b, model_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ParallelConfig",
+    "PipelinePlan",
+    "PlannerContext",
+    "RecomputePolicy",
+    "StagePlan",
+    "TrainingConfig",
+    "cluster_a",
+    "cluster_b",
+    "enumerate_parallel_strategies",
+    "evaluate_plan",
+    "gpt3_175b",
+    "llama2_70b",
+    "model_by_name",
+    "plan_adapipe",
+    "plan_even_partitioning",
+    "plan_policy",
+    "__version__",
+]

@@ -1,0 +1,300 @@
+"""Extension baselines beyond the paper's evaluated set.
+
+These implement techniques the paper discusses in Sections 2 and 8 but does
+not carry into its figures, so AdaPipe can be compared against the wider
+design space:
+
+* **sqrt(L) checkpointing** (Chen et al. 2016, Section 2.2): keep only a
+  layer-boundary activation every ``k`` layers, re-running whole segments
+  in backward; the recompute buffer grows to ``k`` layers. Per stage we
+  pick the fastest feasible ``k`` — the classic memory/time curve AdaPipe's
+  unit knapsack dominates.
+* **BPipe-style activation balancing** (Kim et al. 2023, Section 8):
+  no recomputation anywhere; instead, stage ``s`` (holding ``p - s``
+  micro-batches) evicts activations to its memory-rich partner stage
+  ``p - 1 - s``, balancing the pair's load at the price of extra
+  point-to-point traffic.
+* **Interleaved 1F1B** (Megatron, Section 2.1): ``v`` model chunks per
+  device shrink bubbles to ``1/v`` at ``v``-fold stage-boundary
+  communication; combined here with full/no recomputation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.evaluate import PlanEvaluation
+from repro.core.isomorphism import StageEval
+from repro.core.partition_dp import even_boundaries
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.core.search import PlannerContext, evaluate_fixed_partition_from_evals
+from repro.core.strategies import RecomputePolicy, stage_eval_for_policy
+from repro.hardware.comm import CommModel
+
+from repro.profiler.memory import StageMemory
+
+
+# -- sqrt(L) checkpointing ----------------------------------------------------
+
+
+def _boundary_bytes(profile) -> float:
+    return sum(u.saved_bytes for u in profile.units if u.always_saved)
+
+
+def sqrt_checkpoint_stage_eval(
+    ctx: PlannerContext,
+    stage: int,
+    stage_layers,
+    capacity_bytes: float,
+    segment_length: Optional[int] = None,
+) -> StageEval:
+    """Evaluate one stage under segment checkpointing.
+
+    Args:
+        ctx: planning context.
+        stage: stage index (sets the ``p - s`` in-flight multiplier).
+        stage_layers: the stage's layer slice.
+        capacity_bytes: device capacity.
+        segment_length: checkpoint spacing ``k`` in layers; ``None`` picks
+            the fastest feasible ``k`` per stage (k = sqrt(L) is the
+            classic memory-optimal point).
+    """
+    memory_model = ctx.profiler.memory
+    in_flight = memory_model.in_flight(stage)
+    profiles = [ctx.profiler.profile_layer(layer.kind) for layer in stage_layers]
+    num_layers = len(stage_layers)
+
+    forward = sum(p.time_forward for p in profiles)
+    backward_fixed = sum(p.time_backward for p in profiles)
+    static = memory_model.static_bytes(stage_layers)
+    per_layer_all_bytes = [p.saved_bytes_all for p in profiles]
+    per_layer_boundary = [_boundary_bytes(p) for p in profiles]
+
+    candidates = (
+        [segment_length]
+        if segment_length is not None
+        else list(range(1, num_layers + 1))
+    )
+    best: Optional[StageEval] = None
+    for k in candidates:
+        # One checkpoint at the entry of every segment of k layers.
+        num_segments = math.ceil(num_layers / k)
+        saved = sum(
+            per_layer_boundary[seg * k - 1] if seg > 0 else per_layer_boundary[0]
+            for seg in range(num_segments)
+        )
+        # Backward recomputes every segment's forward (including the
+        # units a per-layer scheme would keep), buffering k layers.
+        recompute = forward
+        buffer = max(
+            (
+                sum(per_layer_all_bytes[i : i + k])
+                for i in range(0, num_layers, k)
+            ),
+            default=0.0,
+        )
+        memory = StageMemory(
+            static_bytes=static,
+            buffer_bytes=buffer,
+            saved_per_microbatch=saved,
+            in_flight_microbatches=in_flight,
+        )
+        feasible = memory.fits(capacity_bytes)
+        eval_ = StageEval(
+            feasible=feasible,
+            forward=forward,
+            backward=backward_fixed + recompute,
+            saved_unit_counts={"segment.boundary": num_segments},
+            saved_bytes_per_microbatch=saved,
+            memory=memory,
+        )
+        if feasible and (best is None or eval_.memory.total_bytes < best.memory.total_bytes):
+            best = eval_
+    if best is not None:
+        return best
+    # Nothing fits: report the smallest-memory candidate as infeasible.
+    return StageEval(
+        feasible=False,
+        forward=forward,
+        backward=math.inf,
+        saved_unit_counts={},
+        saved_bytes_per_microbatch=0.0,
+        memory=StageMemory(static, 0.0, 0.0, in_flight),
+    )
+
+
+def plan_sqrt_checkpoint(
+    ctx: PlannerContext, method: str = "Checkpoint-sqrtL"
+) -> PipelinePlan:
+    """Uniform partition with per-stage segment checkpointing."""
+    boundaries = even_boundaries(len(ctx.layers), ctx.parallel.pipeline_parallel)
+    evals = [
+        sqrt_checkpoint_stage_eval(
+            ctx, s, ctx.layers[lo:hi], ctx.hard_capacity_bytes
+        )
+        for s, (lo, hi) in enumerate(boundaries)
+    ]
+    feasible = all(e.feasible for e in evals)
+    total = (
+        evaluate_fixed_partition_from_evals(
+            evals, ctx.num_micro_batches, ctx.hop_time
+        )
+        if feasible
+        else None
+    )
+    return _assemble(method, ctx, boundaries, evals, total, feasible)
+
+
+# -- BPipe-style activation balancing -----------------------------------------
+
+
+@dataclass(frozen=True)
+class BPipeOverheads:
+    """Transfer accounting for one stage pair."""
+
+    moved_bytes_per_microbatch: float
+    transfer_time_per_microbatch: float
+
+
+def plan_bpipe(
+    ctx: PlannerContext,
+    method: str = "BPipe",
+    overlap_fraction: float = 0.7,
+) -> PipelinePlan:
+    """No recomputation; pair stages (s, p-1-s) and balance their loads.
+
+    Stage ``s`` holds ``(p - s) * A`` activation bytes under 1F1B; its
+    partner holds ``(s + 1) * A``. BPipe evicts the difference/2 to the
+    partner, so both sit at the pair average. The evicted bytes travel over
+    the inter-node network twice per micro-batch (evict + fetch-back);
+    ``overlap_fraction`` of that hides under computation.
+    """
+    p = ctx.parallel.pipeline_parallel
+    boundaries = even_boundaries(len(ctx.layers), p)
+    base = [
+        stage_eval_for_policy(
+            ctx.profiler,
+            s,
+            ctx.layers[lo:hi],
+            RecomputePolicy.NONE,
+            float("inf"),  # feasibility judged after balancing
+        )
+        for s, (lo, hi) in enumerate(boundaries)
+    ]
+    comm = CommModel(ctx.cluster)
+    evals: List[StageEval] = []
+    for s, eval_ in enumerate(base):
+        partner = p - 1 - s
+        own_load = eval_.memory.in_flight_microbatches * eval_.saved_bytes_per_microbatch
+        partner_load = (
+            base[partner].memory.in_flight_microbatches
+            * base[partner].saved_bytes_per_microbatch
+        )
+        balanced = (own_load + partner_load) / 2.0
+        moved = max(0.0, own_load - balanced)
+        transfer = 2.0 * comm.p2p_time(
+            moved / max(1, eval_.memory.in_flight_microbatches)
+        )
+        exposed = (1.0 - overlap_fraction) * transfer
+        memory = StageMemory(
+            static_bytes=eval_.memory.static_bytes,
+            buffer_bytes=eval_.memory.buffer_bytes,
+            saved_per_microbatch=balanced
+            / max(1, eval_.memory.in_flight_microbatches),
+            in_flight_microbatches=eval_.memory.in_flight_microbatches,
+        )
+        evals.append(
+            StageEval(
+                feasible=memory.fits(ctx.hard_capacity_bytes),
+                forward=eval_.forward + exposed / 2.0,
+                backward=eval_.backward + exposed / 2.0,
+                saved_unit_counts=dict(eval_.saved_unit_counts),
+                saved_bytes_per_microbatch=memory.saved_per_microbatch,
+                memory=memory,
+            )
+        )
+    feasible = all(e.feasible for e in evals)
+    total = (
+        evaluate_fixed_partition_from_evals(
+            evals, ctx.num_micro_batches, ctx.hop_time
+        )
+        if feasible
+        else None
+    )
+    return _assemble(method, ctx, boundaries, evals, total, feasible)
+
+
+# -- interleaved 1F1B ----------------------------------------------------------
+
+
+def plan_interleaved(
+    ctx: PlannerContext,
+    policy: RecomputePolicy = RecomputePolicy.FULL,
+    chunks: int = 2,
+    method: Optional[str] = None,
+) -> PipelinePlan:
+    """Even partition into ``chunks * p`` global stages, fixed policy.
+
+    Feasibility is judged by the simulator (devices host several chunks, so
+    the 1F1B ``p - s`` in-flight model does not apply).
+    """
+    p = ctx.parallel.pipeline_parallel
+    method = method or f"Interleaved-{policy.value.capitalize()}(v={chunks})"
+    boundaries = even_boundaries(len(ctx.layers), chunks * p)
+    evals = [
+        stage_eval_for_policy(
+            ctx.profiler, min(s, p - 1), ctx.layers[lo:hi], policy, float("inf")
+        )
+        for s, (lo, hi) in enumerate(boundaries)
+    ]
+    return _assemble(method, ctx, boundaries, evals, None, True)
+
+
+def evaluate_interleaved(
+    ctx: PlannerContext,
+    policy: RecomputePolicy = RecomputePolicy.FULL,
+    chunks: int = 2,
+) -> PlanEvaluation:
+    """Plan + simulate an interleaved configuration."""
+    from repro.pipeline.schedules import interleaved_1f1b_schedule
+    from repro.pipeline.simulator import simulate
+
+    plan = plan_interleaved(ctx, policy, chunks)
+    schedule = interleaved_1f1b_schedule(
+        list(plan.stage_costs()),
+        ctx.num_micro_batches,
+        ctx.parallel.pipeline_parallel,
+        hop_time=ctx.hop_time,
+    )
+    result = simulate(schedule)
+    oom = bool(result.oom_devices(ctx.cluster.device.usable_memory_bytes))
+    return PlanEvaluation(plan=plan, simulation=result, oom=oom)
+
+
+# -- shared ---------------------------------------------------------------------
+
+
+def _assemble(method, ctx, boundaries, evals, total, feasible) -> PipelinePlan:
+    stages = tuple(
+        StagePlan(
+            stage=s,
+            layer_start=lo,
+            layer_end=hi,
+            saved_unit_counts=dict(evals[s].saved_unit_counts),
+            forward_time=evals[s].forward,
+            backward_time=evals[s].backward,
+            memory=evals[s].memory,
+        )
+        for s, (lo, hi) in enumerate(boundaries)
+    )
+    return PipelinePlan(
+        method=method,
+        parallel=ctx.parallel,
+        train=ctx.train,
+        stages=stages,
+        modeled_iteration_time=total,
+        feasible=feasible,
+        hidden_size=ctx.spec.hidden_size,
+    )

@@ -1,0 +1,118 @@
+"""Bridging plans to the pipeline simulator.
+
+The planners produce analytic cost-model estimates; this module *executes*
+a plan on the event-driven simulator, which is the reproduction's
+equivalent of running the training job and timing an iteration. Simulated
+numbers are what the experiment harness reports, with the analytic model
+kept alongside for validation (they should agree closely for 1F1B — a
+property the test suite asserts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.plan import PipelinePlan
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.comm import CommModel
+from repro.pipeline.schedules import chimera_schedule, gpipe_schedule, one_f_one_b_schedule
+from repro.pipeline.simulator import SimulationResult, simulate
+from repro.pipeline.tasks import Schedule
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """A plan together with its simulated execution.
+
+    Attributes:
+        plan: the evaluated plan.
+        simulation: the simulator run, or ``None`` when the plan was
+            infeasible (OOM) and never executed.
+        oom: whether the plan is memory-infeasible — declared by the
+            planner or discovered by the simulator's memory tracker.
+    """
+
+    plan: PipelinePlan
+    simulation: Optional[SimulationResult]
+    oom: bool
+
+    @property
+    def iteration_time(self) -> Optional[float]:
+        if self.oom or self.simulation is None:
+            return None
+        return self.simulation.iteration_time
+
+    @property
+    def label(self) -> str:
+        return self.plan.method
+
+    def peak_memory_per_device(self) -> List[float]:
+        if self.simulation is not None:
+            return list(self.simulation.device_peak_bytes)
+        return list(self.plan.peak_memory_bytes())
+
+
+def build_schedule_for_plan(
+    plan: PipelinePlan,
+    cluster: ClusterSpec,
+    schedule_kind: str = "1f1b",
+) -> Schedule:
+    """Materialise a plan as an executable schedule.
+
+    Args:
+        plan: the pipeline plan.
+        cluster: hardware, for the stage-boundary hop time.
+        schedule_kind: ``"1f1b"``, ``"gpipe"``, ``"chimera"`` or
+            ``"chimerad"``.
+    """
+    hop = CommModel(cluster).pipeline_hop_time(plan.hidden_size, plan.train)
+    costs = list(plan.stage_costs())
+    n = plan.train.num_micro_batches(plan.parallel)
+    if schedule_kind == "1f1b":
+        return one_f_one_b_schedule(costs, n, hop_time=hop, name=plan.method)
+    if schedule_kind == "gpipe":
+        return gpipe_schedule(costs, n, hop_time=hop)
+    if schedule_kind == "chimera":
+        return chimera_schedule(costs, n, hop_time=hop)
+    if schedule_kind == "chimerad":
+        return chimera_schedule(costs, n, hop_time=hop, forward_doubling=True)
+    raise ValueError(f"unknown schedule kind {schedule_kind!r}")
+
+
+def evaluate_plan(
+    plan: PipelinePlan,
+    cluster: ClusterSpec,
+    schedule_kind: str = "1f1b",
+    enforce_memory: bool = True,
+    include_gradient_sync: bool = True,
+) -> PlanEvaluation:
+    """Simulate ``plan`` and check it against device memory.
+
+    When ``include_gradient_sync`` is set and the plan is data-parallel,
+    the per-iteration ZeRO-1 gradient reduce-scatter and parameter
+    all-gather of the heaviest stage is added to the iteration time (all
+    stages synchronise concurrently after the last backward).
+    """
+    if not plan.feasible:
+        return PlanEvaluation(plan=plan, simulation=None, oom=True)
+    schedule = build_schedule_for_plan(plan, cluster, schedule_kind)
+    result = simulate(schedule)
+    if include_gradient_sync and plan.parallel.data_parallel > 1:
+        comm = CommModel(cluster)
+        sync = max(
+            comm.gradient_sync_time(stage.params, plan.parallel)
+            for stage in plan.stages
+        )
+        result = SimulationResult(
+            iteration_time=result.iteration_time + sync,
+            start_times=result.start_times,
+            end_times=result.end_times,
+            device_busy_time=result.device_busy_time,
+            device_peak_bytes=result.device_peak_bytes,
+            schedule=result.schedule,
+        )
+    oom = False
+    if enforce_memory:
+        oom = bool(result.oom_devices(cluster.device.usable_memory_bytes))
+    return PlanEvaluation(plan=plan, simulation=result, oom=oom)

@@ -1,0 +1,92 @@
+"""Memory/time frontier analysis.
+
+Section 7.4 notes AdaPipe's plans sit at the 70 GB constraint "in a
+balanced manner" and that "the memory constraint can be elevated for better
+performance". This module quantifies that: sweep the DP's memory limit and
+record the modelled/simulated iteration time at each point, yielding the
+Pareto frontier between per-device memory and throughput that the two-level
+DP trades along.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.evaluate import evaluate_plan
+from repro.core.plan import PipelinePlan
+from repro.core.search import PlannerContext, plan_adapipe
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One point on the memory/time frontier.
+
+    Attributes:
+        memory_limit_bytes: the knapsack constraint used.
+        feasible: whether any plan fit under it.
+        modeled_time: the DP's objective value.
+        simulated_time: the simulator's iteration time.
+        peak_memory_bytes: the plan's largest per-stage footprint.
+    """
+
+    memory_limit_bytes: float
+    feasible: bool
+    modeled_time: Optional[float]
+    simulated_time: Optional[float]
+    peak_memory_bytes: Optional[float]
+
+
+def memory_time_frontier(
+    ctx: PlannerContext,
+    memory_limits: Sequence[float],
+    planner: Callable[[PlannerContext], PipelinePlan] = plan_adapipe,
+) -> List[FrontierPoint]:
+    """Sweep memory limits and plan at each one.
+
+    Args:
+        ctx: base planning context; its ``memory_limit_bytes`` is replaced
+            per point.
+        memory_limits: constraint values (bytes), any order.
+        planner: which planner to sweep (AdaPipe by default).
+
+    Returns:
+        One point per limit, in the order given.
+    """
+    points: List[FrontierPoint] = []
+    for limit in memory_limits:
+        swept = dataclasses.replace(
+            ctx, memory_limit_bytes=limit, _profiler=None, _layers=None
+        )
+        plan = planner(swept)
+        if not plan.feasible:
+            points.append(FrontierPoint(limit, False, None, None, None))
+            continue
+        evaluation = evaluate_plan(plan, ctx.cluster, enforce_memory=False)
+        points.append(
+            FrontierPoint(
+                memory_limit_bytes=limit,
+                feasible=True,
+                modeled_time=plan.modeled_iteration_time,
+                simulated_time=evaluation.iteration_time,
+                peak_memory_bytes=max(plan.peak_memory_bytes()),
+            )
+        )
+    return points
+
+
+def frontier_is_monotone(points: Sequence[FrontierPoint], tolerance: float = 1e-9) -> bool:
+    """True when more memory never results in a slower modelled plan.
+
+    The knapsack/partition DPs search supersets of the tighter budget's
+    space, so the frontier must be non-increasing in the limit — a property
+    the test suite asserts.
+    """
+    ordered = sorted(
+        (p for p in points if p.feasible), key=lambda p: p.memory_limit_bytes
+    )
+    for a, b in zip(ordered, ordered[1:]):
+        if b.modeled_time > a.modeled_time + tolerance:
+            return False
+    return True

@@ -1,0 +1,181 @@
+"""Stage evaluation with isomorphism caching (Section 5.3).
+
+The partitioning DP needs ``f[s, i, j]`` and ``b[s, i, j]`` — the optimal
+forward/backward time of layers ``i..j`` as stage ``s`` — for every stage
+and sub-sequence, which naively means O(pL^2) inner-DP runs. But transformer
+layer sequences are homogeneous: two sub-sequences with the same layer-kind
+multiset (same Attention/FFN counts, same embedding/head membership) are
+isomorphic and share one inner-DP solution. Caching on that key reduces the
+inner-DP invocations to O(pL), as the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.recompute_dp import (
+    RecomputeResult,
+    UnitItem,
+    optimize_stage_recompute,
+)
+from repro.model.layers import Layer, LayerKind
+from repro.profiler.memory import StageMemory
+from repro.profiler.profiler import LayerProfile, Profiler
+
+
+@dataclass(frozen=True)
+class StageEval:
+    """Optimal cost of one candidate stage (layers ``i..j`` as stage ``s``).
+
+    Attributes:
+        feasible: whether the stage fits device memory at all.
+        forward: the paper's ``F_{G,s}`` — fixed forward time.
+        backward: the paper's ``B_{G,s}`` — backward time including the
+            cheapest recomputation meeting the budget.
+        saved_unit_counts: saved units per type (always-saved included).
+        saved_bytes_per_microbatch: intermediates pinned per micro-batch.
+        memory: full stage memory breakdown.
+    """
+
+    feasible: bool
+    forward: float
+    backward: float
+    saved_unit_counts: Mapping[str, int]
+    saved_bytes_per_microbatch: float
+    memory: StageMemory
+
+
+class StageEvaluator:
+    """Evaluates candidate stages, caching by isomorphism class.
+
+    Args:
+        profiler: the unit profiler for this (model, workload, strategy).
+        layers: the full layer sequence being partitioned.
+        capacity_bytes: usable device memory (the paper subtracts a safety
+            margin — e.g. it ran GPT-3 with a 70 GB constraint on 80 GB
+            devices).
+    """
+
+    def __init__(
+        self,
+        profiler: Profiler,
+        layers: Sequence[Layer],
+        capacity_bytes: float,
+    ) -> None:
+        self.profiler = profiler
+        self.layers = list(layers)
+        self.capacity_bytes = capacity_bytes
+        self.memory_model = profiler.memory
+        self._cache: Dict[Tuple, StageEval] = {}
+        self.inner_dp_invocations = 0
+        # Prefix sums for O(1) kind counts and parameter sums.
+        self._att_prefix = [0]
+        self._ffn_prefix = [0]
+        self._param_prefix = [0]
+        for layer in self.layers:
+            self._att_prefix.append(
+                self._att_prefix[-1] + (layer.kind == LayerKind.ATTENTION)
+            )
+            self._ffn_prefix.append(
+                self._ffn_prefix[-1] + (layer.kind == LayerKind.FFN)
+            )
+            self._param_prefix.append(self._param_prefix[-1] + layer.params)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def _key(self, stage: int, i: int, j: int) -> Tuple:
+        return (
+            stage,
+            i == 0,
+            j == self.num_layers - 1,
+            self._att_prefix[j + 1] - self._att_prefix[i],
+            self._ffn_prefix[j + 1] - self._ffn_prefix[i],
+        )
+
+    def evaluate(self, stage: int, i: int, j: int) -> StageEval:
+        """Optimal cost of layers ``i..j`` (inclusive) as stage ``stage``."""
+        key = self._key(stage, i, j)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._evaluate_uncached(stage, i, j)
+            self._cache[key] = cached
+        return cached
+
+    def _evaluate_uncached(self, stage: int, i: int, j: int) -> StageEval:
+        self.inner_dp_invocations += 1
+        stage_layers = self.layers[i : j + 1]
+        in_flight = self.memory_model.in_flight(stage)
+
+        forward = 0.0
+        backward_fixed = 0.0
+        always_bytes = 0.0
+        always_counts: Dict[str, int] = {}
+        optional: Dict[str, UnitItem] = {}
+        optional_total_value = 0.0
+
+        for layer in stage_layers:
+            profile: LayerProfile = self.profiler.profile_layer(layer.kind)
+            for unit in profile.units:
+                forward += unit.time_forward
+                backward_fixed += unit.time_backward
+                if unit.always_saved:
+                    always_bytes += unit.saved_bytes
+                    always_counts[unit.name] = always_counts.get(unit.name, 0) + 1
+                else:
+                    optional_total_value += unit.time_forward
+                    existing = optional.get(unit.name)
+                    if existing is None:
+                        optional[unit.name] = UnitItem(
+                            name=unit.name,
+                            value=unit.time_forward,
+                            weight_bytes=unit.saved_bytes,
+                            copies=1,
+                        )
+                    else:
+                        optional[unit.name] = UnitItem(
+                            name=existing.name,
+                            value=existing.value,
+                            weight_bytes=existing.weight_bytes,
+                            copies=existing.copies + 1,
+                        )
+
+        static = self.memory_model.static_bytes(stage_layers)
+        buffer = self.memory_model.recompute_buffer_bytes()
+        budget = (
+            self.capacity_bytes - static - buffer - in_flight * always_bytes
+        )
+        result: RecomputeResult = optimize_stage_recompute(
+            list(optional.values()), budget, in_flight
+        )
+        if not result.feasible:
+            return StageEval(
+                feasible=False,
+                forward=forward,
+                backward=float("inf"),
+                saved_unit_counts={},
+                saved_bytes_per_microbatch=0.0,
+                memory=StageMemory(static, buffer, always_bytes, in_flight),
+            )
+
+        backward = backward_fixed + optional_total_value - result.saved_value
+        saved_counts = dict(always_counts)
+        for name, count in result.saved_counts.items():
+            saved_counts[name] = saved_counts.get(name, 0) + count
+        saved_bytes = always_bytes + result.saved_bytes
+        memory = StageMemory(
+            static_bytes=static,
+            buffer_bytes=buffer,
+            saved_per_microbatch=saved_bytes,
+            in_flight_microbatches=in_flight,
+        )
+        return StageEval(
+            feasible=True,
+            forward=forward,
+            backward=backward,
+            saved_unit_counts=saved_counts,
+            saved_bytes_per_microbatch=saved_bytes,
+            memory=memory,
+        )

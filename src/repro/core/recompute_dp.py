@@ -1,0 +1,170 @@
+"""Adaptive recomputation: the per-stage knapsack DP (Section 4.3).
+
+Choosing which computation units to save is a 0/1 knapsack: saving unit
+``U`` costs ``(p - s) * Mem(U)`` bytes of the stage's residual memory budget
+and *earns* ``Time_f(U)`` of backward time (the recompute it avoids). The
+optimal strategy maximizes the earned time under the budget (Equations 1–2).
+
+Two of the paper's Section 5.3 optimizations are implemented:
+
+* **GCD quantization** — activation sizes share a large power-of-two GCD,
+  so weights and budget are divided by it, shrinking the DP table.
+* Homogeneity: identical units across a stage's layers are folded into one
+  *bounded* knapsack item with a copy count, solved via binary splitting —
+  the table has O(log copies) rows per unit type instead of one per layer.
+
+A ``max_cells`` guard re-quantizes (conservatively, rounding weights up) if
+a pathological input would otherwise explode the table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UnitItem:
+    """One computation-unit type within a stage.
+
+    Attributes:
+        name: unit type, e.g. ``"ffn.act"``.
+        value: backward time saved per copy kept (its ``Time_f``).
+        weight_bytes: ``Mem(U)`` per micro-batch, *before* the ``p - s``
+            in-flight multiplier.
+        copies: how many instances of this unit the stage's layers contain.
+    """
+
+    name: str
+    value: float
+    weight_bytes: float
+    copies: int
+
+
+@dataclass(frozen=True)
+class RecomputeResult:
+    """Outcome of the per-stage knapsack.
+
+    Attributes:
+        feasible: False when even saving nothing exceeds the budget
+            (negative residual budget).
+        saved_value: total recompute time avoided (the paper's
+            ``T_{s,N}(M)``).
+        saved_counts: per unit type, how many optional copies are saved.
+        saved_bytes: bytes of optional intermediates kept, per micro-batch.
+    """
+
+    feasible: bool
+    saved_value: float
+    saved_counts: Mapping[str, int]
+    saved_bytes: float
+
+
+def optimize_stage_recompute(
+    items: Sequence[UnitItem],
+    budget_bytes: float,
+    in_flight: int,
+    max_cells: int = 4_000_000,
+) -> RecomputeResult:
+    """Solve the stage's save-or-recompute knapsack.
+
+    Args:
+        items: optional (non-always-saved) unit types with copy counts.
+        budget_bytes: residual memory for optional intermediates — device
+            capacity minus static state, recompute buffer, and the
+            always-saved intermediates.
+        in_flight: the ``p - s`` multiplier on item weights.
+        max_cells: cap on DP table cells; exceeded budgets trigger coarser
+            (conservative) quantization.
+
+    Returns:
+        The optimal save set, as per-type counts.
+    """
+    if budget_bytes < 0:
+        return RecomputeResult(False, 0.0, {}, 0.0)
+    if not items or budget_bytes == 0:
+        return RecomputeResult(True, 0.0, {item.name: 0 for item in items}, 0.0)
+
+    weights = [max(1, int(round(item.weight_bytes * in_flight))) for item in items]
+    budget = int(budget_bytes)
+
+    quantum = math.gcd(*weights) if weights else 1
+    num_chunks = sum(max(1, item.copies.bit_length() + 1) for item in items)
+    columns = budget // quantum + 1
+    if columns * num_chunks > max_cells:
+        quantum = max(quantum, math.ceil(budget * num_chunks / max_cells))
+        columns = budget // quantum + 1
+
+    # Binary splitting of bounded items into 0/1 chunks. Weights round up
+    # so quantization never understates memory.
+    chunk_names: List[str] = []
+    chunk_counts: List[int] = []
+    chunk_weights: List[int] = []
+    chunk_values: List[float] = []
+    for item, weight in zip(items, weights):
+        remaining = item.copies
+        power = 1
+        while remaining > 0:
+            take = min(power, remaining)
+            chunk_names.append(item.name)
+            chunk_counts.append(take)
+            chunk_weights.append(_ceil_div(weight, quantum) * take)
+            chunk_values.append(item.value * take)
+            remaining -= take
+            power *= 2
+
+    best = np.zeros(columns, dtype=np.float64)
+    taken = np.zeros((len(chunk_weights), columns), dtype=bool)
+    for row, (w, v) in enumerate(zip(chunk_weights, chunk_values)):
+        if w > columns - 1:
+            continue
+        candidate = best[:-w] + v
+        improved = candidate > best[w:]
+        taken[row, w:] = improved
+        best[w:] = np.where(improved, candidate, best[w:])
+
+    # Backtrack the chosen chunks from the rightmost optimal column.
+    column = int(np.argmax(best))
+    saved_counts: Dict[str, int] = {item.name: 0 for item in items}
+    saved_value = 0.0
+    saved_bytes = 0.0
+    weight_of = {item.name: item.weight_bytes for item in items}
+    for row in range(len(chunk_weights) - 1, -1, -1):
+        if taken[row, column]:
+            name = chunk_names[row]
+            saved_counts[name] += chunk_counts[row]
+            saved_value += chunk_values[row]
+            saved_bytes += weight_of[name] * chunk_counts[row]
+            column -= chunk_weights[row]
+    return RecomputeResult(True, saved_value, saved_counts, saved_bytes)
+
+
+def brute_force_recompute(
+    items: Sequence[UnitItem], budget_bytes: float, in_flight: int
+) -> Tuple[bool, float]:
+    """Exponential reference solver (tests only): optimal saved value."""
+    if budget_bytes < 0:
+        return False, 0.0
+    expanded: List[Tuple[float, float]] = []
+    for item in items:
+        expanded.extend(
+            (item.value, item.weight_bytes * in_flight) for _ in range(item.copies)
+        )
+    best = 0.0
+    for mask in range(1 << len(expanded)):
+        value = 0.0
+        weight = 0.0
+        for bit, (v, w) in enumerate(expanded):
+            if mask >> bit & 1:
+                value += v
+                weight += w
+        if weight <= budget_bytes:
+            best = max(best, value)
+    return True, best
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

@@ -1,0 +1,139 @@
+"""Simulator-guided refinement of a searched partition.
+
+Algorithm 1 optimizes the analytic phase model, which is near-exact on the
+balanced pipelines it produces but can be off by a few percent against the
+event-driven simulator on edge cases (the model charges the steady backlog
+only at stage 0's micro-batch count). This refiner closes that gap: starting
+from the DP's plan, it hill-climbs over single-layer boundary moves,
+re-pricing every candidate with the *simulator* and keeping strict
+improvements. Because each boundary move re-runs only the per-stage inner
+DP (cached by isomorphism class) plus one simulation, a full refinement
+pass costs a handful of simulations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.evaluate import evaluate_plan
+from repro.core.isomorphism import StageEvaluator
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.core.search import PlannerContext, plan_adapipe
+
+
+def _plan_from_boundaries(
+    ctx: PlannerContext,
+    evaluator: StageEvaluator,
+    boundaries: List[Tuple[int, int]],
+    method: str,
+) -> Optional[PipelinePlan]:
+    evals = []
+    for s, (lo, hi) in enumerate(boundaries):
+        eval_ = evaluator.evaluate(s, lo, hi - 1)
+        if not eval_.feasible:
+            return None
+        evals.append(eval_)
+    stages = tuple(
+        StagePlan(
+            stage=s,
+            layer_start=lo,
+            layer_end=hi,
+            saved_unit_counts=dict(evals[s].saved_unit_counts),
+            forward_time=evals[s].forward,
+            backward_time=evals[s].backward,
+            memory=evals[s].memory,
+        )
+        for s, (lo, hi) in enumerate(boundaries)
+    )
+    return PipelinePlan(
+        method=method,
+        parallel=ctx.parallel,
+        train=ctx.train,
+        stages=stages,
+        modeled_iteration_time=None,
+        feasible=True,
+        hidden_size=ctx.spec.hidden_size,
+    )
+
+
+def _boundary_moves(
+    boundaries: List[Tuple[int, int]]
+) -> List[List[Tuple[int, int]]]:
+    """All partitions reachable by moving one stage boundary by one layer."""
+    candidates = []
+    for cut in range(len(boundaries) - 1):
+        for delta in (-1, +1):
+            moved = [list(b) for b in boundaries]
+            moved[cut][1] += delta
+            moved[cut + 1][0] += delta
+            if moved[cut][1] > moved[cut][0] and moved[cut + 1][1] > moved[cut + 1][0]:
+                candidates.append([tuple(b) for b in moved])
+    return candidates
+
+
+def refine_partition(
+    ctx: PlannerContext,
+    plan: PipelinePlan,
+    max_rounds: int = 8,
+    method_suffix: str = "+refine",
+) -> PipelinePlan:
+    """Hill-climb ``plan``'s boundaries against the simulator.
+
+    Args:
+        ctx: the plan's planning context.
+        plan: a feasible starting plan (typically from :func:`plan_adapipe`).
+        max_rounds: maximum improvement rounds; each round tries every
+            single-layer boundary move and keeps the best.
+        method_suffix: appended to the plan's method label when refinement
+            changes it.
+
+    Returns:
+        The refined plan (the input plan if no move improves it).
+    """
+    if not plan.feasible:
+        return plan
+    evaluator = StageEvaluator(ctx.profiler, ctx.layers, ctx.capacity_bytes)
+    best_plan = plan
+    best_time = evaluate_plan(plan, ctx.cluster, enforce_memory=False).iteration_time
+    boundaries = [(s.layer_start, s.layer_end) for s in plan.stages]
+    improved_any = False
+
+    for _ in range(max_rounds):
+        round_best = None
+        round_best_time = best_time
+        for candidate in _boundary_moves(boundaries):
+            candidate_plan = _plan_from_boundaries(
+                ctx, evaluator, candidate, plan.method
+            )
+            if candidate_plan is None:
+                continue
+            time = evaluate_plan(
+                candidate_plan, ctx.cluster, enforce_memory=False
+            ).iteration_time
+            if time < round_best_time - 1e-12:
+                round_best = (candidate, candidate_plan)
+                round_best_time = time
+        if round_best is None:
+            break
+        boundaries, best_plan = round_best
+        best_time = round_best_time
+        improved_any = True
+
+    if not improved_any:
+        return plan
+    return PipelinePlan(
+        method=plan.method + method_suffix,
+        parallel=best_plan.parallel,
+        train=best_plan.train,
+        stages=best_plan.stages,
+        modeled_iteration_time=best_time,
+        feasible=True,
+        hidden_size=best_plan.hidden_size,
+    )
+
+
+def plan_adapipe_refined(
+    ctx: PlannerContext, method: str = "AdaPipe"
+) -> PipelinePlan:
+    """Two-level DP followed by simulator-guided boundary refinement."""
+    return refine_partition(ctx, plan_adapipe(ctx, method))

@@ -1,0 +1,286 @@
+"""End-to-end planning and 3D-parallelism strategy search (Sections 5–7).
+
+``PlannerContext`` bundles everything a plan needs (cluster, model,
+workload, strategy, memory constraint). The three planners mirror the
+paper's evaluated methods:
+
+* :func:`plan_adapipe` — adaptive recomputation *and* adaptive partitioning
+  (the two-level DP).
+* :func:`plan_even_partitioning` — adaptive recomputation on the baselines'
+  uniform partition ("Even Partitioning" in the figures).
+* :func:`plan_policy` — uniform partition and a fixed policy (the
+  DAPPLE-Full / DAPPLE-Non rows).
+
+:func:`enumerate_parallel_strategies` and :func:`search_best_strategy`
+reproduce the Table 3 sweep: iterate all ``(t, p, d)`` with ``t`` within a
+node, plan each, and keep the fastest feasible strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import ConfigError, ParallelConfig, TrainingConfig
+from repro.core.isomorphism import StageEval, StageEvaluator
+from repro.core.partition_dp import (
+    PartitionResult,
+    evaluate_fixed_partition,
+    even_boundaries,
+    optimize_partition,
+)
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.core.strategies import RecomputePolicy, stage_costs_for_policy
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.comm import CommModel
+from repro.model.layers import Layer, build_layer_sequence
+from repro.model.spec import ModelSpec
+from repro.profiler.profiler import Profiler
+
+
+@dataclass
+class PlannerContext:
+    """Everything needed to plan one (model, workload, strategy) triple.
+
+    Attributes:
+        cluster: target hardware.
+        spec: model architecture.
+        train: workload.
+        parallel: the 3D strategy under evaluation.
+        memory_limit_bytes: knapsack memory constraint; defaults to the
+            device's usable capacity times ``memory_margin`` (the paper ran
+            its DP against a conservative 70 GB on 80 GB devices).
+        memory_margin: fraction of usable capacity given to the DP.
+        profile_noise: measurement jitter passed to the profiler.
+    """
+
+    cluster: ClusterSpec
+    spec: ModelSpec
+    train: TrainingConfig
+    parallel: ParallelConfig
+    memory_limit_bytes: Optional[float] = None
+    memory_margin: float = 0.92
+    profile_noise: float = 0.0
+    _profiler: Optional[Profiler] = field(default=None, repr=False)
+    _layers: Optional[List[Layer]] = field(default=None, repr=False)
+
+    @property
+    def capacity_bytes(self) -> float:
+        if self.memory_limit_bytes is not None:
+            return self.memory_limit_bytes
+        return self.cluster.device.usable_memory_bytes * self.memory_margin
+
+    @property
+    def hard_capacity_bytes(self) -> float:
+        """The physical OOM line (Figure 8's dashed capacity)."""
+        return float(self.cluster.device.usable_memory_bytes)
+
+    @property
+    def profiler(self) -> Profiler:
+        if self._profiler is None:
+            self._profiler = Profiler(
+                self.cluster,
+                self.spec,
+                self.train,
+                self.parallel,
+                noise=self.profile_noise,
+            )
+        return self._profiler
+
+    @property
+    def layers(self) -> List[Layer]:
+        if self._layers is None:
+            self._layers = build_layer_sequence(self.spec)
+        return self._layers
+
+    @property
+    def num_micro_batches(self) -> int:
+        return self.train.num_micro_batches(self.parallel)
+
+    @property
+    def hop_time(self) -> float:
+        return CommModel(self.cluster).pipeline_hop_time(
+            self.spec.hidden_size, self.train
+        )
+
+
+def _build_plan(
+    method: str,
+    ctx: PlannerContext,
+    boundaries: Sequence[Tuple[int, int]],
+    evals: Sequence[StageEval],
+    modeled_time: Optional[float],
+    feasible: bool,
+) -> PipelinePlan:
+    stages = tuple(
+        StagePlan(
+            stage=s,
+            layer_start=lo,
+            layer_end=hi,
+            saved_unit_counts=dict(evals[s].saved_unit_counts),
+            forward_time=evals[s].forward,
+            backward_time=evals[s].backward,
+            memory=evals[s].memory,
+            params=sum(layer.params for layer in ctx.layers[lo:hi]),
+        )
+        for s, (lo, hi) in enumerate(boundaries)
+    )
+    return PipelinePlan(
+        method=method,
+        parallel=ctx.parallel,
+        train=ctx.train,
+        stages=stages,
+        modeled_iteration_time=modeled_time,
+        feasible=feasible,
+        hidden_size=ctx.spec.hidden_size,
+    )
+
+
+def plan_adapipe(ctx: PlannerContext, method: str = "AdaPipe") -> PipelinePlan:
+    """Full AdaPipe: two-level DP over recomputation and partitioning."""
+    evaluator = StageEvaluator(ctx.profiler, ctx.layers, ctx.capacity_bytes)
+    result: PartitionResult = optimize_partition(
+        evaluator,
+        ctx.parallel.pipeline_parallel,
+        ctx.num_micro_batches,
+        hop_time=ctx.hop_time,
+    )
+    if not result.feasible:
+        boundaries = even_boundaries(len(ctx.layers), ctx.parallel.pipeline_parallel)
+        evals = [
+            evaluator.evaluate(s, lo, hi - 1)
+            for s, (lo, hi) in enumerate(boundaries)
+        ]
+        return _build_plan(method, ctx, boundaries, evals, None, False)
+    return _build_plan(
+        method, ctx, result.boundaries, result.stage_evals, result.total_time, True
+    )
+
+
+def plan_even_partitioning(
+    ctx: PlannerContext, method: str = "Even Partitioning"
+) -> PipelinePlan:
+    """Adaptive recomputation on the uniform partition (no boundary search)."""
+    evaluator = StageEvaluator(ctx.profiler, ctx.layers, ctx.capacity_bytes)
+    boundaries = even_boundaries(len(ctx.layers), ctx.parallel.pipeline_parallel)
+    result = evaluate_fixed_partition(
+        evaluator, boundaries, ctx.num_micro_batches, hop_time=ctx.hop_time
+    )
+    return _build_plan(
+        method,
+        ctx,
+        result.boundaries,
+        result.stage_evals,
+        result.total_time if result.feasible else None,
+        result.feasible,
+    )
+
+
+def plan_policy(
+    ctx: PlannerContext, policy: RecomputePolicy, method: str
+) -> PipelinePlan:
+    """Uniform partition with a fixed recomputation policy (DAPPLE rows).
+
+    Feasibility is judged against the *hard* device capacity, not the DP's
+    conservative margin — baselines don't leave headroom, they just OOM.
+    """
+    boundaries = even_boundaries(len(ctx.layers), ctx.parallel.pipeline_parallel)
+    evals = stage_costs_for_policy(
+        ctx.profiler, boundaries, ctx.layers, policy, ctx.hard_capacity_bytes
+    )
+    result = evaluate_fixed_partition_from_evals(
+        evals, ctx.num_micro_batches, ctx.hop_time
+    )
+    feasible = all(e.feasible for e in evals)
+    return _build_plan(
+        method, ctx, boundaries, evals, result if feasible else None, feasible
+    )
+
+
+def evaluate_fixed_partition_from_evals(
+    evals: Sequence[StageEval], num_micro_batches: int, hop_time: float
+) -> float:
+    """1F1B cost model (Section 5.1) over precomputed stage evals."""
+    p = len(evals)
+    n = num_micro_batches
+    warmup = ending = micro = 0.0
+    f_next = b_next = 0.0
+    for s in range(p - 1, -1, -1):
+        f = evals[s].forward + hop_time
+        b = evals[s].backward + hop_time
+        if s == p - 1:
+            warmup, ending, micro = f, b, f + b
+        else:
+            warmup = f + max(warmup + b_next, (p - s - 1) * f)
+            ending = b + max(ending + f_next, (p - s - 1) * b)
+            micro = max(micro, f + b)
+        f_next, b_next = f, b
+    return warmup + ending + max(0, n - p) * micro
+
+
+def enumerate_parallel_strategies(
+    num_devices: int,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    train: TrainingConfig,
+    max_tensor_parallel: int = 8,
+    min_pipeline_parallel: int = 2,
+) -> List[ParallelConfig]:
+    """All valid ``(t, p, d)`` strategies for the Table 3 sweep.
+
+    Constraints (Section 7.1): ``t * p * d = num_devices``; ``t`` at most 8
+    and inside one node; ``p`` at least 2 and no larger than the layer
+    sequence; the global batch must divide by ``d``.
+    """
+    num_layers = len(build_layer_sequence(spec))
+    strategies = []
+    t = 1
+    while t <= min(max_tensor_parallel, cluster.devices_per_node, num_devices):
+        if num_devices % t == 0:
+            rest = num_devices // t
+            p = min_pipeline_parallel
+            while p <= rest:
+                if rest % p == 0 and p <= num_layers:
+                    d = rest // p
+                    if train.global_batch_size % d == 0:
+                        candidate = ParallelConfig(t, p, d)
+                        try:
+                            cluster.validate_parallel(candidate, num_devices)
+                        except ConfigError:
+                            pass
+                        else:
+                            if train.num_micro_batches(candidate) >= 1:
+                                strategies.append(candidate)
+                p += 1
+        t *= 2
+    return strategies
+
+
+def search_best_strategy(
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    train: TrainingConfig,
+    num_devices: int,
+    planner: Callable[[PlannerContext], PipelinePlan],
+    strategies: Optional[Iterable[ParallelConfig]] = None,
+    **context_kwargs,
+) -> Tuple[Optional[PipelinePlan], List[PipelinePlan]]:
+    """Plan every strategy and return (best feasible plan, all plans).
+
+    "Best" minimizes the modelled iteration time normalised per sample, so
+    strategies with different data-parallel sizes compare fairly (a ``d=2``
+    pipeline only processes half the global batch).
+    """
+    if strategies is None:
+        strategies = enumerate_parallel_strategies(num_devices, cluster, spec, train)
+    plans: List[PipelinePlan] = []
+    best: Optional[PipelinePlan] = None
+    best_time = float("inf")
+    for parallel in strategies:
+        ctx = PlannerContext(cluster, spec, train, parallel, **context_kwargs)
+        plan = planner(ctx)
+        plans.append(plan)
+        if plan.feasible and plan.modeled_iteration_time is not None:
+            if plan.modeled_iteration_time < best_time:
+                best, best_time = plan, plan.modeled_iteration_time
+    return best, plans

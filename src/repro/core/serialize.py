@@ -1,0 +1,133 @@
+"""Plan serialization: JSON round-trip for pipeline plans.
+
+A plan produced by the search engine is the hand-off artifact to an
+execution engine (in the paper: the Megatron/MindSpore integration reads
+the searched strategy). This module serialises
+:class:`~repro.core.plan.PipelinePlan` to a stable, human-auditable JSON
+document and back, so plans can be searched once, stored, diffed, and
+replayed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.profiler.memory import StageMemory
+
+FORMAT_VERSION = 1
+
+
+class PlanFormatError(ValueError):
+    """Raised on malformed or incompatible plan documents."""
+
+
+def plan_to_dict(plan: PipelinePlan) -> Dict[str, Any]:
+    """Serialise a plan to plain JSON-compatible data."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "method": plan.method,
+        "feasible": plan.feasible,
+        "hidden_size": plan.hidden_size,
+        "modeled_iteration_time": plan.modeled_iteration_time,
+        "parallel": {
+            "tensor_parallel": plan.parallel.tensor_parallel,
+            "pipeline_parallel": plan.parallel.pipeline_parallel,
+            "data_parallel": plan.parallel.data_parallel,
+        },
+        "train": dataclasses.asdict(plan.train),
+        "stages": [
+            {
+                "stage": stage.stage,
+                "layer_start": stage.layer_start,
+                "layer_end": stage.layer_end,
+                "saved_unit_counts": dict(stage.saved_unit_counts),
+                "forward_time": stage.forward_time,
+                "backward_time": stage.backward_time,
+                "memory": {
+                    "static_bytes": stage.memory.static_bytes,
+                    "buffer_bytes": stage.memory.buffer_bytes,
+                    "saved_per_microbatch": stage.memory.saved_per_microbatch,
+                    "in_flight_microbatches": stage.memory.in_flight_microbatches,
+                },
+            }
+            for stage in plan.stages
+        ],
+    }
+
+
+def plan_from_dict(data: Dict[str, Any]) -> PipelinePlan:
+    """Reconstruct a plan from :func:`plan_to_dict` output."""
+    try:
+        version = data["format_version"]
+        if version != FORMAT_VERSION:
+            raise PlanFormatError(
+                f"unsupported plan format version {version} (want {FORMAT_VERSION})"
+            )
+        parallel = ParallelConfig(**data["parallel"])
+        train = TrainingConfig(**data["train"])
+        stages = tuple(
+            StagePlan(
+                stage=entry["stage"],
+                layer_start=entry["layer_start"],
+                layer_end=entry["layer_end"],
+                saved_unit_counts=dict(entry["saved_unit_counts"]),
+                forward_time=entry["forward_time"],
+                backward_time=entry["backward_time"],
+                memory=StageMemory(**entry["memory"]),
+            )
+            for entry in data["stages"]
+        )
+        plan = PipelinePlan(
+            method=data["method"],
+            parallel=parallel,
+            train=train,
+            stages=stages,
+            modeled_iteration_time=data.get("modeled_iteration_time"),
+            feasible=data.get("feasible", True),
+            hidden_size=data.get("hidden_size", 0),
+        )
+    except PlanFormatError:
+        raise
+    except (KeyError, TypeError) as exc:
+        raise PlanFormatError(f"malformed plan document: {exc}") from exc
+    validate_plan(plan)
+    return plan
+
+
+def validate_plan(plan: PipelinePlan) -> None:
+    """Structural checks: contiguous stage coverage, consistent indices."""
+    # Interleaved plans hold v model chunks per device: v * p stages.
+    if len(plan.stages) % plan.parallel.pipeline_parallel != 0:
+        raise PlanFormatError(
+            f"{len(plan.stages)} stages for pipeline parallel size "
+            f"{plan.parallel.pipeline_parallel}"
+        )
+    cursor = plan.stages[0].layer_start
+    for index, stage in enumerate(plan.stages):
+        if stage.stage != index:
+            raise PlanFormatError(f"stage index {stage.stage} at position {index}")
+        if stage.layer_start != cursor:
+            raise PlanFormatError(
+                f"stage {index} starts at layer {stage.layer_start}, "
+                f"expected {cursor}"
+            )
+        if stage.layer_end <= stage.layer_start:
+            raise PlanFormatError(f"stage {index} is empty")
+        cursor = stage.layer_end
+
+
+def dump_plan(plan: PipelinePlan, path: str) -> None:
+    """Write a plan document to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(plan_to_dict(plan), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_plan(path: str) -> PipelinePlan:
+    """Read a plan document from ``path``."""
+    with open(path) as handle:
+        return plan_from_dict(json.load(handle))

@@ -1,0 +1,102 @@
+"""Fixed recomputation policies (the baselines' strategies).
+
+The paper's baselines run one uniform policy on every stage:
+
+* ``FULL`` — full recomputation: only layer inputs (our always-saved
+  closing units) survive the forward pass; everything else is recomputed.
+* ``NONE`` — no recomputation: every unit is saved.
+* ``SELECTIVE`` — Megatron's selective recomputation: only the attention
+  core (softmax/dropout/batched-matmul block) is recomputed. With
+  FlashAttention enabled this is essentially superseded (Section 2.2), but
+  it matters for the non-flash ablation.
+
+``stage_eval_for_policy`` produces the same :class:`StageEval` records the
+adaptive DP yields, so baselines and AdaPipe flow through identical
+downstream code (cost model, simulator, plan building).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Sequence
+
+from repro.core.isomorphism import StageEval
+from repro.model.layers import Layer
+from repro.profiler.memory import StageMemory
+from repro.profiler.profiler import Profiler
+
+
+class RecomputePolicy(enum.Enum):
+    FULL = "full"
+    NONE = "none"
+    SELECTIVE = "selective"
+
+    def saves_unit(self, unit_name: str, always_saved: bool) -> bool:
+        """Whether this policy keeps the unit's intermediates."""
+        if always_saved:
+            return True
+        if self is RecomputePolicy.NONE:
+            return True
+        if self is RecomputePolicy.SELECTIVE:
+            return unit_name != "attn.core"
+        return False  # FULL
+
+
+def stage_eval_for_policy(
+    profiler: Profiler,
+    stage: int,
+    stage_layers: Sequence[Layer],
+    policy: RecomputePolicy,
+    capacity_bytes: float,
+) -> StageEval:
+    """Evaluate a stage under a fixed (non-searched) recomputation policy."""
+    memory_model = profiler.memory
+    in_flight = memory_model.in_flight(stage)
+
+    forward = 0.0
+    backward = 0.0
+    saved_bytes = 0.0
+    counts: Dict[str, int] = {}
+    for layer in stage_layers:
+        profile = profiler.profile_layer(layer.kind)
+        for unit in profile.units:
+            forward += unit.time_forward
+            backward += unit.time_backward
+            if policy.saves_unit(unit.name, unit.always_saved):
+                saved_bytes += unit.saved_bytes
+                counts[unit.name] = counts.get(unit.name, 0) + 1
+            else:
+                backward += unit.time_forward  # recompute cost
+
+    static = memory_model.static_bytes(stage_layers)
+    buffer = memory_model.recompute_buffer_bytes()
+    memory = StageMemory(
+        static_bytes=static,
+        buffer_bytes=buffer,
+        saved_per_microbatch=saved_bytes,
+        in_flight_microbatches=in_flight,
+    )
+    return StageEval(
+        feasible=memory.fits(capacity_bytes),
+        forward=forward,
+        backward=backward,
+        saved_unit_counts=counts,
+        saved_bytes_per_microbatch=saved_bytes,
+        memory=memory,
+    )
+
+
+def stage_costs_for_policy(
+    profiler: Profiler,
+    boundaries: Sequence,
+    layers: Sequence[Layer],
+    policy: RecomputePolicy,
+    capacity_bytes: float,
+) -> list:
+    """Per-stage :class:`StageEval` list for a fixed partition and policy."""
+    return [
+        stage_eval_for_policy(
+            profiler, s, layers[lo:hi], policy, capacity_bytes
+        )
+        for s, (lo, hi) in enumerate(boundaries)
+    ]

@@ -1,0 +1,20 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(fast: bool = False) -> ExperimentResult``;
+``fast`` shrinks sweeps (fewer strategies, shorter training) so the
+benchmark suite finishes in seconds while ``adapipe run <exp>`` executes the
+full configuration. The registry maps paper artifact ids ("figure5",
+"table3", ...) to these functions, and ``repro.experiments.cli`` provides
+the command-line entry point.
+"""
+
+from repro.experiments.common import ExperimentResult, MethodRow
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "MethodRow",
+    "get_experiment",
+    "run_experiment",
+]

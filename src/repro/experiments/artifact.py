@@ -1,0 +1,164 @@
+"""Artifact-style experiment workflow (paper appendix A.3/A.4).
+
+The AdaPipe artifact drives everything through ``global_test.sh``: it
+iterates training configurations and parallelism strategies, runs
+profiling + searching + measuring for each, records per-worker logs with
+"the timestamps and memory information of each forward and backward pass",
+and ships ``collect_result.py`` to summarise everything against
+``expected_result.txt``. This module reproduces that workflow on the
+simulator:
+
+* :func:`run_artifact_workflow` sweeps the cluster-A configurations,
+  writing per-configuration result directories (``gpt_result/``,
+  ``llama2_result/``) containing an ``output.txt`` (iteration summary) and
+  a ``worker_trace.jsonl`` (per-task timestamps), plus a top-level
+  ``expected_result.txt`` and ``results.json``.
+* :func:`collect_results` re-reads ``results.json`` and prints the
+  artifact-style summary with speedups — the ``collect_result.py``
+  equivalent.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Optional, Sequence
+
+from repro.baselines import evaluate_method
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.search import PlannerContext
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import ModelSpec, gpt3_175b, llama2_70b
+from repro.pipeline.tracing import ResultCollector, write_trace_jsonl
+
+METHODS = ("DAPPLE-Full", "DAPPLE-Non", "Even Partitioning", "AdaPipe")
+
+# (model factory, result dir, num devices, (seq, batch) list, strategies)
+_CONFIGS = (
+    (
+        gpt3_175b,
+        "gpt_result",
+        64,
+        ((4096, 128), (8192, 64), (16384, 32)),
+        (ParallelConfig(8, 8, 1), ParallelConfig(4, 8, 2)),
+    ),
+    (
+        llama2_70b,
+        "llama2_result",
+        32,
+        ((4096, 128), (8192, 64), (16384, 32)),
+        (ParallelConfig(4, 8, 1), ParallelConfig(2, 8, 2)),
+    ),
+)
+
+
+def _config_slug(model: ModelSpec, seq: int, strategy: ParallelConfig) -> str:
+    t, p, d = strategy.as_tuple()
+    return f"{model.name}_seq{seq}_tp{t}_pp{p}_dp{d}"
+
+
+def run_artifact_workflow(
+    output_dir: str,
+    fast: bool = False,
+    methods: Sequence[str] = METHODS,
+) -> pathlib.Path:
+    """Run the full sweep and write the artifact-style result tree.
+
+    Args:
+        output_dir: root directory to populate.
+        fast: restrict to the first workload and strategy per model.
+        methods: methods to measure.
+
+    Returns:
+        The root path written.
+    """
+    root = pathlib.Path(output_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    collector = ResultCollector()
+
+    for model_fn, result_dir, num_devices, workloads, strategies in _CONFIGS:
+        spec = model_fn()
+        cluster = cluster_a(max(1, num_devices // 8))
+        sweep_workloads = workloads[:1] if fast else workloads
+        sweep_strategies = strategies[:1] if fast else strategies
+        for seq, batch in sweep_workloads:
+            train = TrainingConfig(sequence_length=seq, global_batch_size=batch)
+            for strategy in sweep_strategies:
+                ctx = PlannerContext(cluster, spec, train, strategy)
+                config_dir = root / result_dir / _config_slug(spec, seq, strategy)
+                config_dir.mkdir(parents=True, exist_ok=True)
+                lines = [
+                    f"model={spec.name} seq={seq} batch={batch} "
+                    f"strategy={strategy.as_tuple()}"
+                ]
+                for method in methods:
+                    evaluation = evaluate_method(method, ctx)
+                    time = evaluation.iteration_time
+                    peak = max(evaluation.peak_memory_per_device())
+                    collector.add(
+                        spec.name, method, seq, strategy.as_tuple(), time, peak
+                    )
+                    if time is None:
+                        lines.append(f"{method}: OOM (peak {peak / 1024**3:.1f} GiB)")
+                        continue
+                    lines.append(
+                        f"{method}: iteration {time:.3f}s, "
+                        f"peak {peak / 1024**3:.1f} GiB, "
+                        f"bubble {evaluation.simulation.bubble_ratio:.1%}"
+                    )
+                    if method == "AdaPipe":
+                        write_trace_jsonl(
+                            evaluation.simulation,
+                            str(config_dir / "worker_trace.jsonl"),
+                        )
+                (config_dir / "output.txt").write_text("\n".join(lines) + "\n")
+
+    (root / "expected_result.txt").write_text(collector.render() + "\n")
+    collector.write_json(str(root / "results.json"))
+    return root
+
+
+def collect_results(output_dir: str) -> str:
+    """Summarise a finished workflow — the ``collect_result.py`` analogue.
+
+    Reads ``results.json`` and prints, per (model, sequence length), the
+    best strategy per method and AdaPipe's speedup over the best DAPPLE.
+    """
+    root = pathlib.Path(output_dir)
+    entries = json.loads((root / "results.json").read_text())
+    collector = ResultCollector()
+    collector.entries = [
+        {**entry, "strategy": tuple(entry["strategy"])} for entry in entries
+    ]
+
+    keys = sorted(
+        {(entry["model"], entry["sequence_length"]) for entry in collector.entries}
+    )
+    lines: List[str] = []
+    for model, seq in keys:
+        best = collector.best_by_method(model, seq)
+        lines.append(f"{model} @ seq {seq}:")
+        for method in METHODS:
+            entry = best.get(method)
+            if entry is None:
+                lines.append(f"  {method:18s} OOM everywhere")
+            else:
+                lines.append(
+                    f"  {method:18s} {entry['iteration_time']:.3f}s "
+                    f"at {entry['strategy']}"
+                )
+        speedup = _best_speedup(collector, model, seq)
+        if speedup is not None:
+            lines.append(f"  AdaPipe speedup over best DAPPLE: {speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def _best_speedup(
+    collector: ResultCollector, model: str, seq: int
+) -> Optional[float]:
+    candidates = [
+        collector.speedup(model, seq, "AdaPipe", baseline)
+        for baseline in ("DAPPLE-Full", "DAPPLE-Non")
+    ]
+    candidates = [c for c in candidates if c is not None]
+    return min(candidates) if candidates else None

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+* ``adapipe list`` — available experiments.
+* ``adapipe run <experiment|all> [--fast]`` — regenerate paper artifacts.
+* ``adapipe plan ...`` — run the search engine on a chosen model, cluster
+  and workload; print the plan and optionally write it as JSON and
+  simulate it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adapipe",
+        description="AdaPipe (ASPLOS 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment id, e.g. figure5, or 'all'")
+    runner.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller sweeps / fewer steps (seconds instead of minutes)",
+    )
+    runner.add_argument(
+        "--svg-dir",
+        metavar="DIR",
+        help="also render the result as an SVG chart into DIR",
+    )
+    runner.add_argument(
+        "--html",
+        metavar="FILE",
+        help="also assemble all results into a single-file HTML report",
+    )
+
+    planner = sub.add_parser("plan", help="search a plan for a configuration")
+    planner.add_argument("--model", default="gpt3-175b",
+                         help="model name (gpt3-175b, llama2-70b, bert-large)")
+    planner.add_argument("--cluster", default="A", choices=["A", "B"],
+                         help="hardware cluster")
+    planner.add_argument("--devices", type=int, default=64,
+                         help="accelerators to occupy")
+    planner.add_argument("--seq", type=int, default=4096, help="sequence length")
+    planner.add_argument("--batch", type=int, default=128, help="global batch size")
+    planner.add_argument("--tp", type=int, help="tensor parallel size")
+    planner.add_argument("--pp", type=int, help="pipeline parallel size")
+    planner.add_argument("--dp", type=int, help="data parallel size")
+    planner.add_argument("--method", default="AdaPipe",
+                         help="planning method (see `adapipe list` methods)")
+    planner.add_argument("--memory-limit-gib", type=float,
+                         help="DP memory constraint in GiB (default: 92%% of device)")
+    planner.add_argument("--output", help="write the plan as JSON to this path")
+    planner.add_argument("--no-simulate", action="store_true",
+                         help="skip the pipeline simulation")
+
+    artifact = sub.add_parser(
+        "artifact",
+        help="run the artifact-style workflow (global_test.sh equivalent)",
+    )
+    artifact.add_argument("--output-dir", default="artifact_results")
+    artifact.add_argument("--fast", action="store_true",
+                          help="first workload and strategy per model only")
+    artifact.add_argument("--collect-only", action="store_true",
+                          help="summarise an existing run (collect_result.py)")
+
+    sub.add_parser(
+        "validate",
+        help="run the cross-implementation consistency battery",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.baselines import ALL_METHODS
+
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("methods (for `adapipe plan --method`):")
+    for name in ALL_METHODS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    results = {}
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, fast=args.fast)
+        results[name] = result
+        print(result.render())
+        print(f"({name} finished in {time.time() - started:.1f}s)\n")
+    if args.svg_dir:
+        from repro.report import save_experiment_svgs
+
+        for path in save_experiment_svgs(results, args.svg_dir):
+            print(f"chart written to {path}")
+    if args.html:
+        from repro.report.html import write_html_report
+
+        print(f"report written to {write_html_report(results, args.html)}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.baselines import evaluate_method
+    from repro.config import ParallelConfig
+    from repro.config import TrainingConfig
+    from repro.core.search import PlannerContext, enumerate_parallel_strategies
+    from repro.core.serialize import dump_plan
+    from repro.hardware.cluster import cluster_a, cluster_b
+    from repro.model.spec import model_by_name
+
+    spec = model_by_name(args.model)
+    make_cluster = cluster_a if args.cluster == "A" else cluster_b
+    cluster = make_cluster(max(1, args.devices // 8))
+    train = TrainingConfig(sequence_length=args.seq, global_batch_size=args.batch)
+    limit = (
+        args.memory_limit_gib * 1024**3 if args.memory_limit_gib is not None else None
+    )
+
+    explicit = [args.tp, args.pp, args.dp]
+    if any(v is not None for v in explicit):
+        if not all(v is not None for v in explicit):
+            print("error: --tp/--pp/--dp must be given together", file=sys.stderr)
+            return 2
+        strategies = [ParallelConfig(args.tp, args.pp, args.dp)]
+    else:
+        strategies = enumerate_parallel_strategies(
+            args.devices, cluster, spec, train
+        )
+        print(f"searching {len(strategies)} parallel strategies ...")
+
+    best = None
+    best_strategy = None
+    started = time.time()
+    for strategy in strategies:
+        ctx = PlannerContext(
+            cluster, spec, train, strategy, memory_limit_bytes=limit
+        )
+        evaluation = evaluate_method(args.method, ctx)
+        if evaluation.iteration_time is None:
+            continue
+        if best is None or evaluation.iteration_time < best.iteration_time:
+            best, best_strategy = evaluation, strategy
+    elapsed = time.time() - started
+
+    if best is None:
+        print(f"no feasible strategy for {args.method} "
+              f"({args.model}, seq {args.seq}) — all candidates OOM")
+        return 1
+
+    print(best.plan.describe())
+    print(f"\nbest strategy: {best_strategy} (search took {elapsed:.1f}s)")
+    if not args.no_simulate:
+        print(f"simulated iteration time: {best.iteration_time:.3f}s "
+              f"(bubble {best.simulation.bubble_ratio:.1%})")
+    if args.output:
+        dump_plan(best.plan, args.output)
+        print(f"plan written to {args.output}")
+    return 0
+
+
+def _cmd_artifact(args) -> int:
+    from repro.experiments.artifact import collect_results, run_artifact_workflow
+
+    if not args.collect_only:
+        root = run_artifact_workflow(args.output_dir, fast=args.fast)
+        print(f"workflow results written under {root}")
+    print(collect_results(args.output_dir))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "artifact":
+        return _cmd_artifact(args)
+    if args.command == "validate":
+        from repro.experiments.validate import render_validation, run_validation
+
+        results = run_validation()
+        print(render_validation(results))
+        return 0 if all(passed for _, passed, _ in results) else 1
+    return _cmd_plan(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Shared experiment plumbing: method sweeps and result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines import evaluate_method
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.evaluate import PlanEvaluation
+from repro.core.search import PlannerContext, enumerate_parallel_strategies
+from repro.hardware.cluster import ClusterSpec
+from repro.model.spec import ModelSpec
+
+
+@dataclass
+class MethodRow:
+    """One method's best result across the strategy sweep."""
+
+    method: str
+    evaluation: Optional[PlanEvaluation]
+    strategy: Optional[ParallelConfig]
+
+    @property
+    def iteration_time(self) -> Optional[float]:
+        if self.evaluation is None:
+            return None
+        return self.evaluation.iteration_time
+
+    @property
+    def oom(self) -> bool:
+        return self.iteration_time is None
+
+    def cell(self) -> str:
+        if self.oom:
+            return "OOM"
+        return f"{self.iteration_time:.3f}s"
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: headers, rows, and free-form notes."""
+
+    name: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append([str(cell) for cell in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for col, cell in enumerate(row):
+                widths[col] = max(widths[col], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+        lines = [f"== {self.name}: {self.title} ==", fmt(self.headers)]
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def sweep_method(
+    method: str,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    train: TrainingConfig,
+    num_devices: int,
+    strategies: Optional[Iterable[ParallelConfig]] = None,
+    **context_kwargs,
+) -> MethodRow:
+    """Evaluate one method over the strategy sweep, keeping the fastest.
+
+    Mirrors the paper's protocol for cluster A: "we will iterate all
+    possible 3D parallelism strategies, and report the best performance".
+    """
+    if strategies is None:
+        strategies = enumerate_parallel_strategies(num_devices, cluster, spec, train)
+    best: Optional[PlanEvaluation] = None
+    best_strategy: Optional[ParallelConfig] = None
+    first: Optional[PlanEvaluation] = None
+    for parallel in strategies:
+        ctx = PlannerContext(cluster, spec, train, parallel, **context_kwargs)
+        evaluation = evaluate_method(method, ctx)
+        if first is None:
+            first = evaluation
+        time = evaluation.iteration_time
+        if time is not None and (best is None or time < best.iteration_time):
+            best = evaluation
+            best_strategy = parallel
+    if best is None:
+        return MethodRow(method, first, None)
+    return MethodRow(method, best, best_strategy)
+
+
+def sweep_methods(
+    methods: Sequence[str],
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    train: TrainingConfig,
+    num_devices: int,
+    strategies: Optional[Sequence[ParallelConfig]] = None,
+    **context_kwargs,
+) -> Dict[str, MethodRow]:
+    return {
+        method: sweep_method(
+            method, cluster, spec, train, num_devices, strategies, **context_kwargs
+        )
+        for method in methods
+    }
+
+
+def speedup_over(
+    rows: Dict[str, MethodRow], method: str, baselines: Sequence[str]
+) -> Optional[Tuple[str, float]]:
+    """Speedup of ``method`` over the fastest *feasible* baseline listed."""
+    target = rows.get(method)
+    if target is None or target.oom:
+        return None
+    candidates = [
+        (name, rows[name].iteration_time)
+        for name in baselines
+        if name in rows and not rows[name].oom
+    ]
+    if not candidates:
+        return None
+    name, time = min(candidates, key=lambda item: item[1])
+    return name, time / target.iteration_time
+
+
+def fast_strategy_subset(
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    train: TrainingConfig,
+    num_devices: int,
+    limit: int = 3,
+) -> List[ParallelConfig]:
+    """A small, representative strategy subset for fast benchmark runs.
+
+    Prefers moderate tensor-parallel sizes with p = 8 pipelines (the
+    region Table 3 shows the optima live in), falling back to whatever the
+    full enumeration offers.
+    """
+    all_strategies = enumerate_parallel_strategies(num_devices, cluster, spec, train)
+    preferred = [
+        s
+        for s in all_strategies
+        if s.pipeline_parallel == 8 and s.tensor_parallel >= 2
+    ]
+    chosen = preferred or all_strategies
+    return chosen[:limit]

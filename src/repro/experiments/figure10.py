@@ -1,0 +1,99 @@
+"""Figure 10: convergence validation — real training, real gradients.
+
+The paper trains Llama 2 with DAPPLE-Full and with AdaPipe's plan and shows
+overlapping loss curves (recomputation never changes the math; the small
+residual difference comes from different parameter initialisation, since
+the partitioning changes how parameters are laid out/initialised).
+
+We reproduce this with actual training of a tiny Llama-style model on the
+synthetic character stream: the DAPPLE-Full plan and the AdaPipe plan run
+the *same* 1F1B pipeline executor with their respective recomputation and
+partitioning strategies, from different init seeds — and, as a stronger
+check than the paper could make, a same-seed pair is verified to produce
+*identical* losses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.search import PlannerContext, plan_adapipe, plan_policy
+from repro.core.strategies import RecomputePolicy
+from repro.experiments.common import ExperimentResult
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import tiny_llama
+from repro.training.data import SyntheticTextDataset
+from repro.training.modules import build_model
+from repro.training.optimizer import Adam
+from repro.training.pipeline_exec import train_with_plan
+
+SEQ = 32
+MICRO_BATCHES = 4
+
+
+def _make_plans(spec):
+    train = TrainingConfig(
+        sequence_length=SEQ,
+        global_batch_size=MICRO_BATCHES,
+        micro_batch_size=1,
+        sequence_parallel=False,
+        flash_attention=False,
+    )
+    parallel = ParallelConfig(1, 2, 1)
+    ctx = PlannerContext(
+        cluster_a(1),
+        spec,
+        train,
+        parallel,
+        memory_limit_bytes=64 * 1024**2,
+    )
+    dapple = plan_policy(ctx, RecomputePolicy.FULL, "DAPPLE-Full")
+    adapipe = plan_adapipe(ctx)
+    return dapple, adapipe
+
+
+def _train(spec, plan, seed: int, steps: int) -> List[float]:
+    model = build_model(spec, seed=seed)
+    dataset = SyntheticTextDataset(vocab_size=spec.vocab_size)
+    optimizer = Adam(model.named_parameters(), lr=3e-3)
+    batches = dataset.batches(MICRO_BATCHES, SEQ, steps)
+    return train_with_plan(model, plan, batches, optimizer)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    steps = 30 if fast else 200
+    spec = tiny_llama(num_layers=2, hidden_size=32, vocab_size=64)
+    dapple, adapipe = _make_plans(spec)
+
+    losses_dapple = _train(spec, dapple, seed=1, steps=steps)
+    losses_adapipe = _train(spec, adapipe, seed=2, steps=steps)
+    losses_same_seed = _train(spec, adapipe, seed=1, steps=steps)
+
+    result = ExperimentResult(
+        name="figure10",
+        title=f"Loss curves over {steps} steps (tiny Llama, real training)",
+        headers=["step", "DAPPLE-Full", "AdaPipe (seed 2)", "AdaPipe (seed 1)"],
+    )
+    marks = sorted({0, 1, 2, steps // 4, steps // 2, 3 * steps // 4, steps - 1})
+    for step in marks:
+        result.add_row(
+            step,
+            f"{losses_dapple[step]:.4f}",
+            f"{losses_adapipe[step]:.4f}",
+            f"{losses_same_seed[step]:.4f}",
+        )
+    gap = float(np.max(np.abs(np.array(losses_dapple) - np.array(losses_same_seed))))
+    result.add_note(
+        f"same-seed DAPPLE-Full vs AdaPipe max |loss gap| = {gap:.2e} "
+        "(recomputation/partitioning are gradient-exact)"
+    )
+    result.add_note(
+        "expected shape: all curves descend together; cross-seed curves "
+        "differ only through initialisation, as in the paper."
+    )
+    final_drop = losses_dapple[0] - losses_dapple[-1]
+    result.add_note(f"loss decreased by {final_drop:.3f} over the run")
+    return result

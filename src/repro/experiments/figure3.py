@@ -1,0 +1,75 @@
+"""Figure 3: the AdaPipe overview, executed.
+
+The paper's overview figure walks a minimal two-stage pipeline through
+three configurations: (top) full recomputation everywhere, (middle)
+adaptive recomputation — stage 1 saves more than stage 0, shortening
+warmup/ending but leaving stage 0 the steady-phase bottleneck — and
+(bottom) adaptive partitioning, which shifts layers from stage 0 to
+stage 1 and removes the imbalance bubble. This experiment *runs* that
+story on a small GPT config and prints, per step, the per-stage micro-step
+times, saved units, the simulated timelines, and the iteration time.
+"""
+
+from __future__ import annotations
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.evaluate import evaluate_plan
+from repro.core.search import (
+    PlannerContext,
+    plan_adapipe,
+    plan_even_partitioning,
+    plan_policy,
+)
+from repro.core.strategies import RecomputePolicy
+from repro.experiments.common import ExperimentResult
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import gpt3_13b
+from repro.pipeline.visualize import render_timeline
+
+PARALLEL = ParallelConfig(8, 2, 1)
+TRAIN = TrainingConfig(sequence_length=8192, global_batch_size=16)
+MEMORY_LIMIT = 15 * 1024**3  # tight enough that stage 0 must recompute
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    del fast
+    ctx = PlannerContext(
+        cluster_a(2), gpt3_13b(), TRAIN, PARALLEL, memory_limit_bytes=MEMORY_LIMIT
+    )
+    steps = [
+        ("Original (full recomp.)",
+         plan_policy(ctx, RecomputePolicy.FULL, "Full recomputation")),
+        ("Opt. 1 (adaptive recomp.)", plan_even_partitioning(ctx)),
+        ("Opt. 2 (+ adaptive partitioning)", plan_adapipe(ctx)),
+    ]
+    result = ExperimentResult(
+        name="figure3",
+        title="AdaPipe overview on a 2-stage pipeline (GPT-3 13B, seq 8192)",
+        headers=[
+            "step", "iteration", "stage0 f+b", "stage1 f+b",
+            "saved units", "layers",
+        ],
+    )
+    times = []
+    for label, plan in steps:
+        evaluation = evaluate_plan(plan, ctx.cluster)
+        times.append(evaluation.iteration_time)
+        result.add_row(
+            label,
+            f"{evaluation.iteration_time:.3f}s",
+            f"{plan.stages[0].micro_step_time:.3f}s",
+            f"{plan.stages[1].micro_step_time:.3f}s",
+            plan.saved_unit_counts(),
+            plan.layer_counts(),
+        )
+        for line in render_timeline(evaluation.simulation, width=64).splitlines()[:4]:
+            result.add_note(line)
+    result.add_note(
+        "expected: opt. 1 speeds both stages but leaves stage 0 slower "
+        "(steady-phase bottleneck); opt. 2 moves layers to stage 1 and "
+        "re-balances — each step strictly faster than the last."
+    )
+    result.add_note(
+        f"iteration times: {' -> '.join(f'{t:.2f}s' for t in times)}"
+    )
+    return result

@@ -1,0 +1,58 @@
+"""Figure 4: the computation-unit division of transformer layers.
+
+The paper's Figure 4 shows how the Attention and Feed-Forward layers split
+into computation units (Q/K/V projections, FlashAttention core, the
+always-saved closing GEMMs, ...). This experiment prints the split as the
+cost model sees it for GPT-3 — unit names, per-unit forward/backward time,
+the bytes saving the unit pins per micro-batch, and the save-or-recompute
+eligibility — making the knapsack's item list inspectable.
+"""
+
+from __future__ import annotations
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.search import PlannerContext
+from repro.experiments.common import ExperimentResult
+from repro.hardware.cluster import cluster_a
+from repro.model.layers import LayerKind
+from repro.model.spec import gpt3_175b
+from repro.model.tensors import mib
+
+PARALLEL = ParallelConfig(8, 8, 1)
+TRAIN = TrainingConfig(sequence_length=4096, global_batch_size=8)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    del fast
+    ctx = PlannerContext(cluster_a(), gpt3_175b(), TRAIN, PARALLEL)
+    result = ExperimentResult(
+        name="figure4",
+        title="Computation-unit division (GPT-3, seq 4096, t=8)",
+        headers=[
+            "layer", "unit", "fwd (ms)", "bwd (ms)", "Mem(U) (MiB)",
+            "disposition",
+        ],
+    )
+    for kind in (LayerKind.ATTENTION, LayerKind.FFN, LayerKind.EMBEDDING, LayerKind.HEAD):
+        profile = ctx.profiler.profile_layer(kind)
+        for unit in profile.units:
+            result.add_row(
+                str(kind),
+                unit.name,
+                f"{unit.time_forward * 1e3:.3f}",
+                f"{unit.time_backward * 1e3:.3f}",
+                f"{mib(unit.saved_bytes):.1f}",
+                "always saved" if unit.always_saved else "knapsack choice",
+            )
+    result.add_note(
+        "the closing GEMMs (attn.out, ffn.out) are restricted to always "
+        "saved so the recompute buffer never exceeds one decoder layer "
+        "(Section 4.2); every other unit is an item in the Section 4.3 "
+        "knapsack."
+    )
+    result.add_note(
+        "expected shape: ffn.in/ffn.act pin the most memory per unit; "
+        "attn.core is compute-heavy but (with FlashAttention) pins little "
+        "beyond its output — the trade-off the fine granularity exploits."
+    )
+    return result

@@ -1,0 +1,19 @@
+"""Figure 5: end-to-end performance of Llama 2 (70B) on cluster A, 32 GPUs."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.end_to_end import end_to_end_cluster_a
+from repro.model.spec import llama2_70b
+
+WORKLOADS = ((4096, 128), (8192, 64), (16384, 32))
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return end_to_end_cluster_a(
+        name="figure5",
+        spec=llama2_70b(),
+        num_devices=32,
+        workloads=WORKLOADS if not fast else WORKLOADS[::2],
+        fast=fast,
+    )

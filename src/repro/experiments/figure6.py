@@ -1,0 +1,19 @@
+"""Figure 6: end-to-end performance of GPT-3 (175B) on cluster A, 64 GPUs."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.end_to_end import end_to_end_cluster_a
+from repro.model.spec import gpt3_175b
+
+WORKLOADS = ((4096, 128), (8192, 64), (16384, 32))
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return end_to_end_cluster_a(
+        name="figure6",
+        spec=gpt3_175b(),
+        num_devices=64,
+        workloads=WORKLOADS if not fast else WORKLOADS[::2],
+        fast=fast,
+    )

@@ -1,0 +1,31 @@
+"""Figure 7: end-to-end performance and weak scaling on cluster B.
+
+GPT-3 at (t, p) = (8, 8) on 256 and 2048 NPUs; Llama 2 at (t, p) = (4, 8)
+on 128 and 1024 NPUs; sequence length 4096 with the global batch scaled
+linearly with the data-parallel size (weak scaling).
+"""
+
+from __future__ import annotations
+
+from repro.config import ParallelConfig
+from repro.experiments.common import ExperimentResult
+from repro.experiments.end_to_end import end_to_end_cluster_b
+from repro.model.spec import gpt3_175b, llama2_70b
+
+
+def _configs(fast: bool):
+    llama = llama2_70b()
+    gpt = gpt3_175b()
+    configs = [
+        (llama, 128, ParallelConfig(4, 8, 4), 256),
+        (llama, 1024, ParallelConfig(4, 8, 32), 1024),
+        (gpt, 256, ParallelConfig(8, 8, 4), 256),
+        (gpt, 2048, ParallelConfig(8, 8, 32), 2048),
+    ]
+    if fast:
+        return [configs[0], configs[2]]
+    return configs
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return end_to_end_cluster_b("figure7", _configs(fast), fast)

@@ -1,0 +1,36 @@
+"""Shared config for the per-stage analysis experiments (Figures 8, 9, Table 4).
+
+All three profile GPT-3 on cluster A with sequence length 16384 and
+strategy (8, 8, 1) — the configuration of Section 7.4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines import evaluate_method
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.evaluate import PlanEvaluation
+from repro.core.search import PlannerContext
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import gpt3_175b
+
+PARALLEL = ParallelConfig(8, 8, 1)
+TRAIN = TrainingConfig(sequence_length=16384, global_batch_size=32)
+MEMORY_LIMIT = 70 * 1024**3  # the paper's conservative DP constraint
+
+
+def profile_context() -> PlannerContext:
+    return PlannerContext(
+        cluster_a(),
+        gpt3_175b(),
+        TRAIN,
+        PARALLEL,
+        memory_limit_bytes=MEMORY_LIMIT,
+    )
+
+
+def evaluate_all(methods) -> Dict[str, PlanEvaluation]:
+    """Evaluate the Section 7.4 methods, keeping OOM plans for inspection."""
+    ctx = profile_context()
+    return {method: evaluate_method(method, ctx) for method in methods}

@@ -1,0 +1,50 @@
+"""Registry mapping paper artifact ids to experiment runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.config import ConfigError
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table3,
+    table4,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "table3": table3.run,
+    "table4": table4.run,
+}
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(name: str, fast: bool = False) -> ExperimentResult:
+    return get_experiment(name)(fast=fast)

@@ -1,0 +1,170 @@
+"""Parameterized sweep harness with CSV output.
+
+The figure experiments each hard-code one of the paper's configurations;
+this module provides the general tool behind them: a cartesian sweep over
+(model, sequence length, strategy, method) evaluated on a cluster, with
+rows collected into a :class:`~repro.pipeline.tracing.ResultCollector` and
+exportable as CSV for downstream analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines import evaluate_method
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.search import PlannerContext, enumerate_parallel_strategies
+from repro.hardware.cluster import ClusterSpec
+from repro.model.spec import ModelSpec
+from repro.pipeline.tracing import ResultCollector
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated cell of a sweep."""
+
+    model: str
+    method: str
+    sequence_length: int
+    global_batch_size: int
+    strategy: Tuple[int, int, int]
+    iteration_time: Optional[float]
+    peak_memory_bytes: float
+    bubble_ratio: Optional[float]
+
+    @property
+    def oom(self) -> bool:
+        return self.iteration_time is None
+
+
+@dataclass
+class Sweep:
+    """Sweep definition and execution.
+
+    Attributes:
+        cluster: target hardware.
+        models: architectures to sweep.
+        workloads: (sequence length, global batch) pairs.
+        methods: method names from the baseline registry.
+        num_devices: accelerators per run.
+        strategies: explicit strategies, or ``None`` to enumerate all.
+        memory_limit_bytes: optional DP constraint override.
+    """
+
+    cluster: ClusterSpec
+    models: Sequence[ModelSpec]
+    workloads: Sequence[Tuple[int, int]]
+    methods: Sequence[str]
+    num_devices: int
+    strategies: Optional[Sequence[ParallelConfig]] = None
+    memory_limit_bytes: Optional[float] = None
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def run(self) -> List[SweepPoint]:
+        """Evaluate every cell; returns (and stores) the sweep points."""
+        self.points = []
+        for spec in self.models:
+            for seq, batch in self.workloads:
+                train = TrainingConfig(sequence_length=seq, global_batch_size=batch)
+                strategies = self.strategies or enumerate_parallel_strategies(
+                    self.num_devices, self.cluster, spec, train
+                )
+                for strategy in strategies:
+                    ctx = PlannerContext(
+                        self.cluster,
+                        spec,
+                        train,
+                        strategy,
+                        memory_limit_bytes=self.memory_limit_bytes,
+                    )
+                    for method in self.methods:
+                        evaluation = evaluate_method(method, ctx)
+                        simulation = evaluation.simulation
+                        self.points.append(
+                            SweepPoint(
+                                model=spec.name,
+                                method=method,
+                                sequence_length=seq,
+                                global_batch_size=batch,
+                                strategy=strategy.as_tuple(),
+                                iteration_time=evaluation.iteration_time,
+                                peak_memory_bytes=max(
+                                    evaluation.peak_memory_per_device()
+                                ),
+                                bubble_ratio=(
+                                    simulation.bubble_ratio
+                                    if simulation is not None
+                                    and evaluation.iteration_time is not None
+                                    else None
+                                ),
+                            )
+                        )
+        return self.points
+
+    def to_collector(self) -> ResultCollector:
+        collector = ResultCollector()
+        for point in self.points:
+            collector.add(
+                point.model,
+                point.method,
+                point.sequence_length,
+                point.strategy,
+                point.iteration_time,
+                point.peak_memory_bytes,
+            )
+        return collector
+
+    def to_csv(self) -> str:
+        """The sweep as CSV text (OOM cells keep an empty time column)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            [
+                "model",
+                "method",
+                "sequence_length",
+                "global_batch_size",
+                "tensor_parallel",
+                "pipeline_parallel",
+                "data_parallel",
+                "iteration_time_s",
+                "peak_memory_gib",
+                "bubble_ratio",
+                "oom",
+            ]
+        )
+        for point in self.points:
+            writer.writerow(
+                [
+                    point.model,
+                    point.method,
+                    point.sequence_length,
+                    point.global_batch_size,
+                    *point.strategy,
+                    "" if point.iteration_time is None else f"{point.iteration_time:.6f}",
+                    f"{point.peak_memory_bytes / 1024**3:.3f}",
+                    "" if point.bubble_ratio is None else f"{point.bubble_ratio:.4f}",
+                    point.oom,
+                ]
+            )
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+
+def best_per_method(points: Iterable[SweepPoint]) -> dict:
+    """Fastest feasible point per (model, seq, method)."""
+    best: dict = {}
+    for point in points:
+        if point.oom:
+            continue
+        key = (point.model, point.sequence_length, point.method)
+        current = best.get(key)
+        if current is None or point.iteration_time < current.iteration_time:
+            best[key] = point
+    return best

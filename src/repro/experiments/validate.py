@@ -1,0 +1,204 @@
+"""Self-validation battery: ``adapipe validate``.
+
+Runs the repository's load-bearing cross-checks end-to-end in one command —
+the consistency arguments that make the simulator-based reproduction
+trustworthy. Each check pits two independent implementations of the same
+quantity against each other:
+
+1. knapsack DP vs exponential brute force;
+2. 1F1B phase model vs event-driven simulator (homogeneous exactness);
+3. modelled per-stage memory vs simulated activation peaks;
+4. pipelined 1F1B executor vs monolithic training (losses and gradients);
+5. unit-granular recomputation vs save-everything (gradient identity);
+6. the eager (tape) engine vs the manual-backward engine;
+7. plan JSON round-trip fidelity.
+"""
+
+from __future__ import annotations
+
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+CheckResult = Tuple[str, bool, str]
+
+
+def _check_knapsack() -> CheckResult:
+    from repro.core.recompute_dp import (
+        UnitItem,
+        brute_force_recompute,
+        optimize_stage_recompute,
+    )
+
+    rng = np.random.default_rng(11)
+    worst = 0.0
+    for _ in range(25):
+        items = [
+            UnitItem(
+                name=f"u{i}",
+                value=float(rng.uniform(0.1, 5.0)),
+                weight_bytes=float(rng.integers(1, 40)),
+                copies=int(rng.integers(1, 3)),
+            )
+            for i in range(4)
+        ]
+        budget = float(rng.integers(0, 150))
+        result = optimize_stage_recompute(items, budget, in_flight=2)
+        _, best = brute_force_recompute(items, budget, 2)
+        worst = max(worst, abs(result.saved_value - best))
+    return ("knapsack vs brute force", worst < 1e-9, f"max gap {worst:.2e}")
+
+
+def _check_phase_model() -> CheckResult:
+    from repro.pipeline.schedules import one_f_one_b_schedule
+    from repro.pipeline.simulator import simulate
+    from repro.pipeline.tasks import StageCosts
+
+    worst = 0.0
+    for p, n, f, b in ((2, 4, 1.0, 2.0), (4, 12, 0.7, 1.4), (8, 8, 1.0, 2.5)):
+        costs = [StageCosts(forward=f, backward=b) for _ in range(p)]
+        simulated = simulate(one_f_one_b_schedule(costs, n)).iteration_time
+        modeled = (n + p - 1) * (f + b)
+        worst = max(worst, abs(simulated - modeled) / modeled)
+    return ("1F1B phase model vs simulator", worst < 1e-9, f"max rel gap {worst:.2e}")
+
+
+def _check_memory_model() -> CheckResult:
+    from repro.pipeline.schedules import one_f_one_b_schedule
+    from repro.pipeline.simulator import simulate
+    from repro.pipeline.tasks import StageCosts
+
+    p, n = 5, 9
+    costs = [
+        StageCosts(forward=1.0, backward=2.0, activation_bytes=1.0)
+        for _ in range(p)
+    ]
+    peaks = simulate(one_f_one_b_schedule(costs, n)).device_peak_bytes
+    expected = [float(min(p - s, n)) for s in range(p)]
+    ok = peaks == expected
+    return ("1F1B in-flight memory (p - s)", ok, f"peaks {peaks}")
+
+
+def _training_fixture():
+    from repro.config import ParallelConfig, TrainingConfig
+    from repro.core.search import PlannerContext, plan_adapipe
+    from repro.hardware.cluster import cluster_a
+    from repro.model.spec import tiny_gpt
+    from repro.training.modules import build_model
+
+    spec = tiny_gpt(num_layers=3, hidden_size=32, vocab_size=40)
+    train = TrainingConfig(
+        sequence_length=8,
+        global_batch_size=4,
+        micro_batch_size=1,
+        sequence_parallel=False,
+        flash_attention=False,
+    )
+    ctx = PlannerContext(
+        cluster_a(1),
+        spec,
+        train,
+        ParallelConfig(1, 2, 1),
+        memory_limit_bytes=8 * 1024**2,
+    )
+    plan = plan_adapipe(ctx)
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, 40, size=(4, 8))
+    targets = rng.integers(0, 40, size=(4, 8))
+    return spec, plan, tokens, targets, build_model
+
+
+def _check_pipeline_executor() -> CheckResult:
+    from repro.training.pipeline_exec import PipelineExecutor
+
+    spec, plan, tokens, targets, build_model = _training_fixture()
+    reference = build_model(spec, seed=9)
+    ref_loss = reference.loss_and_grad(tokens, targets)
+    pipelined = build_model(spec, seed=9)
+    stats = PipelineExecutor(pipelined, plan).train_step(tokens, targets)
+    gap = max(
+        np.abs(rp.grad - pp.grad).max()
+        for (_, rp), (_, pp) in zip(
+            reference.named_parameters(), pipelined.named_parameters()
+        )
+        if rp.grad is not None
+    )
+    ok = abs(stats.loss - ref_loss) < 1e-12 and gap < 1e-11
+    return ("pipelined vs monolithic training", ok, f"grad gap {gap:.2e}")
+
+
+def _check_recompute_identity() -> CheckResult:
+    spec, _, tokens, targets, build_model = _training_fixture()
+    model = build_model(spec, seed=4)
+    loss_all = model.loss_and_grad(tokens, targets)
+    grads = {
+        n: p.grad.copy() for n, p in model.named_parameters() if p.grad is not None
+    }
+    model.zero_grad()
+    loss_ckpt = model.loss_and_grad(tokens, targets, [set() for _ in model.layers])
+    identical = loss_all == loss_ckpt and all(
+        np.array_equal(grads[n], p.grad)
+        for n, p in model.named_parameters()
+        if p.grad is not None
+    )
+    return ("recompute gradient identity", identical, "bit-exact" if identical else "mismatch")
+
+
+def _check_eager_engine() -> CheckResult:
+    from repro.training.eager import EagerTransformer
+
+    spec, _, tokens, targets, build_model = _training_fixture()
+    model = build_model(spec, seed=2)
+    manual_loss = model.loss_and_grad(tokens, targets)
+    eager = EagerTransformer(model)
+    loss = eager.loss(tokens, targets)
+    loss.backward()
+    gap = max(
+        np.abs(p.grad - eager.params[n].grad).max()
+        for n, p in model.named_parameters()
+        if p.grad is not None
+    )
+    ok = abs(float(loss.data) - manual_loss) < 1e-12 and gap < 1e-11
+    return ("eager (tape) vs manual engine", ok, f"grad gap {gap:.2e}")
+
+
+def _check_plan_roundtrip() -> CheckResult:
+    from repro.core.serialize import plan_from_dict, plan_to_dict
+
+    _, plan, _, _, _ = _training_fixture()
+    restored = plan_from_dict(plan_to_dict(plan))
+    ok = (
+        restored.layer_counts() == plan.layer_counts()
+        and restored.saved_unit_counts() == plan.saved_unit_counts()
+        and restored.parallel == plan.parallel
+    )
+    return ("plan JSON round-trip", ok, "lossless" if ok else "divergent")
+
+
+CHECKS: List[Callable[[], CheckResult]] = [
+    _check_knapsack,
+    _check_phase_model,
+    _check_memory_model,
+    _check_pipeline_executor,
+    _check_recompute_identity,
+    _check_eager_engine,
+    _check_plan_roundtrip,
+]
+
+
+def run_validation() -> List[CheckResult]:
+    """Execute every cross-check; returns (name, passed, detail) triples."""
+    return [check() for check in CHECKS]
+
+
+def render_validation(results: List[CheckResult]) -> str:
+    lines = []
+    for name, passed, detail in results:
+        status = "PASS" if passed else "FAIL"
+        lines.append(f"[{status}] {name:36s} {detail}")
+    failed = sum(1 for _, passed, _ in results if not passed)
+    lines.append(
+        f"{len(results) - failed}/{len(results)} consistency checks passed"
+    )
+    return "\n".join(lines)

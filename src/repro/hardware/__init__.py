@@ -1,0 +1,23 @@
+"""Hardware models: accelerators, clusters, and communication costs.
+
+Only three hardware properties enter AdaPipe's cost model — per-device
+memory capacity, compute throughput, and link bandwidths — so the package
+models exactly those for the paper's two testbeds:
+
+* Cluster A: 8 nodes x 8 NVIDIA A100 80GB, NVLink intra-node, 800 Gbps IB.
+* Cluster B: 32 nodes x 8 Huawei Ascend 910 32GB, meshed boards, 100 Gbps NIC.
+"""
+
+from repro.hardware.cluster import ClusterSpec, cluster_a, cluster_b
+from repro.hardware.comm import CommModel
+from repro.hardware.device import DeviceSpec, a100_80gb, ascend910_32gb
+
+__all__ = [
+    "ClusterSpec",
+    "CommModel",
+    "DeviceSpec",
+    "a100_80gb",
+    "ascend910_32gb",
+    "cluster_a",
+    "cluster_b",
+]

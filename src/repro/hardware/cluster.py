@@ -1,0 +1,102 @@
+"""Cluster topologies.
+
+A :class:`ClusterSpec` couples a device type with the two bandwidth tiers
+that matter to 3D parallelism: intra-node links (used by tensor parallelism)
+and the inter-node network (used by pipeline point-to-point transfers and
+data-parallel gradient reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ConfigError, ParallelConfig
+from repro.hardware.device import DeviceSpec, a100_80gb, ascend910_32gb
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous accelerator cluster.
+
+    Attributes:
+        name: identifier used in reports ("A" / "B").
+        device: the accelerator installed in every slot.
+        num_nodes: node count.
+        devices_per_node: accelerators per node.
+        intra_node_bandwidth: per-direction bytes/s between two devices in
+            one node (NVLink for A, on-board mesh for B).
+        inter_node_bandwidth: per-device bytes/s across nodes.
+        link_latency: per-message latency in seconds.
+    """
+
+    name: str
+    device: DeviceSpec
+    num_nodes: int
+    devices_per_node: int
+    intra_node_bandwidth: float
+    inter_node_bandwidth: float
+    link_latency: float = 5e-6
+
+    @property
+    def num_devices(self) -> int:
+        return self.num_nodes * self.devices_per_node
+
+    def validate_parallel(self, parallel: ParallelConfig, num_devices: int) -> None:
+        """Check that a 3D strategy fits this cluster.
+
+        Mirrors the paper's constraints: the strategy must use exactly
+        ``num_devices`` accelerators and keep tensor parallelism inside one
+        node (cross-node TP saturates the network, Section 7.1).
+        """
+        if parallel.num_devices != num_devices:
+            raise ConfigError(
+                f"strategy {parallel} uses {parallel.num_devices} devices, "
+                f"expected {num_devices}"
+            )
+        if num_devices > self.num_devices:
+            raise ConfigError(
+                f"{num_devices} devices requested but cluster {self.name} "
+                f"has only {self.num_devices}"
+            )
+        if parallel.tensor_parallel > self.devices_per_node:
+            raise ConfigError(
+                f"tensor parallel size {parallel.tensor_parallel} exceeds "
+                f"{self.devices_per_node} devices per node"
+            )
+
+    def tensor_parallel_bandwidth(self, tensor_parallel: int) -> float:
+        """Bandwidth seen by tensor-parallel collectives (intra-node)."""
+        del tensor_parallel
+        return self.intra_node_bandwidth
+
+    def pipeline_bandwidth(self) -> float:
+        """Bandwidth of a stage-to-stage point-to-point transfer.
+
+        Pipeline neighbours normally live on different nodes, which is
+        exactly why pipeline parallelism is used at the inter-node level.
+        """
+        return self.inter_node_bandwidth
+
+
+def cluster_a(num_nodes: int = 8) -> ClusterSpec:
+    """Cluster A: DGX-A100 nodes, NVLink intra-node, 800 Gbps InfiniBand."""
+    return ClusterSpec(
+        name="A",
+        device=a100_80gb(),
+        num_nodes=num_nodes,
+        devices_per_node=8,
+        intra_node_bandwidth=300e9,   # NVLink 3, per direction
+        inter_node_bandwidth=100e9,   # 800 Gbps HCA shared by 8 GPUs
+    )
+
+
+def cluster_b(num_nodes: int = 32) -> ClusterSpec:
+    """Cluster B: Atlas 800 nodes, meshed NPU boards, 100 Gbps NICs."""
+    return ClusterSpec(
+        name="B",
+        device=ascend910_32gb(),
+        num_nodes=num_nodes,
+        devices_per_node=8,
+        intra_node_bandwidth=30e9,    # 30 GB/s board mesh links
+        inter_node_bandwidth=12.5e9,  # 100 Gbps NIC per NPU
+    )

@@ -1,0 +1,101 @@
+"""Communication cost model.
+
+Three communication patterns matter to the cost model:
+
+* tensor-parallel collectives inside each layer (all-reduce, or
+  reduce-scatter/all-gather pairs under sequence parallelism);
+* pipeline point-to-point activation/gradient transfers between stages;
+* the per-iteration data-parallel gradient reduction (ZeRO-1
+  reduce-scatter + later all-gather of updated parameters).
+
+All are modelled with the standard alpha-beta (latency + size/bandwidth)
+ring-collective formulas, which is as much fidelity as an iteration-time
+estimate needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.hardware.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Communication time estimates on a concrete cluster."""
+
+    cluster: ClusterSpec
+
+    def p2p_time(self, num_bytes: float) -> float:
+        """One stage-to-stage activation (or gradient) transfer."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.cluster.link_latency + num_bytes / self.cluster.pipeline_bandwidth()
+
+    def allreduce_time(self, num_bytes: float, group_size: int, intra_node: bool) -> float:
+        """Ring all-reduce of ``num_bytes`` over ``group_size`` ranks."""
+        if group_size <= 1 or num_bytes <= 0:
+            return 0.0
+        bandwidth = (
+            self.cluster.intra_node_bandwidth
+            if intra_node
+            else self.cluster.inter_node_bandwidth
+        )
+        steps = 2 * (group_size - 1)
+        return steps * self.cluster.link_latency + (
+            2.0 * num_bytes * (group_size - 1) / group_size / bandwidth
+        )
+
+    def reduce_scatter_time(
+        self, num_bytes: float, group_size: int, intra_node: bool
+    ) -> float:
+        """Ring reduce-scatter (half an all-reduce)."""
+        return 0.5 * self.allreduce_time(num_bytes, group_size, intra_node)
+
+    def all_gather_time(self, num_bytes: float, group_size: int, intra_node: bool) -> float:
+        """Ring all-gather (half an all-reduce)."""
+        return 0.5 * self.allreduce_time(num_bytes, group_size, intra_node)
+
+    # -- composite costs used by the planners --------------------------------
+
+    def stage_boundary_bytes(self, hidden_size: int, train: TrainingConfig) -> float:
+        """Size of the tensor crossing a pipeline stage boundary."""
+        elements = train.sequence_length * train.micro_batch_size * hidden_size
+        if train.sequence_parallel:
+            # Megatron transfers the sequence-sharded tensor and re-gathers.
+            return elements * train.bytes_per_value
+        return elements * train.bytes_per_value
+
+    def pipeline_hop_time(self, hidden_size: int, train: TrainingConfig) -> float:
+        """Time to ship one micro-batch activation to the next stage."""
+        return self.p2p_time(self.stage_boundary_bytes(hidden_size, train))
+
+    def tensor_parallel_overhead_per_layer(
+        self,
+        hidden_size: int,
+        train: TrainingConfig,
+        parallel: ParallelConfig,
+    ) -> float:
+        """Per-layer, per-micro-batch TP collective time (forward pass).
+
+        Each Attention or FFN layer performs one all-reduce of the
+        ``(seq, batch, hidden)`` activation in forward and one in backward
+        (or the equivalent reduce-scatter/all-gather pair under sequence
+        parallelism, which moves the same volume).
+        """
+        t = parallel.tensor_parallel
+        if t <= 1:
+            return 0.0
+        elements = train.sequence_length * train.micro_batch_size * hidden_size
+        return self.allreduce_time(elements * train.bytes_per_value, t, intra_node=True)
+
+    def gradient_sync_time(self, stage_params: int, parallel: ParallelConfig) -> float:
+        """Per-iteration ZeRO-1 gradient reduce-scatter + param all-gather."""
+        d = parallel.data_parallel
+        if d <= 1:
+            return 0.0
+        grad_bytes = 2.0 * stage_params / parallel.tensor_parallel
+        return self.reduce_scatter_time(grad_bytes, d, intra_node=False) + (
+            self.all_gather_time(grad_bytes, d, intra_node=False)
+        )

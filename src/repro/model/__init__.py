@@ -1,0 +1,40 @@
+"""Transformer model descriptions used by the AdaPipe search.
+
+The search engine never touches real weights: it only needs the *architecture*
+(layer sequence, parameter counts, activation shapes). This package provides:
+
+* :mod:`repro.model.spec` — named architectures (GPT-3 175B, Llama 2 70B, ...)
+* :mod:`repro.model.layers` — the layer sequence the partitioner cuts
+  (Embedding, Attention, Feed-Forward, Decoding Head)
+* :mod:`repro.model.units` — the computation-unit split of Figure 4
+* :mod:`repro.model.tensors` — shape and byte accounting helpers
+"""
+
+from repro.model.layers import Layer, LayerKind, build_layer_sequence
+from repro.model.spec import (
+    ModelSpec,
+    bert_large,
+    gpt3_175b,
+    llama2_70b,
+    tiny_gpt,
+    tiny_llama,
+)
+from repro.model.tensors import TensorShape
+from repro.model.units import ComputationUnit, OpDesc, OpKind, units_for_layer
+
+__all__ = [
+    "ComputationUnit",
+    "Layer",
+    "LayerKind",
+    "ModelSpec",
+    "OpDesc",
+    "OpKind",
+    "TensorShape",
+    "bert_large",
+    "build_layer_sequence",
+    "gpt3_175b",
+    "llama2_70b",
+    "tiny_gpt",
+    "tiny_llama",
+    "units_for_layer",
+]

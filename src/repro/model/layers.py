@@ -1,0 +1,90 @@
+"""The layer sequence partitioned across pipeline stages.
+
+Section 5 of the paper treats the model as a sequence of layers — the
+Embedding layer, ``L`` alternating Attention and Feed-Forward layers, and the
+Decoding Head layer — and assigns each stage a contiguous sub-sequence.
+Cutting between any two layers never adds communication because the tensor
+crossing every boundary has the same ``(seq, batch, hidden)`` shape.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.model.spec import ModelSpec
+
+
+class LayerKind(enum.Enum):
+    """The four layer types of the partitionable sequence (Section 5)."""
+
+    EMBEDDING = "embedding"
+    ATTENTION = "attention"
+    FFN = "ffn"
+    HEAD = "head"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One element of the partitionable layer sequence.
+
+    Attributes:
+        kind: which of the four layer types this is.
+        index: position in the full sequence (0 = embedding).
+        block_index: which decoder block an Attention/FFN layer belongs to
+            (-1 for embedding/head).
+        params: parameter count of the layer across the whole tensor-parallel
+            group (i.e. *not* divided by ``t``).
+    """
+
+    kind: LayerKind
+    index: int
+    block_index: int
+    params: int
+
+    @property
+    def is_transformer(self) -> bool:
+        return self.kind in (LayerKind.ATTENTION, LayerKind.FFN)
+
+
+def build_layer_sequence(spec: ModelSpec) -> List[Layer]:
+    """Expand a model spec into its partitionable layer sequence.
+
+    Returns ``[Embedding, Att_0, FFN_0, ..., Att_{L-1}, FFN_{L-1}, Head]``,
+    the exact sequence Algorithm 1 partitions.
+    """
+    layers: List[Layer] = [
+        Layer(LayerKind.EMBEDDING, 0, -1, spec.embedding_params())
+    ]
+    attention_params = spec.attention_params()
+    ffn_params = spec.ffn_params()
+    for block in range(spec.num_layers):
+        layers.append(
+            Layer(LayerKind.ATTENTION, len(layers), block, attention_params)
+        )
+        layers.append(Layer(LayerKind.FFN, len(layers), block, ffn_params))
+    layers.append(Layer(LayerKind.HEAD, len(layers), -1, spec.head_params()))
+    return layers
+
+
+def sequence_params(layers: Sequence[Layer]) -> int:
+    """Total parameter count of a (sub-)sequence of layers."""
+    return sum(layer.params for layer in layers)
+
+
+def describe_partition(layers: Sequence[Layer], boundaries: Sequence[int]) -> str:
+    """Human-readable summary of a stage partition.
+
+    ``boundaries`` holds, for each stage, the index of its first layer; an
+    implicit final boundary at ``len(layers)`` closes the last stage.
+    """
+    parts = []
+    bounds = list(boundaries) + [len(layers)]
+    for stage, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+        kinds = [str(layer.kind)[:3] for layer in layers[lo:hi]]
+        parts.append(f"stage {stage}: layers [{lo}, {hi}) = {'+'.join(kinds)}")
+    return "\n".join(parts)

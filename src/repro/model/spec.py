@@ -1,0 +1,268 @@
+"""Named transformer architectures.
+
+A :class:`ModelSpec` is a purely architectural description — dimensions,
+layer counts, activation functions — from which the rest of the system
+derives parameter counts, activation sizes, and FLOPs. The two models the
+paper evaluates (GPT-3 175B and Llama 2 70B) are provided as presets,
+together with BERT-large (mentioned in Section 4.1 as covered by the same
+unit division) and tiny variants used by the real-training convergence
+experiment (Figure 10) and by fast tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ConfigError
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture of a decoder-only (or encoder-only) transformer.
+
+    Attributes:
+        name: human-readable identifier.
+        hidden_size: model dimension ``h``.
+        num_layers: number of decoder blocks ``L`` (each contributes one
+            Attention layer and one Feed-Forward layer to the sequence).
+        num_heads: attention heads (must divide ``hidden_size``).
+        num_kv_heads: key/value heads; ``< num_heads`` means grouped-query
+            attention as in Llama 2 70B.
+        ffn_hidden_size: feed-forward inner dimension.
+        vocab_size: token vocabulary.
+        max_position_embeddings: learned positional embedding table length;
+            0 for rotary-position models (Llama) which have no such table.
+        gated_ffn: True for SwiGLU-style FFNs (three weight matrices).
+        tied_embeddings: whether the decoding head shares the embedding
+            matrix (GPT-3 ties them; Llama 2 does not).
+        linear_bias: whether linear layers carry bias terms (GPT-3 yes,
+            Llama 2 no).
+        rmsnorm: True when normalisation is RMSNorm (one weight vector)
+            rather than LayerNorm (weight and bias).
+    """
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    num_heads: int
+    num_kv_heads: int
+    ffn_hidden_size: int
+    vocab_size: int
+    max_position_embeddings: int = 0
+    gated_ffn: bool = False
+    tied_embeddings: bool = False
+    linear_bias: bool = True
+    rmsnorm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigError(
+                f"hidden size {self.hidden_size} not divisible by "
+                f"{self.num_heads} heads"
+            )
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ConfigError(
+                f"{self.num_heads} heads not divisible by "
+                f"{self.num_kv_heads} kv heads"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_hidden_size(self) -> int:
+        """Total width of the K (or V) projection output."""
+        return self.num_kv_heads * self.head_dim
+
+    # -- parameter counts (whole model, not yet divided by tensor parallel) --
+
+    def attention_params(self) -> int:
+        """Parameters of one Attention layer, including its pre-norm."""
+        h = self.hidden_size
+        qkv = h * h + 2 * h * self.kv_hidden_size
+        out = h * h
+        bias = (h + 2 * self.kv_hidden_size + h) if self.linear_bias else 0
+        norm = h if self.rmsnorm else 2 * h
+        return qkv + out + bias + norm
+
+    def ffn_params(self) -> int:
+        """Parameters of one Feed-Forward layer, including its pre-norm."""
+        h, f = self.hidden_size, self.ffn_hidden_size
+        weights = 3 * h * f if self.gated_ffn else 2 * h * f
+        bias = (f + h) if self.linear_bias else 0
+        norm = h if self.rmsnorm else 2 * h
+        return weights + bias + norm
+
+    def embedding_params(self) -> int:
+        return self.vocab_size * self.hidden_size + (
+            self.max_position_embeddings * self.hidden_size
+        )
+
+    def head_params(self) -> int:
+        """Decoding head parameters, including the final norm.
+
+        Tied embeddings contribute no extra weight matrix but the final
+        normalisation still lives in the last stage.
+        """
+        norm = self.hidden_size if self.rmsnorm else 2 * self.hidden_size
+        if self.tied_embeddings:
+            return norm
+        return self.vocab_size * self.hidden_size + norm
+
+    def total_params(self) -> int:
+        return (
+            self.embedding_params()
+            + self.num_layers * (self.attention_params() + self.ffn_params())
+            + self.head_params()
+        )
+
+
+def gpt3_175b() -> ModelSpec:
+    """GPT-3 175B (Brown et al. 2020), as trained in the paper's Figure 6."""
+    return ModelSpec(
+        name="gpt3-175b",
+        hidden_size=12288,
+        num_layers=96,
+        num_heads=96,
+        num_kv_heads=96,
+        ffn_hidden_size=4 * 12288,
+        vocab_size=51200,
+        max_position_embeddings=16384,
+        tied_embeddings=True,
+        linear_bias=True,
+    )
+
+
+def llama2_70b() -> ModelSpec:
+    """Llama 2 70B (Touvron et al. 2023), as trained in the paper's Figure 5."""
+    return ModelSpec(
+        name="llama2-70b",
+        hidden_size=8192,
+        num_layers=80,
+        num_heads=64,
+        num_kv_heads=8,
+        ffn_hidden_size=28672,
+        vocab_size=32000,
+        gated_ffn=True,
+        tied_embeddings=False,
+        linear_bias=False,
+        rmsnorm=True,
+    )
+
+
+def gpt3_13b() -> ModelSpec:
+    """GPT-3 13B — the mid-size variant, handy for smaller device budgets."""
+    return ModelSpec(
+        name="gpt3-13b",
+        hidden_size=5120,
+        num_layers=40,
+        num_heads=40,
+        num_kv_heads=40,
+        ffn_hidden_size=4 * 5120,
+        vocab_size=51200,
+        max_position_embeddings=16384,
+        tied_embeddings=True,
+        linear_bias=True,
+    )
+
+
+def llama2_13b() -> ModelSpec:
+    """Llama 2 13B (no GQA at this scale, plain multi-head attention)."""
+    return ModelSpec(
+        name="llama2-13b",
+        hidden_size=5120,
+        num_layers=40,
+        num_heads=40,
+        num_kv_heads=40,
+        ffn_hidden_size=13824,
+        vocab_size=32000,
+        gated_ffn=True,
+        tied_embeddings=False,
+        linear_bias=False,
+        rmsnorm=True,
+    )
+
+
+def llama2_7b() -> ModelSpec:
+    """Llama 2 7B."""
+    return ModelSpec(
+        name="llama2-7b",
+        hidden_size=4096,
+        num_layers=32,
+        num_heads=32,
+        num_kv_heads=32,
+        ffn_hidden_size=11008,
+        vocab_size=32000,
+        gated_ffn=True,
+        tied_embeddings=False,
+        linear_bias=False,
+        rmsnorm=True,
+    )
+
+
+def bert_large() -> ModelSpec:
+    """BERT-large; Section 4.1 notes the unit division covers it too."""
+    return ModelSpec(
+        name="bert-large",
+        hidden_size=1024,
+        num_layers=24,
+        num_heads=16,
+        num_kv_heads=16,
+        ffn_hidden_size=4096,
+        vocab_size=30522,
+        max_position_embeddings=512,
+        tied_embeddings=True,
+    )
+
+
+def tiny_gpt(num_layers: int = 4, hidden_size: int = 64, vocab_size: int = 128) -> ModelSpec:
+    """A laptop-scale GPT used by tests and the convergence experiment."""
+    return ModelSpec(
+        name=f"tiny-gpt-{num_layers}x{hidden_size}",
+        hidden_size=hidden_size,
+        num_layers=num_layers,
+        num_heads=max(1, hidden_size // 16),
+        num_kv_heads=max(1, hidden_size // 16),
+        ffn_hidden_size=4 * hidden_size,
+        vocab_size=vocab_size,
+        max_position_embeddings=512,
+        tied_embeddings=False,
+    )
+
+
+def tiny_llama(num_layers: int = 4, hidden_size: int = 64, vocab_size: int = 128) -> ModelSpec:
+    """A laptop-scale Llama-style model (gated FFN, RMSNorm, no bias)."""
+    heads = max(2, hidden_size // 16)
+    return ModelSpec(
+        name=f"tiny-llama-{num_layers}x{hidden_size}",
+        hidden_size=hidden_size,
+        num_layers=num_layers,
+        num_heads=heads,
+        num_kv_heads=max(1, heads // 2),
+        ffn_hidden_size=int(hidden_size * 8 / 3) // 8 * 8 or 8,
+        vocab_size=vocab_size,
+        gated_ffn=True,
+        linear_bias=False,
+        rmsnorm=True,
+    )
+
+
+_REGISTRY = {
+    "gpt3-175b": gpt3_175b,
+    "gpt3-13b": gpt3_13b,
+    "llama2-70b": llama2_70b,
+    "llama2-13b": llama2_13b,
+    "llama2-7b": llama2_7b,
+    "bert-large": bert_large,
+}
+
+
+def model_by_name(name: str) -> ModelSpec:
+    """Look up a preset model by its registry name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown model {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

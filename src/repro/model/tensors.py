@@ -1,0 +1,47 @@
+"""Tensor shape and byte accounting helpers.
+
+Everything downstream (memory model, roofline timing) reasons about tensors
+as element counts and byte sizes; this module centralises that arithmetic so
+the formulas appear exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A named tensor shape with an element width.
+
+    Attributes:
+        dims: the shape, e.g. ``(seq, batch, hidden)``.
+        bytes_per_value: element width in bytes.
+    """
+
+    dims: Tuple[int, ...]
+    bytes_per_value: int = 2
+
+    @property
+    def elements(self) -> int:
+        return math.prod(self.dims)
+
+    @property
+    def bytes(self) -> int:
+        return self.elements * self.bytes_per_value
+
+
+def gib(num_bytes: float) -> float:
+    """Bytes to GiB, for reports that mirror the paper's GB axes."""
+    return num_bytes / (1024.0**3)
+
+
+def mib(num_bytes: float) -> float:
+    """Bytes to MiB."""
+    return num_bytes / (1024.0**2)
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

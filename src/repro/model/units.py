@@ -1,0 +1,334 @@
+"""Computation-unit split of transformer layers (Figure 4 of the paper).
+
+A *computation unit* is the minimal group of operators that is recomputed or
+saved together. Operators whose intermediates are never saved even without
+recomputation (transpose, addition, scaling, ...) are merged into the unit of
+the nearest tensor that *is* saved; each saved tensor therefore has exactly
+one *parent unit* (Section 4.1).
+
+The split implemented here follows Figure 4:
+
+* Attention layer → ``attn.norm``, ``attn.q``, ``attn.k``, ``attn.v``,
+  ``attn.core`` (FlashAttention, which also saves small internal softmax
+  statistics), and ``attn.out`` (the closing GEMM, restricted to
+  *always saved* per Section 4.2 so the recompute buffer never spans layers).
+* Feed-Forward layer → ``ffn.norm``, ``ffn.in`` (one GEMM, or two for gated
+  SwiGLU FFNs), ``ffn.act``, and ``ffn.out`` (always saved).
+* Embedding layer → a single ``embed.lookup`` unit.
+* Decoding head → ``head.norm`` and ``head.proj`` (logits + loss).
+
+All element counts are per micro-batch and already divided by the tensor
+parallel size where Megatron would shard them; sequence parallelism further
+divides the norm/residual tensors by ``t``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.config import TrainingConfig
+from repro.model.layers import LayerKind
+from repro.model.spec import ModelSpec
+
+
+class OpKind(enum.Enum):
+    """Operator classes with distinct roofline efficiency profiles."""
+
+    GEMM = "gemm"
+    FLASH_ATTENTION = "flash_attention"
+    NORM = "norm"
+    ELEMENTWISE = "elementwise"
+    EMBEDDING = "embedding"
+    CROSS_ENTROPY = "cross_entropy"
+
+
+@dataclass(frozen=True)
+class OpDesc:
+    """One operator inside a computation unit.
+
+    Attributes:
+        kind: operator class (drives compute efficiency in the roofline).
+        flops_forward: forward floating point operations.
+        flops_backward: backward FLOPs (dgrad + wgrad for GEMMs).
+        moved_elements: elements read+written in the forward pass, for the
+            bandwidth term of the roofline.
+    """
+
+    kind: OpKind
+    flops_forward: float
+    flops_backward: float
+    moved_elements: float
+
+
+@dataclass(frozen=True)
+class ComputationUnit:
+    """A recompute-or-save decision point (Section 4.1).
+
+    Attributes:
+        name: stable identifier, e.g. ``"attn.core"``.
+        layer_kind: which layer of the sequence the unit belongs to.
+        ops: the operators fused into this unit.
+        saved_output_elements: elements of the unit's child tensors that are
+            kept when the unit is configured *saved* (its output plus any
+            non-boundary intermediates bound to it).
+        internal_saved_elements: tensors some kernels save internally along
+            with their output (e.g. FlashAttention softmax statistics);
+            counted when the unit is saved.
+        always_saved: units whose outputs the model restricts to be saved
+            (the closing GEMMs of the Attention and Feed-Forward layers).
+    """
+
+    name: str
+    layer_kind: LayerKind
+    ops: Tuple[OpDesc, ...]
+    saved_output_elements: float
+    internal_saved_elements: float = 0.0
+    always_saved: bool = False
+
+    @property
+    def flops_forward(self) -> float:
+        return sum(op.flops_forward for op in self.ops)
+
+    @property
+    def flops_backward(self) -> float:
+        return sum(op.flops_backward for op in self.ops)
+
+    @property
+    def saved_elements(self) -> float:
+        """Elements held in memory when this unit is saved."""
+        return self.saved_output_elements + self.internal_saved_elements
+
+
+def _gemm(b_tokens: float, n: float, k: float) -> OpDesc:
+    """A GEMM of ``b_tokens x k`` by ``k x n`` with standard 2x backward."""
+    flops = 2.0 * b_tokens * n * k
+    moved = b_tokens * k + k * n + b_tokens * n
+    return OpDesc(OpKind.GEMM, flops, 2.0 * flops, moved)
+
+
+def units_for_layer(
+    kind: LayerKind,
+    spec: ModelSpec,
+    train: TrainingConfig,
+    tensor_parallel: int,
+) -> List[ComputationUnit]:
+    """Build the computation units of one layer, with concrete sizes.
+
+    Args:
+        kind: the layer type to split.
+        spec: model architecture.
+        train: workload (sequence length, micro-batch size, seq-parallel and
+            FlashAttention switches).
+        tensor_parallel: tensor parallel size ``t`` sharding the layer.
+
+    Returns:
+        Units in execution order. Element counts are per device and per
+        micro-batch.
+    """
+    t = tensor_parallel
+    s = train.sequence_length
+    b = train.micro_batch_size
+    h = spec.hidden_size
+    tokens = float(s * b)
+    # Sequence parallelism shards the norm/residual activations by t.
+    norm_tokens = tokens / t if train.sequence_parallel else tokens
+
+    if kind == LayerKind.ATTENTION:
+        return _attention_units(spec, train, t, tokens, norm_tokens)
+    if kind == LayerKind.FFN:
+        return _ffn_units(spec, train, t, tokens, norm_tokens)
+    if kind == LayerKind.EMBEDDING:
+        return _embedding_units(spec, t, tokens, norm_tokens)
+    if kind == LayerKind.HEAD:
+        return _head_units(spec, t, tokens, norm_tokens)
+    raise ValueError(f"unknown layer kind {kind!r}")
+
+
+def _norm_unit(name: str, spec: ModelSpec, norm_tokens: float) -> ComputationUnit:
+    h = spec.hidden_size
+    flops = (4.0 if spec.rmsnorm else 5.0) * norm_tokens * h
+    op = OpDesc(OpKind.NORM, flops, 2.0 * flops, 2.0 * norm_tokens * h)
+    kind = LayerKind.ATTENTION if name.startswith("attn") else (
+        LayerKind.HEAD if name.startswith("head") else LayerKind.FFN
+    )
+    return ComputationUnit(
+        name=name,
+        layer_kind=kind,
+        ops=(op,),
+        saved_output_elements=norm_tokens * h,
+    )
+
+
+def _attention_units(
+    spec: ModelSpec,
+    train: TrainingConfig,
+    t: int,
+    tokens: float,
+    norm_tokens: float,
+) -> List[ComputationUnit]:
+    h = spec.hidden_size
+    kv = spec.kv_hidden_size
+    s = train.sequence_length
+    b = train.micro_batch_size
+
+    units = [_norm_unit("attn.norm", spec, norm_tokens)]
+
+    # Q/K/V projections. The Q unit also absorbs the bias add, head
+    # transpose and 1/sqrt(d) scaling mentioned in Section 4.1; those ops
+    # are bandwidth-bound and folded into the moved-elements term.
+    units.append(
+        ComputationUnit(
+            name="attn.q",
+            layer_kind=LayerKind.ATTENTION,
+            ops=(_gemm(tokens, h / t, h),),
+            saved_output_elements=tokens * h / t,
+        )
+    )
+    for name in ("attn.k", "attn.v"):
+        units.append(
+            ComputationUnit(
+                name=name,
+                layer_kind=LayerKind.ATTENTION,
+                ops=(_gemm(tokens, kv / t, h),),
+                saved_output_elements=tokens * kv / t,
+            )
+        )
+
+    # Attention core. With FlashAttention the probability matrix never
+    # materialises; only per-row softmax statistics are kept internally.
+    core_flops = 4.0 * b * float(s) * float(s) * h / t
+    heads_per_device = spec.num_heads / t
+    if train.flash_attention:
+        internal = 2.0 * b * float(s) * heads_per_device  # running max + sum
+        moved = 3.0 * tokens * h / t
+        # Flash backward re-runs the forward tiling: ~2.5x forward FLOPs.
+        core_op = OpDesc(OpKind.FLASH_ATTENTION, core_flops, 2.5 * core_flops, moved)
+    else:
+        internal = b * float(s) * float(s) * heads_per_device  # attn probs
+        if train.attention_dropout > 0:
+            # 1-byte mask per probability, in bytes_per_value-sized elements.
+            internal += internal / train.bytes_per_value
+        moved = 3.0 * tokens * h / t + internal
+        core_op = OpDesc(OpKind.FLASH_ATTENTION, core_flops, 2.0 * core_flops, moved)
+    units.append(
+        ComputationUnit(
+            name="attn.core",
+            layer_kind=LayerKind.ATTENTION,
+            ops=(core_op,),
+            saved_output_elements=tokens * h / t,
+            internal_saved_elements=internal,
+        )
+    )
+
+    # Closing projection + residual add: restricted to always-saved so the
+    # recompute buffer never exceeds one decoder layer (Section 4.2). With
+    # hidden dropout enabled, the post-projection mask (1 byte/element)
+    # lives here too.
+    units.append(
+        ComputationUnit(
+            name="attn.out",
+            layer_kind=LayerKind.ATTENTION,
+            ops=(_gemm(tokens, h, h / t),),
+            saved_output_elements=norm_tokens * h,
+            internal_saved_elements=_dropout_mask_elements(train, norm_tokens * h),
+            always_saved=True,
+        )
+    )
+    return units
+
+
+def _dropout_mask_elements(train: TrainingConfig, masked_elements: float) -> float:
+    """1-byte dropout masks, expressed in ``bytes_per_value`` elements."""
+    if train.hidden_dropout <= 0:
+        return 0.0
+    return masked_elements / train.bytes_per_value
+
+
+def _ffn_units(
+    spec: ModelSpec,
+    train: TrainingConfig,
+    t: int,
+    tokens: float,
+    norm_tokens: float,
+) -> List[ComputationUnit]:
+    h = spec.hidden_size
+    f = spec.ffn_hidden_size
+
+    units = [_norm_unit("ffn.norm", spec, norm_tokens)]
+
+    in_gemms: Tuple[OpDesc, ...]
+    if spec.gated_ffn:
+        in_gemms = (_gemm(tokens, f / t, h), _gemm(tokens, f / t, h))
+        in_saved = 2.0 * tokens * f / t
+    else:
+        in_gemms = (_gemm(tokens, f / t, h),)
+        in_saved = tokens * f / t
+    units.append(
+        ComputationUnit(
+            name="ffn.in",
+            layer_kind=LayerKind.FFN,
+            ops=in_gemms,
+            saved_output_elements=in_saved,
+        )
+    )
+
+    act_flops = 8.0 * tokens * f / t
+    units.append(
+        ComputationUnit(
+            name="ffn.act",
+            layer_kind=LayerKind.FFN,
+            ops=(
+                OpDesc(OpKind.ELEMENTWISE, act_flops, act_flops, 2.0 * tokens * f / t),
+            ),
+            saved_output_elements=tokens * f / t,
+        )
+    )
+
+    units.append(
+        ComputationUnit(
+            name="ffn.out",
+            layer_kind=LayerKind.FFN,
+            ops=(_gemm(tokens, h, f / t),),
+            saved_output_elements=norm_tokens * h,
+            internal_saved_elements=_dropout_mask_elements(train, norm_tokens * h),
+            always_saved=True,
+        )
+    )
+    return units
+
+
+def _embedding_units(
+    spec: ModelSpec, t: int, tokens: float, norm_tokens: float
+) -> List[ComputationUnit]:
+    h = spec.hidden_size
+    lookup = OpDesc(OpKind.EMBEDDING, 2.0 * tokens * h, 2.0 * tokens * h, tokens * h)
+    return [
+        ComputationUnit(
+            name="embed.lookup",
+            layer_kind=LayerKind.EMBEDDING,
+            ops=(lookup,),
+            saved_output_elements=norm_tokens * h,
+        )
+    ]
+
+
+def _head_units(
+    spec: ModelSpec, t: int, tokens: float, norm_tokens: float
+) -> List[ComputationUnit]:
+    h = spec.hidden_size
+    vocab = spec.vocab_size
+    units = [_norm_unit("head.norm", spec, norm_tokens)]
+    proj = _gemm(tokens, vocab / t, h)
+    ce_flops = 6.0 * tokens * vocab / t
+    ce = OpDesc(OpKind.CROSS_ENTROPY, ce_flops, ce_flops, 2.0 * tokens * vocab / t)
+    units.append(
+        ComputationUnit(
+            name="head.proj",
+            layer_kind=LayerKind.HEAD,
+            ops=(proj, ce),
+            saved_output_elements=tokens * vocab / t,
+        )
+    )
+    return units

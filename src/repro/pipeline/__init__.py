@@ -1,0 +1,35 @@
+"""Pipeline-parallel scheduling and simulation.
+
+This package is the execution-engine substitute: schedule generators emit a
+per-device ordered task list (forward/backward of each micro-batch on each
+stage), and an event-driven simulator executes the task graph against a cost
+assignment, producing the iteration time, per-device utilisation, bubble
+ratio, and a full per-device memory trace with OOM detection — the
+quantities the paper measures on its clusters.
+"""
+
+from repro.pipeline.simulator import SimulationError, SimulationResult, simulate
+from repro.pipeline.tasks import Schedule, StageCosts, Task, TaskKey, TaskKind
+from repro.pipeline.schedules import (
+    chimera_schedule,
+    gpipe_schedule,
+    interleaved_1f1b_schedule,
+    one_f_one_b_schedule,
+)
+from repro.pipeline.visualize import render_timeline
+
+__all__ = [
+    "Schedule",
+    "SimulationError",
+    "SimulationResult",
+    "StageCosts",
+    "Task",
+    "TaskKey",
+    "TaskKind",
+    "chimera_schedule",
+    "gpipe_schedule",
+    "interleaved_1f1b_schedule",
+    "one_f_one_b_schedule",
+    "render_timeline",
+    "simulate",
+]

@@ -1,0 +1,26 @@
+"""Pipeline schedule generators.
+
+Every generator consumes per-stage :class:`~repro.pipeline.tasks.StageCosts`
+and emits a :class:`~repro.pipeline.tasks.Schedule` the simulator can
+execute:
+
+* :func:`gpipe_schedule` — all forwards then all backwards (Figure 2a).
+* :func:`one_f_one_b_schedule` — DAPPLE/PipeDream 1F1B (Figure 2b); the
+  schedule AdaPipe builds on.
+* :func:`interleaved_1f1b_schedule` — Megatron's interleaved variant with
+  multiple model chunks per device.
+* :func:`chimera_schedule` — bidirectional pipelines (two replicas in
+  opposite directions), optionally with forward doubling (ChimeraD).
+"""
+
+from repro.pipeline.schedules.chimera import chimera_schedule
+from repro.pipeline.schedules.gpipe import gpipe_schedule
+from repro.pipeline.schedules.interleaved import interleaved_1f1b_schedule
+from repro.pipeline.schedules.onef1b import one_f_one_b_schedule
+
+__all__ = [
+    "chimera_schedule",
+    "gpipe_schedule",
+    "interleaved_1f1b_schedule",
+    "one_f_one_b_schedule",
+]

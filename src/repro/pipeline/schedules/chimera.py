@@ -1,0 +1,168 @@
+"""Chimera bidirectional pipeline scheduling (Li & Hoefler, SC'21).
+
+Chimera runs two pipeline replicas in opposite directions: the *down*
+replica places stage ``s`` on device ``s``, the *up* replica on device
+``p - 1 - s``, so every device hosts two stages (and a full second copy of
+its model shard — the memory duplication the paper notes). One *scheduling
+unit* processes ``p`` micro-batches, ``p/2`` per direction; iterations with
+``n > p`` micro-batches concatenate units, and because backward passes are
+longer than forwards, bubbles appear between consecutive units — exactly why
+the paper finds Chimera slower than DAPPLE at large ``n``.
+
+The concrete per-device order is derived with a greedy list scheduler over
+the bidirectional task graph: backwards are preferred when ready (as in
+1F1B), and the per-direction in-flight window is capped at
+``min(p - s, p/2)``, which yields Chimera's characteristic middle-heavy
+activation profile (Figure 8 of the paper).
+
+``forward_doubling=True`` models ChimeraD: pairs of micro-batches are merged
+into one forward pass (halving the number of scheduling units, doubling the
+pinned activations), which trades bubbles for memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import ConfigError
+from repro.pipeline.tasks import Schedule, StageCosts, Task, TaskKey, TaskKind
+
+
+def chimera_schedule(
+    stage_costs: Sequence[StageCosts],
+    num_micro_batches: int,
+    hop_time: float = 0.0,
+    forward_doubling: bool = False,
+) -> Schedule:
+    """Build a (bidirectional) Chimera schedule.
+
+    Args:
+        stage_costs: per-stage costs; ``len(stage_costs)`` must be even.
+        num_micro_batches: total micro-batches per iteration; must split
+            evenly between the two directions (and into pairs for ChimeraD).
+        hop_time: stage-boundary communication time.
+        forward_doubling: model ChimeraD's doubled forward passes.
+    """
+    p = len(stage_costs)
+    if p % 2 != 0:
+        raise ConfigError(f"Chimera needs an even stage count, got {p}")
+    weight = 2 if forward_doubling else 1
+    if num_micro_batches % (2 * weight) != 0:
+        raise ConfigError(
+            f"{num_micro_batches} micro-batches do not split over two "
+            f"directions with weight {weight}"
+        )
+    entities_per_pipe = num_micro_batches // (2 * weight)
+
+    tasks = _build_tasks(stage_costs, entities_per_pipe, weight)
+    device_tasks = _list_schedule(tasks, stage_costs, p, hop_time)
+
+    statics = [2.0 * costs.static_bytes for costs in stage_costs]
+    buffers = [2.0 * costs.buffer_bytes for costs in stage_costs]
+    name = "ChimeraD" if forward_doubling else "Chimera"
+    schedule = Schedule(
+        name=name,
+        num_devices=p,
+        device_tasks=device_tasks,
+        hop_time=hop_time,
+        device_static_bytes=statics,
+        device_buffer_bytes=buffers,
+        num_micro_batches=num_micro_batches,
+    )
+    schedule.validate()
+    return schedule
+
+
+def _device_of(pipe: int, stage: int, p: int) -> int:
+    return stage if pipe == 0 else p - 1 - stage
+
+
+def _build_tasks(
+    stage_costs: Sequence[StageCosts], entities_per_pipe: int, weight: int
+) -> Dict[TaskKey, Task]:
+    p = len(stage_costs)
+    tasks: Dict[TaskKey, Task] = {}
+    for pipe in (0, 1):
+        for stage in range(p):
+            device = _device_of(pipe, stage, p)
+            costs = stage_costs[stage]
+            for m in range(entities_per_pipe):
+                fkey = TaskKey(pipe, stage, m, TaskKind.FORWARD)
+                fdeps: Tuple[TaskKey, ...] = ()
+                if stage > 0:
+                    fdeps = (TaskKey(pipe, stage - 1, m, TaskKind.FORWARD),)
+                tasks[fkey] = Task(
+                    key=fkey,
+                    device=device,
+                    duration=weight * costs.forward,
+                    deps=fdeps,
+                    activation_bytes=weight * costs.activation_bytes,
+                    weight=weight,
+                )
+                bkey = TaskKey(pipe, stage, m, TaskKind.BACKWARD)
+                bdeps = [fkey]
+                if stage < p - 1:
+                    bdeps.append(TaskKey(pipe, stage + 1, m, TaskKind.BACKWARD))
+                tasks[bkey] = Task(
+                    key=bkey,
+                    device=device,
+                    duration=weight * costs.backward,
+                    deps=tuple(bdeps),
+                    weight=weight,
+                )
+    return tasks
+
+
+def _list_schedule(
+    tasks: Dict[TaskKey, Task],
+    stage_costs: Sequence[StageCosts],
+    p: int,
+    hop_time: float,
+) -> List[List[Task]]:
+    """Greedy list scheduling producing per-device total orders.
+
+    Repeatedly dispatches the schedulable task with the earliest possible
+    start time, breaking ties in favour of backwards (they release memory
+    and unblock upstream stages, as in 1F1B) and then lower micro-batch
+    index. Forwards additionally respect the per-direction in-flight window
+    ``min(p - s, p/2)``.
+    """
+    end_times: Dict[TaskKey, float] = {}
+    device_free = [0.0] * p
+    in_flight: Dict[Tuple[int, int], int] = {}
+    window = {stage: min(p - stage, p // 2) for stage in range(p)}
+    order: List[List[Task]] = [[] for _ in range(p)]
+    pending = dict(tasks)
+
+    while pending:
+        best_key = None
+        best_rank: Tuple = ()
+        for key, task in pending.items():
+            if any(dep not in end_times for dep in task.deps):
+                continue
+            if key.kind == TaskKind.FORWARD:
+                flight_key = (key.pipe, key.stage)
+                if in_flight.get(flight_key, 0) >= window[key.stage]:
+                    continue
+            est = device_free[task.device]
+            for dep in task.deps:
+                dep_end = end_times[dep]
+                if tasks[dep].device != task.device:
+                    dep_end += hop_time
+                est = max(est, dep_end)
+            rank = (est, 0 if key.kind == TaskKind.BACKWARD else 1, key.micro_batch, key.pipe, key.stage)
+            if best_key is None or rank < best_rank:
+                best_key, best_rank = key, rank
+        if best_key is None:
+            raise ConfigError("Chimera list scheduling wedged (internal error)")
+        task = pending.pop(best_key)
+        start = best_rank[0]
+        end_times[best_key] = start + task.duration
+        device_free[task.device] = start + task.duration
+        flight_key = (best_key.pipe, best_key.stage)
+        if best_key.kind == TaskKind.FORWARD:
+            in_flight[flight_key] = in_flight.get(flight_key, 0) + 1
+        else:
+            in_flight[flight_key] = in_flight.get(flight_key, 0) - 1
+        order[task.device].append(task)
+    return order

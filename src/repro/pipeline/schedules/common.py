@@ -1,0 +1,70 @@
+"""Shared helpers for schedule generators."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.pipeline.tasks import Schedule, StageCosts, Task, TaskKey, TaskKind
+
+
+def forward_key(stage: int, micro_batch: int, pipe: int = 0) -> TaskKey:
+    return TaskKey(pipe, stage, micro_batch, TaskKind.FORWARD)
+
+
+def backward_key(stage: int, micro_batch: int, pipe: int = 0) -> TaskKey:
+    return TaskKey(pipe, stage, micro_batch, TaskKind.BACKWARD)
+
+
+def forward_deps(
+    stage: int, micro_batch: int, num_stages: int, pipe: int = 0
+) -> tuple:
+    """A forward waits for the same micro-batch on the previous stage."""
+    del num_stages
+    if stage == 0:
+        return ()
+    return (forward_key(stage - 1, micro_batch, pipe),)
+
+
+def backward_deps(
+    stage: int, micro_batch: int, num_stages: int, pipe: int = 0
+) -> tuple:
+    """A backward waits for its own forward and the next stage's backward."""
+    deps = [forward_key(stage, micro_batch, pipe)]
+    if stage < num_stages - 1:
+        deps.append(backward_key(stage + 1, micro_batch, pipe))
+    return tuple(deps)
+
+
+def single_stage_statics(
+    stage_costs: Sequence[StageCosts],
+) -> tuple:
+    """Per-device static and buffer bytes when device i hosts stage i."""
+    statics = [costs.static_bytes for costs in stage_costs]
+    buffers = [costs.buffer_bytes for costs in stage_costs]
+    return statics, buffers
+
+
+def build_schedule(
+    name: str,
+    stage_costs: Sequence[StageCosts],
+    device_tasks: List[List[Task]],
+    hop_time: float,
+    num_micro_batches: int,
+    device_static_bytes: Optional[List[float]] = None,
+    device_buffer_bytes: Optional[List[float]] = None,
+) -> Schedule:
+    if device_static_bytes is None or device_buffer_bytes is None:
+        statics, buffers = single_stage_statics(stage_costs)
+        device_static_bytes = device_static_bytes or statics
+        device_buffer_bytes = device_buffer_bytes or buffers
+    schedule = Schedule(
+        name=name,
+        num_devices=len(device_tasks),
+        device_tasks=device_tasks,
+        hop_time=hop_time,
+        device_static_bytes=device_static_bytes,
+        device_buffer_bytes=device_buffer_bytes,
+        num_micro_batches=num_micro_batches,
+    )
+    schedule.validate()
+    return schedule

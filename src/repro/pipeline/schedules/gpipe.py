@@ -1,0 +1,54 @@
+"""GPipe scheduling (Figure 2a of the paper).
+
+Every stage runs the forward passes of all micro-batches in order, then the
+backward passes in reverse order. Simple, but each stage pins the
+activations of *all* ``n`` micro-batches at once — the O(n) memory cost that
+motivated 1F1B.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.pipeline.schedules.common import (
+    backward_deps,
+    backward_key,
+    build_schedule,
+    forward_deps,
+    forward_key,
+)
+from repro.pipeline.tasks import Schedule, StageCosts, Task
+
+
+def gpipe_schedule(
+    stage_costs: Sequence[StageCosts],
+    num_micro_batches: int,
+    hop_time: float = 0.0,
+) -> Schedule:
+    """Build a GPipe schedule over ``len(stage_costs)`` stages."""
+    p = len(stage_costs)
+    n = num_micro_batches
+    device_tasks: List[List[Task]] = []
+    for stage, costs in enumerate(stage_costs):
+        tasks: List[Task] = []
+        for m in range(n):
+            tasks.append(
+                Task(
+                    key=forward_key(stage, m),
+                    device=stage,
+                    duration=costs.forward,
+                    deps=forward_deps(stage, m, p),
+                    activation_bytes=costs.activation_bytes,
+                )
+            )
+        for m in reversed(range(n)):
+            tasks.append(
+                Task(
+                    key=backward_key(stage, m),
+                    device=stage,
+                    duration=costs.backward,
+                    deps=backward_deps(stage, m, p),
+                )
+            )
+        device_tasks.append(tasks)
+    return build_schedule("GPipe", stage_costs, device_tasks, hop_time, n)

@@ -1,0 +1,62 @@
+"""1F1B scheduling (PipeDream / DAPPLE; Figure 2b of the paper).
+
+Stage ``s`` of ``p`` runs a warmup of ``p - s - 1`` forwards, then
+alternates forward/backward through the steady phase, then drains the
+remaining backwards. At most ``p - s`` micro-batches are in flight on stage
+``s`` — the imbalanced O(p) memory profile AdaPipe exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.pipeline.schedules.common import (
+    backward_deps,
+    backward_key,
+    build_schedule,
+    forward_deps,
+    forward_key,
+)
+from repro.pipeline.tasks import Schedule, StageCosts, Task
+
+
+def one_f_one_b_schedule(
+    stage_costs: Sequence[StageCosts],
+    num_micro_batches: int,
+    hop_time: float = 0.0,
+    name: str = "1F1B",
+) -> Schedule:
+    """Build the 1F1B schedule over ``len(stage_costs)`` stages."""
+    p = len(stage_costs)
+    n = num_micro_batches
+    device_tasks: List[List[Task]] = []
+    for stage, costs in enumerate(stage_costs):
+        tasks: List[Task] = []
+
+        def forward(m: int) -> Task:
+            return Task(
+                key=forward_key(stage, m),
+                device=stage,
+                duration=costs.forward,
+                deps=forward_deps(stage, m, p),
+                activation_bytes=costs.activation_bytes,
+            )
+
+        def backward(m: int) -> Task:
+            return Task(
+                key=backward_key(stage, m),
+                device=stage,
+                duration=costs.backward,
+                deps=backward_deps(stage, m, p),
+            )
+
+        warmup = min(p - stage - 1, n)
+        for m in range(warmup):
+            tasks.append(forward(m))
+        for i in range(n - warmup):
+            tasks.append(forward(warmup + i))
+            tasks.append(backward(i))
+        for m in range(n - warmup, n):
+            tasks.append(backward(m))
+        device_tasks.append(tasks)
+    return build_schedule(name, stage_costs, device_tasks, hop_time, n)

@@ -1,0 +1,140 @@
+"""Task-graph representation of a pipeline schedule.
+
+A *schedule* is, per device, a total order over *tasks*; each task is the
+forward or backward pass of one micro-batch through one stage of one
+pipeline replica (Chimera runs two replicas in opposite directions, hence
+the ``pipe`` coordinate). Tasks carry explicit dependency keys, so the
+simulator needs no knowledge of any particular scheduling policy — it just
+executes each device's list in order, waiting on dependencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class TaskKind(enum.Enum):
+    FORWARD = "F"
+    BACKWARD = "B"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TaskKey:
+    """Globally unique identity of a task.
+
+    Attributes:
+        pipe: pipeline replica index (0 for everything except Chimera's
+            second, reversed pipeline).
+        stage: pipeline stage the task runs on.
+        micro_batch: micro-batch index within the replica.
+        kind: forward or backward.
+    """
+
+    pipe: int
+    stage: int
+    micro_batch: int
+    kind: TaskKind
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}(p{self.pipe},s{self.stage},m{self.micro_batch})"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of device work.
+
+    Attributes:
+        key: the task's identity.
+        device: executing device.
+        duration: seconds of device time.
+        deps: keys this task waits for. Cross-device dependencies incur the
+            schedule's communication hop time.
+        activation_bytes: intermediates pinned by this micro-batch on this
+            stage from the *start of the forward* until the *end of the
+            backward* (0 on backward tasks — the matching forward carries it).
+        weight: micro-batches processed (2 for ChimeraD's doubled forwards),
+            used when counting useful work for the bubble ratio.
+    """
+
+    key: TaskKey
+    device: int
+    duration: float
+    deps: Tuple[TaskKey, ...] = ()
+    activation_bytes: float = 0.0
+    weight: int = 1
+
+
+@dataclass(frozen=True)
+class StageCosts:
+    """Per-micro-batch costs of one stage, as the simulator consumes them.
+
+    Attributes:
+        forward: forward time of one micro-batch through the stage.
+        backward: backward time (including any recomputation the stage's
+            plan performs).
+        activation_bytes: intermediates one micro-batch pins on the stage.
+        static_bytes: parameters/gradients/optimizer state of the stage.
+        buffer_bytes: recompute-buffer high-water mark during backward.
+    """
+
+    forward: float
+    backward: float
+    activation_bytes: float = 0.0
+    static_bytes: float = 0.0
+    buffer_bytes: float = 0.0
+
+
+@dataclass
+class Schedule:
+    """A complete pipeline schedule over one iteration.
+
+    Attributes:
+        name: scheduling policy label ("1F1B", "GPipe", ...).
+        num_devices: devices in the pipeline group.
+        device_tasks: per device, tasks in execution order.
+        hop_time: communication delay applied to cross-device dependencies.
+        device_static_bytes: static memory per device (sums both of a
+            device's stages under Chimera).
+        device_buffer_bytes: recompute-buffer bound per device.
+        num_micro_batches: micro-batches per iteration per replica.
+    """
+
+    name: str
+    num_devices: int
+    device_tasks: List[List[Task]]
+    hop_time: float = 0.0
+    device_static_bytes: Optional[List[float]] = None
+    device_buffer_bytes: Optional[List[float]] = None
+    num_micro_batches: int = 0
+
+    def all_tasks(self) -> List[Task]:
+        return [task for tasks in self.device_tasks for task in tasks]
+
+    def task_map(self) -> Dict[TaskKey, Task]:
+        mapping: Dict[TaskKey, Task] = {}
+        for task in self.all_tasks():
+            if task.key in mapping:
+                raise ValueError(f"duplicate task {task.key}")
+            mapping[task.key] = task
+        return mapping
+
+    def validate(self) -> None:
+        """Check structural sanity: unique keys, resolvable dependencies,
+        and that every forward has a matching backward on the same device."""
+        mapping = self.task_map()
+        for task in mapping.values():
+            for dep in task.deps:
+                if dep not in mapping:
+                    raise ValueError(f"{task.key} depends on missing {dep}")
+        forwards = {k for k in mapping if k.kind == TaskKind.FORWARD}
+        for key in forwards:
+            twin = TaskKey(key.pipe, key.stage, key.micro_batch, TaskKind.BACKWARD)
+            if twin not in mapping:
+                raise ValueError(f"forward {key} has no backward twin")
+            if mapping[twin].device != mapping[key].device:
+                raise ValueError(f"{key} and {twin} run on different devices")

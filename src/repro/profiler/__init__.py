@@ -1,0 +1,26 @@
+"""Performance model: per-unit times and per-stage memory.
+
+The paper's search engine profiles each computation unit's forward and
+backward time with 5–10 preliminary iterations on the real cluster
+(Section 6). Offline, this package substitutes an analytic roofline model:
+FLOPs and moved bytes per unit (from :mod:`repro.model.units`) against the
+device's achieved throughput and bandwidth (from
+:mod:`repro.hardware.device`). The DP algorithms only ever see the resulting
+``(time_f, time_b, mem)`` scalars, so they run the identical code path they
+would with measured numbers.
+"""
+
+from repro.profiler.memory import MemoryModel, StageMemory
+from repro.profiler.profiler import LayerProfile, Profiler, UnitProfile
+from repro.profiler.timing import op_time, unit_backward_time, unit_forward_time
+
+__all__ = [
+    "LayerProfile",
+    "MemoryModel",
+    "Profiler",
+    "StageMemory",
+    "UnitProfile",
+    "op_time",
+    "unit_backward_time",
+    "unit_forward_time",
+]

@@ -1,0 +1,136 @@
+"""Calibrating the analytic profiler from measurements.
+
+The analytic roofline needs per-operator-class efficiency factors (fraction
+of peak FLOPS achieved). On real hardware those come from measurement; this
+module estimates them from ``(unit, measured time)`` pairs — e.g. produced
+by :class:`~repro.profiler.measured.MeasuredProfiler` on the mini engine,
+or by a user timing kernels on their accelerator — closing the loop between
+the two profilers: measure once, calibrate, then search analytically at any
+scale.
+
+The fit is per op class: with the roofline ``t = max(F/(e*P), B/W) + c``,
+every compute-bound sample gives ``e = F / ((t - c) * P)``; the robust
+estimate is the median over samples (bandwidth-bound samples, where the
+implied efficiency exceeds 1 or the bandwidth term dominates, are
+discarded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.hardware.device import DeviceSpec
+from repro.model.units import ComputationUnit, OpKind
+
+
+@dataclass(frozen=True)
+class TimingSample:
+    """One measured forward execution of a computation unit."""
+
+    unit: ComputationUnit
+    measured_seconds: float
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Result of a calibration fit.
+
+    Attributes:
+        efficiencies: fitted fraction-of-peak per op class (only classes
+            with usable samples appear).
+        samples_used: accepted sample count per class.
+        residual: median relative error of the calibrated model on the
+            accepted samples.
+    """
+
+    efficiencies: Mapping[OpKind, float]
+    samples_used: Mapping[OpKind, int]
+    residual: float
+
+
+def fit_efficiencies(
+    samples: Iterable[TimingSample],
+    device: DeviceSpec,
+    min_efficiency: float = 1e-4,
+) -> CalibrationReport:
+    """Estimate per-class efficiencies from measured unit times."""
+    implied: Dict[OpKind, List[float]] = {}
+    for sample in samples:
+        for op in sample.unit.ops:
+            # Attribute the unit's time to its dominant op (units here are
+            # single-class; multi-op units use the FLOP-weighted share).
+            share = (
+                op.flops_forward / max(1.0, sample.unit.flops_forward)
+            ) * sample.measured_seconds
+            compute_time = max(1e-12, share - device.kernel_launch_overhead)
+            efficiency = op.flops_forward / (compute_time * device.peak_flops)
+            if min_efficiency <= efficiency <= 1.0:
+                implied.setdefault(op.kind, []).append(efficiency)
+
+    efficiencies = {
+        kind: float(np.median(values)) for kind, values in implied.items()
+    }
+    counts = {kind: len(values) for kind, values in implied.items()}
+
+    residuals = []
+    for sample in samples:
+        predicted = 0.0
+        for op in sample.unit.ops:
+            eff = efficiencies.get(op.kind)
+            if eff is None:
+                predicted = None
+                break
+            predicted += op.flops_forward / (eff * device.peak_flops) + (
+                device.kernel_launch_overhead
+            )
+        if predicted:
+            residuals.append(
+                abs(predicted - sample.measured_seconds) / sample.measured_seconds
+            )
+    residual = float(np.median(residuals)) if residuals else float("inf")
+    return CalibrationReport(
+        efficiencies=efficiencies, samples_used=counts, residual=residual
+    )
+
+
+def apply_calibration(
+    device: DeviceSpec, report: CalibrationReport
+) -> DeviceSpec:
+    """A copy of ``device`` with the fitted efficiencies merged in."""
+    merged = dict(device.efficiency)
+    merged.update(report.efficiencies)
+    return DeviceSpec(
+        name=f"{device.name} (calibrated)",
+        memory_bytes=device.memory_bytes,
+        reserved_bytes=device.reserved_bytes,
+        peak_flops=device.peak_flops,
+        memory_bandwidth=device.memory_bandwidth,
+        efficiency=merged,
+        kernel_launch_overhead=device.kernel_launch_overhead,
+    )
+
+
+def synthetic_samples(
+    device: DeviceSpec,
+    units: Sequence[ComputationUnit],
+    planted: Mapping[OpKind, float],
+    noise: float = 0.0,
+    seed: int = 0,
+) -> List[TimingSample]:
+    """Generate samples from planted efficiencies (for tests/demos)."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for unit in units:
+        seconds = 0.0
+        for op in unit.ops:
+            eff = planted[op.kind]
+            seconds += op.flops_forward / (eff * device.peak_flops) + (
+                device.kernel_launch_overhead
+            )
+        if noise:
+            seconds *= 1.0 + noise * rng.uniform(-1.0, 1.0)
+        samples.append(TimingSample(unit=unit, measured_seconds=seconds))
+    return samples

@@ -1,0 +1,137 @@
+"""Memory model (Section 4.2 of the paper).
+
+Per-stage memory splits into three parts:
+
+1. **Static** state, independent of recomputation: fp16 parameters ``2N/t``
+   and gradients ``2N/t``, plus ZeRO-1-sharded optimizer state
+   ``kN/(td)`` (k = 8 for the two FP32 Adam moments) and optional FP32
+   master weights.
+2. The **recompute buffer**: with the closing GEMM outputs of each
+   Attention/Feed-Forward layer restricted to always-saved, the backward
+   pass re-materialises at most one decoder layer's intermediates at a time,
+   so the buffer is bounded by one layer's worth of activations.
+3. **Saved intermediates**: every unit configured *saved* holds
+   ``Mem(U)`` bytes per in-flight micro-batch, and stage ``s`` of ``p``
+   keeps ``p - s`` micro-batches in flight under 1F1B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.model.layers import Layer, LayerKind
+from repro.model.spec import ModelSpec
+from repro.model.units import ComputationUnit, units_for_layer
+
+
+@dataclass(frozen=True)
+class StageMemory:
+    """Memory breakdown of one pipeline stage, in bytes."""
+
+    static_bytes: float
+    buffer_bytes: float
+    saved_per_microbatch: float
+    in_flight_microbatches: int
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.static_bytes
+            + self.buffer_bytes
+            + self.saved_per_microbatch * self.in_flight_microbatches
+        )
+
+    def fits(self, capacity_bytes: float) -> bool:
+        return self.total_bytes <= capacity_bytes
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Evaluates the three-part memory model for a fixed workload."""
+
+    spec: ModelSpec
+    train: TrainingConfig
+    parallel: ParallelConfig
+
+    def unit_saved_bytes(self, unit: ComputationUnit) -> float:
+        """The paper's ``Mem(U)``: bytes held when ``unit`` is saved."""
+        return unit.saved_elements * self.train.bytes_per_value
+
+    def static_bytes(self, layers: Sequence[Layer]) -> float:
+        """Parameters + gradients + optimizer state for a stage's layers.
+
+        ZeRO sharding (``train.zero_stage``) divides successive terms by the
+        data-parallel size: stage 1 shards the optimizer state and master
+        weights (the paper's setting), stage 2 also gradients, stage 3 also
+        the fp16 parameters.
+        """
+        params = sum(layer.params for layer in layers)
+        t = self.parallel.tensor_parallel
+        d = self.parallel.data_parallel
+        zero = self.train.zero_stage
+        param_bytes = 2.0 * params / t / (d if zero >= 3 else 1)
+        grad_bytes = 2.0 * params / t / (d if zero >= 2 else 1)
+        state_divisor = t * (d if zero >= 1 else 1)
+        optimizer_bytes = self.train.optimizer_state_factor * params / state_divisor
+        master_bytes = self.train.master_weight_bytes * params / state_divisor
+        return param_bytes + grad_bytes + optimizer_bytes + master_bytes
+
+    def recompute_buffer_bytes(self) -> float:
+        """Upper bound on the backward re-materialisation buffer.
+
+        One decoder layer's intermediates: the Attention plus Feed-Forward
+        units that are *not* restricted to always-saved (those are counted
+        in the saved intermediates instead).
+        """
+        buffer = 0.0
+        for kind in (LayerKind.ATTENTION, LayerKind.FFN):
+            for unit in units_for_layer(
+                kind, self.spec, self.train, self.parallel.tensor_parallel
+            ):
+                if not unit.always_saved:
+                    buffer += self.unit_saved_bytes(unit)
+        return buffer
+
+    def saved_bytes_per_microbatch(
+        self,
+        layers: Sequence[Layer],
+        saved_units: Iterable[ComputationUnit],
+    ) -> float:
+        """Intermediates one micro-batch pins in this stage.
+
+        ``saved_units`` are the units (across all the stage's layers) whose
+        outputs are preserved — always-saved units must be included by the
+        caller.
+        """
+        del layers  # sizes already baked into the units
+        return sum(self.unit_saved_bytes(unit) for unit in saved_units)
+
+    def in_flight(self, stage: int) -> int:
+        """Micro-batches stage ``s`` keeps live under 1F1B (``p - s``)."""
+        return self.parallel.pipeline_parallel - stage
+
+    def stage_memory(
+        self,
+        stage: int,
+        layers: Sequence[Layer],
+        saved_units: Iterable[ComputationUnit],
+    ) -> StageMemory:
+        """Full memory breakdown of stage ``s`` holding ``layers``."""
+        return StageMemory(
+            static_bytes=self.static_bytes(layers),
+            buffer_bytes=self.recompute_buffer_bytes(),
+            saved_per_microbatch=self.saved_bytes_per_microbatch(layers, saved_units),
+            in_flight_microbatches=self.in_flight(stage),
+        )
+
+    def intermediate_budget(
+        self, stage: int, layers: Sequence[Layer], capacity_bytes: float
+    ) -> float:
+        """Memory left for saved intermediates after static state and buffer.
+
+        This is the knapsack capacity ``M`` of Section 4.3 (before the
+        ``p - s`` multiplier, which the DP applies to item weights).
+        """
+        return capacity_bytes - self.static_bytes(layers) - self.recompute_buffer_bytes()

@@ -1,0 +1,39 @@
+"""Roofline timing of computation units.
+
+Each operator takes ``max(compute time, memory time)`` — the classic
+roofline — plus a fixed launch overhead. Compute time divides the operator's
+FLOPs by the device's *achieved* throughput for that operator class (dense
+GEMMs run near peak; norms and elementwise ops are bandwidth-bound and get a
+small efficiency factor, which makes the bandwidth term dominate for them,
+as it does in practice).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.device import DeviceSpec
+from repro.model.units import ComputationUnit, OpDesc
+
+
+def op_time(op: OpDesc, device: DeviceSpec, backward: bool = False) -> float:
+    """Execution time of one operator on one device, in seconds."""
+    flops = op.flops_backward if backward else op.flops_forward
+    compute = flops / device.achieved_flops(op.kind)
+    moved_bytes = op.moved_elements * 2.0  # fp16 traffic
+    if backward:
+        moved_bytes *= 2.0  # gradients roughly double the traffic
+    memory = moved_bytes / device.memory_bandwidth
+    return max(compute, memory) + device.kernel_launch_overhead
+
+
+def unit_forward_time(unit: ComputationUnit, device: DeviceSpec) -> float:
+    """Forward time of a computation unit (the paper's ``Time_f(U)``).
+
+    This is also the *recompute cost* of the unit: recomputing it during the
+    backward pass repeats exactly its forward work.
+    """
+    return sum(op_time(op, device, backward=False) for op in unit.ops)
+
+
+def unit_backward_time(unit: ComputationUnit, device: DeviceSpec) -> float:
+    """Backward time of a computation unit (the paper's ``Time_b(U)``)."""
+    return sum(op_time(op, device, backward=True) for op in unit.ops)

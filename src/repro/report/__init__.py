@@ -1,0 +1,24 @@
+"""SVG report generation: the paper's figures as actual figures.
+
+Every end-to-end experiment renders to a text table (``results/*.txt``);
+this package additionally renders the headline artifacts as standalone SVG
+charts (``results/svg/*.svg``) — per-stage memory lines for Figures 1/8,
+micro-step lines for Figure 9, grouped end-to-end bars for Figures 5/6/7,
+and loss curves for Figure 10.
+
+Charts follow a fixed visual spec: a validated 8-slot categorical palette
+assigned in fixed order, 2px lines with ringed end-markers and direct end
+labels, ≤24px bars with rounded data-ends and 2px surface gaps, hairline
+gridlines, and all text in neutral ink (the accompanying text tables are
+the table view for low-contrast slots).
+"""
+
+from repro.report.charts import grouped_bar_chart, line_chart
+from repro.report.render import render_experiment_svg, save_experiment_svgs
+
+__all__ = [
+    "grouped_bar_chart",
+    "line_chart",
+    "render_experiment_svg",
+    "save_experiment_svgs",
+]

@@ -1,0 +1,239 @@
+"""Chart layer: line charts and grouped bar charts on the SVG builder.
+
+Mark specs (fixed): 2px lines with round joins, >=8px end markers carrying
+a 2px surface ring, bars capped at 24px with a 4px rounded data-end and a
+square baseline, 2px surface gaps between adjacent bars, 1px solid
+gridlines, selective direct labels (line ends only, and only while four or
+fewer series share the panel — beyond that the legend and the text table
+carry identity). Categorical hues come from the validated palette in fixed
+slot order. All text uses neutral ink, never a series color.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.report.svg import (
+    GRIDLINE,
+    SERIES,
+    TEXT_MUTED,
+    TEXT_PRIMARY,
+    TEXT_SECONDARY,
+    SvgCanvas,
+    format_tick,
+    nice_ticks,
+)
+
+MARGIN_LEFT = 64
+MARGIN_RIGHT = 150
+MARGIN_TOP = 56
+MARGIN_BOTTOM = 46
+BAR_MAX_WIDTH = 24.0
+BAR_GAP = 2.0
+
+
+@dataclass
+class Series:
+    """One plotted series.
+
+    Attributes:
+        name: legend label.
+        values: y-values; ``None`` marks a missing/OOM point.
+        dashed: render the line dashed (used for reference levels).
+    """
+
+    name: str
+    values: Sequence[Optional[float]]
+    dashed: bool = False
+
+
+@dataclass
+class ChartSpec:
+    title: str
+    subtitle: str = ""
+    x_labels: Sequence[str] = field(default_factory=list)
+    x_title: str = ""
+    y_title: str = ""
+    reference_line: Optional[Tuple[float, str]] = None  # (y-value, label)
+
+
+def _plot_area(width: int, height: int) -> Tuple[float, float, float, float]:
+    return (
+        MARGIN_LEFT,
+        MARGIN_TOP,
+        width - MARGIN_LEFT - MARGIN_RIGHT,
+        height - MARGIN_TOP - MARGIN_BOTTOM,
+    )
+
+
+def _value_range(series: Sequence[Series], reference: Optional[float]) -> Tuple[float, float]:
+    values = [
+        v for s in series for v in s.values if v is not None and math.isfinite(v)
+    ]
+    if reference is not None:
+        values.append(reference)
+    if not values:
+        return 0.0, 1.0
+    low = min(0.0, min(values))
+    high = max(values)
+    if high == low:
+        high = low + 1.0
+    return low, high * 1.06
+
+
+def _frame(
+    canvas: SvgCanvas,
+    spec: ChartSpec,
+    x0: float,
+    y0: float,
+    plot_w: float,
+    plot_h: float,
+    y_low: float,
+    y_high: float,
+) -> None:
+    canvas.text(x0, 22, spec.title, size=14, fill=TEXT_PRIMARY, weight="600")
+    if spec.subtitle:
+        canvas.text(x0, 38, spec.subtitle, size=11, fill=TEXT_SECONDARY)
+    for tick in nice_ticks(y_low, y_high):
+        y = y0 + plot_h - (tick - y_low) / (y_high - y_low) * plot_h
+        canvas.line(x0, y, x0 + plot_w, y, stroke=GRIDLINE, width=1.0)
+        canvas.text(x0 - 8, y + 3.5, format_tick(tick), size=10, anchor="end")
+    canvas.line(x0, y0 + plot_h, x0 + plot_w, y0 + plot_h, stroke="#cfcec8", width=1.0)
+    if spec.y_title:
+        canvas.text(12, y0 - 12, spec.y_title, size=10, fill=TEXT_MUTED)
+    if spec.x_title:
+        canvas.text(
+            x0 + plot_w / 2,
+            y0 + plot_h + 34,
+            spec.x_title,
+            size=10,
+            fill=TEXT_MUTED,
+            anchor="middle",
+        )
+    if spec.reference_line is not None:
+        ref_value, ref_label = spec.reference_line
+        y = y0 + plot_h - (ref_value - y_low) / (y_high - y_low) * plot_h
+        canvas.polyline(
+            [(x0, y), (x0 + plot_w, y)],
+            stroke="#9b9a92",
+            width=1.0,
+            dasharray="5,4",
+        )
+        canvas.text(x0 + plot_w + 6, y + 3.5, ref_label, size=10, fill=TEXT_MUTED)
+
+
+def _legend(canvas: SvgCanvas, series: Sequence[Series], x: float, y: float) -> None:
+    if len(series) < 2:
+        return  # a single series is named by the title
+    for index, entry in enumerate(series):
+        color = SERIES[index % len(SERIES)]
+        row_y = y + index * 18
+        canvas.rect(x, row_y - 8, 12, 12, fill=color, rx_top=2)
+        canvas.text(x + 18, row_y + 2, entry.name, size=11)
+
+
+def line_chart(spec: ChartSpec, series: Sequence[Series], width: int = 760, height: int = 380) -> str:
+    """Render a multi-series line chart; None values break the line."""
+    canvas = SvgCanvas(width, height)
+    x0, y0, plot_w, plot_h = _plot_area(width, height)
+    reference = spec.reference_line[0] if spec.reference_line else None
+    y_low, y_high = _value_range(series, reference)
+    _frame(canvas, spec, x0, y0, plot_w, plot_h, y_low, y_high)
+
+    n = max(len(entry.values) for entry in series)
+    step = plot_w / max(1, n - 1)
+
+    def position(index: int, value: float) -> Tuple[float, float]:
+        return (
+            x0 + index * step,
+            y0 + plot_h - (value - y_low) / (y_high - y_low) * plot_h,
+        )
+
+    for index, label in enumerate(spec.x_labels):
+        canvas.text(
+            x0 + index * step, y0 + plot_h + 16, str(label), size=10, anchor="middle"
+        )
+
+    direct_labels = len(series) <= 4
+    for s_index, entry in enumerate(series):
+        color = SERIES[s_index % len(SERIES)]
+        segment: List[Tuple[float, float]] = []
+        for index, value in enumerate(entry.values):
+            if value is None or not math.isfinite(value):
+                canvas.polyline(
+                    segment, color, 2.0, dasharray="2,3" if entry.dashed else None
+                )
+                segment = []
+                continue
+            segment.append(position(index, value))
+        canvas.polyline(
+            segment, color, 2.0, dasharray="2,3" if entry.dashed else None
+        )
+        last_point = None
+        for index in range(len(entry.values) - 1, -1, -1):
+            value = entry.values[index]
+            if value is not None and math.isfinite(value):
+                last_point = position(index, value)
+                break
+        if last_point is not None:
+            canvas.circle(last_point[0], last_point[1], 4.0, color)
+            if direct_labels:
+                canvas.text(
+                    last_point[0] + 10,
+                    last_point[1] + 4,
+                    entry.name,
+                    size=11,
+                    fill=TEXT_SECONDARY,
+                )
+    if not direct_labels:
+        _legend(canvas, series, x0 + plot_w + 16, y0 + 8)
+    return canvas.to_string()
+
+
+def grouped_bar_chart(
+    spec: ChartSpec, series: Sequence[Series], width: int = 860, height: int = 400
+) -> str:
+    """Render grouped bars; None values render an 'OOM' marker instead."""
+    canvas = SvgCanvas(width, height)
+    x0, y0, plot_w, plot_h = _plot_area(width, height)
+    y_low, y_high = _value_range(series, None)
+    y_low = 0.0
+    _frame(canvas, spec, x0, y0, plot_w, plot_h, y_low, y_high)
+
+    groups = len(spec.x_labels)
+    per_group = len(series)
+    band = plot_w / max(1, groups)
+    bar_w = min(BAR_MAX_WIDTH, (band * 0.8 - (per_group - 1) * BAR_GAP) / per_group)
+    cluster_w = per_group * bar_w + (per_group - 1) * BAR_GAP
+
+    for g_index, label in enumerate(spec.x_labels):
+        base_x = x0 + g_index * band + (band - cluster_w) / 2
+        canvas.text(
+            x0 + g_index * band + band / 2,
+            y0 + plot_h + 16,
+            str(label),
+            size=10,
+            anchor="middle",
+        )
+        for s_index, entry in enumerate(series):
+            value = entry.values[g_index] if g_index < len(entry.values) else None
+            x = base_x + s_index * (bar_w + BAR_GAP)
+            color = SERIES[s_index % len(SERIES)]
+            if value is None or not math.isfinite(value):
+                canvas.text(
+                    x + bar_w / 2,
+                    y0 + plot_h - 6,
+                    "OOM",
+                    size=8,
+                    fill=TEXT_MUTED,
+                    anchor="middle",
+                )
+                continue
+            bar_h = (value - y_low) / (y_high - y_low) * plot_h
+            canvas.rect(
+                x, y0 + plot_h - bar_h, bar_w, bar_h, fill=color, rx_top=4.0
+            )
+    _legend(canvas, series, x0 + plot_w + 16, y0 + 8)
+    return canvas.to_string()

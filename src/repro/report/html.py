@@ -1,0 +1,100 @@
+"""Single-file HTML report: every artifact's chart and table in one page.
+
+``build_html_report`` takes finished experiment results and assembles a
+self-contained ``report.html`` — inline SVG charts (from
+:mod:`repro.report.render`) each paired with its data table (the table
+view backing the chart), styled with the same neutral-ink/light-surface
+tokens as the charts, with an automatic dark mode.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.experiments.common import ExperimentResult
+from repro.report.render import render_experiment_svg
+
+_PAGE_STYLE = """
+:root {
+  --surface: #fcfcfb; --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --rule: #e9e8e4;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --rule: #383835;
+  }
+  svg { filter: invert(0.92) hue-rotate(180deg); }
+}
+body {
+  background: var(--surface); color: var(--text-primary);
+  font-family: system-ui, -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
+  max-width: 960px; margin: 2rem auto; padding: 0 1rem; line-height: 1.45;
+}
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2.2rem; }
+table { border-collapse: collapse; font-size: 0.8rem; margin: 0.8rem 0; }
+th, td {
+  padding: 0.25rem 0.6rem; text-align: left;
+  border-bottom: 1px solid var(--rule);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--text-secondary); font-weight: 600; }
+p.note { color: var(--text-secondary); font-size: 0.8rem; margin: 0.2rem 0; }
+"""
+
+
+def _table_html(result: ExperimentResult) -> str:
+    head = "".join(f"<th>{html_escape.escape(h)}</th>" for h in result.headers)
+    rows = "".join(
+        "<tr>" + "".join(f"<td>{html_escape.escape(c)}</td>" for c in row) + "</tr>"
+        for row in result.rows
+    )
+    notes = "".join(
+        f'<p class="note">{html_escape.escape(note)}</p>' for note in result.notes
+    )
+    return (
+        f"<table><thead><tr>{head}</tr></thead><tbody>{rows}</tbody></table>{notes}"
+    )
+
+
+def build_html_report(
+    results: Dict[str, ExperimentResult],
+    title: str = "AdaPipe reproduction — results",
+) -> str:
+    """Assemble the report page from finished experiments (in dict order)."""
+    sections: List[str] = []
+    for name, result in results.items():
+        svg = render_experiment_svg(name, result)
+        chart = svg if svg is not None else ""
+        sections.append(
+            f'<section id="{name}"><h2>{html_escape.escape(result.title)}'
+            f"</h2>{chart}{_table_html(result)}</section>"
+        )
+    toc = "".join(
+        f'<li><a href="#{name}">{html_escape.escape(name)}</a></li>'
+        for name in results
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html_escape.escape(title)}</title>"
+        f"<style>{_PAGE_STYLE}</style></head><body>"
+        f"<h1>{html_escape.escape(title)}</h1>"
+        f"<ul>{toc}</ul>{''.join(sections)}</body></html>"
+    )
+
+
+def write_html_report(
+    results: Dict[str, ExperimentResult],
+    path: str,
+    title: Optional[str] = None,
+) -> str:
+    """Write the report; returns the path written."""
+    document = build_html_report(
+        results, title or "AdaPipe reproduction — results"
+    )
+    output = pathlib.Path(path)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(document)
+    return str(output)

@@ -1,0 +1,222 @@
+"""Mapping experiment results onto charts.
+
+Each renderable experiment id gets a small adapter that reads the
+experiment's row format (which this repo controls) and emits the chart the
+paper prints: per-stage memory lines (Figures 1 and 8, with the 80 GiB
+device limit as a dashed reference), per-stage micro-step lines (Figure 9),
+grouped end-to-end bars with OOM markers (Figures 5-7, Table 3), saved-unit
+profiles (Table 4), and loss curves (Figure 10). Every chart's underlying
+numbers are also written as the text table next to it — the table view.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.common import ExperimentResult
+from repro.report.charts import ChartSpec, Series, grouped_bar_chart, line_chart
+
+
+def _parse_cell(cell: str) -> Optional[float]:
+    cell = cell.strip()
+    if cell == "OOM" or not cell:
+        return None
+    return float(cell.rstrip("sx%"))
+
+
+def _render_figure1(result: ExperimentResult) -> str:
+    series = [
+        Series(f"{row[0]} ({row[1]})", [float(v) for v in row[2:]])
+        for row in result.rows
+    ]
+    spec = ChartSpec(
+        title="Figure 1 — per-stage memory, GPT-3 (t,p,d)=(8,8,1)",
+        subtitle="full vs no recomputation across sequence lengths",
+        x_labels=[f"{s}" for s in range(len(result.rows[0]) - 2)],
+        x_title="stage id",
+        y_title="GiB",
+        reference_line=(80.0, "80 GiB limit"),
+    )
+    return line_chart(spec, series)
+
+
+def _render_stage_lines(
+    result: ExperimentResult,
+    title: str,
+    y_title: str,
+    reference: Optional[float],
+    value_slice: slice,
+) -> str:
+    series = [
+        Series(row[0], [_parse_cell(v) for v in row[value_slice]])
+        for row in result.rows
+    ]
+    stages = len(result.rows[0][value_slice])
+    spec = ChartSpec(
+        title=title,
+        x_labels=[str(s) for s in range(stages)],
+        x_title="stage id",
+        y_title=y_title,
+        reference_line=(reference, "80 GiB limit") if reference else None,
+    )
+    return line_chart(spec, series)
+
+
+def _render_figure8(result: ExperimentResult) -> str:
+    return _render_stage_lines(
+        result,
+        "Figure 8 — peak memory per stage, GPT-3, seq 16384",
+        "GiB",
+        80.0,
+        slice(1, 9),
+    )
+
+
+def _render_figure9(result: ExperimentResult) -> str:
+    return _render_stage_lines(
+        result,
+        "Figure 9 — micro-step time per stage, GPT-3, seq 16384",
+        "seconds",
+        None,
+        slice(1, 9),
+    )
+
+
+def _render_end_to_end_bars(
+    result: ExperimentResult, title: str, group_col: int, first_method_col: int
+) -> str:
+    methods = result.headers[first_method_col:-1]
+    labels = [row[group_col] for row in result.rows]
+    series = [
+        Series(
+            method,
+            [
+                _parse_cell(row[first_method_col + index])
+                for row in result.rows
+            ],
+        )
+        for index, method in enumerate(methods)
+    ]
+    spec = ChartSpec(
+        title=title,
+        subtitle="iteration time; missing bars are OOM",
+        x_labels=labels,
+        y_title="seconds",
+    )
+    return grouped_bar_chart(spec, series)
+
+
+def _render_figure5(result: ExperimentResult) -> str:
+    return _render_end_to_end_bars(
+        result, "Figure 5 — Llama 2 end-to-end, cluster A", 0, 2
+    )
+
+
+def _render_figure6(result: ExperimentResult) -> str:
+    return _render_end_to_end_bars(
+        result, "Figure 6 — GPT-3 end-to-end, cluster A", 0, 2
+    )
+
+
+def _render_figure7(result: ExperimentResult) -> str:
+    methods = result.headers[3:-1]
+    labels = [f"{row[0]}×{row[1]}" for row in result.rows]
+    series = [
+        Series(method, [_parse_cell(row[3 + index]) for row in result.rows])
+        for index, method in enumerate(methods)
+    ]
+    spec = ChartSpec(
+        title="Figure 7 — cluster B end-to-end (Ascend 910, 32 GB)",
+        subtitle="iteration time; missing bars are OOM",
+        x_labels=labels,
+        y_title="seconds",
+    )
+    return grouped_bar_chart(spec, series)
+
+
+def _render_table3(result: ExperimentResult) -> str:
+    methods = result.headers[1:]
+    series = [
+        Series(method, [_parse_cell(row[1 + index]) for row in result.rows])
+        for index, method in enumerate(methods)
+    ]
+    spec = ChartSpec(
+        title="Table 3 — GPT-3 by (TP, PP, DP), cluster A, seq 4096",
+        subtitle="iteration time; missing bars are OOM",
+        x_labels=[row[0] for row in result.rows],
+        y_title="seconds",
+    )
+    return grouped_bar_chart(spec, series)
+
+
+def _render_table4(result: ExperimentResult) -> str:
+    series = [
+        Series(f"{row[0]}", [float(v) for v in row[2:]])
+        for row in result.rows
+        if row[1] == "Saved Units"
+    ]
+    stages = len(result.rows[0]) - 2
+    spec = ChartSpec(
+        title="Table 4 — saved computation units per stage",
+        subtitle="GPT-3, seq 16384, (8,8,1); later stages save more",
+        x_labels=[str(s) for s in range(stages)],
+        x_title="stage id",
+        y_title="saved units",
+    )
+    return line_chart(spec, series)
+
+
+def _render_figure10(result: ExperimentResult) -> str:
+    methods = result.headers[1:]
+    series = [
+        Series(method, [float(row[1 + index]) for row in result.rows])
+        for index, method in enumerate(methods)
+    ]
+    spec = ChartSpec(
+        title="Figure 10 — loss curves (real training, tiny Llama)",
+        subtitle="same-seed curves coincide exactly",
+        x_labels=[row[0] for row in result.rows],
+        x_title="step",
+        y_title="loss",
+    )
+    return line_chart(spec, series)
+
+
+_RENDERERS: Dict[str, Callable[[ExperimentResult], str]] = {
+    "figure1": _render_figure1,
+    "figure5": _render_figure5,
+    "figure6": _render_figure6,
+    "figure7": _render_figure7,
+    "figure8": _render_figure8,
+    "figure9": _render_figure9,
+    "figure10": _render_figure10,
+    "table3": _render_table3,
+    "table4": _render_table4,
+}
+
+
+def render_experiment_svg(name: str, result: ExperimentResult) -> Optional[str]:
+    """SVG for a finished experiment, or ``None`` for text-only artifacts
+    (Figure 2's schedule diagram is best read as its ASCII timeline)."""
+    renderer = _RENDERERS.get(name)
+    if renderer is None:
+        return None
+    return renderer(result)
+
+
+def save_experiment_svgs(
+    results: Dict[str, ExperimentResult], directory: str
+) -> List[str]:
+    """Render every renderable result into ``directory``; returns paths."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, result in results.items():
+        svg = render_experiment_svg(name, result)
+        if svg is None:
+            continue
+        path = out_dir / f"{name}.svg"
+        path.write_text(svg)
+        written.append(str(path))
+    return written

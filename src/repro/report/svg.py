@@ -1,0 +1,173 @@
+"""A minimal SVG document builder (no third-party dependencies).
+
+Only the elements the chart layer needs: rects with selectively rounded
+corners, lines, polylines, circles, and text, with numeric attributes
+rounded to keep the output diffable.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional, Sequence, Tuple
+
+# Visual tokens (light mode, from the validated reference palette).
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+TEXT_MUTED = "#8a897f"
+GRIDLINE = "#e9e8e4"
+SERIES = (
+    "#2a78d6",  # blue
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+    "#e87ba4",  # magenta
+    "#eb6834",  # orange
+)
+FONT = "system-ui, -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif"
+
+
+def _fmt(value: float) -> str:
+    text = f"{value:.2f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serialises the document."""
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self._body: List[str] = []
+        self.rect(0, 0, width, height, fill=SURFACE)
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str,
+        rx_top: float = 0.0,
+    ) -> None:
+        """A rectangle; ``rx_top`` rounds only the two top corners (the
+        data-end of an upward bar), keeping the baseline square."""
+        if width <= 0 or height <= 0:
+            return
+        if rx_top <= 0:
+            self._body.append(
+                f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(width)}" '
+                f'height="{_fmt(height)}" fill="{fill}"/>'
+            )
+            return
+        r = min(rx_top, width / 2, height)
+        path = (
+            f"M {_fmt(x)} {_fmt(y + height)} "
+            f"L {_fmt(x)} {_fmt(y + r)} "
+            f"Q {_fmt(x)} {_fmt(y)} {_fmt(x + r)} {_fmt(y)} "
+            f"L {_fmt(x + width - r)} {_fmt(y)} "
+            f"Q {_fmt(x + width)} {_fmt(y)} {_fmt(x + width)} {_fmt(y + r)} "
+            f"L {_fmt(x + width)} {_fmt(y + height)} Z"
+        )
+        self._body.append(f'<path d="{path}" fill="{fill}"/>')
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = GRIDLINE,
+        width: float = 1.0,
+    ) -> None:
+        self._body.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" stroke="{stroke}" stroke-width="{_fmt(width)}"/>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        stroke: str,
+        width: float = 2.0,
+        dasharray: Optional[str] = None,
+    ) -> None:
+        if len(points) < 2:
+            return
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        dash = f' stroke-dasharray="{dasharray}"' if dasharray else ""
+        self._body.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{_fmt(width)}" stroke-linejoin="round" '
+            f'stroke-linecap="round"{dash}/>'
+        )
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str,
+        ring: Optional[str] = SURFACE,
+        ring_width: float = 2.0,
+    ) -> None:
+        stroke = (
+            f' stroke="{ring}" stroke-width="{_fmt(ring_width)}"' if ring else ""
+        )
+        self._body.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f'fill="{fill}"{stroke}/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 11,
+        fill: str = TEXT_SECONDARY,
+        anchor: str = "start",
+        weight: str = "normal",
+    ) -> None:
+        self._body.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-family="{FONT}" '
+            f'font-size="{size}" fill="{fill}" text-anchor="{anchor}" '
+            f'font-weight="{weight}">{html.escape(content)}</text>'
+        )
+
+    def to_string(self) -> str:
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'role="img">'
+        )
+        return "\n".join([header, *self._body, "</svg>"])
+
+
+def nice_ticks(low: float, high: float, target: int = 5) -> List[float]:
+    """Round tick values (1/2/5 ladder) covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(1, target)
+    magnitude = 10 ** __import__("math").floor(__import__("math").log10(raw_step))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if span / step <= target:
+            break
+    first = __import__("math").floor(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-9:
+        if value >= low - 1e-9:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def format_tick(value: float) -> str:
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:g}"

@@ -1,0 +1,39 @@
+"""A real (laptop-scale) training engine, built from scratch on numpy.
+
+This package exists for two reasons:
+
+1. **Figure 10** — the paper validates that AdaPipe's recomputation and
+   repartitioning do not change convergence. We reproduce that with actual
+   training: a numpy transformer with hand-written backward passes,
+   unit-granular activation checkpointing, Adam, and a single-process 1F1B
+   pipeline executor that consumes :class:`~repro.core.plan.PipelinePlan`
+   objects.
+2. **Correctness evidence** — recomputation must be a mathematical no-op;
+   the test suite asserts bit-identical gradients between checkpointed and
+   fully-saved execution, and between pipelined and single-stage execution.
+
+Nothing here depends on a GPU; models are tiny but architecturally faithful
+(pre-norm decoder blocks, causal attention, gated FFN option, weight tying
+option).
+"""
+
+from repro.training.data import SyntheticTextDataset
+from repro.training.modules import TransformerModel, build_model
+from repro.training.optimizer import Adam, LossScaler, SGD
+from repro.training.pipeline_exec import (
+    PipelineExecutor,
+    train_reference,
+    train_with_plan,
+)
+
+__all__ = [
+    "Adam",
+    "LossScaler",
+    "PipelineExecutor",
+    "SGD",
+    "SyntheticTextDataset",
+    "TransformerModel",
+    "build_model",
+    "train_reference",
+    "train_with_plan",
+]

@@ -1,0 +1,415 @@
+"""A tape-based reverse-mode autodiff engine on numpy.
+
+The paper implements its execution engine twice — on MindSpore (a
+graph-compiled framework) and on PyTorch (eager, define-by-run). The
+repository mirrors that duality: :mod:`repro.training.modules` is the
+graph-style engine (hand-written backwards, explicit unit replay), and
+this module is the eager one — a dynamic tape with a
+``torch.utils.checkpoint``-style :func:`checkpoint` wrapper, on which
+:mod:`repro.training.eager` builds the same transformer. The test suite
+asserts the two engines produce matching losses and gradients from shared
+weight arrays.
+
+Design notes:
+
+* ``Tensor`` wraps a float64 ndarray; ops record a backward closure and
+  parent links on the output, and ``backward()`` walks the tape in reverse
+  topological order accumulating ``grad`` on leaves (and on any tensor
+  while it is being differentiated through).
+* Broadcasting is handled generically: every op's input gradient is
+  reduced back to the input's shape with :func:`_unbroadcast`.
+* ``no_grad()`` suspends taping; :func:`checkpoint` runs a function
+  untaped during forward and re-runs it taped during backward — dropping
+  every intermediate inside, exactly what activation recomputation does.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Suspend tape construction inside the block."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    return _grad_enabled
+
+
+class Tensor:
+    """A node on the tape.
+
+    Attributes:
+        data: the float64 value.
+        grad: accumulated gradient (populated by ``backward``).
+        requires_grad: whether gradients flow into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward_fn", "_parents")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward_fn: Optional[Callable[[Array], Sequence[Optional[Array]]]] = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[Array] = None
+        self.requires_grad = requires_grad
+        self._parents = parents
+        self._backward_fn = backward_fn
+
+    # -- graph construction ------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._backward_fn is None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def backward(self, grad: Optional[Array] = None) -> None:
+        """Reverse-mode sweep from this tensor."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad needs a scalar output")
+            grad = np.ones_like(self.data)
+        order = _topological_order(self)
+        grads = {id(self): np.asarray(grad, dtype=np.float64)}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node.is_leaf:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    # -- operator sugar ------------------------------------------------------
+
+    def __add__(self, other):
+        return add(self, _wrap(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return add(self, mul(_wrap(other), _wrap(-1.0)))
+
+    def __rsub__(self, other):
+        return add(_wrap(other), mul(self, _wrap(-1.0)))
+
+    def __mul__(self, other):
+        return mul(self, _wrap(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = _wrap(other)
+        return mul(self, power(other, -1.0))
+
+    def __matmul__(self, other):
+        return matmul(self, _wrap(other))
+
+    def __neg__(self):
+        return mul(self, _wrap(-1.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+
+def _wrap(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _topological_order(root: Tensor) -> List[Tensor]:
+    order: List[Tensor] = []
+    seen = set()
+    stack: List[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def _unbroadcast(grad: Array, shape: Tuple[int, ...]) -> Array:
+    """Reduce a broadcasted gradient back to ``shape``."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def _make(data, parents, backward_fn) -> Tensor:
+    requires = _grad_enabled and any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(data)
+    return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+
+
+# -- primitive ops ------------------------------------------------------------
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data + b.data
+
+    def backward(grad):
+        return _unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape)
+
+    return _make(out, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data * b.data
+
+    def backward(grad):
+        return (
+            _unbroadcast(grad * b.data, a.shape),
+            _unbroadcast(grad * a.data, b.shape),
+        )
+
+    return _make(out, (a, b), backward)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data @ b.data
+
+    def backward(grad):
+        grad_a = grad @ np.swapaxes(b.data, -1, -2)
+        grad_b = np.swapaxes(a.data, -1, -2) @ grad
+        return _unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape)
+
+    return _make(out, (a, b), backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    out = a.data**exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1.0),)
+
+    return _make(out, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    out = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * out,)
+
+    return _make(out, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    out = np.log(a.data)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return _make(out, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    out = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - out * out),)
+
+    return _make(out, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    out = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        return (grad * out * (1.0 - out),)
+
+    return _make(out, (a,), backward)
+
+
+def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        grad = np.asarray(grad)
+        if axis is not None and not keepdims:
+            grad = np.expand_dims(grad, axis)
+        return (np.broadcast_to(grad, a.shape).copy(),)
+
+    return _make(out, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    count = a.data.size if axis is None else a.data.shape[axis]
+    return mul(sum_(a, axis=axis, keepdims=keepdims), _wrap(1.0 / count))
+
+
+def reshape(a: Tensor, shape: Tuple[int, ...]) -> Tensor:
+    out = a.data.reshape(shape)
+
+    def backward(grad):
+        return (grad.reshape(a.shape),)
+
+    return _make(out, (a,), backward)
+
+
+def transpose(a: Tensor, axes: Tuple[int, ...]) -> Tensor:
+    out = a.data.transpose(axes)
+    inverse = tuple(np.argsort(axes))
+
+    def backward(grad):
+        return (grad.transpose(inverse),)
+
+    return _make(out, (a,), backward)
+
+
+def where_const(condition: Array, a: Tensor, fill_value: float) -> Tensor:
+    """``where(condition, a, fill)`` with a constant fill (masking)."""
+    out = np.where(condition, a.data, fill_value)
+
+    def backward(grad):
+        return (np.where(condition, grad, 0.0),)
+
+    return _make(out, (a,), backward)
+
+
+def maximum_const(a: Tensor, threshold: float) -> Tensor:
+    out = np.maximum(a.data, threshold)
+
+    def backward(grad):
+        return (grad * (a.data > threshold),)
+
+    return _make(out, (a,), backward)
+
+
+def max_keepdim(a: Tensor, axis: int) -> Tensor:
+    """Max along an axis (keepdims), with subgradient to the arg-max."""
+    out = a.data.max(axis=axis, keepdims=True)
+
+    def backward(grad):
+        mask = a.data == out
+        counts = mask.sum(axis=axis, keepdims=True)
+        return (grad * mask / counts,)
+
+    return _make(out, (a,), backward)
+
+
+def gather_rows(table: Tensor, indices: Array) -> Tensor:
+    """Embedding lookup: ``table[indices]`` with scatter-add backward."""
+    out = table.data[indices]
+
+    def backward(grad):
+        grad_table = np.zeros_like(table.data)
+        np.add.at(grad_table, indices.reshape(-1), grad.reshape(-1, grad.shape[-1]))
+        return (grad_table,)
+
+    return _make(out, (table,), backward)
+
+
+def take_along_last(a: Tensor, indices: Array) -> Tensor:
+    """``a[..., indices]`` pointwise along the last axis (loss picking)."""
+    expanded = indices[..., None]
+    out = np.take_along_axis(a.data, expanded, axis=-1)[..., 0]
+
+    def backward(grad):
+        grad_a = np.zeros_like(a.data)
+        np.put_along_axis(grad_a, expanded, grad[..., None], axis=-1)
+        return (grad_a,)
+
+    return _make(out, (a,), backward)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = add(a, mul(max_keepdim(a, axis), _wrap(-1.0)))
+    exps = exp(shifted)
+    return mul(exps, power(sum_(exps, axis=axis, keepdims=True), -1.0))
+
+
+# -- checkpointing -------------------------------------------------------------
+
+
+def checkpoint(fn: Callable[..., Tensor], *inputs: Tensor) -> Tensor:
+    """Activation checkpointing for the eager engine.
+
+    Runs ``fn`` without taping (no intermediates retained); during
+    backward, re-runs it taped from the saved inputs and routes gradients
+    through the fresh subgraph — semantically identical to executing ``fn``
+    normally, but trading the intermediates for one extra forward.
+    """
+    with no_grad():
+        output_data = fn(*[t.detach() for t in inputs]).data
+
+    if not (_grad_enabled and any(t.requires_grad for t in inputs)):
+        return Tensor(output_data)
+
+    def backward(grad):
+        replay_inputs = [
+            Tensor(t.data, requires_grad=t.requires_grad) for t in inputs
+        ]
+        output = fn(*replay_inputs)
+        output.backward(grad)
+        return tuple(t.grad for t in replay_inputs)
+
+    return Tensor(
+        output_data, requires_grad=True, parents=tuple(inputs), backward_fn=backward
+    )
+
+
+def dropout(a: Tensor, prob: float, seed: int) -> Tensor:
+    """Seeded inverted dropout.
+
+    The mask derives from ``seed`` alone (not a global RNG), which is what
+    makes :func:`checkpoint` sound around it: the replayed forward draws the
+    identical mask. ``tests/test_autograd.py`` demonstrates that a
+    global-RNG dropout under checkpointing silently corrupts gradients —
+    the failure mode torch's checkpoint avoids by stashing RNG state.
+    """
+    if prob <= 0.0:
+        return a
+    mask = np.random.default_rng(seed).random(a.data.shape) >= prob
+    scale = 1.0 / (1.0 - prob)
+    out = a.data * mask * scale
+
+    def backward(grad):
+        return (grad * mask * scale,)
+
+    return _make(out, (a,), backward)

@@ -1,0 +1,258 @@
+"""The transformer on the eager (tape) engine.
+
+``EagerTransformer`` *shares weight arrays* with a
+:class:`~repro.training.modules.TransformerModel`: both engines read and
+write the same float64 buffers, so losses and gradients can be compared
+directly. Its forward pass is built entirely from the primitives in
+:mod:`repro.training.autograd`, and any subset of each layer's computation
+units can be wrapped in :func:`~repro.training.autograd.checkpoint` —
+eager-mode unit-granular recomputation, the PyTorch side of the paper's
+dual implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.model.layers import LayerKind
+from repro.model.spec import ModelSpec
+from repro.training import autograd as ag
+from repro.training.autograd import Tensor, checkpoint
+from repro.training.modules import TransformerModel
+
+
+def _split_heads(x: Tensor, num_heads: int) -> Tensor:
+    b, s, h = x.shape
+    return ag.transpose(
+        ag.reshape(x, (b, s, num_heads, h // num_heads)), (0, 2, 1, 3)
+    )
+
+
+def _merge_heads(x: Tensor) -> Tensor:
+    b, heads, s, d = x.shape
+    return ag.reshape(ag.transpose(x, (0, 2, 1, 3)), (b, s, heads * d))
+
+
+def _repeat_kv(x: Tensor, repeats: int) -> Tensor:
+    """GQA head expansion via broadcasting (backward sums over repeats)."""
+    if repeats == 1:
+        return x
+    b, heads, s, d = x.shape
+    expanded = ag.reshape(x, (b, heads, 1, s, d))
+    ones = Tensor(np.ones((1, 1, repeats, 1, 1)))
+    return ag.reshape(ag.mul(expanded, ones), (b, heads * repeats, s, d))
+
+
+class EagerTransformer:
+    """Define-by-run twin of the manual-backward model.
+
+    Args:
+        model: the graph-style model whose Parameter buffers are shared.
+    """
+
+    def __init__(self, model: TransformerModel) -> None:
+        self.model = model
+        self.spec: ModelSpec = model.spec
+        # Tensor wraps the same float64 ndarray (np.asarray is a no-copy
+        # view for matching dtype), so optimizer updates through either
+        # engine are visible to both.
+        self.params: Dict[str, Tensor] = {
+            name: Tensor(parameter.data, requires_grad=True)
+            for name, parameter in model.named_parameters()
+        }
+
+    def zero_grad(self) -> None:
+        for tensor in self.params.values():
+            tensor.grad = None
+
+    # -- unit functions ---------------------------------------------------
+
+    def _norm(self, prefix: str, index: int):
+        spec = self.spec
+        gamma = self.params[f"layer{index}.norm_g"]
+        if spec.rmsnorm:
+            def rmsnorm(x: Tensor) -> Tensor:
+                ms = ag.mean(ag.mul(x, x), axis=-1, keepdims=True)
+                inv = ag.power(ag.add(ms, Tensor(1e-5)), -0.5)
+                return ag.mul(ag.mul(x, inv), gamma)
+
+            return rmsnorm
+        beta = self.params[f"layer{index}.norm_b"]
+
+        def layernorm(x: Tensor) -> Tensor:
+            mu = ag.mean(x, axis=-1, keepdims=True)
+            centered = ag.add(x, ag.mul(mu, Tensor(-1.0)))
+            var = ag.mean(ag.mul(centered, centered), axis=-1, keepdims=True)
+            inv = ag.power(ag.add(var, Tensor(1e-5)), -0.5)
+            return ag.add(ag.mul(ag.mul(centered, inv), gamma), beta)
+
+        return layernorm
+
+    def _linear(self, index: int, weight: str, bias: Optional[str]):
+        w = self.params[f"layer{index}.{weight}"]
+        b = self.params.get(f"layer{index}.{bias}") if bias else None
+
+        def linear(x: Tensor) -> Tensor:
+            out = ag.matmul(x, w)
+            if b is not None:
+                out = ag.add(out, b)
+            return out
+
+        return linear
+
+    def _attention_units(self, index: int):
+        spec = self.spec
+        scale = 1.0 / math.sqrt(spec.head_dim)
+        norm = self._norm("attn", index)
+        q_proj = self._linear(index, "wq", "bq" if spec.linear_bias else None)
+        k_proj = self._linear(index, "wk", "bk" if spec.linear_bias else None)
+        v_proj = self._linear(index, "wv", "bv" if spec.linear_bias else None)
+        o_proj = self._linear(index, "wo", "bo" if spec.linear_bias else None)
+        repeats = spec.num_heads // spec.num_kv_heads
+
+        def q_unit(h1: Tensor) -> Tensor:
+            return _split_heads(q_proj(h1), spec.num_heads)
+
+        def k_unit(h1: Tensor) -> Tensor:
+            return _split_heads(k_proj(h1), spec.num_kv_heads)
+
+        def v_unit(h1: Tensor) -> Tensor:
+            return _split_heads(v_proj(h1), spec.num_kv_heads)
+
+        def core_unit(q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+            k = _repeat_kv(k, repeats)
+            v = _repeat_kv(v, repeats)
+            seq = q.shape[2]
+            scores = ag.mul(ag.matmul(q, ag.transpose(k, (0, 1, 3, 2))), Tensor(scale))
+            mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+            scores = ag.where_const(~mask, scores, -1e30)
+            probs = ag.softmax(scores, axis=-1)
+            return _merge_heads(ag.matmul(probs, v))
+
+        return {
+            "attn.norm": norm,
+            "attn.q": q_unit,
+            "attn.k": k_unit,
+            "attn.v": v_unit,
+            "attn.core": core_unit,
+            "attn.out": o_proj,
+        }
+
+    def _ffn_units(self, index: int):
+        spec = self.spec
+        norm = self._norm("ffn", index)
+        w_in = self._linear(index, "w_in", "b_in" if spec.linear_bias else None)
+        w_out = self._linear(index, "w_out", "b_out" if spec.linear_bias else None)
+
+        if spec.gated_ffn:
+            w_gate = self._linear(index, "w_gate", None)
+
+            def act_unit(gate: Tensor, up: Tensor) -> Tensor:
+                return ag.mul(ag.mul(gate, ag.sigmoid(gate)), up)
+
+            return {
+                "ffn.norm": norm,
+                "ffn.in": w_in,
+                "ffn.gate": w_gate,
+                "ffn.act": act_unit,
+                "ffn.out": w_out,
+            }
+
+        def gelu_unit(x: Tensor) -> Tensor:
+            inner = ag.mul(
+                ag.add(x, ag.mul(ag.power(x, 3.0), Tensor(0.044715))),
+                Tensor(math.sqrt(2.0 / math.pi)),
+            )
+            return ag.mul(
+                ag.mul(x, ag.add(ag.tanh(inner), Tensor(1.0))), Tensor(0.5)
+            )
+
+        return {
+            "ffn.norm": norm,
+            "ffn.in": w_in,
+            "ffn.act": gelu_unit,
+            "ffn.out": w_out,
+        }
+
+    # -- forward -----------------------------------------------------------
+
+    def _maybe_checkpoint(self, saved: Optional[Set[str]], name: str, fn, *args):
+        if saved is None or name in saved:
+            return fn(*args)
+        return checkpoint(fn, *args)
+
+    def loss(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        saved_units: Optional[Sequence[Optional[Set[str]]]] = None,
+    ) -> Tensor:
+        """Mean cross-entropy; ``saved_units[i]`` selects which of layer
+        ``i``'s units keep their tape (others are checkpointed)."""
+        spec = self.spec
+        descriptors = self.model.descriptors
+
+        def layer_saved(index: int) -> Optional[Set[str]]:
+            if saved_units is None:
+                return None
+            return saved_units[index]
+
+        # Embedding (token table + optional learned positions).
+        table = self.params["layer0.table"]
+        value = self._add_positions(ag.gather_rows(table, tokens), tokens)
+
+        for index, descriptor in enumerate(descriptors):
+            saved = layer_saved(index)
+            if descriptor.kind == LayerKind.ATTENTION:
+                units = self._attention_units(index)
+                h1 = self._maybe_checkpoint(saved, "attn.norm", units["attn.norm"], value)
+                q = self._maybe_checkpoint(saved, "attn.q", units["attn.q"], h1)
+                k = self._maybe_checkpoint(saved, "attn.k", units["attn.k"], h1)
+                v = self._maybe_checkpoint(saved, "attn.v", units["attn.v"], h1)
+                core = self._maybe_checkpoint(saved, "attn.core", units["attn.core"], q, k, v)
+                value = ag.add(value, units["attn.out"](core))
+            elif descriptor.kind == LayerKind.FFN:
+                units = self._ffn_units(index)
+                h1 = self._maybe_checkpoint(saved, "ffn.norm", units["ffn.norm"], value)
+                if spec.gated_ffn:
+                    up = self._maybe_checkpoint(saved, "ffn.in", units["ffn.in"], h1)
+                    gate = self._maybe_checkpoint(saved, "ffn.in", units["ffn.gate"], h1)
+                    act = self._maybe_checkpoint(saved, "ffn.act", units["ffn.act"], gate, up)
+                else:
+                    up = self._maybe_checkpoint(saved, "ffn.in", units["ffn.in"], h1)
+                    act = self._maybe_checkpoint(saved, "ffn.act", units["ffn.act"], up)
+                value = ag.add(value, units["ffn.out"](act))
+            elif descriptor.kind == LayerKind.HEAD:
+                head_index = index
+                norm = self._norm("head", head_index)
+                value = self._maybe_checkpoint(saved, "head.norm", norm, value)
+                w_head = self.params[f"layer{head_index}.w_head"]
+                logits = ag.matmul(value, w_head)
+                value = _cross_entropy(logits, targets)
+        return value
+
+    def _add_positions(self, value: Tensor, tokens: np.ndarray) -> Tensor:
+        key = "layer0.positions"
+        if key not in self.params:
+            return value
+        seq = tokens.shape[1]
+        positions = self.params[key]
+        indices = np.arange(seq)
+        return ag.add(value, ag.gather_rows(positions, indices))
+
+    def sync_grads_to_model(self) -> None:
+        """Copy eager gradients into the shared model's Parameter.grad."""
+        for name, parameter in self.model.named_parameters():
+            tensor = self.params[name]
+            parameter.grad = None if tensor.grad is None else tensor.grad.copy()
+
+
+def _cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    shifted = ag.add(logits, ag.mul(ag.max_keepdim(logits, -1), Tensor(-1.0)))
+    logsumexp = ag.log(ag.sum_(ag.exp(shifted), axis=-1, keepdims=True))
+    logp = ag.add(shifted, ag.mul(logsumexp, Tensor(-1.0)))
+    picked = ag.take_along_last(logp, targets)
+    return ag.mul(ag.mean(picked), Tensor(-1.0))

@@ -1,0 +1,570 @@
+"""Transformer modules with unit-granular save-or-recompute execution.
+
+Each layer mirrors the computation-unit split of
+:mod:`repro.model.units`: its forward pass runs unit by unit, retaining the
+``(output, backward-cache)`` pair only for units configured *saved*. The
+backward pass first *replays* the forward from the layer input, skipping
+every saved unit (their tensors are reused) and recomputing only the
+dropped ones — exactly the buffer-then-backward procedure of Section 4.2 —
+then walks the units in reverse applying the hand-written backward ops.
+
+This makes a plan's per-stage recomputation strategy directly executable:
+``saved`` is just a set of unit names per layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.model.layers import Layer, LayerKind, build_layer_sequence
+from repro.model.spec import ModelSpec
+from repro.training import ops
+
+Array = np.ndarray
+
+
+@dataclass
+class Parameter:
+    """A trainable array and its accumulated gradient."""
+
+    data: Array
+    grad: Optional[Array] = None
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def add_grad(self, grad: Array) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+
+class Module:
+    """Base class: a named bag of parameters."""
+
+    def __init__(self) -> None:
+        self.params: Dict[str, Parameter] = {}
+
+    def add_param(self, name: str, data: Array) -> Parameter:
+        param = Parameter(np.asarray(data, dtype=np.float64))
+        self.params[name] = param
+        return param
+
+    def named_parameters(self, prefix: str = "") -> Iterable[Tuple[str, Parameter]]:
+        for name, param in self.params.items():
+            yield f"{prefix}{name}", param
+
+    def zero_grad(self) -> None:
+        for param in self.params.values():
+            param.zero_grad()
+
+    def num_params(self) -> int:
+        return sum(p.data.size for p in self.params.values())
+
+
+@dataclass
+class LayerContext:
+    """What a layer retains between forward and backward.
+
+    ``saved`` maps unit name to its ``(output, cache)``; the layer input is
+    always retained (it is the previous layer's always-saved output).
+    ``rng_tag`` records the dropout-mask seed tag active at forward time so
+    a recomputing backward regenerates identical masks.
+    """
+
+    layer_input: object
+    saved: Dict[str, tuple] = field(default_factory=dict)
+    rng_tag: int = 0
+
+
+class UnitLayer(Module):
+    """A layer executed as a sequence of computation units.
+
+    Subclasses define ``unit_names`` (execution order) and implement
+    ``_run_unit(name, inputs) -> (output, cache)`` plus
+    ``_backward_unit(name, cache, grads) -> upstream grads``; this base
+    class provides forward-with-selective-saving and
+    replay-then-backward.
+    """
+
+    unit_names: Tuple[str, ...] = ()
+    always_saved_units: Tuple[str, ...] = ()
+    #: dropout probability on this layer's designated dropout unit; masks
+    #: are regenerated deterministically from (layer_seed, rng_tag, unit).
+    dropout_prob: float = 0.0
+
+    def set_rng_tag(self, tag: int) -> None:
+        """Select the dropout-mask stream (e.g. per micro-batch)."""
+        self._rng_tag = tag
+
+    def _unit_rng(self, name: str) -> np.random.Generator:
+        import zlib
+
+        layer_seed = getattr(self, "layer_seed", 0)
+        tag = getattr(self, "_rng_tag", 0)
+        # crc32 keeps the seed stable across processes (str hashing is
+        # salted), so checkpointed runs resume with identical masks.
+        digest = zlib.crc32(f"{layer_seed}:{tag}:{name}".encode())
+        return np.random.default_rng(digest + 1)
+
+    def forward(self, x, saved_units: Optional[Set[str]] = None):
+        """Run the layer, retaining only ``saved_units`` (plus the
+        always-saved closing unit). Returns ``(output, LayerContext)``."""
+        keep = set(self.always_saved_units)
+        if saved_units is not None:
+            keep |= set(saved_units) & set(self.unit_names)
+        else:
+            keep |= set(self.unit_names)
+        ctx = LayerContext(layer_input=x, rng_tag=getattr(self, "_rng_tag", 0))
+        values = {"__input__": x}
+        output = None
+        for name in self.unit_names:
+            output, cache = self._run_unit(name, values)
+            values[name] = output
+            if name in keep:
+                ctx.saved[name] = (output, cache)
+        return output, ctx
+
+    def backward(self, ctx: LayerContext, dout):
+        """Replay dropped units, then backpropagate through all of them.
+
+        The forward-time RNG tag is restored first, so any recomputed
+        dropout unit regenerates bit-identical masks.
+        """
+        self.set_rng_tag(ctx.rng_tag)
+        values = {"__input__": ctx.layer_input}
+        caches: Dict[str, tuple] = {}
+        for name in self.unit_names:
+            if name in ctx.saved:
+                values[name], caches[name] = ctx.saved[name]
+            else:
+                values[name], caches[name] = self._run_unit(name, values)
+        grads: Dict[str, object] = {self.unit_names[-1]: dout}
+        for name in reversed(self.unit_names):
+            self._backward_unit(name, caches[name], grads)
+        return grads["__input__"]
+
+    # Subclass hooks -----------------------------------------------------
+
+    def _run_unit(self, name: str, values: Dict[str, object]):
+        raise NotImplementedError
+
+    def _backward_unit(self, name: str, cache: tuple, grads: Dict[str, object]):
+        raise NotImplementedError
+
+    @staticmethod
+    def _accumulate(grads: Dict[str, object], key: str, value) -> None:
+        if key in grads and grads[key] is not None:
+            grads[key] = grads[key] + value
+        else:
+            grads[key] = value
+
+
+def _init(rng: np.random.Generator, *shape: int, scale: float = 0.02) -> Array:
+    return rng.normal(0.0, scale, size=shape)
+
+
+class AttentionLayer(UnitLayer):
+    """Pre-norm causal self-attention with optional grouped-query heads."""
+
+    unit_names = ("attn.norm", "attn.q", "attn.k", "attn.v", "attn.core", "attn.out")
+    always_saved_units = ("attn.out",)
+
+    def __init__(self, spec: ModelSpec, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.spec = spec
+        h = spec.hidden_size
+        kv = spec.kv_hidden_size
+        self.add_param("wq", _init(rng, h, h))
+        self.add_param("wk", _init(rng, h, kv))
+        self.add_param("wv", _init(rng, h, kv))
+        self.add_param("wo", _init(rng, h, h, scale=0.02 / math.sqrt(2 * spec.num_layers)))
+        if spec.linear_bias:
+            for name, width in (("bq", h), ("bk", kv), ("bv", kv), ("bo", h)):
+                self.add_param(name, np.zeros(width))
+        if spec.rmsnorm:
+            self.add_param("norm_g", np.ones(h))
+        else:
+            self.add_param("norm_g", np.ones(h))
+            self.add_param("norm_b", np.zeros(h))
+
+    def _bias(self, name: str) -> Optional[Array]:
+        param = self.params.get(name)
+        return param.data if param is not None else None
+
+    def _run_unit(self, name: str, values: Dict[str, object]):
+        spec = self.spec
+        if name == "attn.norm":
+            x = values["__input__"]
+            if spec.rmsnorm:
+                return ops.rmsnorm(x, self.params["norm_g"].data)
+            return ops.layernorm(
+                x, self.params["norm_g"].data, self.params["norm_b"].data
+            )
+        if name in ("attn.q", "attn.k", "attn.v"):
+            h1 = values["attn.norm"]
+            key = name[-1]
+            out, cache = ops.linear(
+                h1, self.params[f"w{key}"].data, self._bias(f"b{key}")
+            )
+            heads = spec.num_heads if key == "q" else spec.num_kv_heads
+            return ops.split_heads(out, heads), (cache, heads)
+        if name == "attn.core":
+            repeats = spec.num_heads // spec.num_kv_heads
+            q = values["attn.q"]
+            k = ops.repeat_kv(values["attn.k"], repeats)
+            v = ops.repeat_kv(values["attn.v"], repeats)
+            scale = 1.0 / math.sqrt(spec.head_dim)
+            out, cache = ops.causal_attention(q, k, v, scale)
+            merged = ops.merge_heads(out)
+            dropped, drop_cache = ops.dropout(
+                merged, self.dropout_prob, self._unit_rng(name)
+            )
+            return dropped, (cache, repeats, drop_cache)
+        if name == "attn.out":
+            merged = values["attn.core"]
+            y0, cache = ops.linear(merged, self.params["wo"].data, self._bias("bo"))
+            return values["__input__"] + y0, cache
+        raise KeyError(name)
+
+    def _backward_unit(self, name: str, cache: tuple, grads: Dict[str, object]):
+        spec = self.spec
+        dout = grads.pop(name)
+        if name == "attn.out":
+            dmerged, dwo, dbo = ops.linear_backward(cache, dout)
+            self.params["wo"].add_grad(dwo)
+            if dbo is not None:
+                self.params["bo"].add_grad(dbo)
+            self._accumulate(grads, "attn.core", dmerged)
+            self._accumulate(grads, "__input__", dout)  # residual branch
+        elif name == "attn.core":
+            attn_cache, repeats, drop_cache = cache
+            dout = ops.dropout_backward(drop_cache, dout)
+            b, s, h = dout.shape
+            dheads = ops.split_heads(dout, spec.num_heads)
+            dq, dk, dv = ops.causal_attention_backward(attn_cache, dheads)
+            self._accumulate(grads, "attn.q", dq)
+            self._accumulate(grads, "attn.k", ops.repeat_kv_backward(dk, repeats))
+            self._accumulate(grads, "attn.v", ops.repeat_kv_backward(dv, repeats))
+        elif name in ("attn.q", "attn.k", "attn.v"):
+            lin_cache, heads = cache
+            dmerged = ops.merge_heads(dout)
+            dx, dw, db = ops.linear_backward(lin_cache, dmerged)
+            key = name[-1]
+            self.params[f"w{key}"].add_grad(dw)
+            if db is not None:
+                self.params[f"b{key}"].add_grad(db)
+            self._accumulate(grads, "attn.norm", dx)
+        elif name == "attn.norm":
+            if spec.rmsnorm:
+                dx, dgamma = ops.rmsnorm_backward(cache, dout)
+                self.params["norm_g"].add_grad(dgamma)
+            else:
+                dx, dgamma, dbeta = ops.layernorm_backward(cache, dout)
+                self.params["norm_g"].add_grad(dgamma)
+                self.params["norm_b"].add_grad(dbeta)
+            self._accumulate(grads, "__input__", dx)
+        else:
+            raise KeyError(name)
+
+
+class FFNLayer(UnitLayer):
+    """Pre-norm feed-forward layer: GELU MLP or gated SwiGLU."""
+
+    unit_names = ("ffn.norm", "ffn.in", "ffn.act", "ffn.out")
+    always_saved_units = ("ffn.out",)
+
+    def __init__(self, spec: ModelSpec, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.spec = spec
+        h, f = spec.hidden_size, spec.ffn_hidden_size
+        self.add_param("w_in", _init(rng, h, f))
+        if spec.gated_ffn:
+            self.add_param("w_gate", _init(rng, h, f))
+        self.add_param("w_out", _init(rng, f, h, scale=0.02 / math.sqrt(2 * spec.num_layers)))
+        if spec.linear_bias:
+            self.add_param("b_in", np.zeros(f))
+            self.add_param("b_out", np.zeros(h))
+        if spec.rmsnorm:
+            self.add_param("norm_g", np.ones(h))
+        else:
+            self.add_param("norm_g", np.ones(h))
+            self.add_param("norm_b", np.zeros(h))
+
+    def _bias(self, name: str) -> Optional[Array]:
+        param = self.params.get(name)
+        return param.data if param is not None else None
+
+    def _run_unit(self, name: str, values: Dict[str, object]):
+        spec = self.spec
+        if name == "ffn.norm":
+            x = values["__input__"]
+            if spec.rmsnorm:
+                return ops.rmsnorm(x, self.params["norm_g"].data)
+            return ops.layernorm(
+                x, self.params["norm_g"].data, self.params["norm_b"].data
+            )
+        if name == "ffn.in":
+            h1 = values["ffn.norm"]
+            up, up_cache = ops.linear(h1, self.params["w_in"].data, self._bias("b_in"))
+            if spec.gated_ffn:
+                gate, gate_cache = ops.linear(h1, self.params["w_gate"].data, None)
+                return (gate, up), (up_cache, gate_cache)
+            return up, (up_cache, None)
+        if name == "ffn.act":
+            if spec.gated_ffn:
+                gate, up = values["ffn.in"]
+                out, act_cache = ops.swiglu(gate, up)
+            else:
+                out, act_cache = ops.gelu(values["ffn.in"])
+            dropped, drop_cache = ops.dropout(
+                out, self.dropout_prob, self._unit_rng(name)
+            )
+            return dropped, (act_cache, drop_cache)
+        if name == "ffn.out":
+            act = values["ffn.act"]
+            y0, cache = ops.linear(act, self.params["w_out"].data, self._bias("b_out"))
+            return values["__input__"] + y0, cache
+        raise KeyError(name)
+
+    def _backward_unit(self, name: str, cache: tuple, grads: Dict[str, object]):
+        spec = self.spec
+        dout = grads.pop(name)
+        if name == "ffn.out":
+            dact, dw, db = ops.linear_backward(cache, dout)
+            self.params["w_out"].add_grad(dw)
+            if db is not None:
+                self.params["b_out"].add_grad(db)
+            self._accumulate(grads, "ffn.act", dact)
+            self._accumulate(grads, "__input__", dout)
+        elif name == "ffn.act":
+            act_cache, drop_cache = cache
+            dout = ops.dropout_backward(drop_cache, dout)
+            if spec.gated_ffn:
+                dgate, dup = ops.swiglu_backward(act_cache, dout)
+                self._accumulate(grads, "ffn.in", (dgate, dup))
+            else:
+                self._accumulate(grads, "ffn.in", ops.gelu_backward(act_cache, dout))
+        elif name == "ffn.in":
+            up_cache, gate_cache = cache
+            if spec.gated_ffn:
+                # The gated unit's gradient is the (dgate, dup) pair coming
+                # from swiglu; ffn.act is its only consumer so no tuple
+                # accumulation ever occurs.
+                dgate, dup = dout
+                dx_up, dw_up, db_up = ops.linear_backward(up_cache, dup)
+                dx_gate, dw_gate, _ = ops.linear_backward(gate_cache, dgate)
+                self.params["w_in"].add_grad(dw_up)
+                if db_up is not None:
+                    self.params["b_in"].add_grad(db_up)
+                self.params["w_gate"].add_grad(dw_gate)
+                self._accumulate(grads, "ffn.norm", dx_up + dx_gate)
+            else:
+                dx, dw, db = ops.linear_backward(up_cache, dout)
+                self.params["w_in"].add_grad(dw)
+                if db is not None:
+                    self.params["b_in"].add_grad(db)
+                self._accumulate(grads, "ffn.norm", dx)
+        elif name == "ffn.norm":
+            if spec.rmsnorm:
+                dx, dgamma = ops.rmsnorm_backward(cache, dout)
+                self.params["norm_g"].add_grad(dgamma)
+            else:
+                dx, dgamma, dbeta = ops.layernorm_backward(cache, dout)
+                self.params["norm_g"].add_grad(dgamma)
+                self.params["norm_b"].add_grad(dbeta)
+            self._accumulate(grads, "__input__", dx)
+        else:
+            raise KeyError(name)
+
+
+class EmbeddingLayer(UnitLayer):
+    """Token (+ learned positional) embedding."""
+
+    unit_names = ("embed.lookup",)
+    always_saved_units = ()
+
+    def __init__(self, spec: ModelSpec, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.spec = spec
+        self.add_param("table", _init(rng, spec.vocab_size, spec.hidden_size))
+        if spec.max_position_embeddings:
+            self.add_param(
+                "positions", _init(rng, spec.max_position_embeddings, spec.hidden_size)
+            )
+
+    def _run_unit(self, name: str, values: Dict[str, object]):
+        tokens = values["__input__"]
+        out, cache = ops.embedding(tokens, self.params["table"].data)
+        if "positions" in self.params:
+            seq = tokens.shape[1]
+            out = out + self.params["positions"].data[:seq]
+        return out, (cache, tokens.shape)
+
+    def _backward_unit(self, name: str, cache: tuple, grads: Dict[str, object]):
+        dout = grads.pop(name)
+        embed_cache, token_shape = cache
+        self.params["table"].add_grad(ops.embedding_backward(embed_cache, dout))
+        if "positions" in self.params:
+            seq = token_shape[1]
+            dpos = np.zeros_like(self.params["positions"].data)
+            dpos[:seq] = dout.sum(axis=0)
+            self.params["positions"].add_grad(dpos)
+        grads["__input__"] = None  # token ids carry no gradient
+
+
+class HeadLayer(UnitLayer):
+    """Final norm + vocabulary projection + cross-entropy loss.
+
+    ``forward`` needs the target tokens; set them with :meth:`set_targets`
+    before each micro-batch (the pipeline executor does this).
+    """
+
+    unit_names = ("head.norm", "head.proj")
+    always_saved_units = ()
+
+    def __init__(self, spec: ModelSpec, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.spec = spec
+        h = spec.hidden_size
+        self.add_param("w_head", _init(rng, h, spec.vocab_size))
+        if spec.rmsnorm:
+            self.add_param("norm_g", np.ones(h))
+        else:
+            self.add_param("norm_g", np.ones(h))
+            self.add_param("norm_b", np.zeros(h))
+        self._targets: Optional[Array] = None
+
+    def set_targets(self, targets: Array) -> None:
+        self._targets = targets
+
+    def _run_unit(self, name: str, values: Dict[str, object]):
+        if name == "head.norm":
+            x = values["__input__"]
+            if self.spec.rmsnorm:
+                return ops.rmsnorm(x, self.params["norm_g"].data)
+            return ops.layernorm(
+                x, self.params["norm_g"].data, self.params["norm_b"].data
+            )
+        if name == "head.proj":
+            if self._targets is None:
+                raise RuntimeError("HeadLayer.set_targets() not called")
+            logits, lin_cache = ops.linear(
+                values["head.norm"], self.params["w_head"].data, None
+            )
+            loss, ce_cache = ops.cross_entropy(logits, self._targets)
+            return loss, (lin_cache, ce_cache)
+        raise KeyError(name)
+
+    def _backward_unit(self, name: str, cache: tuple, grads: Dict[str, object]):
+        dout = grads.pop(name)
+        if name == "head.proj":
+            lin_cache, ce_cache = cache
+            dlogits = ops.cross_entropy_backward(ce_cache, dout)
+            dx, dw, _ = ops.linear_backward(lin_cache, dlogits)
+            self.params["w_head"].add_grad(dw)
+            self._accumulate(grads, "head.norm", dx)
+        elif name == "head.norm":
+            if self.spec.rmsnorm:
+                dx, dgamma = ops.rmsnorm_backward(cache, dout)
+                self.params["norm_g"].add_grad(dgamma)
+            else:
+                dx, dgamma, dbeta = ops.layernorm_backward(cache, dout)
+                self.params["norm_g"].add_grad(dgamma)
+                self.params["norm_b"].add_grad(dbeta)
+            self._accumulate(grads, "__input__", dx)
+        else:
+            raise KeyError(name)
+
+
+class TransformerModel:
+    """The full layer sequence, executable with per-layer save sets.
+
+    Layers align one-to-one with :func:`repro.model.layers.build_layer_sequence`
+    — the same sequence the planner partitions — so a
+    :class:`~repro.core.plan.PipelinePlan`'s layer ranges index directly
+    into ``self.layers``.
+    """
+
+    def __init__(self, spec: ModelSpec, seed: int = 0, dropout: float = 0.0) -> None:
+        self.spec = spec
+        self.dropout = dropout
+        self.descriptors: List[Layer] = build_layer_sequence(spec)
+        rng = np.random.default_rng(seed)
+        self.layers: List[UnitLayer] = []
+        for descriptor in self.descriptors:
+            if descriptor.kind == LayerKind.EMBEDDING:
+                self.layers.append(EmbeddingLayer(spec, rng))
+            elif descriptor.kind == LayerKind.ATTENTION:
+                self.layers.append(AttentionLayer(spec, rng))
+            elif descriptor.kind == LayerKind.FFN:
+                self.layers.append(FFNLayer(spec, rng))
+            else:
+                self.layers.append(HeadLayer(spec, rng))
+        for index, layer in enumerate(self.layers):
+            layer.layer_seed = seed * 100_003 + index
+            if isinstance(layer, (AttentionLayer, FFNLayer)):
+                layer.dropout_prob = dropout
+
+    def set_rng_tag(self, tag: int) -> None:
+        """Select the dropout-mask stream on every layer."""
+        for layer in self.layers:
+            layer.set_rng_tag(tag)
+
+    @property
+    def head(self) -> HeadLayer:
+        return self.layers[-1]
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def named_parameters(self) -> Iterable[Tuple[str, Parameter]]:
+        for index, layer in enumerate(self.layers):
+            yield from layer.named_parameters(prefix=f"layer{index}.")
+
+    def num_params(self) -> int:
+        return sum(layer.num_params() for layer in self.layers)
+
+    def loss_and_grad(
+        self,
+        tokens: Array,
+        targets: Array,
+        saved_units: Optional[Sequence[Optional[Set[str]]]] = None,
+        rng_tag: int = 0,
+    ) -> float:
+        """Single-process full forward+backward (the reference path).
+
+        Args:
+            tokens: (batch, seq) int token ids.
+            targets: (batch, seq) int next-token targets.
+            saved_units: per layer, the units to save (``None`` = save all).
+            rng_tag: dropout-mask stream selector (vary per step).
+        """
+        self.set_rng_tag(rng_tag)
+        self.head.set_targets(targets)
+        contexts = []
+        value: object = tokens
+        for index, layer in enumerate(self.layers):
+            keep = None if saved_units is None else saved_units[index]
+            value, ctx = layer.forward(value, keep)
+            contexts.append(ctx)
+        loss = float(value)
+        grad: object = 1.0
+        for layer, ctx in zip(reversed(self.layers), reversed(contexts)):
+            grad = layer.backward(ctx, grad)
+        return loss
+
+
+def build_model(
+    spec: ModelSpec, seed: int = 0, dropout: float = 0.0
+) -> TransformerModel:
+    """Construct a trainable model (weight tying is not replicated; tied
+    specs train with independent head weights, which only affects parameter
+    counts, not the recomputation semantics under test)."""
+    return TransformerModel(spec, seed=seed, dropout=dropout)

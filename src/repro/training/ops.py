@@ -1,0 +1,241 @@
+"""Primitive operators with hand-written backward passes.
+
+Every op follows the same contract::
+
+    out, cache = op(*inputs)
+    grads = op_backward(cache, dout)
+
+The caches are exactly the tensors a framework would keep for backward —
+they are what activation checkpointing drops and recomputes.
+
+All math is float64 by default so that gradient identities (checkpointed
+vs. saved, pipelined vs. monolithic) can be asserted bit-exactly in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+# -- linear ------------------------------------------------------------------
+
+
+def linear(x: Array, weight: Array, bias: Array = None) -> Tuple[Array, tuple]:
+    """``y = x @ W (+ b)`` with ``x: (..., in)``, ``W: (in, out)``."""
+    y = x @ weight
+    if bias is not None:
+        y = y + bias
+    return y, (x, weight, bias is not None)
+
+
+def linear_backward(cache: tuple, dout: Array) -> Tuple[Array, Array, Array]:
+    x, weight, has_bias = cache
+    dx = dout @ weight.T
+    flat_x = x.reshape(-1, x.shape[-1])
+    flat_d = dout.reshape(-1, dout.shape[-1])
+    dw = flat_x.T @ flat_d
+    db = flat_d.sum(axis=0) if has_bias else None
+    return dx, dw, db
+
+
+# -- normalisation -----------------------------------------------------------
+
+
+def layernorm(x: Array, gamma: Array, beta: Array, eps: float = 1e-5):
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mean) * inv
+    return xhat * gamma + beta, (xhat, inv, gamma)
+
+
+def layernorm_backward(cache: tuple, dout: Array):
+    xhat, inv, gamma = cache
+    n = xhat.shape[-1]
+    dgamma = (dout * xhat).reshape(-1, n).sum(axis=0)
+    dbeta = dout.reshape(-1, n).sum(axis=0)
+    dxhat = dout * gamma
+    dx = inv * (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    )
+    return dx, dgamma, dbeta
+
+
+def rmsnorm(x: Array, gamma: Array, eps: float = 1e-5):
+    ms = (x * x).mean(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(ms + eps)
+    xhat = x * inv
+    return xhat * gamma, (x, xhat, inv, gamma)
+
+
+def rmsnorm_backward(cache: tuple, dout: Array):
+    x, xhat, inv, gamma = cache
+    n = x.shape[-1]
+    dgamma = (dout * xhat).reshape(-1, n).sum(axis=0)
+    dxhat = dout * gamma
+    dx = inv * (dxhat - xhat * (dxhat * x).mean(axis=-1, keepdims=True) * inv)
+    return dx, dgamma
+
+
+# -- activations -------------------------------------------------------------
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def gelu(x: Array):
+    """tanh-approximated GELU (the transformer default)."""
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    return 0.5 * x * (1.0 + t), (x, t)
+
+
+def gelu_backward(cache: tuple, dout: Array) -> Array:
+    x, t = cache
+    dinner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    dx = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+    return dout * dx
+
+
+def silu(x: Array):
+    sig = 1.0 / (1.0 + np.exp(-x))
+    return x * sig, (x, sig)
+
+
+def silu_backward(cache: tuple, dout: Array) -> Array:
+    x, sig = cache
+    return dout * (sig + x * sig * (1.0 - sig))
+
+
+def swiglu(gate: Array, up: Array):
+    """SwiGLU combine: ``silu(gate) * up`` (Llama-style gated FFN)."""
+    act, cache = silu(gate)
+    return act * up, (cache, act, up)
+
+
+def swiglu_backward(cache: tuple, dout: Array) -> Tuple[Array, Array]:
+    silu_cache, act, up = cache
+    dgate = silu_backward(silu_cache, dout * up)
+    dup = dout * act
+    return dgate, dup
+
+
+# -- attention ---------------------------------------------------------------
+
+
+def causal_attention(q: Array, k: Array, v: Array, scale: float):
+    """Scaled dot-product attention with a causal mask.
+
+    Shapes: ``q/k/v: (batch, heads, seq, head_dim)``. Mathematically
+    identical to FlashAttention (which only changes what is materialised),
+    so recompute-vs-save equivalence statements carry over.
+    """
+    seq = q.shape[2]
+    scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+    mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+    scores = np.where(mask, -1e30, scores)
+    scores -= scores.max(axis=-1, keepdims=True)
+    exp = np.exp(scores)
+    probs = exp / exp.sum(axis=-1, keepdims=True)
+    out = probs @ v
+    return out, (q, k, v, probs, scale)
+
+
+def causal_attention_backward(cache: tuple, dout: Array):
+    q, k, v, probs, scale = cache
+    dv = probs.transpose(0, 1, 3, 2) @ dout
+    dprobs = dout @ v.transpose(0, 1, 3, 2)
+    dscores = probs * (dprobs - (dprobs * probs).sum(axis=-1, keepdims=True))
+    dq = (dscores @ k) * scale
+    dk = (dscores.transpose(0, 1, 3, 2) @ q) * scale
+    return dq, dk, dv
+
+
+def split_heads(x: Array, num_heads: int) -> Array:
+    """(batch, seq, hidden) -> (batch, heads, seq, head_dim)."""
+    b, s, h = x.shape
+    return x.reshape(b, s, num_heads, h // num_heads).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: Array) -> Array:
+    """(batch, heads, seq, head_dim) -> (batch, seq, hidden)."""
+    b, heads, s, d = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(b, s, heads * d)
+
+
+def repeat_kv(x: Array, repeats: int) -> Array:
+    """Expand grouped KV heads to match query heads (GQA)."""
+    if repeats == 1:
+        return x
+    return np.repeat(x, repeats, axis=1)
+
+
+def repeat_kv_backward(dx: Array, repeats: int) -> Array:
+    if repeats == 1:
+        return dx
+    b, heads, s, d = dx.shape
+    return dx.reshape(b, heads // repeats, repeats, s, d).sum(axis=2)
+
+
+# -- embedding and loss ------------------------------------------------------
+
+
+def embedding(tokens: Array, table: Array):
+    return table[tokens], (tokens, table.shape[0])
+
+
+def embedding_backward(cache: tuple, dout: Array) -> Array:
+    tokens, vocab = cache
+    dtable = np.zeros((vocab, dout.shape[-1]), dtype=dout.dtype)
+    np.add.at(dtable, tokens.reshape(-1), dout.reshape(-1, dout.shape[-1]))
+    return dtable
+
+
+def cross_entropy(logits: Array, targets: Array):
+    """Mean token-level cross entropy. ``logits: (batch, seq, vocab)``."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=-1, keepdims=True)
+    b, s, _ = logits.shape
+    picked = probs[np.arange(b)[:, None], np.arange(s)[None, :], targets]
+    loss = -np.log(np.maximum(picked, 1e-30)).mean()
+    return loss, (probs, targets)
+
+
+def cross_entropy_backward(cache: tuple, dloss: float = 1.0) -> Array:
+    probs, targets = cache
+    b, s, _ = probs.shape
+    grad = probs.copy()
+    grad[np.arange(b)[:, None], np.arange(s)[None, :], targets] -= 1.0
+    return grad * (dloss / (b * s))
+
+
+# -- dropout -------------------------------------------------------------------
+
+
+def dropout(x: Array, prob: float, rng: np.random.Generator):
+    """Inverted dropout: zero with probability ``prob``, scale by 1/(1-p).
+
+    The mask is drawn from the generator the caller seeds — recomputation
+    reproduces the identical mask by re-seeding from the same
+    (layer seed, rng tag, unit) triple, the RNG-state-stashing trick real
+    checkpointing implementations use.
+    """
+    if prob <= 0.0:
+        return x, (None, 0.0)
+    mask = rng.random(x.shape) >= prob
+    scale = 1.0 / (1.0 - prob)
+    return x * mask * scale, (mask, scale)
+
+
+def dropout_backward(cache: tuple, dout: Array) -> Array:
+    mask, scale = cache
+    if mask is None:
+        return dout
+    return dout * mask * scale

@@ -1,0 +1,140 @@
+"""Optimizers for the mini training engine.
+
+FP32 Adam with two moment states — the optimizer whose ``k = 2 x 4`` bytes
+per parameter the paper's memory model assumes — plus plain SGD and a
+static loss scaler mirroring the mixed-precision setup the paper tunes
+("we adjust the value of the initial loss scale to ensure there is no
+overflow").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.training.modules import Parameter
+
+
+class Adam:
+    """Standard Adam with bias correction.
+
+    Args:
+        named_params: iterable of (name, Parameter) pairs to optimize.
+        lr: learning rate.
+        betas: moment decay rates.
+        eps: denominator stabiliser.
+        weight_decay: decoupled (AdamW-style) weight decay.
+    """
+
+    def __init__(
+        self,
+        named_params: Iterable[Tuple[str, Parameter]],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.95),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params: List[Tuple[str, Parameter]] = list(named_params)
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+
+    def state_bytes(self) -> int:
+        """Bytes of optimizer state (the paper's ``kN`` term, with k=8
+        when states are FP32; float64 here doubles it)."""
+        return sum(m.nbytes + v.nbytes for m, v in zip(self._m.values(), self._v.values()))
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self.step_count += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self.step_count
+        bias2 = 1.0 - beta2**self.step_count
+        for name, param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m = self._m.setdefault(name, np.zeros_like(param.data))
+            v = self._v.setdefault(name, np.zeros_like(param.data))
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data -= self.lr * update
+
+    def zero_grad(self) -> None:
+        for _, param in self.params:
+            param.zero_grad()
+
+
+class SGD:
+    """Plain SGD with optional momentum (used by fast tests)."""
+
+    def __init__(
+        self,
+        named_params: Iterable[Tuple[str, Parameter]],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+    ) -> None:
+        self.params = list(named_params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        for name, param in self.params:
+            if param.grad is None:
+                continue
+            if self.momentum:
+                vel = self._velocity.setdefault(name, np.zeros_like(param.data))
+                vel *= self.momentum
+                vel += param.grad
+                param.data -= self.lr * vel
+            else:
+                param.data -= self.lr * param.grad
+
+    def zero_grad(self) -> None:
+        for _, param in self.params:
+            param.zero_grad()
+
+
+@dataclass
+class LossScaler:
+    """Static loss scaling with overflow backoff.
+
+    The forward loss is multiplied by ``scale`` before backward and
+    gradients divided by it before the update; a non-finite gradient skips
+    the step and halves the scale, as mixed-precision trainers do.
+    """
+
+    scale: float = 2.0**10
+    backoff: float = 0.5
+    growth: float = 2.0
+    growth_interval: int = 200
+    _good_steps: int = field(default=0, repr=False)
+
+    def unscale_and_check(self, params: Iterable[Tuple[str, Parameter]]) -> bool:
+        """Divide grads by the scale; returns False (skip step) on overflow."""
+        pairs = list(params)
+        for _, param in pairs:
+            if param.grad is not None and not np.isfinite(param.grad).all():
+                self.scale *= self.backoff
+                self._good_steps = 0
+                return False
+        for _, param in pairs:
+            if param.grad is not None:
+                param.grad /= self.scale
+        self._good_steps += 1
+        if self._good_steps >= self.growth_interval:
+            self.scale *= self.growth
+            self._good_steps = 0
+        return True

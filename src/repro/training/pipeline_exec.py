@@ -1,0 +1,223 @@
+"""Single-process execution of a pipeline plan on the real mini-model.
+
+This is the reproduction's execution engine (Section 6): it takes a
+:class:`~repro.core.plan.PipelinePlan` — layer ranges and per-stage saved
+computation units — and runs actual 1F1B training with it. Stages are
+virtual (one process plays all devices), but the execution order is the
+*scheduled* order (tasks sorted by their simulated start times), per-stage
+activation retention is real (live `LayerContext` bytes are metered), and
+gradients/losses are bit-comparable to a monolithic reference run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.plan import PipelinePlan
+from repro.model.layers import LayerKind
+from repro.pipeline.schedules import one_f_one_b_schedule
+from repro.pipeline.simulator import simulate
+from repro.pipeline.tasks import TaskKind
+from repro.training.modules import HeadLayer, TransformerModel
+from repro.training.optimizer import Adam
+
+
+def saved_units_per_layer(
+    model: TransformerModel, plan: PipelinePlan
+) -> List[Set[str]]:
+    """Expand a plan's per-stage unit counts into per-layer save sets.
+
+    A stage's count for unit type ``u`` means "save ``u`` in that many of
+    this stage's layers"; instances are assigned to the stage's *last*
+    eligible layers (their backwards run first, shortening the window the
+    recompute buffer is live — any assignment is cost-equivalent).
+    """
+    per_layer: List[Set[str]] = [set() for _ in model.layers]
+    for stage in plan.stages:
+        layer_indices = list(range(stage.layer_start, stage.layer_end))
+        for unit_name, count in stage.saved_unit_counts.items():
+            kind = _unit_kind(unit_name)
+            eligible = [
+                i for i in layer_indices if model.descriptors[i].kind == kind
+            ]
+            for index in eligible[max(0, len(eligible) - count) :] if count else []:
+                per_layer[index].add(unit_name)
+    return per_layer
+
+
+def _unit_kind(unit_name: str) -> LayerKind:
+    prefix = unit_name.split(".", 1)[0]
+    return {
+        "attn": LayerKind.ATTENTION,
+        "ffn": LayerKind.FFN,
+        "embed": LayerKind.EMBEDDING,
+        "head": LayerKind.HEAD,
+    }[prefix]
+
+
+@dataclass
+class ExecutionStats:
+    """Observability from one executed iteration."""
+
+    loss: float
+    peak_context_bytes: List[float] = field(default_factory=list)
+    tasks_executed: int = 0
+
+
+class PipelineExecutor:
+    """Runs 1F1B training of a real model under a pipeline plan.
+
+    Args:
+        model: the mini transformer (its layer list must match the plan's
+            layer sequence length).
+        plan: stage partition + recomputation strategy to execute.
+    """
+
+    def __init__(self, model: TransformerModel, plan: PipelinePlan) -> None:
+        if plan.stages[-1].layer_end != len(model.layers):
+            raise ValueError(
+                f"plan covers {plan.stages[-1].layer_end} layers, model has "
+                f"{len(model.layers)}"
+            )
+        self.model = model
+        self.plan = plan
+        self.saved_per_layer = saved_units_per_layer(model, plan)
+        self._stage_ranges = [
+            (stage.layer_start, stage.layer_end) for stage in plan.stages
+        ]
+        self._task_order = self._scheduled_order()
+        self._iteration = 0
+
+    def _scheduled_order(self) -> List[Tuple[int, int, TaskKind]]:
+        """(stage, micro_batch, kind) triples in simulated start order."""
+        n = self._num_micro_batches()
+        schedule = one_f_one_b_schedule(list(self.plan.stage_costs()), n)
+        result = simulate(schedule)
+        ordered = sorted(result.start_times.items(), key=lambda kv: (kv[1], kv[0].stage))
+        return [(k.stage, k.micro_batch, k.kind) for k, _ in ordered]
+
+    def _num_micro_batches(self) -> int:
+        return self.plan.train.num_micro_batches(self.plan.parallel)
+
+    def train_step(self, tokens: np.ndarray, targets: np.ndarray) -> ExecutionStats:
+        """One full iteration: n micro-batches through 1F1B, grads
+        accumulated into the model (caller runs the optimizer step).
+
+        ``tokens``/``targets`` have shape (n * micro_batch, seq) and are
+        split row-wise into micro-batches.
+        """
+        n = self._num_micro_batches()
+        micro = self.plan.train.micro_batch_size
+        if tokens.shape[0] != n * micro:
+            raise ValueError(
+                f"batch of {tokens.shape[0]} rows != {n} micro-batches x {micro}"
+            )
+        head: HeadLayer = self.model.head
+        p = len(self._stage_ranges)
+
+        contexts: Dict[Tuple[int, int], list] = {}
+        boundary: Dict[Tuple[int, int], object] = {}
+        grad_boundary: Dict[Tuple[int, int], object] = {}
+        losses: List[float] = []
+        live_bytes = [0.0] * p
+        peak_bytes = [0.0] * p
+        executed = 0
+
+        for stage, mb, kind in self._task_order:
+            lo, hi = self._stage_ranges[stage]
+            mb_tokens = tokens[mb * micro : (mb + 1) * micro]
+            mb_targets = targets[mb * micro : (mb + 1) * micro]
+            if kind == TaskKind.FORWARD:
+                value = mb_tokens if stage == 0 else boundary.pop((stage - 1, mb))
+                if hi == len(self.model.layers):
+                    head.set_targets(mb_targets)
+                rng_tag = self._iteration * n + mb  # fresh masks per micro-batch
+                ctxs = []
+                for index in range(lo, hi):
+                    layer = self.model.layers[index]
+                    layer.set_rng_tag(rng_tag)
+                    value, ctx = layer.forward(value, self.saved_per_layer[index])
+                    ctxs.append(ctx)
+                contexts[(stage, mb)] = ctxs
+                if hi == len(self.model.layers):
+                    losses.append(float(value))
+                else:
+                    boundary[(stage, mb)] = value
+                live_bytes[stage] += _context_bytes(ctxs)
+                peak_bytes[stage] = max(peak_bytes[stage], live_bytes[stage])
+            else:
+                ctxs = contexts.pop((stage, mb))
+                if hi == len(self.model.layers):
+                    head.set_targets(mb_targets)  # replay may re-run the loss
+                    grad: object = 1.0 / n
+                else:
+                    grad = grad_boundary.pop((stage, mb))
+                for index in range(hi - 1, lo - 1, -1):
+                    grad = self.model.layers[index].backward(
+                        ctxs[index - lo], grad
+                    )
+                if stage > 0:
+                    grad_boundary[(stage - 1, mb)] = grad
+                live_bytes[stage] -= _context_bytes(ctxs)
+            executed += 1
+
+        self._iteration += 1
+        return ExecutionStats(
+            loss=float(np.mean(losses)),
+            peak_context_bytes=peak_bytes,
+            tasks_executed=executed,
+        )
+
+
+def _context_bytes(contexts: Sequence) -> float:
+    total = 0.0
+    for ctx in contexts:
+        for output, cache in ctx.saved.values():
+            total += _tree_bytes(output) + _tree_bytes(cache)
+    return total
+
+
+def _tree_bytes(obj: object) -> float:
+    if isinstance(obj, np.ndarray):
+        return float(obj.nbytes)
+    if isinstance(obj, (tuple, list)):
+        return sum(_tree_bytes(item) for item in obj)
+    return 0.0
+
+
+def train_reference(
+    model: TransformerModel,
+    batches,
+    optimizer: Optional[Adam] = None,
+    saved_units: Optional[Sequence[Optional[Set[str]]]] = None,
+) -> List[float]:
+    """Monolithic (non-pipelined) training loop; returns per-step losses."""
+    losses = []
+    for tokens, targets in batches:
+        model.zero_grad()
+        loss = model.loss_and_grad(tokens, targets, saved_units)
+        if optimizer is not None:
+            optimizer.step()
+        losses.append(loss)
+    return losses
+
+
+def train_with_plan(
+    model: TransformerModel,
+    plan: PipelinePlan,
+    batches,
+    optimizer: Optional[Adam] = None,
+) -> List[float]:
+    """Pipelined training loop under ``plan``; returns per-step losses."""
+    executor = PipelineExecutor(model, plan)
+    losses = []
+    for tokens, targets in batches:
+        model.zero_grad()
+        stats = executor.train_step(tokens, targets)
+        if optimizer is not None:
+            optimizer.step()
+        losses.append(stats.loss)
+    return losses

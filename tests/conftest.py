@@ -1,0 +1,70 @@
+"""Shared fixtures: small, fast-to-plan configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.search import PlannerContext
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import gpt3_175b, llama2_70b, tiny_gpt, tiny_llama
+
+
+@pytest.fixture(scope="session")
+def gpt3():
+    return gpt3_175b()
+
+
+@pytest.fixture(scope="session")
+def llama2():
+    return llama2_70b()
+
+
+@pytest.fixture
+def small_train():
+    """A small but GPU-scale workload (short sequence, few micro-batches)."""
+    return TrainingConfig(sequence_length=2048, global_batch_size=16)
+
+
+@pytest.fixture
+def small_parallel():
+    return ParallelConfig(8, 8, 1)
+
+
+@pytest.fixture
+def gpt3_ctx(gpt3, small_train, small_parallel):
+    """GPT-3 on cluster A: the paper's (8, 8, 1) layout, short sequences so
+    planning stays fast while memory pressure is still visible."""
+    return PlannerContext(cluster_a(8), gpt3, small_train, small_parallel)
+
+
+@pytest.fixture
+def tiny_spec():
+    return tiny_gpt(num_layers=3, hidden_size=32, vocab_size=50)
+
+
+@pytest.fixture
+def tiny_llama_spec():
+    return tiny_llama(num_layers=2, hidden_size=32, vocab_size=50)
+
+
+@pytest.fixture
+def tiny_train():
+    return TrainingConfig(
+        sequence_length=8,
+        global_batch_size=4,
+        micro_batch_size=1,
+        sequence_parallel=False,
+        flash_attention=False,
+    )
+
+
+@pytest.fixture
+def tiny_ctx(tiny_spec, tiny_train):
+    return PlannerContext(
+        cluster_a(1),
+        tiny_spec,
+        tiny_train,
+        ParallelConfig(1, 2, 1),
+        memory_limit_bytes=8 * 1024**2,
+    )

@@ -1,0 +1,64 @@
+"""Tests for the artifact-style workflow driver."""
+
+import json
+
+import pytest
+
+from repro.experiments.artifact import collect_results, run_artifact_workflow
+
+
+@pytest.fixture(scope="module")
+def workflow_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("artifact")
+    run_artifact_workflow(str(root), fast=True)
+    return root
+
+
+class TestWorkflowOutputs:
+    def test_result_tree_structure(self, workflow_dir):
+        assert (workflow_dir / "expected_result.txt").exists()
+        assert (workflow_dir / "results.json").exists()
+        assert (workflow_dir / "gpt_result").is_dir()
+        assert (workflow_dir / "llama2_result").is_dir()
+
+    def test_per_config_outputs(self, workflow_dir):
+        config_dirs = list((workflow_dir / "gpt_result").iterdir())
+        assert config_dirs
+        for config_dir in config_dirs:
+            output = (config_dir / "output.txt").read_text()
+            assert "AdaPipe" in output and "DAPPLE-Full" in output
+            assert "iteration" in output
+
+    def test_worker_trace_records_tasks(self, workflow_dir):
+        trace = next((workflow_dir / "gpt_result").rglob("worker_trace.jsonl"))
+        lines = trace.read_text().strip().splitlines()
+        record = json.loads(lines[0])
+        assert {"device", "stage", "kind", "start", "end"} <= set(record)
+        # n micro-batches x p stages x fwd/bwd
+        assert len(lines) == 2 * 8 * 128
+
+    def test_results_json_has_all_methods(self, workflow_dir):
+        entries = json.loads((workflow_dir / "results.json").read_text())
+        methods = {entry["method"] for entry in entries}
+        assert methods == {
+            "DAPPLE-Full",
+            "DAPPLE-Non",
+            "Even Partitioning",
+            "AdaPipe",
+        }
+
+    def test_expected_result_mentions_models(self, workflow_dir):
+        text = (workflow_dir / "expected_result.txt").read_text()
+        assert "gpt3-175b" in text and "llama2-70b" in text
+
+
+class TestCollector:
+    def test_collect_results_summary(self, workflow_dir):
+        summary = collect_results(str(workflow_dir))
+        assert "gpt3-175b @ seq 4096" in summary
+        assert "AdaPipe speedup over best DAPPLE" in summary
+
+    def test_collect_is_rerunnable(self, workflow_dir):
+        assert collect_results(str(workflow_dir)) == collect_results(
+            str(workflow_dir)
+        )

@@ -1,0 +1,256 @@
+"""Tests for the tape autodiff engine: numeric gradient checks and
+checkpointing semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training import autograd as ag
+from repro.training.autograd import Tensor, checkpoint, no_grad
+
+RNG = np.random.default_rng(7)
+EPS = 1e-6
+TOL = 1e-5
+
+
+def numeric_grad(fn, x: Tensor) -> np.ndarray:
+    grad = np.zeros_like(x.data)
+    flat = x.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        up = float(fn().data.sum())
+        flat[i] = orig - EPS
+        down = float(fn().data.sum())
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+def check(fn, *tensors):
+    for tensor in tensors:
+        tensor.grad = None
+    out = fn()
+    out.backward(np.ones_like(out.data))
+    for tensor in tensors:
+        expected = numeric_grad(fn, tensor)
+        assert np.allclose(tensor.grad, expected, atol=TOL), fn
+
+
+class TestPrimitives:
+    def test_add_broadcast(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        check(lambda: ag.add(a, b), a, b)
+
+    def test_mul(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        check(lambda: ag.mul(a, b), a, b)
+
+    def test_matmul_batched(self):
+        a = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        check(lambda: ag.matmul(a, b), a, b)
+
+    def test_power(self):
+        a = Tensor(RNG.uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+        check(lambda: ag.power(a, 3.0), a)
+        check(lambda: ag.power(a, -0.5), a)
+
+    @pytest.mark.parametrize("op", [ag.exp, ag.tanh, ag.sigmoid])
+    def test_elementwise(self, op):
+        a = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        check(lambda: op(a), a)
+
+    def test_log(self):
+        a = Tensor(RNG.uniform(0.5, 3.0, size=(4,)), requires_grad=True)
+        check(lambda: ag.log(a), a)
+
+    def test_sum_axes(self):
+        a = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        check(lambda: ag.sum_(a), a)
+        check(lambda: ag.sum_(a, axis=1), a)
+        check(lambda: ag.sum_(a, axis=-1, keepdims=True), a)
+
+    def test_mean(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        check(lambda: ag.mean(a, axis=-1, keepdims=True), a)
+
+    def test_reshape_transpose(self):
+        a = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        check(lambda: ag.reshape(a, (6, 4)), a)
+        check(lambda: ag.transpose(a, (2, 0, 1)), a)
+
+    def test_where_const(self):
+        a = Tensor(RNG.normal(size=(3, 3)), requires_grad=True)
+        condition = RNG.normal(size=(3, 3)) > 0
+        check(lambda: ag.where_const(condition, a, -5.0), a)
+
+    def test_maximum_const(self):
+        a = Tensor(RNG.normal(size=(8,)) + 0.01, requires_grad=True)
+        check(lambda: ag.maximum_const(a, 0.0), a)
+
+    def test_max_keepdim(self):
+        a = Tensor(RNG.normal(size=(3, 5)), requires_grad=True)
+        check(lambda: ag.max_keepdim(a, -1), a)
+
+    def test_gather_rows(self):
+        table = Tensor(RNG.normal(size=(10, 4)), requires_grad=True)
+        indices = np.array([[1, 2, 2], [0, 9, 1]])
+        check(lambda: ag.gather_rows(table, indices), table)
+
+    def test_take_along_last(self):
+        a = Tensor(RNG.normal(size=(2, 3, 5)), requires_grad=True)
+        indices = RNG.integers(0, 5, size=(2, 3))
+        check(lambda: ag.take_along_last(a, indices), a)
+
+    def test_softmax_rows_sum_to_one(self):
+        a = Tensor(RNG.normal(size=(4, 6)), requires_grad=True)
+        probs = ag.softmax(a)
+        assert np.allclose(probs.data.sum(axis=-1), 1.0)
+        check(lambda: ag.softmax(a), a)
+
+
+class TestTapeSemantics:
+    def test_grad_accumulates_over_fanout(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = ag.add(ag.mul(a, a), a)  # a^2 + a -> grad 2a + 1 = 5
+        out.backward(np.array([1.0]))
+        assert a.grad[0] == pytest.approx(5.0)
+
+    def test_backward_twice_accumulates_on_leaf(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        ag.mul(a, Tensor(2.0)).backward(np.array([1.0]))
+        ag.mul(a, Tensor(2.0)).backward(np.array([1.0]))
+        assert a.grad[0] == pytest.approx(4.0)
+
+    def test_no_grad_suspends_taping(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            out = ag.mul(a, a)
+        assert not out.requires_grad and out.is_leaf
+
+    def test_scalar_required_for_implicit_backward(self):
+        a = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(ValueError):
+            ag.mul(a, a).backward()
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = ag.mul(a.detach(), Tensor(3.0))
+        assert not out.requires_grad
+
+    def test_operator_sugar(self):
+        a = Tensor(np.array([4.0]), requires_grad=True)
+        out = (a * 2 + 1 - 3) / 2  # (2a - 2)/2 -> grad 1
+        out.backward(np.array([1.0]))
+        assert a.grad[0] == pytest.approx(1.0)
+        assert out.data[0] == pytest.approx(3.0)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_deep_chain(self, depth):
+        a = Tensor(np.array([1.1]), requires_grad=True)
+        out = a
+        for _ in range(depth):
+            out = ag.mul(out, Tensor(2.0))
+        out.backward(np.array([1.0]))
+        assert a.grad[0] == pytest.approx(2.0**depth)
+
+
+class TestCheckpoint:
+    def test_gradients_identical_to_plain_execution(self):
+        w = Tensor(RNG.normal(size=(4, 4)), requires_grad=True)
+        x = Tensor(RNG.normal(size=(2, 4)), requires_grad=True)
+
+        def block(value):
+            return ag.tanh(ag.matmul(value, w))
+
+        plain = ag.sum_(block(x))
+        plain.backward(np.array(1.0))
+        plain_wg, plain_xg = w.grad.copy(), x.grad.copy()
+        w.grad = x.grad = None
+
+        ckpt = ag.sum_(checkpoint(block, x))
+        ckpt.backward(np.array(1.0))
+        assert np.array_equal(ckpt.data, plain.data)
+        assert np.array_equal(w.grad, plain_wg)
+        assert np.array_equal(x.grad, plain_xg)
+
+    def test_multi_input_checkpoint(self):
+        a = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+
+        def combine(x, y):
+            return ag.mul(ag.exp(x), ag.tanh(y))
+
+        out = ag.sum_(checkpoint(combine, a, b))
+        out.backward(np.array(1.0))
+        ckpt_a, ckpt_b = a.grad.copy(), b.grad.copy()
+        a.grad = b.grad = None
+        ag.sum_(combine(a, b)).backward(np.array(1.0))
+        assert np.array_equal(ckpt_a, a.grad)
+        assert np.array_equal(ckpt_b, b.grad)
+
+    def test_checkpointed_forward_retains_no_tape(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = checkpoint(lambda x: ag.mul(ag.mul(x, x), x), a)
+        # Only the checkpoint boundary is on the tape.
+        assert out._parents == (a,)
+
+    def test_checkpoint_under_no_grad_is_plain_eval(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        with no_grad():
+            out = checkpoint(lambda x: ag.mul(x, x), a)
+        assert not out.requires_grad
+
+
+class TestSeededDropout:
+    def test_dropout_gradcheck(self):
+        a = Tensor(RNG.normal(size=(6, 6)), requires_grad=True)
+        check(lambda: ag.dropout(a, 0.4, seed=5), a)
+
+    def test_zero_prob_identity(self):
+        a = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        assert ag.dropout(a, 0.0, seed=1) is a
+
+    def test_checkpoint_with_seeded_dropout_is_exact(self):
+        w = Tensor(RNG.normal(size=(4, 4)), requires_grad=True)
+        x = Tensor(RNG.normal(size=(2, 4)), requires_grad=True)
+
+        def block(value):
+            return ag.dropout(ag.tanh(ag.matmul(value, w)), 0.3, seed=42)
+
+        plain = ag.sum_(block(x))
+        plain.backward(np.array(1.0))
+        plain_grad = w.grad.copy()
+        w.grad = x.grad = None
+
+        ckpt = ag.sum_(checkpoint(block, x))
+        ckpt.backward(np.array(1.0))
+        assert np.array_equal(ckpt.data, plain.data)
+        assert np.array_equal(w.grad, plain_grad)
+
+    def test_global_rng_dropout_breaks_checkpoint(self):
+        """The cautionary tale: dropout drawing from a shared generator
+        gives checkpointing a *different* mask on replay, so the forward
+        value and the gradient disagree — exactly why real frameworks
+        stash RNG state around checkpoints."""
+        shared_rng = np.random.default_rng(0)
+        w = Tensor(RNG.normal(size=(4, 4)), requires_grad=True)
+        x = Tensor(RNG.normal(size=(2, 4)), requires_grad=True)
+
+        def leaky_block(value):
+            hidden = ag.tanh(ag.matmul(value, w))
+            mask = shared_rng.random(hidden.data.shape) >= 0.5
+            return ag.mul(hidden, Tensor(mask * 2.0))
+
+        out = checkpoint(leaky_block, x)
+        forward_value = out.data.copy()
+        ag.sum_(out).backward(np.array(1.0))
+        # Replay consumed fresh randomness: recomputed forward != stored.
+        replayed = leaky_block(x.detach())
+        assert not np.array_equal(forward_value, replayed.data)

@@ -1,0 +1,86 @@
+"""Tests for roofline calibration from measured times."""
+
+import pytest
+
+from repro.config import TrainingConfig
+from repro.hardware.device import a100_80gb
+from repro.model.layers import LayerKind
+from repro.model.spec import gpt3_175b
+from repro.model.units import OpKind, units_for_layer
+from repro.profiler.calibrate import (
+    TimingSample,
+    apply_calibration,
+    fit_efficiencies,
+    synthetic_samples,
+)
+
+
+@pytest.fixture
+def units():
+    train = TrainingConfig(sequence_length=4096, global_batch_size=8)
+    spec = gpt3_175b()
+    collected = []
+    for kind in LayerKind:
+        collected.extend(units_for_layer(kind, spec, train, 8))
+    return collected
+
+
+PLANTED = {
+    OpKind.GEMM: 0.48,
+    OpKind.FLASH_ATTENTION: 0.40,
+    OpKind.NORM: 0.03,
+    OpKind.ELEMENTWISE: 0.05,
+    OpKind.EMBEDDING: 0.02,
+    OpKind.CROSS_ENTROPY: 0.06,
+}
+
+
+class TestCalibration:
+    def test_recovers_planted_efficiencies(self, units):
+        device = a100_80gb()
+        samples = synthetic_samples(device, units, PLANTED)
+        report = fit_efficiencies(samples, device)
+        for kind, planted in PLANTED.items():
+            if kind in report.efficiencies:
+                assert report.efficiencies[kind] == pytest.approx(planted, rel=0.05)
+        assert report.efficiencies[OpKind.GEMM] == pytest.approx(0.48, rel=0.02)
+
+    def test_robust_to_measurement_noise(self, units):
+        device = a100_80gb()
+        samples = synthetic_samples(device, units, PLANTED, noise=0.1, seed=3)
+        report = fit_efficiencies(samples, device)
+        assert report.efficiencies[OpKind.GEMM] == pytest.approx(0.48, rel=0.15)
+        assert report.residual < 0.15
+
+    def test_residual_small_on_clean_data(self, units):
+        device = a100_80gb()
+        samples = synthetic_samples(device, units, PLANTED)
+        report = fit_efficiencies(samples, device)
+        assert report.residual < 0.02
+
+    def test_apply_calibration_changes_device(self, units):
+        device = a100_80gb()
+        report = fit_efficiencies(
+            synthetic_samples(device, units, PLANTED), device
+        )
+        calibrated = apply_calibration(device, report)
+        assert "calibrated" in calibrated.name
+        assert calibrated.achieved_flops(OpKind.GEMM) == pytest.approx(
+            0.48 * device.peak_flops, rel=0.02
+        )
+        # Untouched fields survive.
+        assert calibrated.memory_bytes == device.memory_bytes
+
+    def test_unusable_samples_discarded(self, units):
+        device = a100_80gb()
+        # Impossibly fast measurements imply efficiency > 1: rejected.
+        impossible = [
+            TimingSample(unit=unit, measured_seconds=1e-12) for unit in units
+        ]
+        report = fit_efficiencies(impossible, device)
+        assert not report.efficiencies
+
+    def test_empty_input(self):
+        report = fit_efficiencies([], a100_80gb())
+        assert report.efficiencies == {}
+        assert report.residual == float("inf")

@@ -1,0 +1,96 @@
+"""Tests for repro.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ConfigError, ParallelConfig, TrainingConfig
+
+
+class TestParallelConfig:
+    def test_num_devices(self):
+        assert ParallelConfig(8, 8, 1).num_devices == 64
+        assert ParallelConfig(4, 8, 2).num_devices == 64
+        assert ParallelConfig(1, 2, 1).num_devices == 2
+
+    def test_as_tuple_matches_paper_order(self):
+        assert ParallelConfig(2, 16, 2).as_tuple() == (2, 16, 2)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2"])
+    def test_rejects_invalid_sizes(self, bad):
+        with pytest.raises(ConfigError):
+            ParallelConfig(bad, 1, 1)
+        with pytest.raises(ConfigError):
+            ParallelConfig(1, bad, 1)
+        with pytest.raises(ConfigError):
+            ParallelConfig(1, 1, bad)
+
+    def test_is_hashable_and_frozen(self):
+        config = ParallelConfig(2, 2, 2)
+        assert hash(config) == hash(ParallelConfig(2, 2, 2))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.tensor_parallel = 4
+
+    def test_str_is_readable(self):
+        assert "t=4" in str(ParallelConfig(4, 8, 2))
+
+
+class TestTrainingConfig:
+    def test_micro_batches_per_pipeline(self):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=128)
+        assert train.num_micro_batches(ParallelConfig(8, 8, 1)) == 128
+        assert train.num_micro_batches(ParallelConfig(4, 8, 2)) == 64
+
+    def test_micro_batches_with_larger_micro_batch_size(self):
+        train = TrainingConfig(
+            sequence_length=128, global_batch_size=32, micro_batch_size=4
+        )
+        assert train.num_micro_batches(ParallelConfig(1, 2, 1)) == 8
+
+    def test_indivisible_data_parallel_rejected(self):
+        train = TrainingConfig(sequence_length=128, global_batch_size=10)
+        with pytest.raises(ConfigError):
+            train.num_micro_batches(ParallelConfig(1, 2, 4))
+
+    def test_indivisible_micro_batch_rejected(self):
+        train = TrainingConfig(
+            sequence_length=128, global_batch_size=10, micro_batch_size=4
+        )
+        with pytest.raises(ConfigError):
+            train.num_micro_batches(ParallelConfig(1, 2, 1))
+
+    def test_tokens_per_iteration(self):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=128)
+        assert train.tokens_per_iteration() == 4096 * 128
+
+    def test_sequence_rescaling_keeps_tokens_constant(self):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=128)
+        for seq in (8192, 16384):
+            scaled = train.with_sequence_length(seq)
+            assert scaled.tokens_per_iteration() == train.tokens_per_iteration()
+        assert train.with_sequence_length(8192).global_batch_size == 64
+
+    def test_sequence_rescaling_rejects_non_divisible(self):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=1)
+        with pytest.raises(ConfigError):
+            train.with_sequence_length(8192)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sequence_length": 0, "global_batch_size": 1},
+            {"sequence_length": 8, "global_batch_size": 0},
+            {"sequence_length": 8, "global_batch_size": 1, "micro_batch_size": 0},
+            {"sequence_length": 8, "global_batch_size": 1, "bytes_per_value": 3},
+        ],
+    )
+    def test_rejects_invalid_fields(self, kwargs):
+        with pytest.raises(ConfigError):
+            TrainingConfig(**kwargs)
+
+    def test_defaults_match_paper_setup(self):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=128)
+        assert train.micro_batch_size == 1  # paper fixes b = 1
+        assert train.sequence_parallel and train.flash_attention
+        assert train.bytes_per_value == 2  # fp16/bf16
+        assert train.optimizer_state_factor == 8  # FP32 Adam, two moments

@@ -1,0 +1,185 @@
+"""Tests for dropout with seeded-mask recomputation.
+
+Dropout makes recomputation genuinely hard: a naive replay would draw a
+*different* mask and silently corrupt gradients. The engine regenerates
+masks from a (layer seed, rng tag, unit) triple — the RNG-state-stashing
+trick real checkpoint implementations use — and these tests pin exactly
+that: identity with the trick, corruption without it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.model.layers import LayerKind
+from repro.model.spec import gpt3_175b, tiny_gpt, tiny_llama
+from repro.model.units import units_for_layer
+from repro.training import ops
+from repro.training.modules import build_model
+
+
+def _batch(spec, seed=0, batch=2, seq=8):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, spec.vocab_size, size=(batch, seq)),
+        rng.integers(0, spec.vocab_size, size=(batch, seq)),
+    )
+
+
+def _grads(model):
+    return {
+        n: p.grad.copy() for n, p in model.named_parameters() if p.grad is not None
+    }
+
+
+class TestDropoutOp:
+    def test_zero_prob_is_identity(self):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        out, cache = ops.dropout(x, 0.0, np.random.default_rng(1))
+        assert out is x
+        assert np.array_equal(ops.dropout_backward(cache, x), x)
+
+    def test_inverted_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = np.ones((200, 200))
+        out, _ = ops.dropout(x, 0.25, rng)
+        assert out.mean() == pytest.approx(1.0, rel=0.05)
+        unique = np.unique(out)
+        assert len(unique) == 2
+        assert unique[0] == 0.0
+        assert unique[1] == pytest.approx(1 / 0.75)
+
+    def test_backward_masks_gradient(self):
+        rng = np.random.default_rng(0)
+        x = np.ones((10, 10))
+        out, cache = ops.dropout(x, 0.5, rng)
+        grad = ops.dropout_backward(cache, np.ones_like(x))
+        assert np.array_equal(grad == 0.0, out == 0.0)
+
+
+class TestSeededRecompute:
+    @pytest.mark.parametrize("spec_fn", [tiny_gpt, tiny_llama])
+    def test_recompute_identity_with_dropout(self, spec_fn):
+        """The headline: full recomputation under active dropout is still
+        bit-exact, because masks are regenerated from the stored tag."""
+        spec = spec_fn(num_layers=2, hidden_size=32, vocab_size=40)
+        model = build_model(spec, seed=1, dropout=0.2)
+        tokens, targets = _batch(spec)
+        loss_saved = model.loss_and_grad(tokens, targets, rng_tag=7)
+        reference = _grads(model)
+        model.zero_grad()
+        loss_ckpt = model.loss_and_grad(
+            tokens, targets, [set() for _ in model.layers], rng_tag=7
+        )
+        assert loss_saved == loss_ckpt
+        for name, grad in _grads(model).items():
+            assert np.array_equal(grad, reference[name]), name
+
+    def test_different_tags_give_different_masks(self):
+        spec = tiny_gpt(num_layers=2, hidden_size=32, vocab_size=40)
+        model = build_model(spec, seed=1, dropout=0.2)
+        tokens, targets = _batch(spec)
+        loss_a = model.loss_and_grad(tokens, targets, rng_tag=1)
+        model.zero_grad()
+        loss_b = model.loss_and_grad(tokens, targets, rng_tag=2)
+        assert loss_a != loss_b
+
+    def test_same_tag_is_deterministic(self):
+        spec = tiny_gpt(num_layers=2, hidden_size=32, vocab_size=40)
+        model = build_model(spec, seed=1, dropout=0.2)
+        tokens, targets = _batch(spec)
+        loss_a = model.loss_and_grad(tokens, targets, rng_tag=3)
+        model.zero_grad()
+        loss_b = model.loss_and_grad(tokens, targets, rng_tag=3)
+        assert loss_a == loss_b
+
+    def test_wrong_tag_on_replay_would_corrupt(self):
+        """Negative control: masks from a different tag change the loss —
+        the seeding is load-bearing, not decorative."""
+        spec = tiny_gpt(num_layers=1, hidden_size=32, vocab_size=40)
+        model = build_model(spec, seed=1, dropout=0.3)
+        layer = model.layers[1]  # the attention layer
+        x = np.random.default_rng(0).normal(size=(1, 8, 32))
+        layer.set_rng_tag(1)
+        out_a, ctx = layer.forward(x, set())
+        # Tamper with the stored tag, as a buggy replay would.
+        ctx.rng_tag = 99
+        layer.set_rng_tag(99)
+        out_b, _ = layer.forward(x, set())
+        assert not np.array_equal(out_a, out_b)
+
+    def test_pipelined_training_with_dropout_decreases_loss(self, tiny_ctx, tiny_spec):
+        from repro.core.search import plan_adapipe
+        from repro.training.data import SyntheticTextDataset
+        from repro.training.optimizer import Adam
+        from repro.training.pipeline_exec import train_with_plan
+
+        plan = plan_adapipe(tiny_ctx)
+        model = build_model(tiny_spec, seed=2, dropout=0.1)
+        dataset = SyntheticTextDataset(vocab_size=tiny_spec.vocab_size)
+        losses = train_with_plan(
+            model, plan, dataset.batches(4, 8, 25),
+            Adam(model.named_parameters(), lr=3e-3),
+        )
+        assert losses[-1] < losses[0]
+
+    def test_executor_varies_masks_across_micro_batches(self, tiny_ctx, tiny_spec):
+        """Identical micro-batch contents must still see different masks
+        (per-micro-batch rng tags), else dropout degenerates."""
+        from repro.core.search import plan_adapipe
+        from repro.training.pipeline_exec import PipelineExecutor
+
+        plan = plan_adapipe(tiny_ctx)
+        model = build_model(tiny_spec, seed=3, dropout=0.3)
+        tokens = np.tile(np.arange(8) % tiny_spec.vocab_size, (4, 1))
+        targets = tokens.copy()
+        executor = PipelineExecutor(model, plan)
+        stats = executor.train_step(tokens, targets)
+        # With per-micro-batch masks the per-micro-batch losses differ, so
+        # re-running the identical batch in the next iteration (different
+        # tags) changes the mean loss even with frozen weights.
+        model.zero_grad()
+        stats2 = executor.train_step(tokens, targets)
+        assert stats.loss != stats2.loss
+
+
+class TestDropoutMemoryModel:
+    def test_masks_enlarge_always_saved_units(self):
+        spec = gpt3_175b()
+        base = TrainingConfig(sequence_length=4096, global_batch_size=8)
+        dropped = TrainingConfig(
+            sequence_length=4096, global_batch_size=8, hidden_dropout=0.1
+        )
+        for kind in (LayerKind.ATTENTION, LayerKind.FFN):
+            plain = units_for_layer(kind, spec, base, 8)
+            masked = units_for_layer(kind, spec, dropped, 8)
+            closing_plain = next(u for u in plain if u.always_saved)
+            closing_masked = next(u for u in masked if u.always_saved)
+            assert closing_masked.saved_elements > closing_plain.saved_elements
+
+    def test_attention_dropout_only_matters_without_flash(self):
+        spec = gpt3_175b()
+        flash = TrainingConfig(
+            sequence_length=4096, global_batch_size=8, attention_dropout=0.1
+        )
+        plain = TrainingConfig(
+            sequence_length=4096,
+            global_batch_size=8,
+            attention_dropout=0.1,
+            flash_attention=False,
+        )
+        core_flash = next(
+            u for u in units_for_layer(LayerKind.ATTENTION, spec, flash, 8)
+            if u.name == "attn.core"
+        )
+        core_plain = next(
+            u for u in units_for_layer(LayerKind.ATTENTION, spec, plain, 8)
+            if u.name == "attn.core"
+        )
+        assert core_plain.internal_saved_elements > 100 * core_flash.internal_saved_elements
+
+    def test_invalid_probability_rejected(self):
+        from repro.config import ConfigError
+
+        with pytest.raises(ConfigError):
+            TrainingConfig(sequence_length=8, global_batch_size=1, hidden_dropout=1.0)

@@ -1,0 +1,76 @@
+"""Tests for plan evaluation (cost model vs simulator agreement)."""
+
+import pytest
+
+from repro.core.evaluate import build_schedule_for_plan, evaluate_plan
+from repro.core.search import plan_adapipe, plan_even_partitioning, plan_policy
+from repro.core.strategies import RecomputePolicy
+from repro.hardware.cluster import cluster_a
+
+
+class TestEvaluatePlan:
+    def test_simulated_time_close_to_model(self, gpt3_ctx):
+        """The Section 5.1 analytic model must track the simulator for 1F1B."""
+        plan = plan_even_partitioning(gpt3_ctx)
+        evaluation = evaluate_plan(plan, gpt3_ctx.cluster)
+        assert evaluation.iteration_time == pytest.approx(
+            plan.modeled_iteration_time, rel=0.05
+        )
+
+    def test_adapipe_simulates_faster_than_dapple_full(self, gpt3_ctx):
+        adapipe = evaluate_plan(plan_adapipe(gpt3_ctx), gpt3_ctx.cluster)
+        dapple = evaluate_plan(
+            plan_policy(gpt3_ctx, RecomputePolicy.FULL, "DAPPLE-Full"),
+            gpt3_ctx.cluster,
+        )
+        assert adapipe.iteration_time < dapple.iteration_time
+
+    def test_infeasible_plan_is_oom_without_simulation(self, gpt3_ctx):
+        plan = plan_policy(gpt3_ctx, RecomputePolicy.FULL, "DAPPLE-Full")
+        broken = type(plan)(
+            method=plan.method,
+            parallel=plan.parallel,
+            train=plan.train,
+            stages=plan.stages,
+            modeled_iteration_time=None,
+            feasible=False,
+            hidden_size=plan.hidden_size,
+        )
+        evaluation = evaluate_plan(broken, gpt3_ctx.cluster)
+        assert evaluation.oom and evaluation.simulation is None
+        assert evaluation.iteration_time is None
+
+    def test_memory_enforcement_detects_oom(self, gpt3_ctx):
+        plan = plan_policy(gpt3_ctx, RecomputePolicy.NONE, "DAPPLE-Non")
+        # Plans built at seq 2048 fit; shrink the cluster's devices via the
+        # enforce flag by checking against an artificially small capacity.
+        evaluation = evaluate_plan(plan, gpt3_ctx.cluster, enforce_memory=False)
+        assert not evaluation.oom
+        oom_devices = evaluation.simulation.oom_devices(10 * 1024**3)
+        assert oom_devices  # every stage exceeds 10 GiB
+
+
+class TestBuildSchedule:
+    def test_1f1b_schedule_kind(self, gpt3_ctx):
+        plan = plan_even_partitioning(gpt3_ctx)
+        schedule = build_schedule_for_plan(plan, gpt3_ctx.cluster, "1f1b")
+        assert schedule.num_devices == gpt3_ctx.parallel.pipeline_parallel
+        assert schedule.hop_time > 0
+
+    def test_gpipe_schedule_kind(self, gpt3_ctx):
+        plan = plan_even_partitioning(gpt3_ctx)
+        schedule = build_schedule_for_plan(plan, gpt3_ctx.cluster, "gpipe")
+        assert schedule.name == "GPipe"
+
+    def test_chimera_schedule_kinds(self, gpt3_ctx):
+        plan = plan_even_partitioning(gpt3_ctx)
+        assert build_schedule_for_plan(plan, gpt3_ctx.cluster, "chimera").name == "Chimera"
+        assert (
+            build_schedule_for_plan(plan, gpt3_ctx.cluster, "chimerad").name
+            == "ChimeraD"
+        )
+
+    def test_unknown_kind_rejected(self, gpt3_ctx):
+        plan = plan_even_partitioning(gpt3_ctx)
+        with pytest.raises(ValueError):
+            build_schedule_for_plan(plan, gpt3_ctx.cluster, "zigzag")

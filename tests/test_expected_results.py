@@ -1,0 +1,42 @@
+"""Golden-file regression tests.
+
+The analytic experiments are fully deterministic, so their rendered tables
+are pinned byte-for-byte under ``expected_results/``. A diff here means the
+cost model changed — intentionally (regenerate the goldens and review the
+EXPERIMENTS.md numbers) or not (a regression).
+
+Regenerate with:
+    python -c "from tests.test_expected_results import regenerate; regenerate()"
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import run_experiment
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "expected_results"
+PINNED = ("figure1", "figure2", "figure4")
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in PINNED:
+        result = run_experiment(name, fast=True)
+        (GOLDEN_DIR / f"{name}.txt").write_text(result.render() + "\n")
+
+
+@pytest.mark.parametrize("name", PINNED)
+def test_experiment_matches_golden(name):
+    golden = (GOLDEN_DIR / f"{name}.txt").read_text()
+    current = run_experiment(name, fast=True).render() + "\n"
+    assert current == golden, (
+        f"{name} diverged from expected_results/{name}.txt — if the cost "
+        "model change is intentional, regenerate the goldens and update "
+        "EXPERIMENTS.md"
+    )
+
+
+def test_golden_files_exist():
+    for name in PINNED:
+        assert (GOLDEN_DIR / f"{name}.txt").exists()

@@ -1,0 +1,134 @@
+"""Tests for the experiment plumbing (result tables, method sweeps) and
+the remaining chart renderers, using fabricated results for speed."""
+
+import pytest
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    MethodRow,
+    fast_strategy_subset,
+    speedup_over,
+    sweep_method,
+)
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import gpt3_175b
+from repro.report.render import render_experiment_svg
+
+
+class TestExperimentResult:
+    def test_render_aligns_columns(self):
+        result = ExperimentResult(
+            name="x", title="t", headers=["a", "long-header"],
+        )
+        result.add_row("11111", "2")
+        result.add_row("3", "4")
+        lines = result.render().splitlines()
+        assert lines[1].index("long-header") == lines[3].index("2")
+
+    def test_cells_are_stringified(self):
+        result = ExperimentResult(name="x", title="t", headers=["a"])
+        result.add_row((1, 2, 3))
+        assert result.rows[0][0] == "(1, 2, 3)"
+
+    def test_notes_rendered_last(self):
+        result = ExperimentResult(name="x", title="t", headers=["a"])
+        result.add_row("v")
+        result.add_note("hello")
+        assert result.render().splitlines()[-1] == "note: hello"
+
+
+class TestMethodRow:
+    def test_oom_cell(self):
+        row = MethodRow("m", None, None)
+        assert row.oom and row.cell() == "OOM"
+
+    def test_speedup_over_picks_fastest_baseline(self):
+        class FakeEval:
+            def __init__(self, t):
+                self._t = t
+
+            @property
+            def iteration_time(self):
+                return self._t
+
+        rows = {
+            "AdaPipe": MethodRow("AdaPipe", FakeEval(50.0), None),
+            "DAPPLE-Full": MethodRow("DAPPLE-Full", FakeEval(75.0), None),
+            "DAPPLE-Non": MethodRow("DAPPLE-Non", FakeEval(60.0), None),
+        }
+        name, factor = speedup_over(rows, "AdaPipe", ("DAPPLE-Full", "DAPPLE-Non"))
+        assert name == "DAPPLE-Non"
+        assert factor == pytest.approx(1.2)
+
+    def test_speedup_none_when_target_oom(self):
+        rows = {"AdaPipe": MethodRow("AdaPipe", None, None)}
+        assert speedup_over(rows, "AdaPipe", ("DAPPLE-Full",)) is None
+
+
+class TestSweepHelpers:
+    def test_sweep_method_reports_oom_when_all_strategies_fail(self, gpt3):
+        train = TrainingConfig(sequence_length=16384, global_batch_size=8)
+        row = sweep_method(
+            "DAPPLE-Non",
+            cluster_a(2),
+            gpt3,
+            train,
+            16,
+            strategies=[ParallelConfig(8, 2, 1)],
+        )
+        assert row.oom and row.strategy is None
+
+    def test_fast_strategy_subset_prefers_p8(self):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=128)
+        subset = fast_strategy_subset(cluster_a(), gpt3_175b(), train, 64)
+        assert subset
+        assert all(s.pipeline_parallel == 8 for s in subset)
+        assert len(subset) <= 3
+
+
+def _fabricated(name, headers, rows):
+    result = ExperimentResult(name=name, title=name, headers=headers)
+    for row in rows:
+        result.add_row(*row)
+    return result
+
+
+class TestRemainingRenderers:
+    def test_figure5_bars_render(self):
+        result = _fabricated(
+            "figure5",
+            ["seq", "batch", "DAPPLE-Full", "AdaPipe", "AdaPipe speedup"],
+            [
+                ["4096", "128", "60.357s", "49.820s", "1.00x vs DAPPLE-Non"],
+                ["16384", "32", "90.931s", "OOM", "n/a"],
+            ],
+        )
+        svg = render_experiment_svg("figure5", result)
+        assert svg is not None and "OOM" in svg and "<path" in svg
+
+    def test_figure7_bars_render(self):
+        result = _fabricated(
+            "figure7",
+            ["model", "#dev", "(t,p,d)", "DAPPLE-Full", "AdaPipe", "speedup"],
+            [["llama2-70b", "128", "(4, 8, 4)", "47.558s", "41.135s", "1.16x"]],
+        )
+        svg = render_experiment_svg("figure7", result)
+        assert svg is not None and "llama2-70b" in svg
+
+    def test_table3_bars_render(self):
+        result = _fabricated(
+            "table3",
+            ["(TP,PP,DP)", "DAPPLE-Full", "AdaPipe"],
+            [["(8, 8, 1)", "75.349s", "63.154s"], ["(1, 32, 2)", "OOM", "103.138s"]],
+        )
+        svg = render_experiment_svg("table3", result)
+        assert svg is not None and "OOM" in svg
+
+    def test_figure9_lines_render(self):
+        rows = [["AdaPipe"] + [f"{2.2 + i / 100:.3f}" for i in range(8)] + ["1.04x"]]
+        result = _fabricated(
+            "figure9", ["method"] + [f"stage{s}" for s in range(8)] + ["max/min"], rows
+        )
+        svg = render_experiment_svg("figure9", result)
+        assert svg is not None and "polyline" in svg

@@ -1,0 +1,222 @@
+"""Tests for the experiment harness: each artifact's key claims hold.
+
+These are the repository's reproduction assertions — if one fails, the
+corresponding paper claim no longer reproduces.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.config import ConfigError
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "table3",
+            "table4",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            get_experiment("figure99")
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("figure1", fast=True)
+
+    def test_has_six_rows(self, result):
+        assert len(result.rows) == 6
+
+    def test_no_recompute_memory_decreases_with_stage(self, result):
+        for row in result.rows:
+            if row[0].startswith("No"):
+                values = [float(v) for v in row[2:]]
+                assert values == sorted(values, reverse=True)
+
+    def test_no_recompute_exceeds_limit_at_long_sequences(self, result):
+        limit = 80.0
+        by_seq = {row[1]: row for row in result.rows if row[0].startswith("No")}
+        assert float(by_seq["16384"][2]) > limit  # stage 0 blows up
+        assert float(by_seq["4096"][9]) < limit  # last stage always fits
+
+    def test_full_recompute_stays_under_limit(self, result):
+        for row in result.rows:
+            if row[0].startswith("Full"):
+                assert all(float(v) < 80.0 for v in row[2:])
+
+    def test_memory_grows_with_sequence_length(self, result):
+        no_rows = [row for row in result.rows if row[0].startswith("No")]
+        stage0 = [float(row[2]) for row in no_rows]
+        assert stage0 == sorted(stage0)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("figure2", fast=True)
+
+    def test_same_makespan(self, result):
+        assert result.rows[0][1] == result.rows[1][1]
+
+    def test_gpipe_pins_all_microbatches(self, result):
+        gpipe = next(r for r in result.rows if r[0] == "GPipe")
+        assert gpipe[3] == "[6, 6, 6]"
+
+    def test_1f1b_pins_p_minus_s(self, result):
+        onef = next(r for r in result.rows if "1F1B" in r[0])
+        assert onef[3] == "[3, 2, 1]"
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table4", fast=True)
+
+    def test_saved_units_grow_along_pipeline(self, result):
+        for row in result.rows:
+            if row[1] == "Saved Units":
+                values = [int(v) for v in row[2:]]
+                # Monotone up to head-layer composition: the last stage
+                # trades transformer units for the (smaller) head units.
+                assert all(a <= b + 6 for a, b in zip(values, values[1:])), row[0]
+                assert values[0] < values[4] < values[5] + 6
+                assert values[0] * 1.4 < values[-1]
+
+    def test_adapipe_shifts_layers_late(self, result):
+        layers = next(
+            [int(v) for v in row[2:]]
+            for row in result.rows
+            if row[0] == "AdaPipe" and row[1] == "# Layers"
+        )
+        # Later half of the pipeline holds at least as many layers.
+        assert sum(layers[4:]) >= sum(layers[:4])
+
+    def test_even_partitioning_layers_uniform(self, result):
+        layers = next(
+            [int(v) for v in row[2:]]
+            for row in result.rows
+            if row[0] == "Even Partitioning" and row[1] == "# Layers"
+        )
+        assert max(layers) - min(layers) <= 1
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("figure8", fast=True)
+
+    def test_dapple_non_is_oom_and_imbalanced(self, result):
+        row = next(r for r in result.rows if r[0] == "DAPPLE-Non")
+        assert row[-1] == "OOM"
+        stage0, stage7 = float(row[1]), float(row[8])
+        assert stage0 / stage7 == pytest.approx(2.33, rel=0.15)  # paper: 2.33x
+
+    def test_adaptive_methods_fit(self, result):
+        for name in ("Even Partitioning", "AdaPipe"):
+            row = next(r for r in result.rows if r[0] == name)
+            assert row[-1] == "yes"
+            assert all(float(v) <= 80.0 for v in row[1:9])
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("figure9", fast=True)
+
+    def test_even_partitioning_decreases(self, result):
+        row = next(r for r in result.rows if r[0] == "Even Partitioning")
+        times = [float(v) for v in row[1:9]]
+        assert times[0] > times[-1]
+
+    def test_adapipe_flatter_than_even_partitioning(self, result):
+        even = next(r for r in result.rows if r[0] == "Even Partitioning")
+        ada = next(r for r in result.rows if r[0] == "AdaPipe")
+        assert float(ada[-1][:-1]) <= float(even[-1][:-1])
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("figure10", fast=True)
+
+    def test_loss_decreases(self, result):
+        first = float(result.rows[0][1])
+        last = float(result.rows[-1][1])
+        assert last < first - 0.5
+
+    def test_same_seed_plans_identical(self, result):
+        gap_note = next(n for n in result.notes if "max |loss gap|" in n)
+        assert "0.00e+00" in gap_note
+
+    def test_curves_track_each_other(self, result):
+        for row in result.rows:
+            dapple, adapipe = float(row[1]), float(row[2])
+            assert abs(dapple - adapipe) < 0.5
+
+
+class TestCli:
+    def test_list_and_run(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure5" in out and "table3" in out
+
+        assert main(["run", "figure2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "GPipe" in out and "1F1B" in out
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("figure3", fast=True)
+
+    def test_each_step_no_slower(self, result):
+        times = [float(row[1][:-1]) for row in result.rows]
+        assert times[1] < times[0]  # adaptive recomputation helps
+        assert times[2] <= times[1] + 1e-9  # partitioning never hurts
+
+    def test_opt1_leaves_stage0_bottleneck(self, result):
+        opt1 = result.rows[1]
+        assert float(opt1[2][:-1]) > float(opt1[3][:-1])
+
+    def test_opt2_moves_layers_to_stage1(self, result):
+        layers = eval(result.rows[2][5])
+        assert layers[0] <= layers[1]
+
+    def test_saved_units_lean_to_stage1(self, result):
+        saved = eval(result.rows[1][4])
+        assert saved[0] < saved[1]
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("figure4", fast=True)
+
+    def test_covers_all_layer_kinds(self, result):
+        kinds = {row[0] for row in result.rows}
+        assert kinds == {"attention", "ffn", "embedding", "head"}
+
+    def test_only_closing_gemms_always_saved(self, result):
+        always = {row[1] for row in result.rows if row[5] == "always saved"}
+        assert always == {"attn.out", "ffn.out"}
+
+    def test_ffn_units_pin_most_memory(self, result):
+        by_unit = {row[1]: float(row[4]) for row in result.rows}
+        assert by_unit["ffn.in"] > by_unit["attn.q"]

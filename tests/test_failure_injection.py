@@ -1,0 +1,140 @@
+"""Failure-injection tests: the system degrades loudly, not silently.
+
+Each test injects a specific fault — numeric overflow, corrupted schedules,
+malformed plans, impossible budgets — and asserts the corresponding
+containment behaviour (skip-and-backoff, typed errors, infeasibility
+flags) rather than silent corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ConfigError, ParallelConfig, TrainingConfig
+from repro.core.recompute_dp import UnitItem, optimize_stage_recompute
+from repro.core.search import PlannerContext, plan_adapipe
+from repro.core.serialize import PlanFormatError, plan_from_dict, plan_to_dict
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import tiny_gpt
+from repro.pipeline.simulator import SimulationError, simulate
+from repro.pipeline.tasks import Schedule, Task, TaskKey, TaskKind
+from repro.training.modules import Parameter, build_model
+from repro.training.optimizer import Adam, LossScaler
+
+
+class TestNumericFaults:
+    def test_loss_scaler_contains_gradient_overflow(self):
+        """An inf gradient skips the step and halves the scale; training
+        resumes on the next finite gradient."""
+        param = Parameter(np.array([1.0]))
+        adam = Adam([("x", param)], lr=0.1)
+        scaler = LossScaler(scale=1024.0)
+
+        param.grad = np.array([np.inf])
+        assert not scaler.unscale_and_check([("x", param)])
+        assert scaler.scale == 512.0
+        adam.zero_grad()
+        assert param.data[0] == 1.0  # step skipped, weights untouched
+
+        param.grad = np.array([512.0])
+        assert scaler.unscale_and_check([("x", param)])
+        adam.step()
+        assert param.data[0] != 1.0  # recovered
+
+    def test_nan_gradient_detected(self):
+        param = Parameter(np.array([1.0]))
+        param.grad = np.array([np.nan])
+        scaler = LossScaler(scale=2.0)
+        assert not scaler.unscale_and_check([("x", param)])
+
+    def test_cross_entropy_survives_extreme_logits(self):
+        from repro.training.ops import cross_entropy
+
+        logits = np.zeros((1, 2, 4))
+        logits[0, 0, 0] = 1e9  # would overflow a naive softmax
+        logits[0, 1, 1] = -1e9
+        loss, _ = cross_entropy(logits, np.array([[0, 0]]))
+        assert np.isfinite(loss)
+
+
+class TestScheduleFaults:
+    def test_cyclic_dependencies_deadlock_loudly(self):
+        a_key = TaskKey(0, 0, 0, TaskKind.FORWARD)
+        b_key = TaskKey(0, 1, 0, TaskKind.FORWARD)
+        schedule = Schedule(
+            name="cycle",
+            num_devices=2,
+            device_tasks=[
+                [Task(key=a_key, device=0, duration=1.0, deps=(b_key,))],
+                [Task(key=b_key, device=1, duration=1.0, deps=(a_key,))],
+            ],
+        )
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate(schedule)
+
+    def test_misordered_device_queue_deadlocks(self):
+        """A device whose own queue puts a backward before its forward can
+        never progress — the simulator reports it instead of hanging."""
+        fwd = TaskKey(0, 0, 0, TaskKind.FORWARD)
+        bwd = TaskKey(0, 0, 0, TaskKind.BACKWARD)
+        schedule = Schedule(
+            name="misordered",
+            num_devices=1,
+            device_tasks=[
+                [
+                    Task(key=bwd, device=0, duration=1.0, deps=(fwd,)),
+                    Task(key=fwd, device=0, duration=1.0),
+                ]
+            ],
+        )
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate(schedule)
+
+
+class TestPlannerFaults:
+    def test_impossible_budget_is_flagged_not_crashed(self, gpt3):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=8)
+        ctx = PlannerContext(
+            cluster_a(8),
+            gpt3,
+            train,
+            ParallelConfig(8, 8, 1),
+            memory_limit_bytes=1.0,  # one byte
+        )
+        plan = plan_adapipe(ctx)
+        assert not plan.feasible
+        assert plan.modeled_iteration_time is None
+
+    def test_knapsack_negative_budget(self):
+        result = optimize_stage_recompute(
+            [UnitItem("u", 1.0, 10.0, 1)], budget_bytes=-5.0, in_flight=1
+        )
+        assert not result.feasible
+
+    def test_corrupted_plan_document_rejected(self, tiny_ctx):
+        data = plan_to_dict(plan_adapipe(tiny_ctx))
+        data["stages"][0]["layer_end"] = 10_000  # stages no longer contiguous
+        with pytest.raises(PlanFormatError):
+            plan_from_dict(data)
+
+    def test_strategy_validation_rejects_nonsense(self):
+        with pytest.raises(ConfigError):
+            ParallelConfig(0, 8, 1)
+        with pytest.raises(ConfigError):
+            TrainingConfig(sequence_length=4096, global_batch_size=8, zero_stage=7)
+
+
+class TestExecutorFaults:
+    def test_executor_refuses_short_batch(self, tiny_ctx, tiny_spec):
+        plan = plan_adapipe(tiny_ctx)
+        model = build_model(tiny_spec, seed=0)
+        from repro.training.pipeline_exec import PipelineExecutor
+
+        executor = PipelineExecutor(model, plan)
+        bad_tokens = np.zeros((1, 8), dtype=int)
+        with pytest.raises(ValueError, match="micro-batches"):
+            executor.train_step(bad_tokens, bad_tokens)
+
+    def test_head_without_targets_raises(self, tiny_spec):
+        model = build_model(tiny_spec, seed=0)
+        with pytest.raises(RuntimeError, match="set_targets"):
+            model.layers[-1].forward(np.zeros((1, 4, tiny_spec.hidden_size)))

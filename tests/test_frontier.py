@@ -1,0 +1,58 @@
+"""Tests for the memory/time frontier analysis."""
+
+import pytest
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.frontier import frontier_is_monotone, memory_time_frontier
+from repro.core.search import PlannerContext
+from repro.hardware.cluster import cluster_a
+
+GIB = 1024**3
+
+
+@pytest.fixture
+def ctx(gpt3):
+    train = TrainingConfig(sequence_length=8192, global_batch_size=16)
+    return PlannerContext(cluster_a(8), gpt3, train, ParallelConfig(8, 8, 1))
+
+
+class TestFrontier:
+    def test_more_memory_never_slower(self, ctx):
+        points = memory_time_frontier(ctx, [55 * GIB, 62 * GIB, 70 * GIB, 78 * GIB])
+        assert frontier_is_monotone(points)
+
+    def test_relaxing_the_constraint_helps(self, ctx):
+        """Section 7.4: 'the memory constraint can be elevated for better
+        performance'."""
+        points = memory_time_frontier(ctx, [55 * GIB, 78 * GIB])
+        assert points[0].feasible and points[1].feasible
+        assert points[1].modeled_time < points[0].modeled_time
+
+    def test_peak_memory_respects_each_limit(self, ctx):
+        points = memory_time_frontier(ctx, [60 * GIB, 70 * GIB])
+        for point in points:
+            assert point.feasible
+            assert point.peak_memory_bytes <= point.memory_limit_bytes * 1.001
+
+    def test_too_small_limit_is_infeasible(self, ctx):
+        (point,) = memory_time_frontier(ctx, [30 * GIB])
+        assert not point.feasible
+        assert point.modeled_time is None
+
+    def test_simulated_tracks_modeled(self, ctx):
+        (point,) = memory_time_frontier(ctx, [70 * GIB])
+        assert point.simulated_time == pytest.approx(point.modeled_time, rel=0.05)
+
+    def test_monotone_helper_detects_violations(self):
+        from repro.core.frontier import FrontierPoint
+
+        good = [
+            FrontierPoint(1.0, True, 10.0, None, None),
+            FrontierPoint(2.0, True, 9.0, None, None),
+        ]
+        bad = [
+            FrontierPoint(1.0, True, 9.0, None, None),
+            FrontierPoint(2.0, True, 10.0, None, None),
+        ]
+        assert frontier_is_monotone(good)
+        assert not frontier_is_monotone(bad)

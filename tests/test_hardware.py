@@ -1,0 +1,130 @@
+"""Tests for repro.hardware — devices, clusters, communication."""
+
+import pytest
+
+from repro.config import ConfigError, ParallelConfig, TrainingConfig
+from repro.hardware.cluster import cluster_a, cluster_b
+from repro.hardware.comm import CommModel
+from repro.hardware.device import a100_80gb, ascend910_32gb
+from repro.model.units import OpKind
+
+
+class TestDevices:
+    def test_a100_capacity(self):
+        device = a100_80gb()
+        assert device.memory_bytes == 80 * 1024**3
+        assert device.usable_memory_bytes < device.memory_bytes
+
+    def test_ascend_capacity_is_the_papers_constraint(self):
+        # Section 7.2: "the memory capacity of the Ascend 910 is only 32GB".
+        assert ascend910_32gb().memory_bytes == 32 * 1024**3
+
+    def test_gemm_efficiency_exceeds_elementwise(self):
+        device = a100_80gb()
+        assert device.achieved_flops(OpKind.GEMM) > 5 * device.achieved_flops(
+            OpKind.ELEMENTWISE
+        )
+
+    def test_unknown_op_kind_gets_default_efficiency(self):
+        device = a100_80gb()
+        object.__setattr__(device, "efficiency", {})
+        assert device.achieved_flops(OpKind.GEMM) == pytest.approx(
+            0.1 * device.peak_flops
+        )
+
+
+class TestClusters:
+    def test_cluster_a_shape(self):
+        cluster = cluster_a()
+        assert cluster.num_devices == 64
+        assert cluster.devices_per_node == 8
+        assert cluster.device.name.startswith("A100")
+
+    def test_cluster_b_shape(self):
+        cluster = cluster_b()
+        assert cluster.num_devices == 256
+        assert cluster.device.name.startswith("Ascend")
+
+    def test_validate_accepts_good_strategy(self):
+        cluster_a().validate_parallel(ParallelConfig(8, 8, 1), 64)
+
+    def test_validate_rejects_wrong_device_count(self):
+        with pytest.raises(ConfigError):
+            cluster_a().validate_parallel(ParallelConfig(8, 8, 1), 32)
+
+    def test_validate_rejects_cross_node_tensor_parallel(self):
+        with pytest.raises(ConfigError):
+            cluster_a().validate_parallel(ParallelConfig(16, 4, 1), 64)
+
+    def test_validate_rejects_oversubscription(self):
+        with pytest.raises(ConfigError):
+            cluster_a(1).validate_parallel(ParallelConfig(8, 8, 1), 64)
+
+    def test_pipeline_bandwidth_is_inter_node(self):
+        cluster = cluster_a()
+        assert cluster.pipeline_bandwidth() == cluster.inter_node_bandwidth
+        assert cluster.intra_node_bandwidth > cluster.inter_node_bandwidth
+
+
+class TestCommModel:
+    @pytest.fixture
+    def comm(self):
+        return CommModel(cluster_a())
+
+    def test_p2p_time_scales_with_bytes(self, comm):
+        assert comm.p2p_time(2e9) == pytest.approx(2 * comm.p2p_time(1e9), rel=0.01)
+
+    def test_p2p_zero_bytes_is_free(self, comm):
+        assert comm.p2p_time(0) == 0.0
+
+    def test_allreduce_single_rank_is_free(self, comm):
+        assert comm.allreduce_time(1e9, 1, intra_node=True) == 0.0
+
+    def test_allreduce_volume_factor(self, comm):
+        # Ring all-reduce moves 2(g-1)/g of the data: time grows with group
+        # size but saturates.
+        t2 = comm.allreduce_time(1e9, 2, intra_node=True)
+        t8 = comm.allreduce_time(1e9, 8, intra_node=True)
+        assert t2 < t8 < 2 * t2
+
+    def test_reduce_scatter_is_half_allreduce(self, comm):
+        full = comm.allreduce_time(1e9, 4, intra_node=False)
+        assert comm.reduce_scatter_time(1e9, 4, intra_node=False) == pytest.approx(
+            full / 2
+        )
+        assert comm.all_gather_time(1e9, 4, intra_node=False) == pytest.approx(
+            full / 2
+        )
+
+    def test_intra_node_is_faster(self, comm):
+        assert comm.allreduce_time(1e9, 4, intra_node=True) < comm.allreduce_time(
+            1e9, 4, intra_node=False
+        )
+
+    def test_pipeline_hop_time_positive(self, comm):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=8)
+        assert comm.pipeline_hop_time(12288, train) > 0
+
+    def test_tp_overhead_zero_without_tensor_parallel(self, comm):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=8)
+        assert (
+            comm.tensor_parallel_overhead_per_layer(
+                12288, train, ParallelConfig(1, 8, 8)
+            )
+            == 0.0
+        )
+
+    def test_tp_overhead_positive_with_tensor_parallel(self, comm):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=8)
+        assert (
+            comm.tensor_parallel_overhead_per_layer(
+                12288, train, ParallelConfig(8, 8, 1)
+            )
+            > 0.0
+        )
+
+    def test_gradient_sync_free_without_data_parallel(self, comm):
+        assert comm.gradient_sync_time(1_000_000, ParallelConfig(8, 8, 1)) == 0.0
+
+    def test_gradient_sync_positive_with_data_parallel(self, comm):
+        assert comm.gradient_sync_time(1_000_000, ParallelConfig(8, 4, 2)) > 0.0

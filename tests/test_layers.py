@@ -1,0 +1,58 @@
+"""Tests for repro.model.layers — the partitionable layer sequence."""
+
+from repro.model.layers import (
+    LayerKind,
+    build_layer_sequence,
+    describe_partition,
+    sequence_params,
+)
+from repro.model.spec import gpt3_175b, tiny_gpt
+
+
+class TestLayerSequence:
+    def test_length_is_2l_plus_2(self):
+        spec = tiny_gpt(num_layers=3)
+        assert len(build_layer_sequence(spec)) == 2 * 3 + 2
+
+    def test_structure_alternates(self):
+        layers = build_layer_sequence(tiny_gpt(num_layers=2))
+        kinds = [layer.kind for layer in layers]
+        assert kinds == [
+            LayerKind.EMBEDDING,
+            LayerKind.ATTENTION,
+            LayerKind.FFN,
+            LayerKind.ATTENTION,
+            LayerKind.FFN,
+            LayerKind.HEAD,
+        ]
+
+    def test_indices_are_positional(self):
+        layers = build_layer_sequence(tiny_gpt(num_layers=2))
+        assert [layer.index for layer in layers] == list(range(6))
+
+    def test_block_indices(self):
+        layers = build_layer_sequence(tiny_gpt(num_layers=2))
+        assert layers[0].block_index == -1
+        assert layers[1].block_index == layers[2].block_index == 0
+        assert layers[3].block_index == layers[4].block_index == 1
+        assert layers[-1].block_index == -1
+
+    def test_is_transformer_flag(self):
+        layers = build_layer_sequence(tiny_gpt(num_layers=1))
+        assert not layers[0].is_transformer
+        assert layers[1].is_transformer and layers[2].is_transformer
+        assert not layers[-1].is_transformer
+
+    def test_sequence_params_sums_to_total(self):
+        spec = gpt3_175b()
+        layers = build_layer_sequence(spec)
+        assert sequence_params(layers) == spec.total_params()
+
+    def test_gpt3_sequence_is_194_layers(self):
+        assert len(build_layer_sequence(gpt3_175b())) == 194
+
+    def test_describe_partition_mentions_all_stages(self):
+        layers = build_layer_sequence(tiny_gpt(num_layers=2))
+        text = describe_partition(layers, [0, 3])
+        assert "stage 0" in text and "stage 1" in text
+        assert "[0, 3)" in text and "[3, 6)" in text

@@ -1,0 +1,128 @@
+"""Tests for repro.model.spec — architectures and parameter counts."""
+
+import pytest
+
+from repro.config import ConfigError
+from repro.model.spec import (
+    ModelSpec,
+    bert_large,
+    gpt3_175b,
+    llama2_70b,
+    model_by_name,
+    tiny_gpt,
+    tiny_llama,
+)
+
+
+class TestPresets:
+    def test_gpt3_parameter_count(self):
+        # 175B within 1%: the paper's headline model size.
+        assert gpt3_175b().total_params() == pytest.approx(175e9, rel=0.01)
+
+    def test_llama2_parameter_count(self):
+        assert llama2_70b().total_params() == pytest.approx(70e9, rel=0.02)
+
+    def test_bert_large_parameter_count(self):
+        assert bert_large().total_params() == pytest.approx(340e6, rel=0.05)
+
+    def test_gpt3_dimensions(self):
+        spec = gpt3_175b()
+        assert spec.hidden_size == 12288
+        assert spec.num_layers == 96
+        assert spec.head_dim == 128
+        assert spec.tied_embeddings
+
+    def test_llama2_uses_gqa(self):
+        spec = llama2_70b()
+        assert spec.num_kv_heads == 8 < spec.num_heads == 64
+        assert spec.kv_hidden_size == 8 * spec.head_dim
+        assert spec.gated_ffn and spec.rmsnorm and not spec.linear_bias
+
+    def test_registry_lookup(self):
+        assert model_by_name("gpt3-175b").name == "gpt3-175b"
+        with pytest.raises(ConfigError):
+            model_by_name("gpt5")
+
+
+class TestParameterFormulas:
+    def test_attention_params_ungrouped(self):
+        spec = tiny_gpt(num_layers=1, hidden_size=64)
+        h = 64
+        expected = 4 * h * h + 4 * h + 2 * h  # qkvo + biases + layernorm
+        assert spec.attention_params() == expected
+
+    def test_attention_params_grouped(self):
+        spec = ModelSpec(
+            name="x",
+            hidden_size=64,
+            num_layers=1,
+            num_heads=8,
+            num_kv_heads=2,
+            ffn_hidden_size=128,
+            vocab_size=100,
+            linear_bias=False,
+            rmsnorm=True,
+        )
+        kv = 2 * 8  # kv_heads * head_dim
+        expected = 64 * 64 + 2 * 64 * kv + 64 * 64 + 64
+        assert spec.attention_params() == expected
+
+    def test_gated_ffn_has_three_matrices(self):
+        gated = tiny_llama(num_layers=1, hidden_size=64)
+        plain = ModelSpec(
+            name="plain",
+            hidden_size=64,
+            num_layers=1,
+            num_heads=4,
+            num_kv_heads=2,
+            ffn_hidden_size=gated.ffn_hidden_size,
+            vocab_size=gated.vocab_size,
+            gated_ffn=False,
+            linear_bias=False,
+            rmsnorm=True,
+        )
+        h, f = 64, gated.ffn_hidden_size
+        assert gated.ffn_params() - plain.ffn_params() == h * f
+
+    def test_tied_embeddings_shrink_head(self):
+        tied = gpt3_175b()
+        untied = ModelSpec(
+            **{**tied.__dict__, "tied_embeddings": False, "name": "untied"}
+        )
+        assert untied.head_params() - tied.head_params() == (
+            tied.vocab_size * tied.hidden_size
+        )
+
+    def test_total_is_sum_of_parts(self):
+        spec = tiny_llama(num_layers=3)
+        assert spec.total_params() == (
+            spec.embedding_params()
+            + 3 * (spec.attention_params() + spec.ffn_params())
+            + spec.head_params()
+        )
+
+
+class TestValidation:
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ConfigError):
+            ModelSpec(
+                name="bad",
+                hidden_size=65,
+                num_layers=1,
+                num_heads=8,
+                num_kv_heads=8,
+                ffn_hidden_size=128,
+                vocab_size=100,
+            )
+
+    def test_kv_heads_must_divide_heads(self):
+        with pytest.raises(ConfigError):
+            ModelSpec(
+                name="bad",
+                hidden_size=64,
+                num_layers=1,
+                num_heads=8,
+                num_kv_heads=3,
+                ffn_hidden_size=128,
+                vocab_size=100,
+            )

@@ -1,0 +1,66 @@
+"""Tests for the offload-augmented recomputation baseline."""
+
+import pytest
+
+from repro.baselines.offload import OffloadModel, plan_offload
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.search import PlannerContext, plan_even_partitioning
+from repro.hardware.cluster import cluster_a
+
+
+@pytest.fixture
+def ctx(gpt3):
+    train = TrainingConfig(sequence_length=16384, global_batch_size=32)
+    return PlannerContext(
+        cluster_a(),
+        gpt3,
+        train,
+        ParallelConfig(8, 8, 1),
+        memory_limit_bytes=70 * 1024**3,
+    )
+
+
+class TestOffloadModel:
+    def test_exposed_cost_scales_with_bytes(self):
+        model = OffloadModel(bandwidth=10e9, overlap_fraction=0.0)
+        assert model.exposed_cost(10e9) == pytest.approx(2.0)
+
+    def test_full_overlap_is_free(self):
+        model = OffloadModel(bandwidth=10e9, overlap_fraction=1.0)
+        assert model.exposed_cost(10e9) == 0.0
+
+
+class TestOffloadPlanning:
+    def test_slow_link_degenerates_to_recompute_only(self, ctx):
+        """With a uselessly slow host link, offloading never wins a single
+        unit and the plan must match plain adaptive recomputation exactly."""
+        recompute_only = plan_even_partitioning(ctx)
+        offloaded = plan_offload(ctx, OffloadModel(bandwidth=1e8, overlap_fraction=0.0))
+        assert offloaded.modeled_iteration_time == pytest.approx(
+            recompute_only.modeled_iteration_time
+        )
+
+    def test_fast_link_improves_backward_time(self, ctx):
+        recompute_only = plan_even_partitioning(ctx)
+        offloaded = plan_offload(ctx, OffloadModel(bandwidth=64e9, overlap_fraction=0.9))
+        assert offloaded.feasible
+        assert offloaded.modeled_iteration_time < recompute_only.modeled_iteration_time
+
+    def test_gain_monotone_in_bandwidth(self, ctx):
+        times = []
+        for bandwidth in (5e9, 25e9, 100e9):
+            plan = plan_offload(ctx, OffloadModel(bandwidth, overlap_fraction=0.8))
+            times.append(plan.modeled_iteration_time)
+        assert times == sorted(times, reverse=True)
+
+    def test_memory_constraint_still_respected(self, ctx):
+        plan = plan_offload(ctx, OffloadModel())
+        for stage in plan.stages:
+            assert stage.memory.total_bytes <= ctx.capacity_bytes * 1.001
+
+    def test_infeasible_when_static_alone_overflows(self, gpt3):
+        train = TrainingConfig(sequence_length=16384, global_batch_size=32)
+        tiny = PlannerContext(
+            cluster_a(), gpt3, train, ParallelConfig(8, 2, 4)
+        )
+        assert not plan_offload(tiny).feasible

@@ -1,0 +1,139 @@
+"""Tests for repro.pipeline.simulator — timing and memory correctness."""
+
+import pytest
+
+from repro.pipeline.schedules import gpipe_schedule, one_f_one_b_schedule
+from repro.pipeline.simulator import SimulationError, simulate
+from repro.pipeline.tasks import Schedule, StageCosts, Task, TaskKey, TaskKind
+
+
+def _costs(p, f=1.0, b=2.0, act=1.0, static=0.0, buffer=0.0):
+    return [
+        StageCosts(forward=f, backward=b, activation_bytes=act,
+                   static_bytes=static, buffer_bytes=buffer)
+        for _ in range(p)
+    ]
+
+
+class TestMakespan:
+    @pytest.mark.parametrize("p,n", [(2, 2), (3, 6), (4, 8), (8, 16)])
+    def test_1f1b_matches_closed_form(self, p, n):
+        """Without comm, the 1F1B makespan is (p-1)(F+B) + n(F+B)."""
+        f, b = 1.0, 2.0
+        result = simulate(one_f_one_b_schedule(_costs(p, f, b), n))
+        assert result.iteration_time == pytest.approx((p - 1 + n) * (f + b))
+
+    @pytest.mark.parametrize("p,n", [(2, 4), (3, 6), (4, 8)])
+    def test_gpipe_matches_closed_form(self, p, n):
+        f, b = 1.0, 2.0
+        result = simulate(gpipe_schedule(_costs(p, f, b), n))
+        assert result.iteration_time == pytest.approx((p - 1 + n) * (f + b))
+
+    def test_hop_time_stretches_warmup(self):
+        without = simulate(one_f_one_b_schedule(_costs(4), 8, hop_time=0.0))
+        with_hop = simulate(one_f_one_b_schedule(_costs(4), 8, hop_time=0.1))
+        assert with_hop.iteration_time > without.iteration_time
+
+    def test_single_stage_has_no_bubbles(self):
+        result = simulate(one_f_one_b_schedule(_costs(1), 5))
+        assert result.bubble_ratio == pytest.approx(0.0)
+        assert result.iteration_time == pytest.approx(5 * 3.0)
+
+    def test_bubble_ratio_closed_form(self):
+        # bubble fraction of 1F1B = (p-1)/(n+p-1) when F+B is uniform.
+        p, n = 4, 8
+        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        assert result.bubble_ratio == pytest.approx((p - 1) / (n + p - 1))
+
+    def test_busy_time_is_work(self):
+        p, n = 3, 5
+        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        for busy in result.device_busy_time:
+            assert busy == pytest.approx(n * 3.0)
+
+
+class TestMemoryTracking:
+    def test_1f1b_peaks_are_p_minus_s(self):
+        p, n = 4, 8
+        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        assert result.device_peak_bytes == pytest.approx([4.0, 3.0, 2.0, 1.0])
+
+    def test_1f1b_peak_capped_by_n(self):
+        p, n = 4, 2
+        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        assert max(result.device_peak_bytes) <= n
+
+    def test_gpipe_pins_everything(self):
+        p, n = 3, 6
+        result = simulate(gpipe_schedule(_costs(p), n))
+        assert result.device_peak_bytes == pytest.approx([float(n)] * p)
+
+    def test_static_and_buffer_added(self):
+        p, n = 2, 2
+        costs = _costs(p, static=10.0, buffer=0.5)
+        result = simulate(one_f_one_b_schedule(costs, n))
+        assert result.device_peak_bytes[0] == pytest.approx(10.0 + 0.5 + 2.0)
+
+    def test_oom_devices(self):
+        result = simulate(one_f_one_b_schedule(_costs(4), 8))
+        assert result.oom_devices(3.5) == [0]
+        assert result.oom_devices(0.5) == [0, 1, 2, 3]
+        assert result.oom_devices(100.0) == []
+
+
+class TestErrorHandling:
+    def test_deadlock_detected(self):
+        # Two tasks that wait on each other across devices.
+        a_key = TaskKey(0, 0, 0, TaskKind.FORWARD)
+        b_key = TaskKey(0, 1, 0, TaskKind.FORWARD)
+        a = Task(key=a_key, device=0, duration=1.0, deps=(b_key,))
+        b = Task(key=b_key, device=1, duration=1.0, deps=(a_key,))
+        schedule = Schedule(name="dead", num_devices=2, device_tasks=[[a], [b]])
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate(schedule)
+
+    def test_missing_dependency_detected(self):
+        ghost = TaskKey(0, 5, 5, TaskKind.FORWARD)
+        task = Task(
+            key=TaskKey(0, 0, 0, TaskKind.FORWARD),
+            device=0,
+            duration=1.0,
+            deps=(ghost,),
+        )
+        schedule = Schedule(name="bad", num_devices=1, device_tasks=[[task]])
+        with pytest.raises(SimulationError, match="missing"):
+            simulate(schedule)
+
+    def test_empty_schedule(self):
+        schedule = Schedule(name="empty", num_devices=1, device_tasks=[[]])
+        result = simulate(schedule)
+        assert result.iteration_time == 0.0
+
+
+class TestDependencyOrdering:
+    def test_forward_waves_respect_stage_order(self):
+        p, n = 4, 4
+        result = simulate(one_f_one_b_schedule(_costs(p), n, hop_time=0.25))
+        for m in range(n):
+            for s in range(1, p):
+                upstream = result.end_times[TaskKey(0, s - 1, m, TaskKind.FORWARD)]
+                start = result.start_times[TaskKey(0, s, m, TaskKind.FORWARD)]
+                assert start >= upstream + 0.25 - 1e-12
+
+    def test_backward_waves_respect_reverse_order(self):
+        p, n = 4, 4
+        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        for m in range(n):
+            for s in range(p - 1):
+                downstream = result.end_times[TaskKey(0, s + 1, m, TaskKind.BACKWARD)]
+                start = result.start_times[TaskKey(0, s, m, TaskKind.BACKWARD)]
+                assert start >= downstream - 1e-12
+
+    def test_no_device_overlap(self):
+        result = simulate(one_f_one_b_schedule(_costs(4), 8))
+        for device, tasks in enumerate(result.schedule.device_tasks):
+            intervals = sorted(
+                (result.start_times[t.key], result.end_times[t.key]) for t in tasks
+            )
+            for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-12

@@ -1,0 +1,57 @@
+"""Tests for repro.pipeline.tasks — schedule structural validation."""
+
+import pytest
+
+from repro.pipeline.tasks import Schedule, Task, TaskKey, TaskKind
+
+
+def _task(stage, mb, kind, device=None, deps=()):
+    key = TaskKey(0, stage, mb, kind)
+    return Task(key=key, device=device if device is not None else stage,
+                duration=1.0, deps=deps)
+
+
+def _schedule(device_tasks):
+    return Schedule(
+        name="test", num_devices=len(device_tasks), device_tasks=device_tasks
+    )
+
+
+class TestScheduleValidation:
+    def test_valid_pair_passes(self):
+        fwd = _task(0, 0, TaskKind.FORWARD)
+        bwd = _task(0, 0, TaskKind.BACKWARD, deps=(fwd.key,))
+        _schedule([[fwd, bwd]]).validate()
+
+    def test_duplicate_keys_rejected(self):
+        fwd = _task(0, 0, TaskKind.FORWARD)
+        with pytest.raises(ValueError, match="duplicate"):
+            _schedule([[fwd, fwd]]).validate()
+
+    def test_missing_dependency_rejected(self):
+        ghost = TaskKey(0, 9, 9, TaskKind.FORWARD)
+        fwd = _task(0, 0, TaskKind.FORWARD, deps=(ghost,))
+        bwd = _task(0, 0, TaskKind.BACKWARD)
+        with pytest.raises(ValueError, match="missing"):
+            _schedule([[fwd, bwd]]).validate()
+
+    def test_forward_without_backward_rejected(self):
+        fwd = _task(0, 0, TaskKind.FORWARD)
+        with pytest.raises(ValueError, match="no backward twin"):
+            _schedule([[fwd]]).validate()
+
+    def test_twin_on_different_device_rejected(self):
+        fwd = _task(0, 0, TaskKind.FORWARD, device=0)
+        bwd = _task(0, 0, TaskKind.BACKWARD, device=1)
+        with pytest.raises(ValueError, match="different devices"):
+            _schedule([[fwd], [bwd]]).validate()
+
+    def test_all_tasks_flattens(self):
+        fwd = _task(0, 0, TaskKind.FORWARD)
+        bwd = _task(0, 0, TaskKind.BACKWARD)
+        schedule = _schedule([[fwd], [bwd]])
+        assert len(schedule.all_tasks()) == 2
+
+    def test_task_key_str(self):
+        key = TaskKey(0, 1, 2, TaskKind.FORWARD)
+        assert "s1" in str(key) and "m2" in str(key)

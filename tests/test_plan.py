@@ -1,0 +1,80 @@
+"""Tests for the plan data model."""
+
+import pytest
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.plan import PipelinePlan, StagePlan, merge_unit_counts
+from repro.profiler.memory import StageMemory
+
+
+def _stage(stage=0, lo=0, hi=4, saved=None, fwd=1.0, bwd=2.0):
+    return StagePlan(
+        stage=stage,
+        layer_start=lo,
+        layer_end=hi,
+        saved_unit_counts=saved or {"attn.out": 2, "ffn.out": 2},
+        forward_time=fwd,
+        backward_time=bwd,
+        memory=StageMemory(10.0, 1.0, 2.0, 4 - stage),
+    )
+
+
+def _plan(stages):
+    return PipelinePlan(
+        method="Test",
+        parallel=ParallelConfig(1, len(stages), 1),
+        train=TrainingConfig(sequence_length=8, global_batch_size=4),
+        stages=tuple(stages),
+        modeled_iteration_time=1.0,
+        hidden_size=64,
+    )
+
+
+class TestStagePlan:
+    def test_num_layers(self):
+        assert _stage(lo=3, hi=8).num_layers == 5
+
+    def test_num_saved_units(self):
+        assert _stage(saved={"a": 3, "b": 4}).num_saved_units == 7
+
+    def test_micro_step_time(self):
+        assert _stage(fwd=1.5, bwd=3.0).micro_step_time == pytest.approx(4.5)
+
+    def test_to_stage_costs(self):
+        costs = _stage().to_stage_costs()
+        assert costs.forward == 1.0
+        assert costs.backward == 2.0
+        assert costs.activation_bytes == 2.0
+        assert costs.static_bytes == 10.0
+        assert costs.buffer_bytes == 1.0
+
+
+class TestPipelinePlan:
+    def test_layer_and_saved_counts(self):
+        plan = _plan([_stage(0, 0, 3), _stage(1, 3, 8, saved={"x": 5})])
+        assert plan.layer_counts() == (3, 5)
+        assert plan.saved_unit_counts() == (4, 5)
+
+    def test_peak_memory(self):
+        plan = _plan([_stage(0), _stage(1)])
+        # static 10 + buffer 1 + 2 * in_flight
+        assert plan.peak_memory_bytes() == (10 + 1 + 2 * 4, 10 + 1 + 2 * 3)
+
+    def test_describe_mentions_stages_and_method(self):
+        text = _plan([_stage(0), _stage(1, 4, 8)]).describe()
+        assert "Test" in text
+        assert "stage 0" in text and "stage 1" in text
+        assert "feasible=True" in text
+
+    def test_stage_costs_tuple(self):
+        plan = _plan([_stage(0), _stage(1)])
+        assert len(plan.stage_costs()) == 2
+
+
+class TestMergeUnitCounts:
+    def test_merges_overlapping_keys(self):
+        merged = merge_unit_counts([{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        assert merged == {"a": 1, "b": 5, "c": 4}
+
+    def test_empty(self):
+        assert merge_unit_counts([]) == {}

@@ -1,0 +1,102 @@
+"""Hypothesis property tests over the end-to-end planner.
+
+Random small architectures and budgets; the invariants that must hold for
+*every* input, not just the paper's configurations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.search import (
+    PlannerContext,
+    plan_adapipe,
+    plan_even_partitioning,
+    plan_policy,
+)
+from repro.core.strategies import RecomputePolicy
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import ModelSpec
+
+
+@st.composite
+def planner_contexts(draw):
+    hidden = draw(st.sampled_from([1024, 2048, 4096]))
+    num_layers = draw(st.integers(min_value=4, max_value=12))
+    spec = ModelSpec(
+        name="hypo",
+        hidden_size=hidden,
+        num_layers=num_layers,
+        num_heads=hidden // 128,
+        num_kv_heads=hidden // 128,
+        ffn_hidden_size=4 * hidden,
+        vocab_size=32000,
+        gated_ffn=draw(st.booleans()),
+        linear_bias=draw(st.booleans()),
+        rmsnorm=draw(st.booleans()),
+    )
+    p = draw(st.sampled_from([2, 4]))
+    t = draw(st.sampled_from([1, 2, 4]))
+    seq = draw(st.sampled_from([1024, 2048, 4096]))
+    n = draw(st.integers(min_value=p, max_value=3 * p))
+    train = TrainingConfig(sequence_length=seq, global_batch_size=n)
+    margin = draw(st.floats(min_value=0.3, max_value=0.95))
+    return PlannerContext(
+        cluster_a(2), spec, train, ParallelConfig(t, p, 1), memory_margin=margin
+    )
+
+
+class TestPlannerInvariants:
+    @given(ctx=planner_contexts())
+    @settings(max_examples=25, deadline=None)
+    def test_plans_cover_layers_and_respect_memory(self, ctx):
+        plan = plan_adapipe(ctx)
+        if not plan.feasible:
+            return  # infeasible contexts are legal; nothing more to check
+        assert plan.stages[0].layer_start == 0
+        assert plan.stages[-1].layer_end == len(ctx.layers)
+        cursor = 0
+        for stage in plan.stages:
+            assert stage.layer_start == cursor
+            assert stage.num_layers >= 1
+            cursor = stage.layer_end
+            assert stage.memory.total_bytes <= ctx.capacity_bytes * 1.001
+
+    @given(ctx=planner_contexts())
+    @settings(max_examples=25, deadline=None)
+    def test_adapipe_dominates_even_partitioning(self, ctx):
+        """AdaPipe searches a superset of Even Partitioning's space, so its
+        modelled objective can never be worse, and Even Partitioning can
+        never be feasible where AdaPipe is not."""
+        even = plan_even_partitioning(ctx)
+        ada = plan_adapipe(ctx)
+        if even.feasible:
+            assert ada.feasible
+            assert ada.modeled_iteration_time <= even.modeled_iteration_time + 1e-9
+
+    @given(ctx=planner_contexts())
+    @settings(max_examples=20, deadline=None)
+    def test_adaptive_backward_never_exceeds_full_recompute(self, ctx):
+        """Saving intermediates can only remove recompute work."""
+        ada = plan_even_partitioning(ctx)
+        full = plan_policy(ctx, RecomputePolicy.FULL, "full")
+        if not ada.feasible:
+            return
+        for adaptive_stage, full_stage in zip(ada.stages, full.stages):
+            assert adaptive_stage.backward_time <= full_stage.backward_time + 1e-12
+            assert adaptive_stage.forward_time == pytest.approx(
+                full_stage.forward_time
+            )
+
+    @given(ctx=planner_contexts())
+    @settings(max_examples=20, deadline=None)
+    def test_saved_bytes_monotone_along_pipeline_pressure(self, ctx):
+        """Within one plan, a later stage's *memory pressure* (in-flight x
+        saved bytes) never exceeds the budget a former stage had to obey."""
+        plan = plan_even_partitioning(ctx)
+        if not plan.feasible:
+            return
+        for stage in plan.stages:
+            in_flight = stage.memory.in_flight_microbatches
+            assert in_flight == ctx.parallel.pipeline_parallel - stage.stage

@@ -1,0 +1,146 @@
+"""Tests for the adaptive-recomputation knapsack (Section 4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recompute_dp import (
+    UnitItem,
+    brute_force_recompute,
+    optimize_stage_recompute,
+)
+
+
+def _item(name="u", value=1.0, weight=100.0, copies=1):
+    return UnitItem(name=name, value=value, weight_bytes=weight, copies=copies)
+
+
+class TestBasics:
+    def test_negative_budget_is_infeasible(self):
+        result = optimize_stage_recompute([_item()], -1.0, in_flight=1)
+        assert not result.feasible
+
+    def test_zero_budget_saves_nothing(self):
+        result = optimize_stage_recompute([_item()], 0.0, in_flight=1)
+        assert result.feasible
+        assert result.saved_value == 0.0
+        assert result.saved_counts == {"u": 0}
+
+    def test_everything_fits(self):
+        items = [_item("a", 1.0, 10, 3), _item("b", 2.0, 20, 2)]
+        result = optimize_stage_recompute(items, 1_000.0, in_flight=1)
+        assert result.saved_counts == {"a": 3, "b": 2}
+        assert result.saved_value == pytest.approx(3 * 1.0 + 2 * 2.0)
+        assert result.saved_bytes == pytest.approx(3 * 10 + 2 * 20)
+
+    def test_picks_denser_item_under_pressure(self):
+        # Same weight, different value: the valuable one must win.
+        items = [_item("cheap", 1.0, 100), _item("rich", 5.0, 100)]
+        result = optimize_stage_recompute(items, 100.0, in_flight=1)
+        assert result.saved_counts == {"cheap": 0, "rich": 1}
+
+    def test_in_flight_multiplier_scales_weights(self):
+        items = [_item("a", 1.0, 100, copies=4)]
+        # Budget 400 fits 4 copies at in_flight=1 but only 2 at in_flight=2.
+        assert optimize_stage_recompute(items, 400, 1).saved_counts["a"] == 4
+        assert optimize_stage_recompute(items, 400, 2).saved_counts["a"] == 2
+
+    def test_no_items(self):
+        result = optimize_stage_recompute([], 100.0, in_flight=1)
+        assert result.feasible and result.saved_value == 0.0
+
+    def test_bounded_copies_partial_take(self):
+        items = [_item("a", 1.0, 100, copies=10)]
+        result = optimize_stage_recompute(items, 350.0, in_flight=1)
+        assert result.saved_counts["a"] == 3
+
+    def test_counts_consistent_with_value_and_bytes(self):
+        items = [_item("a", 1.5, 64, 5), _item("b", 0.7, 48, 3)]
+        result = optimize_stage_recompute(items, 300.0, in_flight=1)
+        expected_value = (
+            result.saved_counts["a"] * 1.5 + result.saved_counts["b"] * 0.7
+        )
+        expected_bytes = result.saved_counts["a"] * 64 + result.saved_counts["b"] * 48
+        assert result.saved_value == pytest.approx(expected_value)
+        assert result.saved_bytes == pytest.approx(expected_bytes)
+        assert expected_bytes <= 300.0
+
+
+class TestQuantization:
+    def test_gcd_exploited_exactly(self):
+        # All weights share gcd 4096: quantization must stay exact.
+        items = [
+            _item("a", 3.0, 3 * 4096, 2),
+            _item("b", 2.0, 2 * 4096, 2),
+            _item("c", 1.0, 4096, 2),
+        ]
+        budget = 9 * 4096
+        result = optimize_stage_recompute(items, budget, in_flight=1)
+        _, best = brute_force_recompute(items, budget, 1)
+        assert result.saved_value == pytest.approx(best)
+
+    def test_max_cells_guard_is_conservative(self):
+        # With a tiny cell budget, quantization coarsens but never
+        # overshoots memory.
+        items = [_item(f"u{i}", float(i + 1), 1000.0 + i, 1) for i in range(8)]
+        budget = 4000.0
+        result = optimize_stage_recompute(items, budget, 1, max_cells=64)
+        assert result.feasible
+        assert result.saved_bytes <= budget
+
+    def test_guarded_solution_not_much_worse(self):
+        items = [_item(f"u{i}", 1.0, 1024.0, 1) for i in range(10)]
+        budget = 5 * 1024.0
+        exact = optimize_stage_recompute(items, budget, 1)
+        coarse = optimize_stage_recompute(items, budget, 1, max_cells=128)
+        assert coarse.saved_value <= exact.saved_value
+        assert coarse.saved_value >= 0.5 * exact.saved_value
+
+
+@st.composite
+def knapsack_instances(draw):
+    num_types = draw(st.integers(min_value=1, max_value=4))
+    items = []
+    for index in range(num_types):
+        items.append(
+            UnitItem(
+                name=f"u{index}",
+                value=draw(st.floats(min_value=0.1, max_value=10.0)),
+                weight_bytes=float(draw(st.integers(min_value=1, max_value=50))),
+                copies=draw(st.integers(min_value=1, max_value=3)),
+            )
+        )
+    budget = float(draw(st.integers(min_value=0, max_value=200)))
+    in_flight = draw(st.integers(min_value=1, max_value=4))
+    return items, budget, in_flight
+
+
+class TestAgainstBruteForce:
+    @given(knapsack_instances())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_exponential_reference(self, instance):
+        items, budget, in_flight = instance
+        result = optimize_stage_recompute(items, budget, in_flight)
+        feasible, best = brute_force_recompute(items, budget, in_flight)
+        assert result.feasible == feasible
+        assert result.saved_value == pytest.approx(best, abs=1e-9)
+
+    @given(knapsack_instances())
+    @settings(max_examples=120, deadline=None)
+    def test_chosen_set_respects_budget(self, instance):
+        items, budget, in_flight = instance
+        result = optimize_stage_recompute(items, budget, in_flight)
+        if result.feasible:
+            used = sum(
+                result.saved_counts[item.name] * item.weight_bytes * in_flight
+                for item in items
+            )
+            assert used <= budget + 1e-9
+
+    @given(knapsack_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_budget(self, instance):
+        items, budget, in_flight = instance
+        smaller = optimize_stage_recompute(items, budget, in_flight)
+        larger = optimize_stage_recompute(items, budget + 100, in_flight)
+        assert larger.saved_value >= smaller.saved_value - 1e-9

@@ -1,0 +1,69 @@
+"""Tests for simulator-guided partition refinement."""
+
+import pytest
+
+from repro.core.evaluate import evaluate_plan
+from repro.core.refine import _boundary_moves, plan_adapipe_refined, refine_partition
+from repro.core.search import plan_adapipe, plan_even_partitioning
+
+
+class TestBoundaryMoves:
+    def test_generates_both_directions(self):
+        moves = _boundary_moves([(0, 4), (4, 8)])
+        assert [(0, 3), (3, 8)] in moves
+        assert [(0, 5), (5, 8)] in moves
+
+    def test_never_empties_a_stage(self):
+        moves = _boundary_moves([(0, 1), (1, 8)])
+        for move in moves:
+            for lo, hi in move:
+                assert hi > lo
+
+    def test_move_count(self):
+        # p-1 cuts, two directions each, minus blocked ones.
+        moves = _boundary_moves([(0, 3), (3, 6), (6, 9)])
+        assert len(moves) == 4
+
+
+class TestRefinement:
+    def test_never_worse_than_input(self, gpt3_ctx):
+        base = plan_adapipe(gpt3_ctx)
+        refined = refine_partition(gpt3_ctx, base, max_rounds=2)
+        base_time = evaluate_plan(base, gpt3_ctx.cluster).iteration_time
+        refined_time = evaluate_plan(refined, gpt3_ctx.cluster).iteration_time
+        assert refined_time <= base_time + 1e-12
+
+    def test_refined_at_least_matches_even_partitioning(self, gpt3_ctx):
+        """The refinement closes the model-vs-simulator gap that can leave
+        raw AdaPipe a hair behind the even partition."""
+        refined = plan_adapipe_refined(gpt3_ctx)
+        even = plan_even_partitioning(gpt3_ctx)
+        refined_time = evaluate_plan(refined, gpt3_ctx.cluster).iteration_time
+        even_time = evaluate_plan(even, gpt3_ctx.cluster).iteration_time
+        assert refined_time <= even_time * 1.001
+
+    def test_label_marks_refinement(self, gpt3_ctx):
+        base = plan_adapipe(gpt3_ctx)
+        refined = refine_partition(gpt3_ctx, base, max_rounds=4)
+        if refined is not base:
+            assert refined.method.endswith("+refine")
+            assert refined.modeled_iteration_time is not None
+
+    def test_infeasible_plan_passes_through(self, gpt3_ctx):
+        base = plan_adapipe(gpt3_ctx)
+        broken = type(base)(
+            method=base.method,
+            parallel=base.parallel,
+            train=base.train,
+            stages=base.stages,
+            feasible=False,
+            hidden_size=base.hidden_size,
+        )
+        assert refine_partition(gpt3_ctx, broken) is broken
+
+    def test_refined_plan_still_covers_all_layers(self, gpt3_ctx):
+        refined = plan_adapipe_refined(gpt3_ctx)
+        assert refined.stages[0].layer_start == 0
+        assert refined.stages[-1].layer_end == len(gpt3_ctx.layers)
+        for a, b in zip(refined.stages, refined.stages[1:]):
+            assert a.layer_end == b.layer_start

@@ -1,0 +1,225 @@
+"""Tests for the SVG report subsystem.
+
+No rasterizer is available offline, so geometry is verified structurally:
+well-formed XML, every element inside the canvas, mark specs honoured
+(2px lines, ringed markers, rounded bar caps), legends present for
+multi-series charts, OOM markers where bars are missing.
+"""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.report.charts import ChartSpec, Series, grouped_bar_chart, line_chart
+from repro.report.render import render_experiment_svg, save_experiment_svgs
+from repro.report.svg import SERIES, SvgCanvas, format_tick, nice_ticks
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def _root(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def _all(svg: str, tag: str):
+    return _root(svg).iter(f"{NS}{tag}")
+
+
+class TestSvgBuilder:
+    def test_document_is_well_formed(self):
+        canvas = SvgCanvas(200, 100)
+        canvas.text(10, 20, "hello <&> world")
+        root = _root(canvas.to_string())
+        assert root.attrib["width"] == "200"
+        text = next(root.iter(f"{NS}text"))
+        assert text.text == "hello <&> world"
+
+    def test_rounded_top_bar_is_a_path(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.rect(10, 10, 20, 50, fill="#000", rx_top=4)
+        assert any(True for _ in _all(canvas.to_string(), "path"))
+
+    def test_zero_size_rect_skipped(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.rect(10, 10, 0, 50, fill="#000")
+        assert sum(1 for _ in _all(canvas.to_string(), "rect")) == 1  # surface only
+
+    def test_circle_carries_surface_ring(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.circle(50, 50, 4, fill="#2a78d6")
+        circle = next(_all(canvas.to_string(), "circle"))
+        assert circle.attrib["stroke-width"] == "2"
+
+    @pytest.mark.parametrize(
+        "low,high", [(0, 100), (0, 7), (10, 11), (0, 0.5), (0, 123456)]
+    )
+    def test_nice_ticks_cover_range(self, low, high):
+        ticks = nice_ticks(low, high)
+        assert len(ticks) >= 2
+        assert ticks == sorted(ticks)
+        assert ticks[0] <= max(low, 0) + (high - low)
+        assert ticks[-1] <= high + (ticks[1] - ticks[0])
+
+    def test_format_tick(self):
+        assert format_tick(2000.0) == "2,000"
+        assert format_tick(0.5) == "0.5"
+
+
+def _bounds_ok(svg: str) -> bool:
+    root = _root(svg)
+    width = float(root.attrib["width"])
+    height = float(root.attrib["height"])
+    for text in root.iter(f"{NS}text"):
+        x, y = float(text.attrib["x"]), float(text.attrib["y"])
+        if not (0 <= x <= width and 0 <= y <= height):
+            return False
+    for circle in root.iter(f"{NS}circle"):
+        if not (0 <= float(circle.attrib["cx"]) <= width):
+            return False
+        if not (-1 <= float(circle.attrib["cy"]) <= height + 1):
+            return False
+    return True
+
+
+class TestCharts:
+    @pytest.fixture
+    def line_svg(self):
+        spec = ChartSpec(
+            title="test lines",
+            x_labels=["0", "1", "2", "3"],
+            y_title="GiB",
+            reference_line=(80.0, "limit"),
+        )
+        series = [
+            Series("a", [10.0, 20.0, 30.0, 40.0]),
+            Series("b", [90.0, None, 70.0, 60.0]),
+        ]
+        return line_chart(spec, series)
+
+    def test_line_chart_structure(self, line_svg):
+        polylines = list(_all(line_svg, "polyline"))
+        # two series (series b splits around the gap) + dashed reference
+        assert len(polylines) >= 3
+        data_lines = [p for p in polylines if p.attrib["stroke"] in SERIES]
+        assert all(p.attrib["stroke-width"] == "2" for p in data_lines)
+
+    def test_line_chart_end_markers(self, line_svg):
+        circles = list(_all(line_svg, "circle"))
+        assert len(circles) == 2  # one end marker per series
+
+    def test_line_chart_direct_labels(self, line_svg):
+        texts = [t.text for t in _all(line_svg, "text")]
+        assert "a" in texts and "b" in texts
+
+    def test_line_chart_within_bounds(self, line_svg):
+        assert _bounds_ok(line_svg)
+
+    def test_missing_values_break_lines(self):
+        spec = ChartSpec(title="gap", x_labels=["0", "1", "2"])
+        svg = line_chart(spec, [Series("only", [1.0, None, 3.0])])
+        # Two one-point segments produce no polyline (needs >= 2 points),
+        # so only the title/marker remain — no crash, no bogus bridge.
+        data_polylines = [
+            p for p in _all(svg, "polyline") if p.attrib["stroke"] in SERIES
+        ]
+        assert data_polylines == []
+
+    def test_many_series_use_legend_not_direct_labels(self):
+        spec = ChartSpec(title="busy", x_labels=["0", "1"])
+        series = [Series(f"s{i}", [float(i), float(i + 1)]) for i in range(6)]
+        svg = line_chart(spec, series)
+        texts = [t.text for t in _all(svg, "text")]
+        assert all(f"s{i}" in texts for i in range(6))  # legend rows
+
+    @pytest.fixture
+    def bar_svg(self):
+        spec = ChartSpec(title="bars", x_labels=["4096", "8192"], y_title="s")
+        series = [
+            Series("DAPPLE", [60.0, 80.0]),
+            Series("AdaPipe", [50.0, None]),
+        ]
+        return grouped_bar_chart(spec, series)
+
+    def test_bar_chart_draws_bars_and_oom(self, bar_svg):
+        paths = list(_all(bar_svg, "path"))  # rounded-top bars + legend swatches
+        assert len(paths) == 3 + 2  # 4 bar slots (one OOM) + 2 legend keys
+        texts = [t.text for t in _all(bar_svg, "text")]
+        assert "OOM" in texts
+
+    def test_bar_chart_legend(self, bar_svg):
+        texts = [t.text for t in _all(bar_svg, "text")]
+        assert "DAPPLE" in texts and "AdaPipe" in texts
+
+    def test_bar_chart_within_bounds(self, bar_svg):
+        assert _bounds_ok(bar_svg)
+
+
+class TestExperimentRendering:
+    @pytest.fixture(scope="class")
+    def figure1(self):
+        return run_experiment("figure1", fast=True)
+
+    def test_figure1_renders(self, figure1):
+        svg = render_experiment_svg("figure1", figure1)
+        assert svg is not None
+        assert _bounds_ok(svg)
+        texts = [t.text for t in _all(svg, "text")]
+        assert any("80 GiB" in (t or "") for t in texts)
+
+    def test_figure2_is_text_only(self):
+        result = run_experiment("figure2", fast=True)
+        assert render_experiment_svg("figure2", result) is None
+
+    def test_save_experiment_svgs(self, figure1, tmp_path):
+        written = save_experiment_svgs({"figure1": figure1}, str(tmp_path))
+        assert len(written) == 1
+        content = (tmp_path / "figure1.svg").read_text()
+        assert content.startswith("<svg")
+
+    def test_figure10_renders(self):
+        result = run_experiment("figure10", fast=True)
+        svg = render_experiment_svg("figure10", result)
+        assert svg is not None and _bounds_ok(svg)
+
+    def test_table4_renders(self):
+        result = run_experiment("table4", fast=True)
+        svg = render_experiment_svg("table4", result)
+        assert svg is not None and _bounds_ok(svg)
+
+
+class TestHtmlReport:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            "figure1": run_experiment("figure1", fast=True),
+            "figure2": run_experiment("figure2", fast=True),
+        }
+
+    def test_report_contains_charts_and_tables(self, results):
+        from repro.report.html import build_html_report
+
+        document = build_html_report(results)
+        assert document.startswith("<!DOCTYPE html>")
+        assert document.count("<svg") == 1  # figure2 is text-only
+        assert document.count("<table>") == 2
+        assert 'id="figure1"' in document and 'id="figure2"' in document
+
+    def test_report_escapes_content(self, results):
+        from repro.experiments.common import ExperimentResult
+        from repro.report.html import build_html_report
+
+        tricky = ExperimentResult(
+            name="figure2", title="<script>alert(1)</script>",
+            headers=["a"], rows=[["<b>"]],
+        )
+        document = build_html_report({"figure2": tricky})
+        assert "<script>alert" not in document
+        assert "&lt;script&gt;" in document
+
+    def test_write_html_report(self, results, tmp_path):
+        from repro.report.html import write_html_report
+
+        path = write_html_report(results, str(tmp_path / "out" / "report.html"))
+        assert (tmp_path / "out" / "report.html").read_text().startswith("<!DOCTYPE")
+        assert path.endswith("report.html")

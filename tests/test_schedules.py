@@ -1,0 +1,213 @@
+"""Tests for the schedule generators, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ConfigError
+from repro.pipeline.schedules import (
+    chimera_schedule,
+    gpipe_schedule,
+    interleaved_1f1b_schedule,
+    one_f_one_b_schedule,
+)
+from repro.pipeline.simulator import simulate
+from repro.pipeline.tasks import StageCosts, TaskKind
+
+
+def _costs(p, f=1.0, b=2.0, act=1.0, static=5.0):
+    return [
+        StageCosts(forward=f, backward=b, activation_bytes=act, static_bytes=static)
+        for _ in range(p)
+    ]
+
+
+class TestOneFOneB:
+    def test_task_count(self):
+        schedule = one_f_one_b_schedule(_costs(3), 5)
+        assert len(schedule.all_tasks()) == 2 * 3 * 5
+
+    def test_warmup_depth(self):
+        p, n = 4, 8
+        schedule = one_f_one_b_schedule(_costs(p), n)
+        for stage, tasks in enumerate(schedule.device_tasks):
+            warmup = 0
+            for task in tasks:
+                if task.key.kind != TaskKind.FORWARD:
+                    break
+                warmup += 1
+            assert warmup == min(p - stage - 1, n) + (1 if n > p - stage - 1 else 0)
+
+    def test_alternation_in_steady_phase(self):
+        schedule = one_f_one_b_schedule(_costs(2), 6)
+        kinds = [t.key.kind for t in schedule.device_tasks[1]]
+        # Last stage: strict F B F B ...
+        assert kinds == [TaskKind.FORWARD, TaskKind.BACKWARD] * 6
+
+    def test_fewer_micro_batches_than_stages(self):
+        schedule = one_f_one_b_schedule(_costs(4), 2)
+        simulate(schedule)  # must not deadlock
+
+    @given(
+        p=st.integers(min_value=1, max_value=6),
+        n=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_deadlocks_and_bounds_memory(self, p, n):
+        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        for stage, peak in enumerate(result.device_peak_bytes):
+            assert peak - 5.0 <= min(p - stage, n) + 1e-9
+
+    @given(
+        p=st.integers(min_value=1, max_value=5),
+        n=st.integers(min_value=1, max_value=10),
+        f=st.floats(min_value=0.1, max_value=5.0),
+        b=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_lower_bound(self, p, n, f, b):
+        """No schedule can beat the per-device work plus the pipeline fill."""
+        result = simulate(one_f_one_b_schedule(_costs(p, f, b), n))
+        work = n * (f + b)
+        fill = (p - 1) * f
+        assert result.iteration_time >= max(work, fill) - 1e-9
+
+
+class TestGPipe:
+    def test_all_forwards_precede_backwards(self):
+        schedule = gpipe_schedule(_costs(3), 4)
+        for tasks in schedule.device_tasks:
+            kinds = [t.key.kind for t in tasks]
+            first_b = kinds.index(TaskKind.BACKWARD)
+            assert all(k == TaskKind.FORWARD for k in kinds[:first_b])
+            assert all(k == TaskKind.BACKWARD for k in kinds[first_b:])
+
+    def test_backward_order_reversed(self):
+        schedule = gpipe_schedule(_costs(2), 4)
+        backwards = [
+            t.key.micro_batch
+            for t in schedule.device_tasks[0]
+            if t.key.kind == TaskKind.BACKWARD
+        ]
+        assert backwards == [3, 2, 1, 0]
+
+    @given(
+        p=st.integers(min_value=1, max_value=5),
+        n=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gpipe_memory_is_n_everywhere(self, p, n):
+        result = simulate(gpipe_schedule(_costs(p, static=0.0), n))
+        assert result.device_peak_bytes == pytest.approx([float(n)] * p)
+
+
+class TestInterleaved:
+    def test_requires_divisible_micro_batches(self):
+        with pytest.raises(ConfigError):
+            interleaved_1f1b_schedule(_costs(8), 6, 4)
+
+    def test_requires_divisible_stages(self):
+        with pytest.raises(ConfigError):
+            interleaved_1f1b_schedule(_costs(7), 8, 4)
+
+    def test_task_count_covers_all_chunks(self):
+        schedule = interleaved_1f1b_schedule(_costs(8), 4, 4)
+        assert len(schedule.all_tasks()) == 2 * 8 * 4
+
+    def test_device_hosts_its_chunks(self):
+        p, v = 4, 2
+        schedule = interleaved_1f1b_schedule(_costs(p * v), 4, p)
+        for device, tasks in enumerate(schedule.device_tasks):
+            stages = {t.key.stage for t in tasks}
+            assert stages == {device, device + p}
+
+    def test_statics_summed_per_device(self):
+        p, v = 4, 2
+        schedule = interleaved_1f1b_schedule(_costs(p * v, static=5.0), 4, p)
+        assert schedule.device_static_bytes == [10.0] * p
+
+    @given(
+        p=st.integers(min_value=2, max_value=4),
+        v=st.integers(min_value=1, max_value=3),
+        batches=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_never_deadlocks(self, p, v, batches):
+        n = p * batches
+        result = simulate(interleaved_1f1b_schedule(_costs(p * v), n, p))
+        assert result.iteration_time > 0
+
+    def test_smaller_bubble_fraction_than_1f1b(self):
+        """The whole point of interleaving: v chunks shrink the bubble."""
+        p, n = 4, 8
+        plain = simulate(one_f_one_b_schedule(_costs(p), n))
+        split = simulate(
+            interleaved_1f1b_schedule(_costs(2 * p, f=0.5, b=1.0), n, p)
+        )
+        assert split.bubble_ratio < plain.bubble_ratio
+
+
+class TestChimera:
+    def test_requires_even_stages(self):
+        with pytest.raises(ConfigError):
+            chimera_schedule(_costs(3), 6)
+
+    def test_requires_even_micro_batches(self):
+        with pytest.raises(ConfigError):
+            chimera_schedule(_costs(4), 5)
+
+    def test_doubled_pipelines_share_devices(self):
+        schedule = chimera_schedule(_costs(4), 8)
+        for device, tasks in enumerate(schedule.device_tasks):
+            pipes = {t.key.pipe for t in tasks}
+            assert pipes == {0, 1}
+            stages = {(t.key.pipe, t.key.stage) for t in tasks}
+            assert (0, device) in stages and (1, 4 - 1 - device) in stages
+
+    def test_static_memory_doubles(self):
+        schedule = chimera_schedule(_costs(4, static=5.0), 8)
+        assert schedule.device_static_bytes == [10.0] * 4
+
+    def test_task_count(self):
+        schedule = chimera_schedule(_costs(4), 8)
+        assert len(schedule.all_tasks()) == 2 * 2 * 4 * 4  # 2 pipes x 4 mbs x 4 stages x F/B
+
+    def test_forward_doubling_halves_task_count_and_doubles_weight(self):
+        plain = chimera_schedule(_costs(4), 8)
+        doubled = chimera_schedule(_costs(4), 8, forward_doubling=True)
+        assert len(doubled.all_tasks()) == len(plain.all_tasks()) // 2
+        fwd = next(
+            t for t in doubled.all_tasks() if t.key.kind == TaskKind.FORWARD
+        )
+        assert fwd.weight == 2
+        assert fwd.activation_bytes == 2.0
+
+    def test_forward_doubling_micro_batch_constraint(self):
+        with pytest.raises(ConfigError):
+            chimera_schedule(_costs(4), 6, forward_doubling=True)
+
+    @given(
+        half_p=st.integers(min_value=1, max_value=3),
+        units=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_never_deadlocks(self, half_p, units):
+        p = 2 * half_p
+        n = p * units
+        result = simulate(chimera_schedule(_costs(p), n))
+        assert result.iteration_time > 0
+
+    def test_middle_heavy_memory_profile(self):
+        """Figure 8's Chimera-Non shape: middle stages store the most."""
+        p, n = 8, 16
+        result = simulate(chimera_schedule(_costs(p, static=0.0), n))
+        peaks = result.device_peak_bytes
+        middle = max(peaks[p // 2 - 1], peaks[p // 2])
+        assert middle >= peaks[0] and middle >= peaks[-1]
+
+    def test_worse_than_dapple_at_many_micro_batches(self):
+        """Section 7.2: bubbles between units make Chimera lose at n >> p."""
+        p, n = 4, 32
+        dapple = simulate(one_f_one_b_schedule(_costs(p), n))
+        chimera = simulate(chimera_schedule(_costs(p), n))
+        assert chimera.iteration_time >= dapple.iteration_time * 0.98

@@ -1,0 +1,138 @@
+"""Tests for the end-to-end planners and strategy search."""
+
+import pytest
+
+from repro.config import ConfigError, ParallelConfig, TrainingConfig
+from repro.core.search import (
+    PlannerContext,
+    enumerate_parallel_strategies,
+    plan_adapipe,
+    plan_even_partitioning,
+    plan_policy,
+    search_best_strategy,
+)
+from repro.core.strategies import RecomputePolicy
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import gpt3_175b
+
+
+class TestPlanStructure:
+    def test_adapipe_plan_covers_all_layers(self, gpt3_ctx):
+        plan = plan_adapipe(gpt3_ctx)
+        assert plan.feasible
+        assert plan.stages[0].layer_start == 0
+        assert plan.stages[-1].layer_end == len(gpt3_ctx.layers)
+        for a, b in zip(plan.stages, plan.stages[1:]):
+            assert a.layer_end == b.layer_start
+            assert a.num_layers >= 1
+
+    def test_adapipe_respects_memory_limit(self, gpt3_ctx):
+        plan = plan_adapipe(gpt3_ctx)
+        for stage in plan.stages:
+            assert stage.memory.total_bytes <= gpt3_ctx.capacity_bytes * 1.001
+
+    def test_even_partitioning_keeps_uniform_layout(self, gpt3_ctx):
+        plan = plan_even_partitioning(gpt3_ctx)
+        counts = plan.layer_counts()
+        assert max(counts) - min(counts) <= 1
+
+    def test_method_ordering(self, gpt3_ctx):
+        """AdaPipe <= Even Partitioning <= DAPPLE-Full in modeled time."""
+        adapipe = plan_adapipe(gpt3_ctx)
+        even = plan_even_partitioning(gpt3_ctx)
+        full = plan_policy(gpt3_ctx, RecomputePolicy.FULL, "DAPPLE-Full")
+        assert adapipe.modeled_iteration_time <= even.modeled_iteration_time + 1e-9
+        assert even.modeled_iteration_time <= full.modeled_iteration_time + 1e-9
+
+    def test_saved_units_grow_with_stage(self, gpt3):
+        """The Table 4 signature: under memory pressure, later stages save
+        more (they keep fewer micro-batches in flight)."""
+        train = TrainingConfig(sequence_length=8192, global_batch_size=16)
+        ctx = PlannerContext(
+            cluster_a(8),
+            gpt3,
+            train,
+            ParallelConfig(8, 8, 1),
+            memory_limit_bytes=60 * 1024**3,
+        )
+        plan = plan_even_partitioning(ctx)
+        assert plan.feasible
+        saved = plan.saved_unit_counts()
+        assert saved[0] < saved[4]  # pressure visibly relaxes along the pipe
+        assert all(a <= b + 5 for a, b in zip(saved, saved[1:]))
+
+    def test_policy_plan_labels(self, gpt3_ctx):
+        plan = plan_policy(gpt3_ctx, RecomputePolicy.NONE, "DAPPLE-Non")
+        assert plan.method == "DAPPLE-Non"
+        assert plan.hidden_size == gpt3_175b().hidden_size
+
+    def test_infeasible_context_flags_plan(self, gpt3):
+        train = TrainingConfig(sequence_length=16384, global_batch_size=8)
+        ctx = PlannerContext(
+            cluster_a(4),
+            gpt3,
+            train,
+            ParallelConfig(8, 4, 1),
+            memory_limit_bytes=20 * 1024**3,  # far too small for GPT-3/4
+        )
+        plan = plan_adapipe(ctx)
+        assert not plan.feasible
+
+
+class TestStrategyEnumeration:
+    @pytest.fixture
+    def train(self):
+        return TrainingConfig(sequence_length=4096, global_batch_size=128)
+
+    def test_all_products_match_device_count(self, train):
+        strategies = enumerate_parallel_strategies(
+            64, cluster_a(), gpt3_175b(), train
+        )
+        assert strategies
+        for s in strategies:
+            assert s.num_devices == 64
+
+    def test_tensor_parallel_capped_at_node(self, train):
+        for s in enumerate_parallel_strategies(64, cluster_a(), gpt3_175b(), train):
+            assert s.tensor_parallel <= 8
+
+    def test_pipeline_at_least_two(self, train):
+        for s in enumerate_parallel_strategies(64, cluster_a(), gpt3_175b(), train):
+            assert s.pipeline_parallel >= 2
+
+    def test_contains_papers_table3_strategies(self, train):
+        strategies = {
+            s.as_tuple()
+            for s in enumerate_parallel_strategies(64, cluster_a(), gpt3_175b(), train)
+        }
+        for expected in [(1, 32, 2), (2, 16, 2), (4, 8, 2), (8, 8, 1), (8, 4, 2)]:
+            assert expected in strategies
+
+    def test_data_parallel_divides_batch(self):
+        train = TrainingConfig(sequence_length=4096, global_batch_size=6)
+        for s in enumerate_parallel_strategies(16, cluster_a(2), gpt3_175b(), train):
+            assert train.global_batch_size % s.data_parallel == 0
+
+
+class TestSearchBestStrategy:
+    def test_returns_feasible_best(self, gpt3):
+        train = TrainingConfig(sequence_length=2048, global_batch_size=16)
+        strategies = [ParallelConfig(8, 8, 1), ParallelConfig(4, 16, 1)]
+        best, plans = search_best_strategy(
+            cluster_a(8), gpt3, train, 64, plan_even_partitioning, strategies
+        )
+        assert best is not None
+        assert len(plans) == 2
+        times = [
+            p.modeled_iteration_time for p in plans if p.modeled_iteration_time
+        ]
+        assert best.modeled_iteration_time == min(times)
+
+    def test_no_feasible_strategy_returns_none(self, gpt3):
+        train = TrainingConfig(sequence_length=16384, global_batch_size=16)
+        strategies = [ParallelConfig(1, 2, 16)]  # 175B on 2-stage pipeline: OOM
+        best, plans = search_best_strategy(
+            cluster_a(4), gpt3, train, 32, plan_adapipe, strategies
+        )
+        assert best is None
+        assert not plans[0].feasible

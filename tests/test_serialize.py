@@ -1,0 +1,137 @@
+"""Tests for plan JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.search import plan_adapipe, plan_policy
+from repro.core.serialize import (
+    PlanFormatError,
+    dump_plan,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    validate_plan,
+)
+from repro.core.strategies import RecomputePolicy
+
+
+class TestRoundTrip:
+    def test_adapipe_plan_round_trips(self, gpt3_ctx, tmp_path):
+        plan = plan_adapipe(gpt3_ctx)
+        path = tmp_path / "plan.json"
+        dump_plan(plan, str(path))
+        loaded = load_plan(str(path))
+        assert loaded.method == plan.method
+        assert loaded.parallel == plan.parallel
+        assert loaded.train == plan.train
+        assert loaded.layer_counts() == plan.layer_counts()
+        assert loaded.saved_unit_counts() == plan.saved_unit_counts()
+        assert loaded.modeled_iteration_time == plan.modeled_iteration_time
+        assert loaded.hidden_size == plan.hidden_size
+
+    def test_stage_memory_preserved(self, gpt3_ctx):
+        plan = plan_policy(gpt3_ctx, RecomputePolicy.FULL, "DAPPLE-Full")
+        loaded = plan_from_dict(plan_to_dict(plan))
+        for original, restored in zip(plan.stages, loaded.stages):
+            assert restored.memory.total_bytes == original.memory.total_bytes
+
+    def test_document_is_plain_json(self, gpt3_ctx):
+        plan = plan_adapipe(gpt3_ctx)
+        text = json.dumps(plan_to_dict(plan))
+        assert "AdaPipe" in text
+
+
+class TestValidation:
+    def test_rejects_wrong_version(self, gpt3_ctx):
+        data = plan_to_dict(plan_adapipe(gpt3_ctx))
+        data["format_version"] = 99
+        with pytest.raises(PlanFormatError, match="version"):
+            plan_from_dict(data)
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(PlanFormatError, match="malformed"):
+            plan_from_dict({"format_version": 1})
+
+    def test_rejects_non_contiguous_stages(self, gpt3_ctx):
+        data = plan_to_dict(plan_adapipe(gpt3_ctx))
+        data["stages"][1]["layer_start"] += 1
+        with pytest.raises(PlanFormatError, match="starts at layer"):
+            plan_from_dict(data)
+
+    def test_rejects_empty_stage(self, gpt3_ctx):
+        data = plan_to_dict(plan_adapipe(gpt3_ctx))
+        data["stages"][0]["layer_end"] = data["stages"][0]["layer_start"]
+        with pytest.raises(PlanFormatError):
+            plan_from_dict(data)
+
+    def test_rejects_misnumbered_stage(self, gpt3_ctx):
+        data = plan_to_dict(plan_adapipe(gpt3_ctx))
+        data["stages"][2]["stage"] = 7
+        with pytest.raises(PlanFormatError, match="stage index"):
+            plan_from_dict(data)
+
+    def test_validate_accepts_good_plan(self, gpt3_ctx):
+        validate_plan(plan_adapipe(gpt3_ctx))
+
+
+class TestFuzzedDocuments:
+    """Random corruptions of a valid plan document must never produce a
+    silently-wrong plan: either the round-trip is unchanged or a
+    PlanFormatError is raised."""
+
+    @pytest.fixture(scope="class")
+    def valid_document(self, request):
+        import json
+
+        from repro.config import ParallelConfig, TrainingConfig
+        from repro.core.search import PlannerContext, plan_adapipe
+        from repro.hardware.cluster import cluster_a
+        from repro.model.spec import tiny_gpt
+
+        ctx = PlannerContext(
+            cluster_a(1),
+            tiny_gpt(num_layers=3, hidden_size=32, vocab_size=50),
+            TrainingConfig(
+                sequence_length=8,
+                global_batch_size=4,
+                micro_batch_size=1,
+                sequence_parallel=False,
+                flash_attention=False,
+            ),
+            ParallelConfig(1, 2, 1),
+            memory_limit_bytes=8 * 1024**2,
+        )
+        return json.loads(json.dumps(plan_to_dict(plan_adapipe(ctx))))
+
+    def test_dropping_any_top_level_key_raises(self, valid_document):
+        import copy
+
+        for key in list(valid_document):
+            if key in ("modeled_iteration_time", "feasible", "hidden_size"):
+                continue  # optional with defaults
+            mutated = copy.deepcopy(valid_document)
+            del mutated[key]
+            with pytest.raises(PlanFormatError):
+                plan_from_dict(mutated)
+
+    def test_dropping_any_stage_key_raises(self, valid_document):
+        import copy
+
+        for key in list(valid_document["stages"][0]):
+            mutated = copy.deepcopy(valid_document)
+            del mutated["stages"][0][key]
+            with pytest.raises(PlanFormatError):
+                plan_from_dict(mutated)
+
+    def test_numeric_field_type_confusion_raises(self, valid_document):
+        import copy
+
+        mutated = copy.deepcopy(valid_document)
+        mutated["parallel"]["pipeline_parallel"] = "eight"
+        with pytest.raises(Exception):
+            plan_from_dict(mutated)
+
+    def test_unmutated_document_round_trips(self, valid_document):
+        plan = plan_from_dict(valid_document)
+        assert plan_to_dict(plan) == valid_document

@@ -1,0 +1,111 @@
+"""Tests for the sweep harness and new model presets."""
+
+import csv
+import io
+
+import pytest
+
+from repro.config import ParallelConfig
+from repro.experiments.sweeps import Sweep, best_per_method
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import gpt3_13b, llama2_7b, llama2_13b, model_by_name
+
+
+class TestNewPresets:
+    def test_gpt3_13b_parameter_count(self):
+        assert gpt3_13b().total_params() == pytest.approx(13e9, rel=0.05)
+
+    def test_llama2_13b_parameter_count(self):
+        assert llama2_13b().total_params() == pytest.approx(13e9, rel=0.05)
+
+    def test_llama2_7b_parameter_count(self):
+        assert llama2_7b().total_params() == pytest.approx(6.7e9, rel=0.05)
+
+    def test_registry_has_all(self):
+        for name in ("gpt3-13b", "llama2-13b", "llama2-7b"):
+            assert model_by_name(name).name == name
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        sweep = Sweep(
+            cluster=cluster_a(2),
+            models=[gpt3_13b()],
+            workloads=[(2048, 16)],
+            methods=["DAPPLE-Full", "AdaPipe"],
+            num_devices=16,
+            strategies=[ParallelConfig(2, 8, 1), ParallelConfig(4, 4, 1)],
+        )
+        sweep.run()
+        return sweep
+
+    def test_point_count(self, sweep):
+        assert len(sweep.points) == 1 * 1 * 2 * 2  # models x loads x strats x methods
+
+    def test_adapipe_no_slower_than_dapple_full(self, sweep):
+        best = best_per_method(sweep.points)
+        ada = best[("gpt3-13b", 2048, "AdaPipe")]
+        full = best[("gpt3-13b", 2048, "DAPPLE-Full")]
+        assert ada.iteration_time <= full.iteration_time
+
+    def test_csv_round_trips(self, sweep):
+        rows = list(csv.DictReader(io.StringIO(sweep.to_csv())))
+        assert len(rows) == len(sweep.points)
+        first = rows[0]
+        assert first["model"] == "gpt3-13b"
+        assert first["method"] in ("DAPPLE-Full", "AdaPipe")
+        assert float(first["peak_memory_gib"]) > 0
+
+    def test_csv_written_to_disk(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep.write_csv(str(path))
+        assert path.read_text().startswith("model,method")
+
+    def test_collector_conversion(self, sweep):
+        collector = sweep.to_collector()
+        assert len(collector.entries) == len(sweep.points)
+        assert collector.speedup("gpt3-13b", 2048, "AdaPipe", "DAPPLE-Full") >= 1.0
+
+    def test_oom_points_marked(self):
+        from repro.model.spec import gpt3_175b
+
+        sweep = Sweep(
+            cluster=cluster_a(2),
+            models=[gpt3_175b()],
+            workloads=[(16384, 16)],
+            methods=["DAPPLE-Non"],
+            num_devices=16,
+            strategies=[ParallelConfig(2, 8, 1)],
+        )
+        (point,) = sweep.run()
+        assert point.oom and point.bubble_ratio is None
+        row = next(csv.DictReader(io.StringIO(sweep.to_csv())))
+        assert row["oom"] == "True" and row["iteration_time_s"] == ""
+
+
+class TestMemoryTimeline:
+    def test_render_memory_timeline(self):
+        from repro.pipeline.schedules import one_f_one_b_schedule
+        from repro.pipeline.simulator import simulate
+        from repro.pipeline.tasks import StageCosts
+        from repro.pipeline.visualize import render_memory_timeline
+
+        costs = [
+            StageCosts(forward=1.0, backward=2.0, activation_bytes=1.0)
+            for _ in range(3)
+        ]
+        text = render_memory_timeline(simulate(one_f_one_b_schedule(costs, 6)))
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + one row per device
+        assert "peak 3" in lines[0]
+        # Stage 0 should show the fullest profile (block characters).
+        assert "█" in lines[1]
+
+    def test_empty_schedule(self):
+        from repro.pipeline.simulator import simulate
+        from repro.pipeline.tasks import Schedule
+        from repro.pipeline.visualize import render_memory_timeline
+
+        result = simulate(Schedule(name="x", num_devices=1, device_tasks=[[]]))
+        assert "empty" in render_memory_timeline(result)

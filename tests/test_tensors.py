@@ -1,0 +1,33 @@
+"""Tests for repro.model.tensors."""
+
+import pytest
+
+from repro.model.tensors import TensorShape, ceil_div, gib, mib
+
+
+class TestTensorShape:
+    def test_elements_and_bytes(self):
+        shape = TensorShape((4096, 1, 12288), bytes_per_value=2)
+        assert shape.elements == 4096 * 12288
+        assert shape.bytes == 2 * 4096 * 12288
+
+    def test_scalar_shape(self):
+        assert TensorShape((), bytes_per_value=4).elements == 1
+
+    def test_default_width_is_fp16(self):
+        assert TensorShape((10,)).bytes == 20
+
+
+class TestUnitHelpers:
+    def test_gib(self):
+        assert gib(1024**3) == 1.0
+        assert gib(80 * 1024**3) == 80.0
+
+    def test_mib(self):
+        assert mib(1024**2) == 1.0
+
+    @pytest.mark.parametrize(
+        "a,b,expected", [(10, 3, 4), (9, 3, 3), (1, 10, 1), (0, 5, 0)]
+    )
+    def test_ceil_div(self, a, b, expected):
+        assert ceil_div(a, b) == expected

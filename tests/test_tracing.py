@@ -1,0 +1,103 @@
+"""Tests for execution tracing and the result collector."""
+
+import json
+
+import pytest
+
+from repro.pipeline.schedules import one_f_one_b_schedule
+from repro.pipeline.simulator import simulate
+from repro.pipeline.tasks import StageCosts
+from repro.pipeline.tracing import (
+    ResultCollector,
+    phase_breakdown,
+    trace_simulation,
+    write_trace_jsonl,
+)
+
+
+@pytest.fixture
+def sim():
+    costs = [StageCosts(forward=1.0, backward=2.0) for _ in range(4)]
+    return simulate(one_f_one_b_schedule(costs, 8))
+
+
+class TestTrace:
+    def test_one_record_per_task(self, sim):
+        records = trace_simulation(sim)
+        assert len(records) == 2 * 4 * 8
+
+    def test_sorted_by_start(self, sim):
+        records = trace_simulation(sim)
+        starts = [r.start for r in records]
+        assert starts == sorted(starts)
+
+    def test_durations_match_costs(self, sim):
+        for record in trace_simulation(sim):
+            expected = 1.0 if record.kind == "F" else 2.0
+            assert record.duration == pytest.approx(expected)
+
+    def test_jsonl_round_trip(self, sim, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(sim, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == count
+        first = json.loads(lines[0])
+        assert set(first) == {
+            "device", "stage", "pipe", "micro_batch", "kind", "start", "end",
+        }
+
+
+class TestPhaseBreakdown:
+    def test_phases_sum_to_iteration(self, sim):
+        phases = phase_breakdown(sim)
+        assert sum(phases.values()) == pytest.approx(sim.iteration_time)
+
+    def test_warmup_is_pipeline_fill(self, sim):
+        # Stage 0's first backward waits for mb 0 to traverse all stages.
+        phases = phase_breakdown(sim)
+        assert phases["warmup"] >= 4 * 1.0  # at least p forwards
+        assert phases["steady"] > phases["ending"] > 0
+
+    def test_longer_steady_with_more_micro_batches(self):
+        costs = [StageCosts(forward=1.0, backward=2.0) for _ in range(4)]
+        short = phase_breakdown(simulate(one_f_one_b_schedule(costs, 6)))
+        long = phase_breakdown(simulate(one_f_one_b_schedule(costs, 24)))
+        assert long["steady"] > short["steady"]
+        assert long["warmup"] == pytest.approx(short["warmup"])
+
+
+class TestResultCollector:
+    def test_best_by_method_prefers_fastest(self):
+        collector = ResultCollector()
+        collector.add("gpt3", "AdaPipe", 4096, (8, 8, 1), 50.0)
+        collector.add("gpt3", "AdaPipe", 4096, (4, 8, 2), 45.0)
+        collector.add("gpt3", "DAPPLE-Full", 4096, (8, 8, 1), 60.0)
+        best = collector.best_by_method("gpt3", 4096)
+        assert best["AdaPipe"]["strategy"] == (4, 8, 2)
+
+    def test_oom_entries_ignored_for_best(self):
+        collector = ResultCollector()
+        collector.add("gpt3", "DAPPLE-Non", 4096, (8, 8, 1), None)
+        assert collector.best_by_method("gpt3", 4096) == {}
+
+    def test_speedup(self):
+        collector = ResultCollector()
+        collector.add("gpt3", "AdaPipe", 4096, (8, 8, 1), 50.0)
+        collector.add("gpt3", "DAPPLE-Full", 4096, (8, 8, 1), 65.0)
+        assert collector.speedup("gpt3", 4096, "AdaPipe", "DAPPLE-Full") == (
+            pytest.approx(1.3)
+        )
+        assert collector.speedup("gpt3", 4096, "AdaPipe", "Chimera-Full") is None
+
+    def test_render_marks_oom(self):
+        collector = ResultCollector()
+        collector.add("gpt3", "DAPPLE-Non", 4096, (8, 8, 1), None, 90 * 1024**3)
+        text = collector.render()
+        assert "OOM" in text and "90.0" in text
+
+    def test_write_json(self, tmp_path):
+        collector = ResultCollector()
+        collector.add("gpt3", "AdaPipe", 4096, (8, 8, 1), 50.0)
+        path = tmp_path / "results.json"
+        collector.write_json(str(path))
+        assert json.loads(path.read_text())[0]["method"] == "AdaPipe"

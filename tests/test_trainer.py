@@ -1,0 +1,123 @@
+"""Tests for the Trainer: loops, loss scaling, checkpoint/resume fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.core.search import plan_adapipe
+from repro.training.data import SyntheticTextDataset
+from repro.training.modules import build_model
+from repro.training.trainer import Trainer
+
+SEQ = 8
+MICRO_BATCHES = 4
+
+
+@pytest.fixture
+def plan(tiny_ctx):
+    return plan_adapipe(tiny_ctx)
+
+
+@pytest.fixture
+def dataset(tiny_spec):
+    return SyntheticTextDataset(vocab_size=tiny_spec.vocab_size)
+
+
+def _trainer(tiny_spec, plan, seed=0, **kwargs):
+    return Trainer(model=build_model(tiny_spec, seed=seed), plan=plan, **kwargs)
+
+
+class TestTrainingLoop:
+    def test_loss_decreases(self, tiny_spec, plan, dataset):
+        trainer = _trainer(tiny_spec, plan)
+        losses = trainer.train(dataset.batches(MICRO_BATCHES, SEQ, 30))
+        assert losses[-1] < losses[0]
+        assert trainer.step == 30
+
+    def test_history_records_every_step(self, tiny_spec, plan, dataset):
+        trainer = _trainer(tiny_spec, plan)
+        trainer.train(dataset.batches(MICRO_BATCHES, SEQ, 5))
+        assert len(trainer.history) == 5
+        assert all(not record.skipped for record in trainer.history)
+        assert all(record.peak_context_bytes > 0 for record in trainer.history)
+
+    def test_loss_scaling_path_is_exact(self, tiny_spec, plan, dataset):
+        """Scaling then unscaling must not change the math (float64)."""
+        plain = _trainer(tiny_spec, plan, seed=1)
+        scaled = _trainer(tiny_spec, plan, seed=1, use_loss_scaling=True)
+        plain_losses = plain.train(dataset.batches(MICRO_BATCHES, SEQ, 8))
+        scaled_losses = scaled.train(dataset.batches(MICRO_BATCHES, SEQ, 8))
+        assert plain_losses == pytest.approx(scaled_losses, abs=1e-9)
+
+    def test_evaluate_does_not_update(self, tiny_spec, plan, dataset):
+        trainer = _trainer(tiny_spec, plan)
+        before = {
+            n: p.data.copy() for n, p in trainer.model.named_parameters()
+        }
+        loss = trainer.evaluate(dataset.batches(MICRO_BATCHES, SEQ, 2, stream_seed=9))
+        assert np.isfinite(loss)
+        for name, parameter in trainer.model.named_parameters():
+            assert np.array_equal(parameter.data, before[name])
+
+
+class TestCheckpointResume:
+    def test_resume_is_bit_exact(self, tiny_spec, plan, dataset, tmp_path):
+        """Train 6 steps straight vs 3 + checkpoint + resume + 3."""
+        straight = _trainer(tiny_spec, plan, seed=2)
+        straight_losses = straight.train(dataset.batches(MICRO_BATCHES, SEQ, 6))
+
+        first = _trainer(tiny_spec, plan, seed=2)
+        first_losses = first.train(dataset.batches(MICRO_BATCHES, SEQ, 6))
+        # Rebuild the same first-3-steps trainer and checkpoint mid-way.
+        part = _trainer(tiny_spec, plan, seed=2)
+        batches = list(dataset.batches(MICRO_BATCHES, SEQ, 6))
+        part.train(iter(batches[:3]))
+        path = str(tmp_path / "ckpt.npz")
+        part.save_checkpoint(path)
+
+        resumed = _trainer(tiny_spec, plan, seed=999)  # wrong init on purpose
+        resumed.load_checkpoint(path)
+        assert resumed.step == 3
+        resumed_losses = resumed.train(iter(batches[3:]))
+        assert resumed_losses == pytest.approx(straight_losses[3:], abs=0)
+        del first_losses
+
+    def test_checkpoint_restores_weights(self, tiny_spec, plan, dataset, tmp_path):
+        trainer = _trainer(tiny_spec, plan, seed=3)
+        trainer.train(dataset.batches(MICRO_BATCHES, SEQ, 2))
+        path = str(tmp_path / "ckpt.npz")
+        trainer.save_checkpoint(path)
+        snapshot = {
+            n: p.data.copy() for n, p in trainer.model.named_parameters()
+        }
+        trainer.train(dataset.batches(MICRO_BATCHES, SEQ, 2, stream_seed=5))
+        trainer.load_checkpoint(path)
+        for name, parameter in trainer.model.named_parameters():
+            assert np.array_equal(parameter.data, snapshot[name]), name
+
+    def test_rejects_wrong_model(self, tiny_spec, tiny_llama_spec, plan, tmp_path):
+        trainer = _trainer(tiny_spec, plan, seed=0)
+        path = str(tmp_path / "ckpt.npz")
+        trainer.save_checkpoint(path)
+        from repro.config import ParallelConfig, TrainingConfig
+        from repro.core.search import PlannerContext, plan_adapipe
+        from repro.hardware.cluster import cluster_a
+
+        other_ctx = PlannerContext(
+            cluster_a(1),
+            tiny_llama_spec,
+            TrainingConfig(
+                sequence_length=8,
+                global_batch_size=4,
+                micro_batch_size=1,
+                sequence_parallel=False,
+                flash_attention=False,
+            ),
+            ParallelConfig(1, 2, 1),
+            memory_limit_bytes=8 * 1024**2,
+        )
+        other = Trainer(
+            model=build_model(tiny_llama_spec, seed=0),
+            plan=plan_adapipe(other_ctx),
+        )
+        with pytest.raises(ValueError, match="checkpoint is for"):
+            other.load_checkpoint(path)

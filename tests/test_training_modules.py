@@ -1,0 +1,179 @@
+"""Tests for the unit-granular transformer modules.
+
+The central invariant (the basis of the paper's Figure 10 claim): for ANY
+subset of saved units, forward loss and all parameter gradients are
+*identical* to the save-everything run — recomputation is a pure
+memory/time trade.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.spec import tiny_gpt, tiny_llama
+from repro.training.modules import (
+    AttentionLayer,
+    EmbeddingLayer,
+    FFNLayer,
+    HeadLayer,
+    build_model,
+)
+
+ALL_UNITS = (
+    "embed.lookup",
+    "attn.norm",
+    "attn.q",
+    "attn.k",
+    "attn.v",
+    "attn.core",
+    "attn.out",
+    "ffn.norm",
+    "ffn.in",
+    "ffn.act",
+    "ffn.out",
+    "head.norm",
+    "head.proj",
+)
+
+
+def _batch(spec, batch=2, seq=8, seed=0):
+    rng = np.random.default_rng(seed)
+    tokens = rng.integers(0, spec.vocab_size, size=(batch, seq))
+    targets = rng.integers(0, spec.vocab_size, size=(batch, seq))
+    return tokens, targets
+
+
+def _grads(model):
+    return {
+        name: param.grad.copy()
+        for name, param in model.named_parameters()
+        if param.grad is not None
+    }
+
+
+class TestGradientIdentityUnderRecompute:
+    @pytest.mark.parametrize("spec_fn", [tiny_gpt, tiny_llama])
+    def test_full_recompute_is_exact(self, spec_fn):
+        spec = spec_fn(num_layers=2, hidden_size=32, vocab_size=40)
+        model = build_model(spec, seed=1)
+        tokens, targets = _batch(spec)
+        loss_saved = model.loss_and_grad(tokens, targets)
+        reference = _grads(model)
+        model.zero_grad()
+        loss_ckpt = model.loss_and_grad(
+            tokens, targets, [set() for _ in model.layers]
+        )
+        assert loss_saved == loss_ckpt
+        for name, grad in _grads(model).items():
+            assert np.array_equal(grad, reference[name]), name
+
+    @given(saved=st.sets(st.sampled_from(ALL_UNITS)))
+    @settings(max_examples=25, deadline=None)
+    def test_any_saved_subset_is_exact(self, saved):
+        spec = tiny_llama(num_layers=2, hidden_size=32, vocab_size=40)
+        model = build_model(spec, seed=2)
+        tokens, targets = _batch(spec, seed=3)
+        loss_ref = model.loss_and_grad(tokens, targets)
+        reference = _grads(model)
+        model.zero_grad()
+        loss = model.loss_and_grad(tokens, targets, [saved for _ in model.layers])
+        assert loss == loss_ref
+        for name, grad in _grads(model).items():
+            assert np.array_equal(grad, reference[name]), name
+
+    def test_mixed_per_layer_subsets(self):
+        spec = tiny_gpt(num_layers=3, hidden_size=32, vocab_size=40)
+        model = build_model(spec, seed=4)
+        tokens, targets = _batch(spec, seed=5)
+        loss_ref = model.loss_and_grad(tokens, targets)
+        reference = _grads(model)
+        model.zero_grad()
+        per_layer = [
+            {"attn.q", "ffn.act"},
+            set(),
+            {"attn.core"},
+            {"ffn.in", "ffn.norm"},
+            set(),
+            {"attn.norm"},
+            {"head.norm"},
+            set(),
+        ]
+        loss = model.loss_and_grad(tokens, targets, per_layer)
+        assert loss == loss_ref
+        for name, grad in _grads(model).items():
+            assert np.array_equal(grad, reference[name]), name
+
+
+class TestLayerBehaviour:
+    def test_attention_output_includes_residual(self):
+        spec = tiny_gpt(num_layers=1, hidden_size=32)
+        rng = np.random.default_rng(0)
+        layer = AttentionLayer(spec, rng)
+        x = rng.normal(size=(1, 4, 32))
+        # Zero the projection: output must reduce to the residual input.
+        layer.params["wo"].data[:] = 0.0
+        layer.params["bo"].data[:] = 0.0
+        out, _ = layer.forward(x)
+        assert np.allclose(out, x)
+
+    def test_ffn_output_includes_residual(self):
+        spec = tiny_gpt(num_layers=1, hidden_size=32)
+        rng = np.random.default_rng(0)
+        layer = FFNLayer(spec, rng)
+        x = rng.normal(size=(1, 4, 32))
+        layer.params["w_out"].data[:] = 0.0
+        layer.params["b_out"].data[:] = 0.0
+        out, _ = layer.forward(x)
+        assert np.allclose(out, x)
+
+    def test_head_requires_targets(self):
+        spec = tiny_gpt(num_layers=1, hidden_size=32)
+        layer = HeadLayer(spec, np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="set_targets"):
+            layer.forward(np.zeros((1, 4, 32)))
+
+    def test_embedding_passes_no_gradient_to_tokens(self):
+        spec = tiny_gpt(num_layers=1, hidden_size=32)
+        layer = EmbeddingLayer(spec, np.random.default_rng(0))
+        tokens = np.array([[1, 2, 3]])
+        out, ctx = layer.forward(tokens)
+        upstream = layer.backward(ctx, np.ones_like(out))
+        assert upstream is None
+
+    def test_causality_of_whole_model(self):
+        """Changing a future token must not change earlier logits' loss
+        contribution — verified via gradient sparsity on the embedding."""
+        spec = tiny_gpt(num_layers=1, hidden_size=32, vocab_size=11)
+        model = build_model(spec, seed=0)
+        tokens = np.arange(8).reshape(1, 8) % 11
+        targets = np.zeros((1, 8), dtype=int)
+        model.loss_and_grad(tokens, targets)
+        # token at position 7 (id 7) only feeds position 7's prediction;
+        # its embedding row must still receive gradient (used once).
+        emb_grad = model.layers[0].params["table"].grad
+        assert np.abs(emb_grad[7]).sum() > 0
+
+    def test_num_params_matches_spec_formula(self):
+        spec = tiny_llama(num_layers=2, hidden_size=32, vocab_size=40)
+        model = build_model(spec, seed=0)
+        # The spec's accounting assumes untied weights with no positional
+        # table for Llama-style models — exactly the mini model's layout.
+        assert model.num_params() == spec.total_params()
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        spec = tiny_gpt(num_layers=1, hidden_size=32)
+        a = build_model(spec, seed=9)
+        b = build_model(spec, seed=9)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb and np.array_equal(pa.data, pb.data)
+
+    def test_different_seed_different_weights(self):
+        spec = tiny_gpt(num_layers=1, hidden_size=32)
+        a = build_model(spec, seed=1)
+        b = build_model(spec, seed=2)
+        assert not np.array_equal(
+            a.layers[1].params["wq"].data, b.layers[1].params["wq"].data
+        )

@@ -1,0 +1,204 @@
+"""Numeric gradient checks for every hand-written backward pass."""
+
+import numpy as np
+import pytest
+
+from repro.training import ops
+
+RNG = np.random.default_rng(42)
+EPS = 1e-6
+TOL = 1e-5
+
+
+def numeric_grad(fn, x, dout):
+    """Central-difference gradient of sum(fn(x) * dout) wrt x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        up = float((fn() * dout).sum())
+        flat[i] = orig - EPS
+        down = float((fn() * dout).sum())
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+class TestLinear:
+    def test_gradients(self):
+        x = RNG.normal(size=(2, 3, 4))
+        w = RNG.normal(size=(4, 5))
+        b = RNG.normal(size=5)
+        out, cache = ops.linear(x, w, b)
+        dout = RNG.normal(size=out.shape)
+        dx, dw, db = ops.linear_backward(cache, dout)
+        assert np.allclose(dx, numeric_grad(lambda: ops.linear(x, w, b)[0], x, dout), atol=TOL)
+        assert np.allclose(dw, numeric_grad(lambda: ops.linear(x, w, b)[0], w, dout), atol=TOL)
+        assert np.allclose(db, numeric_grad(lambda: ops.linear(x, w, b)[0], b, dout), atol=TOL)
+
+    def test_no_bias(self):
+        x = RNG.normal(size=(2, 4))
+        w = RNG.normal(size=(4, 3))
+        out, cache = ops.linear(x, w, None)
+        _, _, db = ops.linear_backward(cache, np.ones_like(out))
+        assert db is None
+
+
+class TestNorms:
+    def test_layernorm_gradients(self):
+        x = RNG.normal(size=(2, 3, 8))
+        gamma = RNG.normal(size=8)
+        beta = RNG.normal(size=8)
+        out, cache = ops.layernorm(x, gamma, beta)
+        dout = RNG.normal(size=out.shape)
+        dx, dgamma, dbeta = ops.layernorm_backward(cache, dout)
+        fn = lambda: ops.layernorm(x, gamma, beta)[0]  # noqa: E731
+        assert np.allclose(dx, numeric_grad(fn, x, dout), atol=TOL)
+        assert np.allclose(dgamma, numeric_grad(fn, gamma, dout), atol=TOL)
+        assert np.allclose(dbeta, numeric_grad(fn, beta, dout), atol=TOL)
+
+    def test_layernorm_normalises(self):
+        x = RNG.normal(size=(4, 16)) * 3 + 5
+        out, _ = ops.layernorm(x, np.ones(16), np.zeros(16))
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-6)
+        assert np.allclose(out.var(axis=-1), 1, atol=1e-3)
+
+    def test_rmsnorm_gradients(self):
+        x = RNG.normal(size=(2, 3, 8))
+        gamma = RNG.normal(size=8)
+        out, cache = ops.rmsnorm(x, gamma)
+        dout = RNG.normal(size=out.shape)
+        dx, dgamma = ops.rmsnorm_backward(cache, dout)
+        fn = lambda: ops.rmsnorm(x, gamma)[0]  # noqa: E731
+        assert np.allclose(dx, numeric_grad(fn, x, dout), atol=TOL)
+        assert np.allclose(dgamma, numeric_grad(fn, gamma, dout), atol=TOL)
+
+
+class TestActivations:
+    def test_gelu_gradient(self):
+        x = RNG.normal(size=(3, 7))
+        out, cache = ops.gelu(x)
+        dout = RNG.normal(size=out.shape)
+        dx = ops.gelu_backward(cache, dout)
+        assert np.allclose(dx, numeric_grad(lambda: ops.gelu(x)[0], x, dout), atol=TOL)
+
+    def test_silu_gradient(self):
+        x = RNG.normal(size=(3, 7))
+        out, cache = ops.silu(x)
+        dout = RNG.normal(size=out.shape)
+        dx = ops.silu_backward(cache, dout)
+        assert np.allclose(dx, numeric_grad(lambda: ops.silu(x)[0], x, dout), atol=TOL)
+
+    def test_swiglu_gradients(self):
+        gate = RNG.normal(size=(2, 5))
+        up = RNG.normal(size=(2, 5))
+        out, cache = ops.swiglu(gate, up)
+        dout = RNG.normal(size=out.shape)
+        dgate, dup = ops.swiglu_backward(cache, dout)
+        assert np.allclose(
+            dgate, numeric_grad(lambda: ops.swiglu(gate, up)[0], gate, dout), atol=TOL
+        )
+        assert np.allclose(
+            dup, numeric_grad(lambda: ops.swiglu(gate, up)[0], up, dout), atol=TOL
+        )
+
+
+class TestAttention:
+    def test_causal_mask_blocks_future(self):
+        q = RNG.normal(size=(1, 1, 4, 8))
+        k = RNG.normal(size=(1, 1, 4, 8))
+        v = RNG.normal(size=(1, 1, 4, 8))
+        out, cache = ops.causal_attention(q, k, v, scale=0.35)
+        probs = cache[3]
+        assert np.allclose(np.triu(probs[0, 0], k=1), 0.0)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_first_position_attends_only_to_itself(self):
+        q = RNG.normal(size=(1, 2, 3, 4))
+        k = RNG.normal(size=(1, 2, 3, 4))
+        v = RNG.normal(size=(1, 2, 3, 4))
+        out, _ = ops.causal_attention(q, k, v, scale=0.5)
+        assert np.allclose(out[:, :, 0], v[:, :, 0])
+
+    def test_gradients(self):
+        q = RNG.normal(size=(1, 2, 3, 4))
+        k = RNG.normal(size=(1, 2, 3, 4))
+        v = RNG.normal(size=(1, 2, 3, 4))
+        out, cache = ops.causal_attention(q, k, v, scale=0.5)
+        dout = RNG.normal(size=out.shape)
+        dq, dk, dv = ops.causal_attention_backward(cache, dout)
+        fn = lambda: ops.causal_attention(q, k, v, 0.5)[0]  # noqa: E731
+        assert np.allclose(dq, numeric_grad(fn, q, dout), atol=TOL)
+        assert np.allclose(dk, numeric_grad(fn, k, dout), atol=TOL)
+        assert np.allclose(dv, numeric_grad(fn, v, dout), atol=TOL)
+
+    def test_head_split_merge_roundtrip(self):
+        x = RNG.normal(size=(2, 5, 12))
+        assert np.array_equal(ops.merge_heads(ops.split_heads(x, 4)), x)
+
+    def test_repeat_kv_roundtrip_gradient(self):
+        x = RNG.normal(size=(2, 2, 3, 4))
+        expanded = ops.repeat_kv(x, 3)
+        assert expanded.shape == (2, 6, 3, 4)
+        dx = ops.repeat_kv_backward(np.ones_like(expanded), 3)
+        assert np.allclose(dx, 3.0)
+
+    def test_repeat_kv_identity(self):
+        x = RNG.normal(size=(2, 2, 3, 4))
+        assert ops.repeat_kv(x, 1) is x
+
+
+class TestEmbeddingAndLoss:
+    def test_embedding_lookup(self):
+        table = RNG.normal(size=(10, 4))
+        tokens = np.array([[1, 3], [9, 0]])
+        out, _ = ops.embedding(tokens, table)
+        assert np.array_equal(out[0, 1], table[3])
+
+    def test_embedding_backward_accumulates_duplicates(self):
+        table = RNG.normal(size=(10, 4))
+        tokens = np.array([[2, 2, 2]])
+        out, cache = ops.embedding(tokens, table)
+        dtable = ops.embedding_backward(cache, np.ones_like(out))
+        assert np.allclose(dtable[2], 3.0)
+        assert np.allclose(dtable[0], 0.0)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.full((1, 2, 5), -30.0)
+        logits[0, 0, 3] = 30.0
+        logits[0, 1, 1] = 30.0
+        loss, _ = ops.cross_entropy(logits, np.array([[3, 1]]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform_is_log_vocab(self):
+        logits = np.zeros((2, 3, 8))
+        targets = np.zeros((2, 3), dtype=int)
+        loss, _ = ops.cross_entropy(logits, targets)
+        assert loss == pytest.approx(np.log(8))
+
+    def test_cross_entropy_gradient(self):
+        logits = RNG.normal(size=(2, 3, 6))
+        targets = RNG.integers(0, 6, size=(2, 3))
+        loss, cache = ops.cross_entropy(logits, targets)
+        dlogits = ops.cross_entropy_backward(cache, 1.0)
+        numeric = np.zeros_like(logits)
+        flat = logits.reshape(-1)
+        nflat = numeric.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + EPS
+            up = ops.cross_entropy(logits, targets)[0]
+            flat[i] = orig - EPS
+            down = ops.cross_entropy(logits, targets)[0]
+            flat[i] = orig
+            nflat[i] = (up - down) / (2 * EPS)
+        assert np.allclose(dlogits, numeric, atol=TOL)
+
+    def test_cross_entropy_gradient_sums_to_zero_per_token(self):
+        logits = RNG.normal(size=(2, 3, 6))
+        targets = RNG.integers(0, 6, size=(2, 3))
+        _, cache = ops.cross_entropy(logits, targets)
+        dlogits = ops.cross_entropy_backward(cache, 1.0)
+        assert np.allclose(dlogits.sum(axis=-1), 0.0, atol=1e-12)

@@ -1,0 +1,98 @@
+"""Tests for the optimizers and loss scaler."""
+
+import numpy as np
+import pytest
+
+from repro.training.modules import Parameter
+from repro.training.optimizer import SGD, Adam, LossScaler
+
+
+def _quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        param = _quadratic_param()
+        adam = Adam([("x", param)], lr=0.1)
+        for _ in range(300):
+            param.grad = 2 * param.data  # d/dx x^2
+            adam.step()
+        assert abs(param.data[0]) < 0.05
+
+    def test_skips_params_without_grad(self):
+        param = _quadratic_param()
+        adam = Adam([("x", param)], lr=0.1)
+        adam.step()
+        assert param.data[0] == 5.0
+
+    def test_bias_correction_first_step(self):
+        param = Parameter(np.array([1.0]))
+        adam = Adam([("x", param)], lr=0.1, eps=0.0)
+        param.grad = np.array([3.0])
+        adam.step()
+        # With bias correction, the first update magnitude is exactly lr.
+        assert param.data[0] == pytest.approx(1.0 - 0.1)
+
+    def test_weight_decay_shrinks_params(self):
+        param = Parameter(np.array([10.0]))
+        adam = Adam([("x", param)], lr=0.1, weight_decay=0.1)
+        param.grad = np.array([0.0])
+        adam.step()
+        assert param.data[0] < 10.0
+
+    def test_zero_grad_clears(self):
+        param = _quadratic_param()
+        adam = Adam([("x", param)], lr=0.1)
+        param.grad = np.array([1.0])
+        adam.zero_grad()
+        assert param.grad is None
+
+    def test_state_bytes_grow_with_params(self):
+        param = Parameter(np.zeros(100))
+        adam = Adam([("x", param)], lr=0.1)
+        param.grad = np.ones(100)
+        adam.step()
+        assert adam.state_bytes() == 2 * 100 * 8  # two float64 moments
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = Parameter(np.array([2.0]))
+        sgd = SGD([("x", param)], lr=0.5)
+        param.grad = np.array([1.0])
+        sgd.step()
+        assert param.data[0] == pytest.approx(1.5)
+
+    def test_momentum_accumulates(self):
+        param = Parameter(np.array([0.0]))
+        sgd = SGD([("x", param)], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            param.grad = np.array([1.0])
+            sgd.step()
+        # First step -1, second step -(0.9 + 1) = -1.9.
+        assert param.data[0] == pytest.approx(-2.9)
+
+
+class TestLossScaler:
+    def test_unscales_gradients(self):
+        param = Parameter(np.array([0.0]))
+        param.grad = np.array([2.0**11])
+        scaler = LossScaler(scale=2.0**10)
+        assert scaler.unscale_and_check([("x", param)])
+        assert param.grad[0] == pytest.approx(2.0)
+
+    def test_overflow_skips_and_backs_off(self):
+        param = Parameter(np.array([0.0]))
+        param.grad = np.array([np.inf])
+        scaler = LossScaler(scale=1024.0)
+        assert not scaler.unscale_and_check([("x", param)])
+        assert scaler.scale == 512.0
+
+    def test_growth_after_interval(self):
+        param = Parameter(np.array([0.0]))
+        scaler = LossScaler(scale=8.0, growth_interval=3)
+        for _ in range(3):
+            param.grad = np.array([1.0])
+            scaler.unscale_and_check([("x", param)])
+        assert scaler.scale == 16.0

@@ -1,0 +1,142 @@
+"""Tests for repro.model.units — the Figure 4 computation-unit split."""
+
+import pytest
+
+from repro.config import TrainingConfig
+from repro.model.layers import LayerKind
+from repro.model.spec import gpt3_175b, llama2_70b, tiny_gpt
+from repro.model.units import units_for_layer
+
+
+def _train(**kwargs):
+    defaults = dict(sequence_length=2048, global_batch_size=8)
+    defaults.update(kwargs)
+    return TrainingConfig(**defaults)
+
+
+class TestAttentionUnits:
+    def test_unit_names_match_figure4(self):
+        units = units_for_layer(LayerKind.ATTENTION, gpt3_175b(), _train(), 8)
+        assert [u.name for u in units] == [
+            "attn.norm",
+            "attn.q",
+            "attn.k",
+            "attn.v",
+            "attn.core",
+            "attn.out",
+        ]
+
+    def test_only_closing_gemm_is_always_saved(self):
+        units = units_for_layer(LayerKind.ATTENTION, gpt3_175b(), _train(), 8)
+        assert [u.name for u in units if u.always_saved] == ["attn.out"]
+
+    def test_gqa_shrinks_kv_projections(self):
+        units = {
+            u.name: u
+            for u in units_for_layer(LayerKind.ATTENTION, llama2_70b(), _train(), 8)
+        }
+        ratio = llama2_70b().num_heads // llama2_70b().num_kv_heads
+        assert units["attn.q"].saved_output_elements == pytest.approx(
+            ratio * units["attn.k"].saved_output_elements
+        )
+        assert units["attn.k"].flops_forward == pytest.approx(
+            units["attn.v"].flops_forward
+        )
+
+    def test_flash_attention_keeps_only_statistics(self):
+        spec = gpt3_175b()
+        with_flash = units_for_layer(
+            LayerKind.ATTENTION, spec, _train(flash_attention=True), 8
+        )
+        without = units_for_layer(
+            LayerKind.ATTENTION, spec, _train(flash_attention=False), 8
+        )
+        core_flash = next(u for u in with_flash if u.name == "attn.core")
+        core_plain = next(u for u in without if u.name == "attn.core")
+        # The probability matrix is quadratic in sequence length; flash
+        # statistics are linear, hence far smaller.
+        assert core_flash.internal_saved_elements < core_plain.internal_saved_elements / 100
+
+    def test_core_flops_quadratic_in_sequence(self):
+        spec = gpt3_175b()
+        short = units_for_layer(LayerKind.ATTENTION, spec, _train(), 8)
+        long = units_for_layer(
+            LayerKind.ATTENTION, spec, _train(sequence_length=4096), 8
+        )
+        core_s = next(u for u in short if u.name == "attn.core")
+        core_l = next(u for u in long if u.name == "attn.core")
+        assert core_l.flops_forward == pytest.approx(4 * core_s.flops_forward)
+
+    def test_tensor_parallel_shards_projections(self):
+        spec = gpt3_175b()
+        t1 = units_for_layer(LayerKind.ATTENTION, spec, _train(), 1)
+        t8 = units_for_layer(LayerKind.ATTENTION, spec, _train(), 8)
+        q1 = next(u for u in t1 if u.name == "attn.q")
+        q8 = next(u for u in t8 if u.name == "attn.q")
+        assert q1.saved_output_elements == pytest.approx(8 * q8.saved_output_elements)
+        assert q1.flops_forward == pytest.approx(8 * q8.flops_forward)
+
+
+class TestFFNUnits:
+    def test_unit_names(self):
+        units = units_for_layer(LayerKind.FFN, gpt3_175b(), _train(), 8)
+        assert [u.name for u in units] == ["ffn.norm", "ffn.in", "ffn.act", "ffn.out"]
+
+    def test_gated_ffn_doubles_input_activations(self):
+        gated = units_for_layer(LayerKind.FFN, llama2_70b(), _train(), 8)
+        ffn_in = next(u for u in gated if u.name == "ffn.in")
+        ffn_act = next(u for u in gated if u.name == "ffn.act")
+        assert ffn_in.saved_output_elements == pytest.approx(
+            2 * ffn_act.saved_output_elements
+        )
+        assert len(ffn_in.ops) == 2
+
+    def test_closing_gemm_always_saved(self):
+        units = units_for_layer(LayerKind.FFN, gpt3_175b(), _train(), 8)
+        assert [u.name for u in units if u.always_saved] == ["ffn.out"]
+
+
+class TestOtherLayers:
+    def test_embedding_single_unit(self):
+        units = units_for_layer(LayerKind.EMBEDDING, gpt3_175b(), _train(), 8)
+        assert [u.name for u in units] == ["embed.lookup"]
+        assert not units[0].always_saved
+
+    def test_head_units(self):
+        units = units_for_layer(LayerKind.HEAD, gpt3_175b(), _train(), 8)
+        assert [u.name for u in units] == ["head.norm", "head.proj"]
+
+    def test_head_projection_dominates_flops(self):
+        units = units_for_layer(LayerKind.HEAD, gpt3_175b(), _train(), 8)
+        norm, proj = units
+        assert proj.flops_forward > 100 * norm.flops_forward
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            units_for_layer("decoder", gpt3_175b(), _train(), 8)
+
+
+class TestSequenceParallel:
+    def test_sequence_parallel_shards_norm_activations(self):
+        spec = gpt3_175b()
+        with_sp = units_for_layer(
+            LayerKind.ATTENTION, spec, _train(sequence_parallel=True), 8
+        )
+        without = units_for_layer(
+            LayerKind.ATTENTION, spec, _train(sequence_parallel=False), 8
+        )
+        norm_sp = next(u for u in with_sp if u.name == "attn.norm")
+        norm_plain = next(u for u in without if u.name == "attn.norm")
+        assert norm_plain.saved_output_elements == pytest.approx(
+            8 * norm_sp.saved_output_elements
+        )
+
+    def test_backward_flops_exceed_forward(self):
+        for kind in LayerKind:
+            for unit in units_for_layer(kind, gpt3_175b(), _train(), 8):
+                assert unit.flops_backward >= unit.flops_forward, unit.name
+
+    def test_saved_elements_positive(self):
+        for kind in LayerKind:
+            for unit in units_for_layer(kind, tiny_gpt(), _train(), 1):
+                assert unit.saved_elements > 0
