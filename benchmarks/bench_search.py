@@ -9,6 +9,8 @@ import pytest
 
 from repro.config import ParallelConfig, TrainingConfig
 from repro.core.search import PlannerContext, plan_adapipe
+from repro.core.serialize import plan_signature
+from repro.core.sweep import SweepConfig, run_sweep
 from repro.hardware.cluster import cluster_a
 from repro.model.spec import gpt3_175b, llama2_70b
 
@@ -31,3 +33,55 @@ def test_search_latency(benchmark, spec_fn, parallel, seq, batch):
     assert plan.feasible
     stats = benchmark.stats.stats
     assert stats.max < 60.0  # "the entire search process takes only seconds"
+
+
+SWEEP_MODES = {
+    # The exhaustive reference: one strategy after another, nothing shared.
+    "serial": SweepConfig(workers=1, prune=False, share_cache=False),
+    # The performance path: branch-and-bound pruning + shared evaluation
+    # cache, parallel workers when the host has cores to spare.
+    "optimized": SweepConfig(workers=0, prune=True, share_cache=True),
+}
+
+
+@pytest.mark.parametrize("mode", list(SWEEP_MODES), ids=lambda m: f"sweep-{m}")
+def test_table3_sweep(benchmark, mode):
+    """Full Table-3 strategy sweep for GPT-3 175B on cluster A, 64 GPUs.
+
+    The sweep — not a single plan — is the search layer's real workload;
+    both modes must select signature-identical best plans, with the
+    optimized mode measurably faster (compare `sweep-serial` vs
+    `sweep-optimized` in the report).
+    """
+    train = TrainingConfig(sequence_length=4096, global_batch_size=128)
+    cluster = cluster_a(num_nodes=8)
+    spec = gpt3_175b()
+
+    result = benchmark.pedantic(
+        lambda: run_sweep(
+            cluster, spec, train, 64, config=SWEEP_MODES[mode],
+            memory_limit_bytes=70 * 1024**3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.best is not None and result.best.feasible
+    stats = result.stats
+    benchmark.extra_info.update(
+        strategies_total=stats.strategies_total,
+        strategies_planned=stats.strategies_planned,
+        strategies_pruned=stats.strategies_pruned,
+        inner_dp_invocations=stats.inner_dp_invocations,
+        eval_cache_hit_rate=round(stats.eval_cache_hit_rate, 4),
+        workers=stats.workers,
+        best_strategy=str(result.best.parallel),
+        best_signature_digest=_digest(result.best),
+    )
+
+
+def _digest(plan):
+    import hashlib
+    import json
+
+    payload = json.dumps(plan_signature(plan), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]

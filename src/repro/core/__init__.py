@@ -15,6 +15,7 @@ the 3D-parallelism strategy enumeration of Section 7.3, and
 recomputation policies the baselines use.
 """
 
+from repro.core.isomorphism import StageEvalCache
 from repro.core.plan import PipelinePlan, StagePlan
 from repro.core.recompute_dp import RecomputeResult, optimize_stage_recompute
 from repro.core.partition_dp import PartitionResult, optimize_partition
@@ -26,6 +27,13 @@ from repro.core.search import (
     search_best_strategy,
 )
 from repro.core.strategies import RecomputePolicy, stage_costs_for_policy
+from repro.core.sweep import (
+    SweepConfig,
+    SweepResult,
+    SweepStats,
+    run_sweep,
+    strategy_lower_bound,
+)
 
 __all__ = [
     "PartitionResult",
@@ -33,12 +41,18 @@ __all__ = [
     "PlannerContext",
     "RecomputePolicy",
     "RecomputeResult",
+    "StageEvalCache",
     "StagePlan",
+    "SweepConfig",
+    "SweepResult",
+    "SweepStats",
     "enumerate_parallel_strategies",
     "optimize_partition",
     "optimize_stage_recompute",
     "plan_adapipe",
     "plan_even_partitioning",
+    "run_sweep",
     "search_best_strategy",
     "stage_costs_for_policy",
+    "strategy_lower_bound",
 ]

@@ -7,12 +7,21 @@ layer sequences are homogeneous: two sub-sequences with the same layer-kind
 multiset (same Attention/FFN counts, same embedding/head membership) are
 isomorphic and share one inner-DP solution. Caching on that key reduces the
 inner-DP invocations to O(pL), as the paper observes.
+
+The same observation extends *across* evaluators: two strategies whose
+profiles agree (same model, workload, cluster, tensor- and data-parallel
+sizes) produce identical stage evaluations whenever the in-flight
+micro-batch count and the layer multiset match, even if their pipeline
+sizes differ. :class:`StageEvalCache` keys entries by that full
+fingerprint so a strategy sweep — and the several planners run per
+strategy — reuse inner-DP solutions instead of recomputing them per
+:class:`~repro.core.search.PlannerContext`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.recompute_dp import (
     RecomputeResult,
@@ -46,6 +55,72 @@ class StageEval:
     memory: StageMemory
 
 
+class StageEvalCache:
+    """Cross-strategy (and cross-planner) stage-evaluation cache.
+
+    Entries are keyed by an evaluator *fingerprint* — every input besides
+    the candidate layer range that determines a stage evaluation — plus the
+    range's full isomorphism class. Sharing one instance across the
+    contexts of a strategy sweep lets every planner that evaluates the same
+    class reuse the inner recomputation DP's solution.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, StageEval] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of shared-cache lookups answered without an inner DP."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def get(self, key: Tuple) -> Optional[StageEval]:
+        found = self._entries.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, key: Tuple, value: StageEval) -> None:
+        self._entries[key] = value
+
+
+def evaluator_fingerprint(profiler: Profiler, capacity_bytes: float) -> Tuple:
+    """Everything outside the layer range that a :class:`StageEval` depends on.
+
+    Unit times depend on (cluster, model, workload, tensor parallel size,
+    jitter); the memory model additionally depends on the data-parallel
+    size through ZeRO sharding of static state. The pipeline size is
+    deliberately absent — it only enters through the in-flight micro-batch
+    count, which the per-range key carries — so evaluations are shared
+    across strategies that differ only in pipeline depth.
+    """
+    parallel = profiler.parallel
+    # Cluster/model/workload specs hold dicts (per-op efficiencies), so the
+    # dataclasses themselves are unhashable; their reprs are deterministic
+    # for identically-constructed frozen instances and hash fine.
+    return (
+        repr(profiler.cluster),
+        repr(profiler.spec),
+        repr(profiler.train),
+        parallel.tensor_parallel,
+        parallel.data_parallel,
+        profiler.noise,
+        profiler.seed,
+        float(capacity_bytes),
+    )
+
+
 class StageEvaluator:
     """Evaluates candidate stages, caching by isomorphism class.
 
@@ -55,6 +130,9 @@ class StageEvaluator:
         capacity_bytes: usable device memory (the paper subtracts a safety
             margin — e.g. it ran GPT-3 with a 70 GB constraint on 80 GB
             devices).
+        shared_cache: optional cross-strategy cache; when given, results
+            are also keyed by :func:`evaluator_fingerprint` so other
+            evaluators with identical inputs reuse them.
     """
 
     def __init__(
@@ -62,13 +140,26 @@ class StageEvaluator:
         profiler: Profiler,
         layers: Sequence[Layer],
         capacity_bytes: float,
+        shared_cache: Optional[StageEvalCache] = None,
     ) -> None:
         self.profiler = profiler
         self.layers = list(layers)
         self.capacity_bytes = capacity_bytes
         self.memory_model = profiler.memory
         self._cache: Dict[Tuple, StageEval] = {}
+        self.shared_cache = shared_cache
+        self._fingerprint: Optional[Tuple] = None
+        if shared_cache is not None:
+            try:
+                self._fingerprint = evaluator_fingerprint(profiler, capacity_bytes)
+            except AttributeError:
+                # Profiler variants (e.g. measured profilers) that don't
+                # expose the fingerprint fields keep a private partition of
+                # the shared cache instead of sharing incorrectly.
+                self._fingerprint = (id(self),)
         self.inner_dp_invocations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
         # Prefix sums for O(1) kind counts and parameter sums.
         self._att_prefix = [0]
         self._ffn_prefix = [0]
@@ -87,8 +178,10 @@ class StageEvaluator:
         return len(self.layers)
 
     def _key(self, stage: int, i: int, j: int) -> Tuple:
+        # The stage index only matters through its 1F1B in-flight count, so
+        # keying on that count makes classes line up across pipeline sizes.
         return (
-            stage,
+            self.memory_model.in_flight(stage),
             i == 0,
             j == self.num_layers - 1,
             self._att_prefix[j + 1] - self._att_prefix[i],
@@ -99,9 +192,20 @@ class StageEvaluator:
         """Optimal cost of layers ``i..j`` (inclusive) as stage ``stage``."""
         key = self._key(stage, i, j)
         cached = self._cache.get(key)
-        if cached is None:
-            cached = self._evaluate_uncached(stage, i, j)
-            self._cache[key] = cached
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        if self.shared_cache is not None:
+            shared = self.shared_cache.get(self._fingerprint + key)
+            if shared is not None:
+                self.cache_hits += 1
+                self._cache[key] = shared
+                return shared
+        self.cache_misses += 1
+        cached = self._evaluate_uncached(stage, i, j)
+        self._cache[key] = cached
+        if self.shared_cache is not None:
+            self.shared_cache.put(self._fingerprint + key, cached)
         return cached
 
     def _evaluate_uncached(self, stage: int, i: int, j: int) -> StageEval:

@@ -180,8 +180,16 @@ def even_boundaries(num_layers: int, num_stages: int) -> Tuple[Tuple[int, int], 
     """The baselines' uniform partition of the layer sequence.
 
     Transformer layers are spread as evenly as possible; remainders go to
-    the earliest stages (Megatron's convention).
+    the earliest stages (Megatron's convention). Requesting more stages
+    than layers is rejected — an empty ``(start, start)`` range would
+    otherwise evaluate as a feasible zero-cost stage (mirror
+    :func:`optimize_partition`'s ``p > L`` guard at the planner level when
+    an infeasible *plan* is the right answer instead of an error).
     """
+    if num_stages > num_layers:
+        raise ValueError(
+            f"cannot split {num_layers} layers into {num_stages} non-empty stages"
+        )
     base, extra = divmod(num_layers, num_stages)
     boundaries = []
     start = 0

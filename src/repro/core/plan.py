@@ -9,7 +9,8 @@ executor in :mod:`repro.training.pipeline_exec`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.config import ParallelConfig, TrainingConfig
@@ -84,6 +85,10 @@ class PipelinePlan:
         feasible: False when some stage exceeds device memory (OOM).
         hidden_size: model dimension, retained for stage-boundary
             communication sizing.
+        metadata: search observability counters and annotations (inner-DP
+            invocations, cache hits, per-strategy wall clock, ...). Values
+            must be JSON-compatible; the mapping never influences execution
+            and is excluded from plan-equivalence comparisons.
     """
 
     method: str
@@ -93,6 +98,13 @@ class PipelinePlan:
     modeled_iteration_time: Optional[float] = None
     feasible: bool = True
     hidden_size: int = 0
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def with_metadata(self, **entries: object) -> "PipelinePlan":
+        """A copy of this plan with ``entries`` merged into its metadata."""
+        return dataclasses.replace(
+            self, metadata={**dict(self.metadata), **entries}
+        )
 
     @property
     def num_stages(self) -> int:

@@ -18,11 +18,12 @@ node, plan each, and keep the fastest feasible strategy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import ConfigError, ParallelConfig, TrainingConfig
-from repro.core.isomorphism import StageEval, StageEvaluator
+from repro.core.isomorphism import StageEval, StageEvalCache, StageEvaluator
 from repro.core.partition_dp import (
     PartitionResult,
     evaluate_fixed_partition,
@@ -52,6 +53,9 @@ class PlannerContext:
             its DP against a conservative 70 GB on 80 GB devices).
         memory_margin: fraction of usable capacity given to the DP.
         profile_noise: measurement jitter passed to the profiler.
+        eval_cache: optional cross-strategy stage-evaluation cache; share
+            one instance across the contexts of a sweep (or across several
+            planners on one context) to reuse inner-DP solutions.
     """
 
     cluster: ClusterSpec
@@ -61,6 +65,7 @@ class PlannerContext:
     memory_limit_bytes: Optional[float] = None
     memory_margin: float = 0.92
     profile_noise: float = 0.0
+    eval_cache: Optional[StageEvalCache] = field(default=None, repr=False)
     _profiler: Optional[Profiler] = field(default=None, repr=False)
     _layers: Optional[List[Layer]] = field(default=None, repr=False)
 
@@ -103,6 +108,15 @@ class PlannerContext:
             self.spec.hidden_size, self.train
         )
 
+    def stage_evaluator(self) -> StageEvaluator:
+        """A stage evaluator wired to this context's shared cache (if any)."""
+        return StageEvaluator(
+            self.profiler,
+            self.layers,
+            self.capacity_bytes,
+            shared_cache=self.eval_cache,
+        )
+
 
 def _build_plan(
     method: str,
@@ -136,9 +150,38 @@ def _build_plan(
     )
 
 
+def _too_many_stages_plan(method: str, ctx: PlannerContext) -> PipelinePlan:
+    """The infeasible plan for ``p > L``: no non-empty partition exists."""
+    return PipelinePlan(
+        method=method,
+        parallel=ctx.parallel,
+        train=ctx.train,
+        stages=(),
+        modeled_iteration_time=None,
+        feasible=False,
+        hidden_size=ctx.spec.hidden_size,
+        metadata={"infeasible_reason": "more pipeline stages than layers"},
+    )
+
+
+def _attach_search_metadata(
+    plan: PipelinePlan, evaluator: StageEvaluator, started: float
+) -> PipelinePlan:
+    """Fold the evaluator's observability counters into the plan."""
+    return plan.with_metadata(
+        inner_dp_invocations=evaluator.inner_dp_invocations,
+        eval_cache_hits=evaluator.cache_hits,
+        eval_cache_misses=evaluator.cache_misses,
+        planning_seconds=time.perf_counter() - started,
+    )
+
+
 def plan_adapipe(ctx: PlannerContext, method: str = "AdaPipe") -> PipelinePlan:
     """Full AdaPipe: two-level DP over recomputation and partitioning."""
-    evaluator = StageEvaluator(ctx.profiler, ctx.layers, ctx.capacity_bytes)
+    started = time.perf_counter()
+    if ctx.parallel.pipeline_parallel > len(ctx.layers):
+        return _too_many_stages_plan(method, ctx)
+    evaluator = ctx.stage_evaluator()
     result: PartitionResult = optimize_partition(
         evaluator,
         ctx.parallel.pipeline_parallel,
@@ -151,22 +194,27 @@ def plan_adapipe(ctx: PlannerContext, method: str = "AdaPipe") -> PipelinePlan:
             evaluator.evaluate(s, lo, hi - 1)
             for s, (lo, hi) in enumerate(boundaries)
         ]
-        return _build_plan(method, ctx, boundaries, evals, None, False)
-    return _build_plan(
-        method, ctx, result.boundaries, result.stage_evals, result.total_time, True
-    )
+        plan = _build_plan(method, ctx, boundaries, evals, None, False)
+    else:
+        plan = _build_plan(
+            method, ctx, result.boundaries, result.stage_evals, result.total_time, True
+        )
+    return _attach_search_metadata(plan, evaluator, started)
 
 
 def plan_even_partitioning(
     ctx: PlannerContext, method: str = "Even Partitioning"
 ) -> PipelinePlan:
     """Adaptive recomputation on the uniform partition (no boundary search)."""
-    evaluator = StageEvaluator(ctx.profiler, ctx.layers, ctx.capacity_bytes)
+    started = time.perf_counter()
+    if ctx.parallel.pipeline_parallel > len(ctx.layers):
+        return _too_many_stages_plan(method, ctx)
+    evaluator = ctx.stage_evaluator()
     boundaries = even_boundaries(len(ctx.layers), ctx.parallel.pipeline_parallel)
     result = evaluate_fixed_partition(
         evaluator, boundaries, ctx.num_micro_batches, hop_time=ctx.hop_time
     )
-    return _build_plan(
+    plan = _build_plan(
         method,
         ctx,
         result.boundaries,
@@ -174,6 +222,7 @@ def plan_even_partitioning(
         result.total_time if result.feasible else None,
         result.feasible,
     )
+    return _attach_search_metadata(plan, evaluator, started)
 
 
 def plan_policy(
@@ -184,6 +233,9 @@ def plan_policy(
     Feasibility is judged against the *hard* device capacity, not the DP's
     conservative margin — baselines don't leave headroom, they just OOM.
     """
+    started = time.perf_counter()
+    if ctx.parallel.pipeline_parallel > len(ctx.layers):
+        return _too_many_stages_plan(method, ctx)
     boundaries = even_boundaries(len(ctx.layers), ctx.parallel.pipeline_parallel)
     evals = stage_costs_for_policy(
         ctx.profiler, boundaries, ctx.layers, policy, ctx.hard_capacity_bytes
@@ -192,9 +244,10 @@ def plan_policy(
         evals, ctx.num_micro_batches, ctx.hop_time
     )
     feasible = all(e.feasible for e in evals)
-    return _build_plan(
+    plan = _build_plan(
         method, ctx, boundaries, evals, result if feasible else None, feasible
     )
+    return plan.with_metadata(planning_seconds=time.perf_counter() - started)
 
 
 def evaluate_fixed_partition_from_evals(
@@ -270,17 +323,22 @@ def search_best_strategy(
     "Best" minimizes the modelled iteration time normalised per sample, so
     strategies with different data-parallel sizes compare fairly (a ``d=2``
     pipeline only processes half the global batch).
+
+    This is the serial, exhaustive entry point — every strategy is planned
+    and returned. :func:`repro.core.sweep.run_sweep` is the performance
+    entry point with the same selection semantics plus parallel planning
+    and branch-and-bound pruning.
     """
-    if strategies is None:
-        strategies = enumerate_parallel_strategies(num_devices, cluster, spec, train)
-    plans: List[PipelinePlan] = []
-    best: Optional[PipelinePlan] = None
-    best_time = float("inf")
-    for parallel in strategies:
-        ctx = PlannerContext(cluster, spec, train, parallel, **context_kwargs)
-        plan = planner(ctx)
-        plans.append(plan)
-        if plan.feasible and plan.modeled_iteration_time is not None:
-            if plan.modeled_iteration_time < best_time:
-                best, best_time = plan, plan.modeled_iteration_time
-    return best, plans
+    from repro.core.sweep import SweepConfig, run_sweep
+
+    result = run_sweep(
+        cluster,
+        spec,
+        train,
+        num_devices,
+        planner=planner,
+        strategies=strategies,
+        config=SweepConfig(workers=1, prune=False),
+        **context_kwargs,
+    )
+    return result.best, result.plans

@@ -33,6 +33,7 @@ def plan_to_dict(plan: PipelinePlan) -> Dict[str, Any]:
         "feasible": plan.feasible,
         "hidden_size": plan.hidden_size,
         "modeled_iteration_time": plan.modeled_iteration_time,
+        "metadata": dict(plan.metadata),
         "parallel": {
             "tensor_parallel": plan.parallel.tensor_parallel,
             "pipeline_parallel": plan.parallel.pipeline_parallel,
@@ -47,6 +48,7 @@ def plan_to_dict(plan: PipelinePlan) -> Dict[str, Any]:
                 "saved_unit_counts": dict(stage.saved_unit_counts),
                 "forward_time": stage.forward_time,
                 "backward_time": stage.backward_time,
+                "params": stage.params,
                 "memory": {
                     "static_bytes": stage.memory.static_bytes,
                     "buffer_bytes": stage.memory.buffer_bytes,
@@ -78,6 +80,7 @@ def plan_from_dict(data: Dict[str, Any]) -> PipelinePlan:
                 forward_time=entry["forward_time"],
                 backward_time=entry["backward_time"],
                 memory=StageMemory(**entry["memory"]),
+                params=entry.get("params", 0),
             )
             for entry in data["stages"]
         )
@@ -89,6 +92,7 @@ def plan_from_dict(data: Dict[str, Any]) -> PipelinePlan:
             modeled_iteration_time=data.get("modeled_iteration_time"),
             feasible=data.get("feasible", True),
             hidden_size=data.get("hidden_size", 0),
+            metadata=dict(data.get("metadata", {})),
         )
     except PlanFormatError:
         raise
@@ -98,8 +102,27 @@ def plan_from_dict(data: Dict[str, Any]) -> PipelinePlan:
     return plan
 
 
+def plan_signature(plan: PipelinePlan) -> Dict[str, Any]:
+    """The plan document without its volatile metadata.
+
+    Two plans with equal signatures encode the same searched decisions —
+    partition, recomputation, costs — even when search-observability
+    counters (wall clocks, cache hits) differ between runs. This is the
+    comparison the sweep-equivalence guarantee is stated over.
+    """
+    document = plan_to_dict(plan)
+    document.pop("metadata", None)
+    return document
+
+
 def validate_plan(plan: PipelinePlan) -> None:
     """Structural checks: contiguous stage coverage, consistent indices."""
+    if not plan.stages:
+        # Stage-less documents encode "no valid partition exists" (e.g.
+        # more stages than layers); they are only legal when infeasible.
+        if plan.feasible:
+            raise PlanFormatError("feasible plan with no stages")
+        return
     # Interleaved plans hold v model chunks per device: v * p stages.
     if len(plan.stages) % plan.parallel.pipeline_parallel != 0:
         raise PlanFormatError(

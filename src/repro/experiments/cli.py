@@ -118,6 +118,7 @@ def _cmd_plan(args) -> int:
     from repro.baselines import evaluate_method
     from repro.config import ParallelConfig
     from repro.config import TrainingConfig
+    from repro.core.isomorphism import StageEvalCache
     from repro.core.search import PlannerContext, enumerate_parallel_strategies
     from repro.core.serialize import dump_plan
     from repro.hardware.cluster import cluster_a, cluster_b
@@ -145,12 +146,18 @@ def _cmd_plan(args) -> int:
 
     best = None
     best_strategy = None
+    cache = StageEvalCache()
+    inner_dp_total = 0
     started = time.time()
     for strategy in strategies:
         ctx = PlannerContext(
-            cluster, spec, train, strategy, memory_limit_bytes=limit
+            cluster, spec, train, strategy, memory_limit_bytes=limit,
+            eval_cache=cache,
         )
         evaluation = evaluate_method(args.method, ctx)
+        inner_dp_total += int(
+            evaluation.plan.metadata.get("inner_dp_invocations", 0)
+        )
         if evaluation.iteration_time is None:
             continue
         if best is None or evaluation.iteration_time < best.iteration_time:
@@ -163,7 +170,9 @@ def _cmd_plan(args) -> int:
         return 1
 
     print(best.plan.describe())
-    print(f"\nbest strategy: {best_strategy} (search took {elapsed:.1f}s)")
+    print(f"\nbest strategy: {best_strategy} (search took {elapsed:.1f}s, "
+          f"{inner_dp_total} inner-DP invocations, eval-cache hit rate "
+          f"{cache.hit_rate:.0%})")
     if not args.no_simulate:
         print(f"simulated iteration time: {best.iteration_time:.3f}s "
               f"(bubble {best.simulation.bubble_ratio:.1%})")

@@ -8,6 +8,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.baselines import evaluate_method
 from repro.config import ParallelConfig, TrainingConfig
 from repro.core.evaluate import PlanEvaluation
+from repro.core.isomorphism import StageEvalCache
 from repro.core.search import PlannerContext, enumerate_parallel_strategies
 from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
@@ -85,6 +86,10 @@ def sweep_method(
     """
     if strategies is None:
         strategies = enumerate_parallel_strategies(num_devices, cluster, spec, train)
+    # One evaluation cache across the whole sweep: strategies sharing a
+    # (t, d) pair — and in particular the same strategy planned by several
+    # methods via sweep_methods — reuse inner-DP solutions.
+    context_kwargs.setdefault("eval_cache", StageEvalCache())
     best: Optional[PlanEvaluation] = None
     best_strategy: Optional[ParallelConfig] = None
     first: Optional[PlanEvaluation] = None
@@ -111,6 +116,9 @@ def sweep_methods(
     strategies: Optional[Sequence[ParallelConfig]] = None,
     **context_kwargs,
 ) -> Dict[str, MethodRow]:
+    # Shared across methods too: AdaPipe and Even Partitioning meet the
+    # same stage-evaluation problems on every common strategy.
+    context_kwargs.setdefault("eval_cache", StageEvalCache())
     return {
         method: sweep_method(
             method, cluster, spec, train, num_devices, strategies, **context_kwargs

@@ -11,6 +11,7 @@ from typing import Dict
 from repro.baselines import evaluate_method
 from repro.config import ParallelConfig, TrainingConfig
 from repro.core.evaluate import PlanEvaluation
+from repro.core.isomorphism import StageEvalCache
 from repro.core.search import PlannerContext
 from repro.hardware.cluster import cluster_a
 from repro.model.spec import gpt3_175b
@@ -27,6 +28,9 @@ def profile_context() -> PlannerContext:
         TRAIN,
         PARALLEL,
         memory_limit_bytes=MEMORY_LIMIT,
+        # The Section 7.4 experiments evaluate several methods on this one
+        # context; a shared cache lets them reuse stage evaluations.
+        eval_cache=StageEvalCache(),
     )
 
 

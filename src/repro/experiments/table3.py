@@ -9,7 +9,10 @@ t = 1), and mid-size tensor parallelism wins overall.
 
 from __future__ import annotations
 
+import time as time_module
+
 from repro.config import ParallelConfig, TrainingConfig
+from repro.core.isomorphism import StageEvalCache
 from repro.core.search import PlannerContext
 from repro.baselines import evaluate_method
 from repro.experiments.common import ExperimentResult
@@ -36,15 +39,24 @@ def run(fast: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         name="table3",
         title="GPT-3 iteration time by (TP, PP, DP), cluster A, seq 4096",
-        headers=["(TP,PP,DP)"] + list(METHODS),
+        headers=["(TP,PP,DP)"] + list(METHODS) + ["search"],
     )
+    # One evaluation cache across every (strategy, method) pair: the
+    # adaptive methods hit identical stage-evaluation problems whenever
+    # they share a (t, d) pair, and always across methods per strategy.
+    cache = StageEvalCache()
     best = {method: (None, float("inf")) for method in METHODS}
+    inner_dp_total = 0
     for t, p, d in strategies:
         parallel = ParallelConfig(t, p, d)
-        ctx = PlannerContext(cluster, spec, train, parallel)
+        ctx = PlannerContext(cluster, spec, train, parallel, eval_cache=cache)
         cells = []
+        row_started = time_module.perf_counter()
         for method in METHODS:
             evaluation = evaluate_method(method, ctx)
+            inner_dp_total += int(
+                evaluation.plan.metadata.get("inner_dp_invocations", 0)
+            )
             time = evaluation.iteration_time
             if time is None:
                 cells.append("OOM")
@@ -52,6 +64,7 @@ def run(fast: bool = False) -> ExperimentResult:
                 cells.append(f"{time:.3f}s")
                 if time < best[method][1]:
                     best[method] = ((t, p, d), time)
+        cells.append(f"{time_module.perf_counter() - row_started:.1f}s")
         result.add_row((t, p, d), *cells)
     for method, (strategy, time) in best.items():
         if strategy is not None:
@@ -59,5 +72,10 @@ def run(fast: bool = False) -> ExperimentResult:
     result.add_note(
         "expected shape: DAPPLE-Non feasible only at t=8; adaptive methods "
         "fastest at t=4; (1,32,2) OOM for adaptive methods."
+    )
+    result.add_note(
+        f"search: {inner_dp_total} inner-DP invocations, shared eval-cache "
+        f"hit rate {cache.hit_rate:.0%} "
+        f"({cache.hits} hits / {cache.lookups} lookups)"
     )
     return result

@@ -136,7 +136,9 @@ def _render_figure7(result: ExperimentResult) -> str:
 
 
 def _render_table3(result: ExperimentResult) -> str:
-    methods = result.headers[1:]
+    # The trailing "search" column is per-row planning wall clock, not an
+    # iteration-time series.
+    methods = [h for h in result.headers[1:] if h != "search"]
     series = [
         Series(method, [_parse_cell(row[1 + index]) for row in result.rows])
         for index, method in enumerate(methods)

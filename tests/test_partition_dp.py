@@ -90,6 +90,14 @@ class TestEvenBoundaries:
                 for (a, b), (c, d) in zip(bounds, bounds[1:]):
                     assert b == c and b > a and d > c
 
+    def test_more_stages_than_layers_rejected(self):
+        """Silently emitting zero-layer stages would fake feasibility; the
+        request must fail loudly (planners guard p > L before calling)."""
+        with pytest.raises(ValueError, match="non-empty"):
+            even_boundaries(3, 4)
+        with pytest.raises(ValueError, match="non-empty"):
+            even_boundaries(0, 1)
+
 
 class TestCostModelExactness:
     @pytest.mark.parametrize("p,n,f,b", [(2, 4, 1.0, 2.0), (4, 8, 1.0, 2.0),

@@ -113,6 +113,75 @@ class TestStrategyEnumeration:
         for s in enumerate_parallel_strategies(16, cluster_a(2), gpt3_175b(), train):
             assert train.global_batch_size % s.data_parallel == 0
 
+    def test_indivisible_batch_excludes_strategy(self):
+        """batch=6 does not divide by d=4, so (1, 4, 4) must be absent even
+        though it is a valid 16-device layout otherwise."""
+        train = TrainingConfig(sequence_length=4096, global_batch_size=6)
+        tuples = {
+            s.as_tuple()
+            for s in enumerate_parallel_strategies(16, cluster_a(2), gpt3_175b(), train)
+        }
+        assert (1, 4, 4) not in tuples
+        assert all(d in (1, 2, 3, 6) for _, _, d in tuples)
+
+    def test_tensor_parallel_capped_by_devices_per_node(self, train):
+        """A node with 4 slots caps t at 4 even when 8 would divide evenly."""
+        import dataclasses
+
+        narrow = dataclasses.replace(cluster_a(4), devices_per_node=4)
+        strategies = enumerate_parallel_strategies(16, narrow, gpt3_175b(), train)
+        assert strategies
+        assert all(s.tensor_parallel <= 4 for s in strategies)
+
+    def test_pipeline_capped_by_layer_count(self, tiny_spec, tiny_train):
+        """tiny_gpt has an 8-layer sequence: p = 16 never appears, p = 8 may."""
+        strategies = enumerate_parallel_strategies(
+            32, cluster_a(4), tiny_spec, tiny_train
+        )
+        assert strategies
+        num_layers = 8  # embed + 3 x (att, ffn) + head
+        assert all(s.pipeline_parallel <= num_layers for s in strategies)
+        assert any(s.pipeline_parallel == num_layers for s in strategies)
+
+
+class TestTooManyStages:
+    """p > L: planners answer with an infeasible plan, not a crash."""
+
+    @pytest.fixture
+    def oversized_ctx(self, tiny_spec, tiny_train):
+        # 8-layer sequence split over a 16-stage pipeline: impossible.
+        return PlannerContext(
+            cluster_a(2),
+            tiny_spec,
+            tiny_train,
+            ParallelConfig(1, 16, 1),
+            memory_limit_bytes=8 * 1024**2,
+        )
+
+    @pytest.mark.parametrize(
+        "planner", [plan_adapipe, plan_even_partitioning],
+        ids=["adapipe", "even"],
+    )
+    def test_planners_return_infeasible_plan(self, oversized_ctx, planner):
+        plan = planner(oversized_ctx)
+        assert not plan.feasible
+        assert plan.stages == ()
+        assert plan.modeled_iteration_time is None
+        assert "stages" in plan.metadata["infeasible_reason"]
+
+    def test_policy_planner_returns_infeasible_plan(self, oversized_ctx):
+        plan = plan_policy(oversized_ctx, RecomputePolicy.FULL, "DAPPLE-Full")
+        assert not plan.feasible
+        assert plan.stages == ()
+
+    def test_infeasible_plan_serializes(self, oversized_ctx):
+        from repro.core.serialize import plan_from_dict, plan_to_dict
+
+        plan = plan_adapipe(oversized_ctx)
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert not restored.feasible
+        assert restored.stages == ()
+
 
 class TestSearchBestStrategy:
     def test_returns_feasible_best(self, gpt3):

@@ -107,8 +107,9 @@ class TestFuzzedDocuments:
     def test_dropping_any_top_level_key_raises(self, valid_document):
         import copy
 
+        optional = ("modeled_iteration_time", "feasible", "hidden_size", "metadata")
         for key in list(valid_document):
-            if key in ("modeled_iteration_time", "feasible", "hidden_size"):
+            if key in optional:
                 continue  # optional with defaults
             mutated = copy.deepcopy(valid_document)
             del mutated[key]
@@ -119,6 +120,8 @@ class TestFuzzedDocuments:
         import copy
 
         for key in list(valid_document["stages"][0]):
+            if key == "params":
+                continue  # optional: pre-metadata documents omit it
             mutated = copy.deepcopy(valid_document)
             del mutated["stages"][0][key]
             with pytest.raises(PlanFormatError):

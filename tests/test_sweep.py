@@ -1,0 +1,246 @@
+"""Tests for the parallel, pruned, cache-reusing strategy sweep."""
+
+import pytest
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.isomorphism import StageEvalCache
+from repro.core.search import (
+    PlannerContext,
+    enumerate_parallel_strategies,
+    plan_adapipe,
+    plan_even_partitioning,
+)
+from repro.core.serialize import plan_signature
+from repro.core.sweep import SweepConfig, run_sweep, strategy_lower_bound
+from repro.hardware.cluster import cluster_a
+
+
+LIMIT = 8 * 1024**2
+
+SERIAL = SweepConfig(workers=1, prune=False, share_cache=False)
+
+
+@pytest.fixture
+def sweep_args(tiny_spec, tiny_train):
+    """Tiny-GPT sweep over cluster A's one-node 8-device strategy space."""
+    return dict(
+        cluster=cluster_a(1),
+        spec=tiny_spec,
+        train=tiny_train,
+        num_devices=8,
+        memory_limit_bytes=LIMIT,
+    )
+
+
+class TestEquivalence:
+    """Pruned/parallel sweeps must select the exact serial best plan."""
+
+    def test_pruned_matches_serial(self, sweep_args):
+        serial = run_sweep(config=SERIAL, **sweep_args)
+        pruned = run_sweep(
+            config=SweepConfig(workers=1, prune=True, share_cache=True),
+            **sweep_args,
+        )
+        assert serial.best is not None
+        assert plan_signature(pruned.best) == plan_signature(serial.best)
+
+    def test_parallel_pruned_matches_serial(self, sweep_args):
+        serial = run_sweep(config=SERIAL, **sweep_args)
+        parallel = run_sweep(
+            config=SweepConfig(workers=2, prune=True, share_cache=True),
+            **sweep_args,
+        )
+        assert parallel.stats.workers == 2
+        assert plan_signature(parallel.best) == plan_signature(serial.best)
+
+    def test_parallel_unpruned_returns_identical_plan_list(self, sweep_args):
+        serial = run_sweep(config=SERIAL, **sweep_args)
+        parallel = run_sweep(
+            config=SweepConfig(workers=2, prune=False, share_cache=True),
+            **sweep_args,
+        )
+        assert len(parallel.plans) == len(serial.plans)
+        for a, b in zip(serial.plans, parallel.plans):
+            assert plan_signature(a) == plan_signature(b)
+
+    def test_search_best_strategy_delegates_exhaustively(self, sweep_args):
+        from repro.core.search import search_best_strategy
+
+        best, plans = search_best_strategy(
+            sweep_args["cluster"],
+            sweep_args["spec"],
+            sweep_args["train"],
+            sweep_args["num_devices"],
+            plan_even_partitioning,
+            memory_limit_bytes=LIMIT,
+        )
+        reference = run_sweep(
+            planner=plan_even_partitioning, config=SERIAL, **sweep_args
+        )
+        assert len(plans) == len(reference.plans)
+        assert plan_signature(best) == plan_signature(reference.best)
+
+
+class TestLowerBound:
+    """strategy_lower_bound must never exceed any planner's modelled time."""
+
+    def test_admissible_for_all_planners(self, sweep_args):
+        strategies = enumerate_parallel_strategies(
+            sweep_args["num_devices"],
+            sweep_args["cluster"],
+            sweep_args["spec"],
+            sweep_args["train"],
+        )
+        assert strategies
+        for parallel in strategies:
+            ctx = PlannerContext(
+                sweep_args["cluster"],
+                sweep_args["spec"],
+                sweep_args["train"],
+                parallel,
+                memory_limit_bytes=LIMIT,
+            )
+            bound = strategy_lower_bound(ctx)
+            assert bound > 0
+            for planner in (plan_adapipe, plan_even_partitioning):
+                plan = planner(ctx)
+                if plan.feasible:
+                    # An infinite bound claims "provably infeasible" — a
+                    # feasible plan would disprove admissibility outright.
+                    assert bound <= plan.modeled_iteration_time + 1e-12
+
+    def test_admissible_under_memory_pressure(self, gpt3):
+        """Recomputation inflates backward times; the bound must stay below."""
+        train = TrainingConfig(sequence_length=8192, global_batch_size=16)
+        ctx = PlannerContext(
+            cluster_a(8),
+            gpt3,
+            train,
+            ParallelConfig(8, 8, 1),
+            memory_limit_bytes=60 * 1024**3,
+        )
+        plan = plan_even_partitioning(ctx)
+        assert plan.feasible
+        assert strategy_lower_bound(ctx) <= plan.modeled_iteration_time
+
+
+class TestPruning:
+    def test_stats_account_for_every_strategy(self, sweep_args):
+        result = run_sweep(
+            config=SweepConfig(workers=1, prune=True), **sweep_args
+        )
+        stats = result.stats
+        assert stats.strategies_total > 0
+        assert stats.strategies_planned + stats.strategies_pruned == (
+            stats.strategies_total
+        )
+        assert len(stats.reports) == stats.strategies_total
+        assert len(result.plans) == stats.strategies_planned
+        for report in stats.reports:
+            if report.pruned:
+                assert report.per_sample_time is None
+                assert report.wall_seconds == 0.0
+        assert "strategies" in stats.describe()
+
+    def test_prune_skips_hopeless_strategies(self, sweep_args):
+        """With an incumbent planted via strategy order, bad strategies are
+        pruned — here just assert pruning fires on the real space, where
+        deep pipelines on a tiny model cannot beat the shallow optimum."""
+        pruned = run_sweep(
+            config=SweepConfig(workers=1, prune=True), **sweep_args
+        )
+        exhaustive = run_sweep(config=SERIAL, **sweep_args)
+        assert pruned.stats.strategies_planned <= (
+            exhaustive.stats.strategies_planned
+        )
+        assert plan_signature(pruned.best) == plan_signature(exhaustive.best)
+
+    def test_best_plan_carries_sweep_metadata(self, sweep_args):
+        result = run_sweep(
+            config=SweepConfig(workers=1, prune=True), **sweep_args
+        )
+        metadata = result.best.metadata
+        assert metadata["sweep_strategies_total"] == (
+            result.stats.strategies_total
+        )
+        assert "sweep_lower_bound" in metadata
+        assert metadata["inner_dp_invocations"] > 0
+
+
+class TestEvalCacheSharing:
+    def test_cross_planner_reuse(self, sweep_args):
+        """AdaPipe then Even Partitioning on one strategy: the second
+        planner's stage evaluations all come from the shared cache."""
+        cache = StageEvalCache()
+        parallel = ParallelConfig(1, 2, 1)
+        make_ctx = lambda: PlannerContext(  # noqa: E731
+            sweep_args["cluster"],
+            sweep_args["spec"],
+            sweep_args["train"],
+            parallel,
+            memory_limit_bytes=LIMIT,
+            eval_cache=cache,
+        )
+        plan_adapipe(make_ctx())
+        hits_before = cache.hits
+        cached = plan_even_partitioning(make_ctx())
+        assert cache.hits > hits_before
+        uncached = plan_even_partitioning(
+            PlannerContext(
+                sweep_args["cluster"],
+                sweep_args["spec"],
+                sweep_args["train"],
+                parallel,
+                memory_limit_bytes=LIMIT,
+            )
+        )
+        assert plan_signature(cached) == plan_signature(uncached)
+
+    def test_cross_pipeline_depth_reuse(self, sweep_args):
+        """Same (t, d), different p: in-flight-keyed isomorphism classes
+        let a deeper pipeline reuse the shallower sweep's evaluations."""
+        strategies = [ParallelConfig(1, 2, 1), ParallelConfig(1, 4, 1)]
+        result = run_sweep(
+            strategies=strategies,
+            config=SweepConfig(workers=1, prune=False, share_cache=True),
+            **sweep_args,
+        )
+        assert result.stats.eval_cache_hits > 0
+        reference = run_sweep(strategies=strategies, config=SERIAL, **sweep_args)
+        for a, b in zip(result.plans, reference.plans):
+            assert plan_signature(a) == plan_signature(b)
+
+    def test_hit_rate_bookkeeping(self):
+        cache = StageEvalCache()
+        assert cache.hit_rate == 0.0
+        assert cache.get(("k",)) is None
+        cache.put(("k",), "v")
+        assert cache.get(("k",)) == "v"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+        assert len(cache) == 1
+
+
+class TestPlannerResolution:
+    def test_planner_by_registry_name(self, sweep_args):
+        by_name = run_sweep(planner="Even Partitioning", config=SERIAL, **sweep_args)
+        by_fn = run_sweep(
+            planner=plan_even_partitioning, config=SERIAL, **sweep_args
+        )
+        assert plan_signature(by_name.best) == plan_signature(by_fn.best)
+
+    def test_unpicklable_planner_falls_back_to_serial(self, sweep_args):
+        result = run_sweep(
+            planner=lambda ctx: plan_even_partitioning(ctx),
+            config=SweepConfig(workers=2, prune=False),
+            **sweep_args,
+        )
+        assert result.stats.workers == 1
+        assert result.best is not None
+
+    def test_worker_resolution(self):
+        auto = SweepConfig(workers=0, min_parallel=4)
+        assert auto.resolve_workers(2) == 1  # below min_parallel: stay serial
+        assert auto.resolve_workers(0) == 1
+        assert SweepConfig(workers=3).resolve_workers(10) == 3
+        assert SweepConfig(workers=8).resolve_workers(2) == 2
