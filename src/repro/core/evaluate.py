@@ -10,6 +10,7 @@ property the test suite asserts).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -17,7 +18,7 @@ from repro.core.plan import PipelinePlan
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.comm import CommModel
 from repro.pipeline.schedules import chimera_schedule, gpipe_schedule, one_f_one_b_schedule
-from repro.pipeline.simulator import SimulationResult, simulate
+from repro.pipeline.simulator import SimulationResult, simulate_with_info
 from repro.pipeline.tasks import Schedule
 
 
@@ -57,6 +58,7 @@ def build_schedule_for_plan(
     plan: PipelinePlan,
     cluster: ClusterSpec,
     schedule_kind: str = "1f1b",
+    comm: Optional[CommModel] = None,
 ) -> Schedule:
     """Materialise a plan as an executable schedule.
 
@@ -65,8 +67,10 @@ def build_schedule_for_plan(
         cluster: hardware, for the stage-boundary hop time.
         schedule_kind: ``"1f1b"``, ``"gpipe"``, ``"chimera"`` or
             ``"chimerad"``.
+        comm: an existing communication model for ``cluster``, to avoid
+            rebuilding one per call.
     """
-    hop = CommModel(cluster).pipeline_hop_time(plan.hidden_size, plan.train)
+    hop = (comm or CommModel(cluster)).pipeline_hop_time(plan.hidden_size, plan.train)
     costs = list(plan.stage_costs())
     n = plan.train.num_micro_batches(plan.parallel)
     if schedule_kind == "1f1b":
@@ -93,26 +97,31 @@ def evaluate_plan(
     the per-iteration ZeRO-1 gradient reduce-scatter and parameter
     all-gather of the heaviest stage is added to the iteration time (all
     stages synchronise concurrently after the last backward).
+
+    The returned evaluation's plan carries simulator observability in its
+    metadata (``sim_engine``, ``sim_cache_hit`` and the cumulative
+    simulation-cache counters), mirroring the sweep's search counters.
     """
     if not plan.feasible:
         return PlanEvaluation(plan=plan, simulation=None, oom=True)
-    schedule = build_schedule_for_plan(plan, cluster, schedule_kind)
-    result = simulate(schedule)
+    comm = CommModel(cluster)
+    schedule = build_schedule_for_plan(plan, cluster, schedule_kind, comm=comm)
+    result, sim_info = simulate_with_info(schedule)
     if include_gradient_sync and plan.parallel.data_parallel > 1:
-        comm = CommModel(cluster)
         sync = max(
             comm.gradient_sync_time(stage.params, plan.parallel)
             for stage in plan.stages
         )
-        result = SimulationResult(
-            iteration_time=result.iteration_time + sync,
-            start_times=result.start_times,
-            end_times=result.end_times,
-            device_busy_time=result.device_busy_time,
-            device_peak_bytes=result.device_peak_bytes,
-            schedule=result.schedule,
+        result = dataclasses.replace(
+            result, iteration_time=result.iteration_time + sync
         )
     oom = False
     if enforce_memory:
         oom = bool(result.oom_devices(cluster.device.usable_memory_bytes))
+    plan = plan.with_metadata(
+        sim_engine=sim_info["engine"],
+        sim_cache_hit=sim_info["cache_hit"],
+        sim_cache_hits=sim_info["cache_hits"],
+        sim_cache_misses=sim_info["cache_misses"],
+    )
     return PlanEvaluation(plan=plan, simulation=result, oom=oom)

@@ -28,7 +28,7 @@ from repro.core.search import PlannerContext
 from repro.core.strategies import RecomputePolicy
 from repro.baselines.extensions import plan_interleaved
 from repro.pipeline.schedules import interleaved_1f1b_schedule
-from repro.pipeline.simulator import simulate
+from repro.pipeline.simulator import simulate_with_info
 from repro.pipeline.tracing import stage_in_flight_peaks
 from repro.profiler.memory import StageMemory
 
@@ -55,11 +55,14 @@ def plan_interleaved_adaptive(
 
     # Step 1: measure in-flight peaks on the full-recompute layout (the
     # peaks are schedule properties; recomputation choices don't move them).
+    # Repeated planner calls rebuild an identical probe schedule, so this
+    # simulation replays from the cross-run simulation cache.
     probe = plan_interleaved(ctx, RecomputePolicy.FULL, chunks)
     probe_schedule = interleaved_1f1b_schedule(
         list(probe.stage_costs()), ctx.num_micro_batches, p, hop_time=ctx.hop_time
     )
-    peaks = stage_in_flight_peaks(simulate(probe_schedule))
+    probe_sim, probe_info = simulate_with_info(probe_schedule)
+    peaks = stage_in_flight_peaks(probe_sim)
     in_flight = {stage: count for (_, stage), count in peaks.items()}
 
     # Step 2: one shared-budget knapsack per device over its chunks.
@@ -175,6 +178,9 @@ def plan_interleaved_adaptive(
         modeled_iteration_time=None,
         feasible=feasible,
         hidden_size=ctx.spec.hidden_size,
+    ).with_metadata(
+        probe_sim_engine=probe_info["engine"],
+        probe_sim_cache_hit=probe_info["cache_hit"],
     )
 
 
@@ -191,6 +197,12 @@ def evaluate_interleaved_adaptive(
         ctx.parallel.pipeline_parallel,
         hop_time=ctx.hop_time,
     )
-    result = simulate(schedule)
+    result, sim_info = simulate_with_info(schedule)
     oom = bool(result.oom_devices(ctx.cluster.device.usable_memory_bytes))
+    plan = plan.with_metadata(
+        sim_engine=sim_info["engine"],
+        sim_cache_hit=sim_info["cache_hit"],
+        sim_cache_hits=sim_info["cache_hits"],
+        sim_cache_misses=sim_info["cache_misses"],
+    )
     return PlanEvaluation(plan=plan, simulation=result, oom=oom)

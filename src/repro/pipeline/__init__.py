@@ -8,7 +8,16 @@ ratio, and a full per-device memory trace with OOM detection — the
 quantities the paper measures on its clusters.
 """
 
-from repro.pipeline.simulator import SimulationError, SimulationResult, simulate
+from repro.pipeline.simulator import (
+    SimulationCache,
+    SimulationError,
+    SimulationResult,
+    global_simulation_cache,
+    schedule_digest,
+    simulate,
+    simulate_reference,
+    simulate_with_info,
+)
 from repro.pipeline.tasks import Schedule, StageCosts, Task, TaskKey, TaskKind
 from repro.pipeline.schedules import (
     chimera_schedule,
@@ -20,6 +29,7 @@ from repro.pipeline.visualize import render_timeline
 
 __all__ = [
     "Schedule",
+    "SimulationCache",
     "SimulationError",
     "SimulationResult",
     "StageCosts",
@@ -27,9 +37,13 @@ __all__ = [
     "TaskKey",
     "TaskKind",
     "chimera_schedule",
+    "global_simulation_cache",
     "gpipe_schedule",
     "interleaved_1f1b_schedule",
     "one_f_one_b_schedule",
     "render_timeline",
+    "schedule_digest",
     "simulate",
+    "simulate_reference",
+    "simulate_with_info",
 ]

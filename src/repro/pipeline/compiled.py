@@ -1,0 +1,234 @@
+"""One-time lowering of a :class:`Schedule` into integer-indexed task arrays.
+
+The simulator's inner loop used to hash :class:`TaskKey` dataclasses on every
+dependency check. Lowering replaces every key with a dense integer index and
+every dependency with a precomputed edge, so executing the schedule touches
+only flat lists:
+
+* per task: duration, device, a signed memory delta (``+activation_bytes``
+  pinned at forward start, ``-activation_bytes`` released at backward end),
+  and the number of incoming edges (unique dependencies plus the implicit
+  device-order edge to the previous task on the same device);
+* per edge: the successor index and the hop addend (``hop_time`` when the
+  edge crosses devices, ``0.0`` otherwise), stored in CSR layout.
+
+Per-device aggregates that do not depend on execution at all — busy time
+(durations summed in list order, preserving the reference engine's float
+accumulation order) and weighted micro-batch passes — are folded out of the
+run entirely and precomputed here.
+
+The lowering also subsumes the structural checks ``Schedule.validate`` and
+the simulator used to perform separately (each building its own
+``TaskKey -> Task`` map): duplicate keys and unresolvable dependencies are
+rejected exactly once, here, and the result is memoized on the schedule via
+:meth:`Schedule.compiled`, so validated schedules reach the simulator
+already lowered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.pipeline.tasks import Schedule, Task, TaskKey, TaskKind
+
+
+class SimulationError(RuntimeError):
+    """Raised on malformed schedules (unresolvable dependencies)."""
+
+
+@dataclass
+class CompiledSchedule:
+    """A schedule lowered to arrays, ready for the ready-queue engine.
+
+    Task indices follow enumeration order: device 0's tasks in list order,
+    then device 1's, and so on — consecutive tasks of one device therefore
+    have consecutive indices.
+
+    Attributes:
+        schedule: the source schedule.
+        tasks: task index -> source :class:`Task`.
+        keys: task index -> :class:`TaskKey` (for building result dicts).
+        index: key -> task index.
+        device: task index -> executing device.
+        duration: task index -> seconds of device time.
+        mem_delta: task index -> signed activation bytes (positive deltas
+            apply at the task's start, negative at its end, zero means no
+            memory event).
+        indegree: incoming-edge count per task (unique dependencies + the
+            device-order edge).
+        succ_ptr / succ_idx / succ_add: CSR adjacency over outgoing edges;
+            ``succ_add`` is the communication addend of each edge.
+        rows: per-task ``(duration, device, mem_delta, successors)`` tuples,
+            with ``successors`` a tuple of ``(successor index, addend)``
+            pairs — the same data as the columnar arrays, packed so the
+            engine's hot loop does one list index and one unpack per task.
+        dep_indices: unique dependency indices per task (diagnostics).
+        device_last: last task index per device (``-1`` when idle all
+            iteration).
+        device_busy: per-device busy seconds, summed in list order.
+        device_passes: per-device weighted micro-batch passes (``weight``
+            summed over the device's tasks).
+        same_device_twins: True when every backward's forward twin runs on
+            the backward's own device — the invariant the incremental
+            memory tracker relies on (``Schedule.validate`` enforces it;
+            the engine falls back to the reference path when it is absent).
+        num_edges: total edge count (dependency + device-order).
+    """
+
+    schedule: Schedule
+    tasks: List[Task]
+    keys: List[TaskKey]
+    index: Dict[TaskKey, int]
+    device: List[int]
+    duration: List[float]
+    mem_delta: List[float]
+    indegree: List[int]
+    succ_ptr: List[int]
+    succ_idx: List[int]
+    succ_add: List[float]
+    rows: List[Tuple[float, int, float, Tuple[Tuple[int, float], ...]]]
+    dep_indices: List[Tuple[int, ...]]
+    device_last: List[int]
+    device_busy: List[float]
+    device_passes: List[int]
+    same_device_twins: bool
+    num_edges: int
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def validate_twins(self) -> None:
+        """Check every forward has a same-device backward twin (the
+        structural guarantee ``Schedule.validate`` promises)."""
+        for i, task in enumerate(self.tasks):
+            if task.key.kind != TaskKind.FORWARD:
+                continue
+            twin = TaskKey(
+                task.key.pipe, task.key.stage, task.key.micro_batch,
+                TaskKind.BACKWARD,
+            )
+            j = self.index.get(twin)
+            if j is None:
+                raise ValueError(f"forward {task.key} has no backward twin")
+            if self.device[j] != self.device[i]:
+                raise ValueError(f"{task.key} and {twin} run on different devices")
+
+
+def compile_schedule(schedule: Schedule) -> CompiledSchedule:
+    """Lower ``schedule`` into a :class:`CompiledSchedule`.
+
+    Raises:
+        ValueError: on duplicate task keys (matching ``Schedule.task_map``).
+        SimulationError: when a task depends on a key absent from the
+            schedule.
+    """
+    tasks: List[Task] = []
+    index: Dict[TaskKey, int] = {}
+    for device_list in schedule.device_tasks:
+        for task in device_list:
+            if task.key in index:
+                raise ValueError(f"duplicate task {task.key}")
+            index[task.key] = len(tasks)
+            tasks.append(task)
+
+    num_tasks = len(tasks)
+    keys = [task.key for task in tasks]
+    device = [task.device for task in tasks]
+    duration = [task.duration for task in tasks]
+    indegree = [0] * num_tasks
+    successors: List[List[Tuple[int, float]]] = [[] for _ in range(num_tasks)]
+    dep_indices: List[Tuple[int, ...]] = []
+    hop = schedule.hop_time
+
+    for i, task in enumerate(tasks):
+        seen: List[int] = []
+        for dep in task.deps:
+            j = index.get(dep)
+            if j is None:
+                raise SimulationError(f"{task.key} depends on missing task {dep}")
+            if j in seen:  # duplicate deps must not double-count indegree
+                continue
+            seen.append(j)
+            successors[j].append((i, hop if device[j] != device[i] else 0.0))
+        dep_indices.append(tuple(seen))
+        indegree[i] = len(seen)
+
+    # Device-order edges: each task waits for its predecessor in the
+    # device's list (consecutive indices by construction).
+    position = 0
+    for device_list in schedule.device_tasks:
+        for offset in range(1, len(device_list)):
+            i = position + offset
+            successors[i - 1].append((i, 0.0))
+            indegree[i] += 1
+        position += len(device_list)
+
+    succ_ptr = [0] * (num_tasks + 1)
+    succ_idx: List[int] = []
+    succ_add: List[float] = []
+    for i in range(num_tasks):
+        for j, add in successors[i]:
+            succ_idx.append(j)
+            succ_add.append(add)
+        succ_ptr[i + 1] = len(succ_idx)
+
+    mem_delta = [0.0] * num_tasks
+    same_device_twins = True
+    for i, task in enumerate(tasks):
+        if task.key.kind == TaskKind.FORWARD:
+            if task.activation_bytes > 0:
+                mem_delta[i] = task.activation_bytes
+        else:
+            twin = TaskKey(
+                task.key.pipe, task.key.stage, task.key.micro_batch,
+                TaskKind.FORWARD,
+            )
+            j = index.get(twin)
+            if j is not None and tasks[j].activation_bytes > 0:
+                mem_delta[i] = -tasks[j].activation_bytes
+                if device[j] != device[i]:
+                    same_device_twins = False
+
+    rows = [
+        (duration[i], device[i], mem_delta[i], tuple(successors[i]))
+        for i in range(num_tasks)
+    ]
+
+    device_last = [-1] * schedule.num_devices
+    device_busy = [0.0] * schedule.num_devices
+    device_passes = [0] * schedule.num_devices
+    position = 0
+    for d, device_list in enumerate(schedule.device_tasks):
+        busy = 0.0
+        passes = 0
+        for task in device_list:
+            busy += task.duration
+            passes += task.weight
+        device_busy[d] = busy
+        device_passes[d] = passes
+        if device_list:
+            device_last[d] = position + len(device_list) - 1
+        position += len(device_list)
+
+    return CompiledSchedule(
+        schedule=schedule,
+        tasks=tasks,
+        keys=keys,
+        index=index,
+        device=device,
+        duration=duration,
+        mem_delta=mem_delta,
+        indegree=indegree,
+        succ_ptr=succ_ptr,
+        succ_idx=succ_idx,
+        succ_add=succ_add,
+        rows=rows,
+        dep_indices=dep_indices,
+        device_last=device_last,
+        device_busy=device_busy,
+        device_passes=device_passes,
+        same_device_twins=same_device_twins,
+        num_edges=len(succ_idx),
+    )

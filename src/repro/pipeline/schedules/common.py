@@ -53,6 +53,13 @@ def build_schedule(
     device_static_bytes: Optional[List[float]] = None,
     device_buffer_bytes: Optional[List[float]] = None,
 ) -> Schedule:
+    """Assemble and validate a schedule.
+
+    ``validate()`` builds the schedule's compiled lowering
+    (:meth:`Schedule.compiled`), which is memoized and reused by the
+    simulator — generator-produced schedules reach ``simulate`` with the
+    lowering already warm.
+    """
     if device_static_bytes is None or device_buffer_bytes is None:
         statics, buffers = single_stage_statics(stage_costs)
         device_static_bytes = device_static_bytes or statics

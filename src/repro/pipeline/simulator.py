@@ -11,18 +11,55 @@ intermediates are pinned from the start of its forward until the end of its
 backward, sitting on top of the device's static state and recompute buffer.
 The per-device high-water mark supports the paper's Figure 1/Figure 8 memory
 profiles and OOM detection for infeasible baselines.
+
+Two engines implement these semantics:
+
+* ``"compiled"`` (the default) lowers the schedule once into integer-indexed
+  arrays (:mod:`repro.pipeline.compiled`) and executes them with an
+  indegree/ready-queue pass that is O(tasks + edges) — no ``TaskKey``
+  hashing, no repeated device rescans, and incremental memory tracking with
+  no end-of-run event sort.
+* ``"reference"`` is the original O(devices x passes) polling loop, kept
+  verbatim as the equivalence oracle: both engines produce bit-identical
+  results (asserted by tests/test_sim_engine.py). Select it with
+  ``simulate(..., engine="reference")`` or ``REPRO_SIM_ENGINE=reference``.
+
+On top sits a digest-keyed cross-run :class:`SimulationCache`: experiments
+that re-simulate structurally identical schedules (the same plan evaluated
+for several figures, repeated probe simulations, rebuilt executors) reuse
+the memoized :class:`SimulationResult` instead of re-running the engine.
+The cache is keyed by :func:`schedule_digest` — schedule *content*, not
+identity — plus the engine name, and can be disabled with ``cache=False``
+or ``REPRO_SIM_CACHE=0``. Cached results share their timing/memory
+structures; treat :class:`SimulationResult` as read-only.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.pipeline.compiled import SimulationError, compile_schedule
 from repro.pipeline.tasks import Schedule, Task, TaskKey, TaskKind
 
+__all__ = [
+    "SimulationCache",
+    "SimulationError",
+    "SimulationResult",
+    "global_simulation_cache",
+    "schedule_digest",
+    "simulate",
+    "simulate_reference",
+    "simulate_with_info",
+]
 
-class SimulationError(RuntimeError):
-    """Raised on malformed schedules (unresolvable dependencies)."""
+ENGINES = ("compiled", "reference")
+_ENGINE_ENV = "REPRO_SIM_ENGINE"
+_CACHE_ENV = "REPRO_SIM_CACHE"
 
 
 @dataclass
@@ -35,6 +72,10 @@ class SimulationResult:
         device_busy_time: seconds each device spent computing.
         device_peak_bytes: memory high-water mark per device (static +
             buffer + activations).
+        device_micro_batch_passes: weighted useful work per device — the
+            sum of ``Task.weight`` over the device's tasks, counting each
+            forward or backward micro-batch pass once (so ChimeraD's
+            doubled forwards count as 2).
         schedule: the simulated schedule (for rendering).
     """
 
@@ -43,6 +84,7 @@ class SimulationResult:
     end_times: Dict[TaskKey, float]
     device_busy_time: List[float]
     device_peak_bytes: List[float]
+    device_micro_batch_passes: List[int]
     schedule: Schedule
 
     @property
@@ -52,6 +94,11 @@ class SimulationResult:
         if total == 0:
             return 0.0
         return 1.0 - sum(self.device_busy_time) / total
+
+    @property
+    def micro_batch_passes(self) -> int:
+        """Total weighted forward+backward micro-batch passes executed."""
+        return sum(self.device_micro_batch_passes)
 
     def peak_bytes(self) -> float:
         return max(self.device_peak_bytes, default=0.0)
@@ -65,12 +112,325 @@ class SimulationResult:
         ]
 
 
-def simulate(schedule: Schedule) -> SimulationResult:
+# -- simulation cache ---------------------------------------------------------
+
+
+def schedule_digest(schedule: Schedule) -> str:
+    """Content digest of everything that determines a simulation's numbers.
+
+    Covers devices, hop time, per-device static/buffer bytes and every
+    task's identity, device, duration, activation bytes, weight, and
+    dependencies. The schedule ``name`` and ``num_micro_batches`` are
+    deliberately excluded — they label the schedule but do not move any
+    simulated quantity, so e.g. a relabelled 1F1B schedule replays a
+    cached result. Memoized per instance via :meth:`Schedule.digest`.
+    """
+    parts: List[str] = [
+        f"sim-v1|{schedule.num_devices}|{schedule.hop_time!r}",
+        repr(schedule.device_static_bytes),
+        repr(schedule.device_buffer_bytes),
+    ]
+    append = parts.append
+    for tasks in schedule.device_tasks:
+        append("|device")
+        for task in tasks:
+            k = task.key
+            append(
+                f"{k.pipe},{k.stage},{k.micro_batch},{k.kind.value},"
+                f"{task.device},{task.duration!r},{task.activation_bytes!r},"
+                f"{task.weight}"
+            )
+            for dep in task.deps:
+                append(f"<{dep.pipe},{dep.stage},{dep.micro_batch},{dep.kind.value}")
+    digest = hashlib.blake2b("\n".join(parts).encode(), digest_size=16)
+    return digest.hexdigest()
+
+
+class SimulationCache:
+    """Cross-run memo of :class:`SimulationResult` keyed by (engine, digest).
+
+    Entries are evicted FIFO past ``max_entries``. Hits return the stored
+    result with only its ``schedule`` field re-pointed at the requesting
+    schedule (timing dicts and memory lists are shared — read-only by
+    contract).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self._entries: "OrderedDict[Tuple[str, str], SimulationResult]" = (
+            OrderedDict()
+        )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def get(self, key: Tuple[str, str]) -> Optional[SimulationResult]:
+        found = self._entries.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, key: Tuple[str, str], result: SimulationResult) -> None:
+        self._entries[key] = result
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_GLOBAL_CACHE = SimulationCache()
+
+
+def global_simulation_cache() -> SimulationCache:
+    """The process-wide cache ``simulate`` consults by default."""
+    return _GLOBAL_CACHE
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    engine = engine or os.environ.get(_ENGINE_ENV) or "compiled"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown simulator engine {engine!r}; pick from {ENGINES}")
+    return engine
+
+
+def _resolve_cache(
+    cache: Union[SimulationCache, bool, None]
+) -> Optional[SimulationCache]:
+    if cache is None:
+        if os.environ.get(_CACHE_ENV, "").lower() in ("0", "off", "false"):
+            return None
+        return _GLOBAL_CACHE
+    if cache is False:
+        return None
+    return cache  # an explicit SimulationCache
+
+
+# -- public entry points ------------------------------------------------------
+
+
+def simulate(
+    schedule: Schedule,
+    *,
+    engine: Optional[str] = None,
+    cache: Union[SimulationCache, bool, None] = None,
+) -> SimulationResult:
     """Execute ``schedule`` and return timing and memory results.
+
+    Args:
+        schedule: the schedule to execute.
+        engine: ``"compiled"`` (default) or ``"reference"``; ``None`` reads
+            ``REPRO_SIM_ENGINE`` and falls back to the compiled engine.
+        cache: ``None`` uses the global :class:`SimulationCache` (unless
+            ``REPRO_SIM_CACHE=0``), ``False`` disables caching, or pass a
+            cache instance to scope memoization explicitly.
 
     Raises:
         SimulationError: if the schedule deadlocks (a device's next task
             waits on a task that can never run) or references unknown tasks.
+    """
+    return simulate_with_info(schedule, engine=engine, cache=cache)[0]
+
+
+def simulate_with_info(
+    schedule: Schedule,
+    *,
+    engine: Optional[str] = None,
+    cache: Union[SimulationCache, bool, None] = None,
+) -> Tuple[SimulationResult, Dict[str, object]]:
+    """:func:`simulate` plus an observability record.
+
+    The second element carries ``engine`` (the engine that produced the
+    result), ``cache_hit`` (whether this call replayed a memoized result),
+    and the consulted cache's cumulative ``cache_hits``/``cache_misses``
+    (zeros when caching is off) — the counters plan metadata surfaces.
+    """
+    engine = _resolve_engine(engine)
+    runner = _run_compiled if engine == "compiled" else simulate_reference
+    use_cache = _resolve_cache(cache)
+    if use_cache is None:
+        return runner(schedule), {
+            "engine": engine,
+            "cache_hit": False,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+    key = (engine, schedule.digest())
+    found = use_cache.get(key)
+    if found is None:
+        found = runner(schedule)
+        use_cache.put(key, found)
+        hit = False
+    else:
+        found = dataclasses.replace(found, schedule=schedule)
+        hit = True
+    return found, {
+        "engine": engine,
+        "cache_hit": hit,
+        "cache_hits": use_cache.hits,
+        "cache_misses": use_cache.misses,
+    }
+
+
+# -- compiled ready-queue engine ----------------------------------------------
+
+
+def _run_compiled(schedule: Schedule) -> SimulationResult:
+    """O(tasks + edges) execution of the lowered schedule.
+
+    Start times satisfy ``start[i] = max(end[prev-on-device], max over deps
+    j of end[j] + hop)`` — a longest-path recurrence over a DAG, so any
+    topological processing order yields the same floats as the reference
+    polling loop (``max`` is exact; the only additions are the same
+    ``end + hop`` terms). Memory is tracked incrementally: each device's
+    events are generated in nondecreasing time order (allocs at forward
+    start, releases at same-device backward end), so buffering just the
+    current timestamp's deltas — applied frees-before-allocs like the
+    reference sort's tie-break — reproduces the sorted sweep exactly,
+    without the end-of-run sort.
+    """
+    compiled = schedule.compiled()
+    if not compiled.same_device_twins:
+        # A backward releasing activations on a *different* device breaks
+        # the nondecreasing-event-time invariant; such schedules fail
+        # Schedule.validate and only the reference semantics define them.
+        return simulate_reference(schedule)
+
+    num_tasks = compiled.num_tasks
+    num_devices = schedule.num_devices
+    rows = compiled.rows
+
+    # ``ready`` doubles as the start-time array: once a task pops off the
+    # stack all its predecessors are done, so its entry is final.
+    ready = [0.0] * num_tasks
+    ends = [0.0] * num_tasks
+    indegree = list(compiled.indegree)
+
+    # Incremental per-device memory tracking: level/peak plus the deltas of
+    # the timestamp currently being grouped (frees apply before allocs at
+    # equal times, preserved by sorting each tiny group by delta).
+    level = [0.0] * num_devices
+    peak = [0.0] * num_devices
+    pending_time: List[Optional[float]] = [None] * num_devices
+    pending: List[List[float]] = [[] for _ in range(num_devices)]
+
+    stack = [i for i in range(num_tasks) if not indegree[i]]
+    executed = 0
+    while stack:
+        i = stack.pop()
+        executed += 1
+        dur, d, delta, succs = rows[i]
+        end = ready[i] + dur
+        ends[i] = end
+        if delta:
+            when = ready[i] if delta > 0.0 else end
+            if when == pending_time[d]:
+                pending[d].append(delta)
+            else:
+                group = pending[d]
+                if group:
+                    if len(group) > 1:
+                        group.sort()
+                    running = level[d]
+                    high = peak[d]
+                    for step in group:
+                        running += step
+                        if running > high:
+                            high = running
+                    level[d] = running
+                    peak[d] = high
+                pending_time[d] = when
+                pending[d] = [delta]
+        for j, add in succs:
+            candidate = end + add
+            if candidate > ready[j]:
+                ready[j] = candidate
+            left = indegree[j] - 1
+            indegree[j] = left
+            if not left:
+                stack.append(j)
+
+    if executed < num_tasks:
+        finished = {
+            compiled.keys[i] for i in range(num_tasks) if not indegree[i]
+        }
+        raise SimulationError(_deadlock_message(schedule, finished))
+
+    for d in range(num_devices):
+        group = pending[d]
+        if group:
+            if len(group) > 1:
+                group.sort()
+            running = level[d]
+            high = peak[d]
+            for step in group:
+                running += step
+                if running > high:
+                    high = running
+            level[d] = running
+            peak[d] = high
+
+    statics = schedule.device_static_bytes or [0.0] * num_devices
+    buffers = schedule.device_buffer_bytes or [0.0] * num_devices
+    peaks = [statics[d] + buffers[d] + peak[d] for d in range(num_devices)]
+    iteration = 0.0
+    for d, last in enumerate(compiled.device_last):
+        if last >= 0 and ends[last] > iteration:
+            iteration = ends[last]
+
+    keys = compiled.keys
+    return SimulationResult(
+        iteration_time=iteration,
+        start_times=dict(zip(keys, ready)),
+        end_times=dict(zip(keys, ends)),
+        device_busy_time=list(compiled.device_busy),
+        device_peak_bytes=peaks,
+        device_micro_batch_passes=list(compiled.device_passes),
+        schedule=schedule,
+    )
+
+
+def _deadlock_message(schedule: Schedule, finished: Iterable[TaskKey]) -> str:
+    """Per device, name the next waiting task *and* its unmet dependencies,
+    so malformed schedules point straight at the broken edge."""
+    finished = set(finished)
+    stuck: List[str] = []
+    for d in range(schedule.num_devices):
+        for task in schedule.device_tasks[d]:
+            if task.key in finished:
+                continue
+            unmet = ", ".join(
+                str(dep) for dep in task.deps if dep not in finished
+            )
+            stuck.append(f"{task.key} (device {d}) waiting on [{unmet}]")
+            break
+    return f"schedule deadlock; waiting tasks: [{'; '.join(stuck)}]"
+
+
+# -- reference engine (equivalence oracle) ------------------------------------
+
+
+def simulate_reference(schedule: Schedule) -> SimulationResult:
+    """The original round-robin polling engine, kept as the oracle.
+
+    O(devices x passes) with per-dependency ``TaskKey`` dict lookups and an
+    end-of-run memory-event sort — slow, but defined directly from the
+    scheduling semantics. The compiled engine must match it bit-for-bit.
     """
     task_map = schedule.task_map()
     for task in task_map.values():
@@ -82,6 +442,7 @@ def simulate(schedule: Schedule) -> SimulationResult:
     start_times: Dict[TaskKey, float] = {}
     device_time = [0.0] * schedule.num_devices
     device_busy = [0.0] * schedule.num_devices
+    device_passes = [0] * schedule.num_devices
     pointers = [0] * schedule.num_devices
     remaining = sum(len(tasks) for tasks in schedule.device_tasks)
 
@@ -115,6 +476,7 @@ def simulate(schedule: Schedule) -> SimulationResult:
                 end_times[task.key] = end
                 device_time[device] = end
                 device_busy[device] += task.duration
+                device_passes[device] += task.weight
                 _record_memory(
                     task, ready_at, end, device, memory_events, forward_device, task_map
                 )
@@ -122,12 +484,7 @@ def simulate(schedule: Schedule) -> SimulationResult:
                 remaining -= 1
                 progressed = True
         if not progressed:
-            stuck = [
-                str(schedule.device_tasks[d][pointers[d]].key)
-                for d in range(schedule.num_devices)
-                if pointers[d] < len(schedule.device_tasks[d])
-            ]
-            raise SimulationError(f"schedule deadlock; waiting tasks: {stuck}")
+            raise SimulationError(_deadlock_message(schedule, end_times))
 
     peaks = _memory_peaks(schedule, memory_events)
     return SimulationResult(
@@ -136,6 +493,7 @@ def simulate(schedule: Schedule) -> SimulationResult:
         end_times=end_times,
         device_busy_time=device_busy,
         device_peak_bytes=peaks,
+        device_micro_batch_passes=device_passes,
         schedule=schedule,
     )
 

@@ -40,6 +40,18 @@ class TaskKey:
     micro_batch: int
     kind: TaskKind
 
+    def __post_init__(self) -> None:
+        # Keys are hashed constantly (dependency lookups, per-task result
+        # dicts); precomputing keeps that off the simulator's hot paths.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.pipe, self.stage, self.micro_batch, self.kind)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.kind}(p{self.pipe},s{self.stage},m{self.micro_batch})"
 
@@ -57,8 +69,10 @@ class Task:
         activation_bytes: intermediates pinned by this micro-batch on this
             stage from the *start of the forward* until the *end of the
             backward* (0 on backward tasks — the matching forward carries it).
-        weight: micro-batches processed (2 for ChimeraD's doubled forwards),
-            used when counting useful work for the bubble ratio.
+        weight: micro-batches processed (2 for ChimeraD's doubled forwards).
+            The simulator sums it into
+            ``SimulationResult.device_micro_batch_passes``, the weighted
+            useful-work count backing throughput accounting.
     """
 
     key: TaskKey
@@ -123,18 +137,45 @@ class Schedule:
             mapping[task.key] = task
         return mapping
 
+    def compiled(self):
+        """The schedule's integer-indexed lowering, computed once.
+
+        Both :meth:`validate` and the compiled simulator engine run off this
+        :class:`~repro.pipeline.compiled.CompiledSchedule`, so validated
+        schedules reach the simulator without rebuilding the task map. The
+        lowering (and :meth:`digest`) assume ``device_tasks`` is not mutated
+        afterwards.
+        """
+        cached = getattr(self, "_compiled", None)
+        if cached is None:
+            from repro.pipeline.compiled import compile_schedule
+
+            cached = compile_schedule(self)
+            self._compiled = cached
+        return cached
+
+    def digest(self) -> str:
+        """Content digest keying the cross-run simulation cache (memoized)."""
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            from repro.pipeline.simulator import schedule_digest
+
+            cached = schedule_digest(self)
+            self._digest = cached
+        return cached
+
     def validate(self) -> None:
         """Check structural sanity: unique keys, resolvable dependencies,
-        and that every forward has a matching backward on the same device."""
-        mapping = self.task_map()
-        for task in mapping.values():
-            for dep in task.deps:
-                if dep not in mapping:
-                    raise ValueError(f"{task.key} depends on missing {dep}")
-        forwards = {k for k in mapping if k.kind == TaskKind.FORWARD}
-        for key in forwards:
-            twin = TaskKey(key.pipe, key.stage, key.micro_batch, TaskKind.BACKWARD)
-            if twin not in mapping:
-                raise ValueError(f"forward {key} has no backward twin")
-            if mapping[twin].device != mapping[key].device:
-                raise ValueError(f"{key} and {twin} run on different devices")
+        and that every forward has a matching backward on the same device.
+
+        Runs on the shared :meth:`compiled` lowering, so the task map built
+        here is the one the simulator executes."""
+        from repro.pipeline.compiled import SimulationError
+
+        try:
+            compiled = self.compiled()
+        except SimulationError as err:
+            # Lowering reports unresolvable dependencies as simulation
+            # errors; validation's contract is ValueError.
+            raise ValueError(str(err)) from None
+        compiled.validate_twins()

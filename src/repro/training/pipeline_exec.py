@@ -92,11 +92,26 @@ class PipelineExecutor:
         self._iteration = 0
 
     def _scheduled_order(self) -> List[Tuple[int, int, TaskKind]]:
-        """(stage, micro_batch, kind) triples in simulated start order."""
+        """(stage, micro_batch, kind) triples in simulated start order.
+
+        Executors rebuilt from the same plan (e.g. across checkpoint
+        restarts) produce an identical schedule, so this simulation replays
+        from the cross-run simulation cache. Ties at equal start times are
+        broken by (stage, forward-first, micro_batch) so the serialised
+        order is deterministic and engine-independent.
+        """
         n = self._num_micro_batches()
         schedule = one_f_one_b_schedule(list(self.plan.stage_costs()), n)
         result = simulate(schedule)
-        ordered = sorted(result.start_times.items(), key=lambda kv: (kv[1], kv[0].stage))
+        ordered = sorted(
+            result.start_times.items(),
+            key=lambda kv: (
+                kv[1],
+                kv[0].stage,
+                kv[0].kind is TaskKind.BACKWARD,
+                kv[0].micro_batch,
+            ),
+        )
         return [(k.stage, k.micro_batch, k.kind) for k, _ in ordered]
 
     def _num_micro_batches(self) -> int:

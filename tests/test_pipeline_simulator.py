@@ -1,10 +1,20 @@
-"""Tests for repro.pipeline.simulator — timing and memory correctness."""
+"""Tests for repro.pipeline.simulator — timing and memory correctness.
+
+Every test runs against both engines (the compiled ready-queue engine and
+the reference polling oracle) with caching disabled, so the semantic
+assertions pin both implementations independently.
+"""
 
 import pytest
 
 from repro.pipeline.schedules import gpipe_schedule, one_f_one_b_schedule
 from repro.pipeline.simulator import SimulationError, simulate
 from repro.pipeline.tasks import Schedule, StageCosts, Task, TaskKey, TaskKind
+
+
+@pytest.fixture(params=["compiled", "reference"])
+def engine(request):
+    return request.param
 
 
 def _costs(p, f=1.0, b=2.0, act=1.0, static=0.0, buffer=0.0):
@@ -15,74 +25,87 @@ def _costs(p, f=1.0, b=2.0, act=1.0, static=0.0, buffer=0.0):
     ]
 
 
+def _simulate(schedule, engine):
+    return simulate(schedule, engine=engine, cache=False)
+
+
 class TestMakespan:
     @pytest.mark.parametrize("p,n", [(2, 2), (3, 6), (4, 8), (8, 16)])
-    def test_1f1b_matches_closed_form(self, p, n):
+    def test_1f1b_matches_closed_form(self, p, n, engine):
         """Without comm, the 1F1B makespan is (p-1)(F+B) + n(F+B)."""
         f, b = 1.0, 2.0
-        result = simulate(one_f_one_b_schedule(_costs(p, f, b), n))
+        result = _simulate(one_f_one_b_schedule(_costs(p, f, b), n), engine)
         assert result.iteration_time == pytest.approx((p - 1 + n) * (f + b))
 
     @pytest.mark.parametrize("p,n", [(2, 4), (3, 6), (4, 8)])
-    def test_gpipe_matches_closed_form(self, p, n):
+    def test_gpipe_matches_closed_form(self, p, n, engine):
         f, b = 1.0, 2.0
-        result = simulate(gpipe_schedule(_costs(p, f, b), n))
+        result = _simulate(gpipe_schedule(_costs(p, f, b), n), engine)
         assert result.iteration_time == pytest.approx((p - 1 + n) * (f + b))
 
-    def test_hop_time_stretches_warmup(self):
-        without = simulate(one_f_one_b_schedule(_costs(4), 8, hop_time=0.0))
-        with_hop = simulate(one_f_one_b_schedule(_costs(4), 8, hop_time=0.1))
+    def test_hop_time_stretches_warmup(self, engine):
+        without = _simulate(one_f_one_b_schedule(_costs(4), 8, hop_time=0.0), engine)
+        with_hop = _simulate(one_f_one_b_schedule(_costs(4), 8, hop_time=0.1), engine)
         assert with_hop.iteration_time > without.iteration_time
 
-    def test_single_stage_has_no_bubbles(self):
-        result = simulate(one_f_one_b_schedule(_costs(1), 5))
+    def test_single_stage_has_no_bubbles(self, engine):
+        result = _simulate(one_f_one_b_schedule(_costs(1), 5), engine)
         assert result.bubble_ratio == pytest.approx(0.0)
         assert result.iteration_time == pytest.approx(5 * 3.0)
 
-    def test_bubble_ratio_closed_form(self):
+    def test_bubble_ratio_closed_form(self, engine):
         # bubble fraction of 1F1B = (p-1)/(n+p-1) when F+B is uniform.
         p, n = 4, 8
-        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        result = _simulate(one_f_one_b_schedule(_costs(p), n), engine)
         assert result.bubble_ratio == pytest.approx((p - 1) / (n + p - 1))
 
-    def test_busy_time_is_work(self):
+    def test_busy_time_is_work(self, engine):
         p, n = 3, 5
-        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        result = _simulate(one_f_one_b_schedule(_costs(p), n), engine)
         for busy in result.device_busy_time:
             assert busy == pytest.approx(n * 3.0)
 
 
 class TestMemoryTracking:
-    def test_1f1b_peaks_are_p_minus_s(self):
+    def test_1f1b_peaks_are_p_minus_s(self, engine):
         p, n = 4, 8
-        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        result = _simulate(one_f_one_b_schedule(_costs(p), n), engine)
         assert result.device_peak_bytes == pytest.approx([4.0, 3.0, 2.0, 1.0])
 
-    def test_1f1b_peak_capped_by_n(self):
+    def test_1f1b_peak_capped_by_n(self, engine):
         p, n = 4, 2
-        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        result = _simulate(one_f_one_b_schedule(_costs(p), n), engine)
         assert max(result.device_peak_bytes) <= n
 
-    def test_gpipe_pins_everything(self):
+    def test_gpipe_pins_everything(self, engine):
         p, n = 3, 6
-        result = simulate(gpipe_schedule(_costs(p), n))
+        result = _simulate(gpipe_schedule(_costs(p), n), engine)
         assert result.device_peak_bytes == pytest.approx([float(n)] * p)
 
-    def test_static_and_buffer_added(self):
+    def test_static_and_buffer_added(self, engine):
         p, n = 2, 2
         costs = _costs(p, static=10.0, buffer=0.5)
-        result = simulate(one_f_one_b_schedule(costs, n))
+        result = _simulate(one_f_one_b_schedule(costs, n), engine)
         assert result.device_peak_bytes[0] == pytest.approx(10.0 + 0.5 + 2.0)
 
-    def test_oom_devices(self):
-        result = simulate(one_f_one_b_schedule(_costs(4), 8))
+    def test_oom_devices(self, engine):
+        result = _simulate(one_f_one_b_schedule(_costs(4), 8), engine)
         assert result.oom_devices(3.5) == [0]
         assert result.oom_devices(0.5) == [0, 1, 2, 3]
         assert result.oom_devices(100.0) == []
 
 
+class TestUsefulWork:
+    def test_passes_count_forward_and_backward(self, engine):
+        p, n = 3, 5
+        result = _simulate(one_f_one_b_schedule(_costs(p), n), engine)
+        # Each device runs n forwards and n backwards of weight 1.
+        assert result.device_micro_batch_passes == [2 * n] * p
+        assert result.micro_batch_passes == 2 * n * p
+
+
 class TestErrorHandling:
-    def test_deadlock_detected(self):
+    def test_deadlock_detected(self, engine):
         # Two tasks that wait on each other across devices.
         a_key = TaskKey(0, 0, 0, TaskKind.FORWARD)
         b_key = TaskKey(0, 1, 0, TaskKind.FORWARD)
@@ -90,9 +113,9 @@ class TestErrorHandling:
         b = Task(key=b_key, device=1, duration=1.0, deps=(a_key,))
         schedule = Schedule(name="dead", num_devices=2, device_tasks=[[a], [b]])
         with pytest.raises(SimulationError, match="deadlock"):
-            simulate(schedule)
+            _simulate(schedule, engine)
 
-    def test_missing_dependency_detected(self):
+    def test_missing_dependency_detected(self, engine):
         ghost = TaskKey(0, 5, 5, TaskKind.FORWARD)
         task = Task(
             key=TaskKey(0, 0, 0, TaskKind.FORWARD),
@@ -102,35 +125,35 @@ class TestErrorHandling:
         )
         schedule = Schedule(name="bad", num_devices=1, device_tasks=[[task]])
         with pytest.raises(SimulationError, match="missing"):
-            simulate(schedule)
+            _simulate(schedule, engine)
 
-    def test_empty_schedule(self):
+    def test_empty_schedule(self, engine):
         schedule = Schedule(name="empty", num_devices=1, device_tasks=[[]])
-        result = simulate(schedule)
+        result = _simulate(schedule, engine)
         assert result.iteration_time == 0.0
 
 
 class TestDependencyOrdering:
-    def test_forward_waves_respect_stage_order(self):
+    def test_forward_waves_respect_stage_order(self, engine):
         p, n = 4, 4
-        result = simulate(one_f_one_b_schedule(_costs(p), n, hop_time=0.25))
+        result = _simulate(one_f_one_b_schedule(_costs(p), n, hop_time=0.25), engine)
         for m in range(n):
             for s in range(1, p):
                 upstream = result.end_times[TaskKey(0, s - 1, m, TaskKind.FORWARD)]
                 start = result.start_times[TaskKey(0, s, m, TaskKind.FORWARD)]
                 assert start >= upstream + 0.25 - 1e-12
 
-    def test_backward_waves_respect_reverse_order(self):
+    def test_backward_waves_respect_reverse_order(self, engine):
         p, n = 4, 4
-        result = simulate(one_f_one_b_schedule(_costs(p), n))
+        result = _simulate(one_f_one_b_schedule(_costs(p), n), engine)
         for m in range(n):
             for s in range(p - 1):
                 downstream = result.end_times[TaskKey(0, s + 1, m, TaskKind.BACKWARD)]
                 start = result.start_times[TaskKey(0, s, m, TaskKind.BACKWARD)]
                 assert start >= downstream - 1e-12
 
-    def test_no_device_overlap(self):
-        result = simulate(one_f_one_b_schedule(_costs(4), 8))
+    def test_no_device_overlap(self, engine):
+        result = _simulate(one_f_one_b_schedule(_costs(4), 8), engine)
         for device, tasks in enumerate(result.schedule.device_tasks):
             intervals = sorted(
                 (result.start_times[t.key], result.end_times[t.key]) for t in tasks

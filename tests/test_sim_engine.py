@@ -1,0 +1,225 @@
+"""Compiled engine vs reference oracle: bit-identical equivalence + cache.
+
+The compiled ready-queue engine must reproduce the reference polling
+engine's floats exactly — not approximately — on every schedule kind the
+generators emit (see the longest-path argument in simulator.py's module
+docstring). These tests drive both engines over randomized costs with
+nonzero hop times and compare with ``==``.
+"""
+
+import random
+
+import pytest
+
+from repro.pipeline.schedules import (
+    chimera_schedule,
+    gpipe_schedule,
+    interleaved_1f1b_schedule,
+    one_f_one_b_schedule,
+)
+from repro.pipeline.simulator import (
+    SimulationCache,
+    SimulationError,
+    schedule_digest,
+    simulate,
+    simulate_with_info,
+)
+from repro.pipeline.tasks import Schedule, StageCosts, Task, TaskKey, TaskKind
+
+
+def _random_costs(rng, p):
+    return [
+        StageCosts(
+            forward=rng.uniform(0.5, 3.0),
+            backward=rng.uniform(0.5, 5.0),
+            activation_bytes=rng.choice([0.0, rng.uniform(1.0, 16.0)]),
+            static_bytes=rng.uniform(0.0, 64.0),
+            buffer_bytes=rng.uniform(0.0, 4.0),
+        )
+        for _ in range(p)
+    ]
+
+
+def _builders(rng, p, n):
+    hop = rng.uniform(0.01, 0.5)
+    return {
+        "1f1b": one_f_one_b_schedule(_random_costs(rng, p), n, hop_time=hop),
+        "gpipe": gpipe_schedule(_random_costs(rng, p), n, hop_time=hop),
+        "chimera": chimera_schedule(_random_costs(rng, p), n, hop_time=hop),
+        "chimerad": chimera_schedule(
+            _random_costs(rng, p), n, hop_time=hop, forward_doubling=True
+        ),
+        "interleaved": interleaved_1f1b_schedule(
+            _random_costs(rng, 2 * p), n, p, hop_time=hop
+        ),
+    }
+
+
+def _assert_identical(reference, compiled):
+    """Exact equality — the engines must agree bit-for-bit, not approx."""
+    assert compiled.iteration_time == reference.iteration_time
+    assert compiled.start_times == reference.start_times
+    assert compiled.end_times == reference.end_times
+    assert compiled.device_busy_time == reference.device_busy_time
+    assert compiled.device_peak_bytes == reference.device_peak_bytes
+    assert (
+        compiled.device_micro_batch_passes
+        == reference.device_micro_batch_passes
+    )
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize(
+        "kind", ["1f1b", "gpipe", "chimera", "chimerad", "interleaved"]
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_identical_on_randomized_costs(self, kind, seed):
+        rng = random.Random(1000 * seed + 7)
+        p, n = rng.choice([(2, 4), (4, 8), (4, 16)])
+        schedule = _builders(rng, p, n)[kind]
+        reference = simulate(schedule, engine="reference", cache=False)
+        compiled = simulate(schedule, engine="compiled", cache=False)
+        _assert_identical(reference, compiled)
+
+    def test_chimerad_weighted_passes_match_chimera(self):
+        # ChimeraD halves the forward count but doubles each one's weight,
+        # so the weighted useful work equals plain Chimera's.
+        costs = [StageCosts(forward=1.0, backward=2.0) for _ in range(4)]
+        plain = simulate(chimera_schedule(costs, 8), cache=False)
+        doubled = simulate(
+            chimera_schedule(costs, 8, forward_doubling=True), cache=False
+        )
+        assert doubled.device_micro_batch_passes == plain.device_micro_batch_passes
+        assert doubled.micro_batch_passes == plain.micro_batch_passes
+
+    def test_free_before_alloc_tie_break(self):
+        # One stage, two micro-batches, F=1 B=2: mb1's forward starts at
+        # t=3.0, the instant mb0's backward frees its activation. The free
+        # must apply first, keeping the peak at exactly one activation.
+        costs = [StageCosts(forward=1.0, backward=2.0, activation_bytes=5.0)]
+        schedule = one_f_one_b_schedule(costs, 2)
+        for engine in ("compiled", "reference"):
+            result = simulate(schedule, engine=engine, cache=False)
+            assert result.device_peak_bytes == [5.0]
+
+    def test_env_flag_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        costs = [StageCosts(forward=1.0, backward=2.0)]
+        _, info = simulate_with_info(
+            one_f_one_b_schedule(costs, 2), cache=False
+        )
+        assert info["engine"] == "reference"
+
+    def test_unknown_engine_rejected(self):
+        costs = [StageCosts(forward=1.0, backward=2.0)]
+        with pytest.raises(ValueError, match="unknown simulator engine"):
+            simulate(one_f_one_b_schedule(costs, 2), engine="magic")
+
+
+class TestDeadlockDiagnostics:
+    def test_message_names_unmet_dependencies(self):
+        a_key = TaskKey(0, 0, 0, TaskKind.FORWARD)
+        b_key = TaskKey(0, 1, 0, TaskKind.FORWARD)
+        a = Task(key=a_key, device=0, duration=1.0, deps=(b_key,))
+        b = Task(key=b_key, device=1, duration=1.0, deps=(a_key,))
+        schedule = Schedule(name="dead", num_devices=2, device_tasks=[[a], [b]])
+        for engine in ("compiled", "reference"):
+            with pytest.raises(SimulationError) as excinfo:
+                simulate(schedule, engine=engine, cache=False)
+            message = str(excinfo.value)
+            # Each stuck task is reported with the dependency it waits on.
+            assert str(a_key) in message
+            assert str(b_key) in message
+            assert "waiting on" in message
+
+
+class TestSimulationCache:
+    def _schedule(self, f=1.0, name="1F1B"):
+        costs = [StageCosts(forward=f, backward=2.0, activation_bytes=1.0)]
+        return one_f_one_b_schedule(costs, 2, name=name)
+
+    def test_hit_on_same_schedule_object(self):
+        cache = SimulationCache()
+        schedule = self._schedule()
+        first, info1 = simulate_with_info(schedule, cache=cache)
+        second, info2 = simulate_with_info(schedule, cache=cache)
+        assert not info1["cache_hit"] and info2["cache_hit"]
+        assert cache.hits == 1 and cache.misses == 1
+        assert second.iteration_time == first.iteration_time
+        assert second.schedule is schedule
+
+    def test_hit_on_rebuilt_schedule(self):
+        # Content-keyed: a structurally identical schedule built from
+        # scratch replays the memoized result.
+        cache = SimulationCache()
+        simulate(self._schedule(), cache=cache)
+        result, info = simulate_with_info(self._schedule(), cache=cache)
+        assert info["cache_hit"]
+        assert result.iteration_time == simulate(self._schedule(), cache=False).iteration_time
+
+    def test_name_excluded_from_digest(self):
+        a = self._schedule(name="A")
+        b = self._schedule(name="B")
+        assert schedule_digest(a) == schedule_digest(b)
+
+    def test_costs_move_digest(self):
+        assert schedule_digest(self._schedule(f=1.0)) != schedule_digest(
+            self._schedule(f=2.0)
+        )
+
+    def test_entries_are_engine_keyed(self):
+        cache = SimulationCache()
+        schedule = self._schedule()
+        simulate(schedule, engine="compiled", cache=cache)
+        _, info = simulate_with_info(schedule, engine="reference", cache=cache)
+        assert not info["cache_hit"]
+        assert len(cache) == 2
+
+    def test_cache_false_bypasses(self):
+        schedule = self._schedule()
+        _, info = simulate_with_info(schedule, cache=False)
+        assert not info["cache_hit"]
+        assert info["cache_hits"] == 0 and info["cache_misses"] == 0
+
+    def test_env_flag_disables_global_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CACHE", "0")
+        _, info = simulate_with_info(self._schedule())
+        assert not info["cache_hit"] and info["cache_misses"] == 0
+
+    def test_fifo_eviction(self):
+        cache = SimulationCache(max_entries=1)
+        simulate(self._schedule(f=1.0), cache=cache)
+        simulate(self._schedule(f=2.0), cache=cache)  # evicts f=1.0
+        assert len(cache) == 1
+        _, info = simulate_with_info(self._schedule(f=1.0), cache=cache)
+        assert not info["cache_hit"]
+
+    def test_hit_rate(self):
+        cache = SimulationCache()
+        schedule = self._schedule()
+        simulate(schedule, cache=cache)
+        simulate(schedule, cache=cache)
+        simulate(schedule, cache=cache)
+        assert cache.lookups == 3
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+class TestLoweringMemoization:
+    def test_compiled_is_memoized(self):
+        schedule = self._make()
+        assert schedule.compiled() is schedule.compiled()
+
+    def test_generators_prewarm_lowering(self):
+        # build_schedule -> validate() compiles the lowering, so schedules
+        # reach simulate() warm.
+        schedule = self._make()
+        assert getattr(schedule, "_compiled", None) is not None
+
+    def test_digest_is_memoized(self):
+        schedule = self._make()
+        assert schedule.digest() is schedule.digest()
+
+    @staticmethod
+    def _make():
+        costs = [StageCosts(forward=1.0, backward=2.0) for _ in range(2)]
+        return one_f_one_b_schedule(costs, 4)
