@@ -17,7 +17,13 @@ from typing import List, Optional
 from repro.core.plan import PipelinePlan
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.comm import CommModel
-from repro.pipeline.schedules import chimera_schedule, gpipe_schedule, one_f_one_b_schedule
+from repro.pipeline.memory_audit import audit_schedule_memory
+from repro.pipeline.schedules import (
+    chimera_schedule,
+    gpipe_schedule,
+    interleaved_1f1b_schedule,
+    one_f_one_b_schedule,
+)
 from repro.pipeline.simulator import SimulationResult, simulate_with_info
 from repro.pipeline.tasks import Schedule
 
@@ -65,8 +71,9 @@ def build_schedule_for_plan(
     Args:
         plan: the pipeline plan.
         cluster: hardware, for the stage-boundary hop time.
-        schedule_kind: ``"1f1b"``, ``"gpipe"``, ``"chimera"`` or
-            ``"chimerad"``.
+        schedule_kind: ``"1f1b"``, ``"gpipe"``, ``"chimera"``,
+            ``"chimerad"`` or ``"interleaved"`` (the latter reads the chunk
+            count off the plan: ``num_stages / pipeline_parallel``).
         comm: an existing communication model for ``cluster``, to avoid
             rebuilding one per call.
     """
@@ -81,6 +88,10 @@ def build_schedule_for_plan(
         return chimera_schedule(costs, n, hop_time=hop)
     if schedule_kind == "chimerad":
         return chimera_schedule(costs, n, hop_time=hop, forward_doubling=True)
+    if schedule_kind == "interleaved":
+        return interleaved_1f1b_schedule(
+            costs, n, plan.parallel.pipeline_parallel, hop_time=hop
+        )
     raise ValueError(f"unknown schedule kind {schedule_kind!r}")
 
 
@@ -100,13 +111,18 @@ def evaluate_plan(
 
     The returned evaluation's plan carries simulator observability in its
     metadata (``sim_engine``, ``sim_cache_hit`` and the cumulative
-    simulation-cache counters), mirroring the sweep's search counters.
+    simulation-cache counters), mirroring the sweep's search counters, and
+    the memory audit's summary (``mem_model_peak_bytes``,
+    ``mem_sim_peak_bytes``, ``mem_model_conservative``,
+    ``mem_model_max_rel_gap``) cross-checking the Section 4.2 model against
+    the simulator's memory tracker under the executed schedule.
     """
     if not plan.feasible:
         return PlanEvaluation(plan=plan, simulation=None, oom=True)
     comm = CommModel(cluster)
     schedule = build_schedule_for_plan(plan, cluster, schedule_kind, comm=comm)
     result, sim_info = simulate_with_info(schedule)
+    audit = audit_schedule_memory(schedule, schedule_kind, result=result)
     if include_gradient_sync and plan.parallel.data_parallel > 1:
         sync = max(
             comm.gradient_sync_time(stage.params, plan.parallel)
@@ -118,10 +134,15 @@ def evaluate_plan(
     oom = False
     if enforce_memory:
         oom = bool(result.oom_devices(cluster.device.usable_memory_bytes))
+    summary = audit.summary()
     plan = plan.with_metadata(
         sim_engine=sim_info["engine"],
         sim_cache_hit=sim_info["cache_hit"],
         sim_cache_hits=sim_info["cache_hits"],
         sim_cache_misses=sim_info["cache_misses"],
+        mem_model_peak_bytes=summary["modeled_peak_bytes"],
+        mem_sim_peak_bytes=summary["simulated_peak_bytes"],
+        mem_model_conservative=summary["conservative"],
+        mem_model_max_rel_gap=summary["max_rel_gap"],
     )
     return PlanEvaluation(plan=plan, simulation=result, oom=oom)

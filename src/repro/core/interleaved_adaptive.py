@@ -1,18 +1,20 @@
 """Extension: adaptive recomputation under interleaved 1F1B.
 
 The paper applies adaptive recomputation to plain 1F1B, where stage ``s``
-pins exactly ``p - s`` micro-batches. Megatron's interleaved schedule has
-no such closed form — each device hosts ``v`` chunks whose in-flight counts
-depend on the whole schedule — so this extension *measures* the per-stage
-in-flight peaks from a simulation of the full-recomputation schedule
-(:func:`repro.pipeline.tracing.stage_in_flight_peaks`), then solves one
-knapsack **per device** over the union of its chunks' computation units,
-with each item weighted by its own stage's measured multiplier and all
-chunks drawing on the device's shared memory budget.
+pins exactly ``min(n, p - s)`` micro-batches. Megatron's interleaved
+schedule has no simple closed form — each device hosts ``v`` chunks whose
+in-flight counts follow the interleaved warmup pattern — but the task
+order is cost-independent combinatorics, so the exact per-stage peaks come
+from :func:`repro.profiler.memory.in_flight_micro_batches` (which replays
+that order; it provably matches the simulator-measured
+:func:`repro.pipeline.tracing.stage_in_flight_peaks`). This extension then
+solves one knapsack **per device** over the union of its chunks'
+computation units, with each item weighted by its own stage's multiplier
+and all chunks drawing on the device's shared memory budget.
 
 This is a natural "future work" completion of the paper: the same
-cost-model-plus-knapsack machinery, driven by measured rather than
-analytic in-flight counts.
+cost-model-plus-knapsack machinery, driven by the schedule-aware
+in-flight accounting.
 """
 
 from __future__ import annotations
@@ -25,12 +27,10 @@ from repro.core.partition_dp import even_boundaries
 from repro.core.plan import PipelinePlan, StagePlan
 from repro.core.recompute_dp import UnitItem, optimize_stage_recompute
 from repro.core.search import PlannerContext
-from repro.core.strategies import RecomputePolicy
-from repro.baselines.extensions import plan_interleaved
+from repro.pipeline.memory_audit import audit_schedule_memory
 from repro.pipeline.schedules import interleaved_1f1b_schedule
 from repro.pipeline.simulator import simulate_with_info
-from repro.pipeline.tracing import stage_in_flight_peaks
-from repro.profiler.memory import StageMemory
+from repro.profiler.memory import StageMemory, in_flight_micro_batches
 
 
 def plan_interleaved_adaptive(
@@ -47,23 +47,22 @@ def plan_interleaved_adaptive(
 
     Returns:
         A plan with ``chunks * p`` stages; feasibility judged against the
-        measured per-stage in-flight peaks.
+        exact per-stage in-flight peaks of the interleaved schedule.
     """
     p = ctx.parallel.pipeline_parallel
     method = method or f"AdaPipe-Interleaved(v={chunks})"
     boundaries = even_boundaries(len(ctx.layers), chunks * p)
 
-    # Step 1: measure in-flight peaks on the full-recompute layout (the
-    # peaks are schedule properties; recomputation choices don't move them).
-    # Repeated planner calls rebuild an identical probe schedule, so this
-    # simulation replays from the cross-run simulation cache.
-    probe = plan_interleaved(ctx, RecomputePolicy.FULL, chunks)
-    probe_schedule = interleaved_1f1b_schedule(
-        list(probe.stage_costs()), ctx.num_micro_batches, p, hop_time=ctx.hop_time
-    )
-    probe_sim, probe_info = simulate_with_info(probe_schedule)
-    peaks = stage_in_flight_peaks(probe_sim)
-    in_flight = {stage: count for (_, stage), count in peaks.items()}
+    # Step 1: the exact in-flight peaks of the interleaved task order (a
+    # schedule property — recomputation choices don't move them). These
+    # are computed analytically; earlier revisions simulated a probe
+    # schedule to measure the same numbers.
+    in_flight = {
+        stage: in_flight_micro_batches(
+            "interleaved", stage, chunks * p, ctx.num_micro_batches, num_devices=p
+        )
+        for stage in range(chunks * p)
+    }
 
     # Step 2: one shared-budget knapsack per device over its chunks.
     memory_model = ctx.profiler.memory
@@ -178,9 +177,6 @@ def plan_interleaved_adaptive(
         modeled_iteration_time=None,
         feasible=feasible,
         hidden_size=ctx.spec.hidden_size,
-    ).with_metadata(
-        probe_sim_engine=probe_info["engine"],
-        probe_sim_cache_hit=probe_info["cache_hit"],
     )
 
 
@@ -199,10 +195,16 @@ def evaluate_interleaved_adaptive(
     )
     result, sim_info = simulate_with_info(schedule)
     oom = bool(result.oom_devices(ctx.cluster.device.usable_memory_bytes))
+    audit = audit_schedule_memory(schedule, "interleaved", result=result)
+    summary = audit.summary()
     plan = plan.with_metadata(
         sim_engine=sim_info["engine"],
         sim_cache_hit=sim_info["cache_hit"],
         sim_cache_hits=sim_info["cache_hits"],
         sim_cache_misses=sim_info["cache_misses"],
+        mem_model_peak_bytes=summary["modeled_peak_bytes"],
+        mem_sim_peak_bytes=summary["simulated_peak_bytes"],
+        mem_model_conservative=summary["conservative"],
+        mem_model_max_rel_gap=summary["max_rel_gap"],
     )
     return PlanEvaluation(plan=plan, simulation=result, oom=oom)

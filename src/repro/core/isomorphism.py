@@ -103,7 +103,9 @@ def evaluator_fingerprint(profiler: Profiler, capacity_bytes: float) -> Tuple:
     size through ZeRO sharding of static state. The pipeline size is
     deliberately absent — it only enters through the in-flight micro-batch
     count, which the per-range key carries — so evaluations are shared
-    across strategies that differ only in pipeline depth.
+    across strategies that differ only in pipeline depth. The micro-batch
+    count ``n`` (which clamps 1F1B's in-flight to ``min(n, p - s)``) is
+    pinned by the workload and data-parallel fields already present.
     """
     parallel = profiler.parallel
     # Cluster/model/workload specs hold dicts (per-op efficiencies), so the
@@ -178,8 +180,10 @@ class StageEvaluator:
         return len(self.layers)
 
     def _key(self, stage: int, i: int, j: int) -> Tuple:
-        # The stage index only matters through its 1F1B in-flight count, so
-        # keying on that count makes classes line up across pipeline sizes.
+        # The stage index (and the memory model's schedule kind) only
+        # matters through the in-flight micro-batch count, so keying on
+        # that count makes classes line up across pipeline sizes — and
+        # across schedule kinds that happen to agree on a stage's count.
         return (
             self.memory_model.in_flight(stage),
             i == 0,

@@ -121,8 +121,34 @@ class PipelinePlan:
     def stage_costs(self) -> Tuple[StageCosts, ...]:
         return tuple(stage.to_stage_costs() for stage in self.stages)
 
-    def peak_memory_bytes(self) -> Tuple[float, ...]:
-        return tuple(stage.memory.total_bytes for stage in self.stages)
+    def peak_memory_bytes(
+        self, schedule_kind: Optional[str] = None
+    ) -> Tuple[float, ...]:
+        """Modelled per-stage peak bytes.
+
+        With ``schedule_kind=None`` (default), returns the totals baked in
+        at planning time. Given a kind, re-derives each stage's total with
+        that schedule's in-flight count (via
+        :func:`repro.profiler.memory.in_flight_micro_batches`) — e.g. a
+        plan built for 1F1B re-priced for GPipe's all-``n`` liveness. The
+        pipeline-group size is inferred from the plan's own stage count
+        (``num_stages`` globals for ``interleaved`` layouts).
+        """
+        if schedule_kind is None:
+            return tuple(stage.memory.total_bytes for stage in self.stages)
+        from repro.profiler.memory import in_flight_micro_batches
+
+        n = self.train.num_micro_batches(self.parallel)
+        devices = self.parallel.pipeline_parallel
+        return tuple(
+            stage.memory.static_bytes
+            + stage.memory.buffer_bytes
+            + stage.memory.saved_per_microbatch
+            * in_flight_micro_batches(
+                schedule_kind, s, self.num_stages, n, num_devices=devices
+            )
+            for s, stage in enumerate(self.stages)
+        )
 
     def describe(self) -> str:
         """Multi-line human-readable plan summary."""

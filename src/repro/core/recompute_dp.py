@@ -1,7 +1,8 @@
 """Adaptive recomputation: the per-stage knapsack DP (Section 4.3).
 
 Choosing which computation units to save is a 0/1 knapsack: saving unit
-``U`` costs ``(p - s) * Mem(U)`` bytes of the stage's residual memory budget
+``U`` costs ``in_flight * Mem(U)`` bytes (``in_flight = min(n, p - s)``
+under 1F1B) of the stage's residual memory budget
 and *earns* ``Time_f(U)`` of backward time (the recompute it avoids). The
 optimal strategy maximizes the earned time under the budget (Equations 1–2).
 
@@ -33,7 +34,7 @@ class UnitItem:
     Attributes:
         name: unit type, e.g. ``"ffn.act"``.
         value: backward time saved per copy kept (its ``Time_f``).
-        weight_bytes: ``Mem(U)`` per micro-batch, *before* the ``p - s``
+        weight_bytes: ``Mem(U)`` per micro-batch, *before* the schedule's
             in-flight multiplier.
         copies: how many instances of this unit the stage's layers contain.
     """
@@ -76,7 +77,8 @@ def optimize_stage_recompute(
         budget_bytes: residual memory for optional intermediates — device
             capacity minus static state, recompute buffer, and the
             always-saved intermediates.
-        in_flight: the ``p - s`` multiplier on item weights.
+        in_flight: the schedule's in-flight micro-batch multiplier on item
+            weights (``min(n, p - s)`` for 1F1B).
         max_cells: cap on DP table cells; exceeded budgets trigger coarser
             (conservative) quantization.
 
@@ -88,7 +90,9 @@ def optimize_stage_recompute(
     if not items or budget_bytes == 0:
         return RecomputeResult(True, 0.0, {item.name: 0 for item in items}, 0.0)
 
-    weights = [max(1, int(round(item.weight_bytes * in_flight))) for item in items]
+    # Ceil, not round: a fractional byte weight must never round down, or
+    # the DP could "save" a set whose true weight exceeds the budget.
+    weights = [max(1, math.ceil(item.weight_bytes * in_flight)) for item in items]
     budget = int(budget_bytes)
 
     quantum = math.gcd(*weights) if weights else 1
@@ -126,7 +130,9 @@ def optimize_stage_recompute(
         taken[row, w:] = improved
         best[w:] = np.where(improved, candidate, best[w:])
 
-    # Backtrack the chosen chunks from the rightmost optimal column.
+    # Backtrack from the *leftmost* optimal column (np.argmax returns the
+    # first maximum): among equal-value solutions this ties-break toward
+    # the one using the least memory.
     column = int(np.argmax(best))
     saved_counts: Dict[str, int] = {item.name: 0 for item in items}
     saved_value = 0.0

@@ -200,7 +200,10 @@ def _recompute_time_floor(ctx: PlannerContext) -> float:
     Aggregate memory argument: every stage satisfies ``static + buffer +
     in_flight * saved <= capacity``; summing over stages with
     ``in_flight >= 1`` gives ``static_model + p * buffer + always_model +
-    optional_saved <= p * capacity``. Bytes of optional units above that
+    optional_saved <= p * capacity``. The relaxation to 1 keeps the bound
+    admissible for every schedule's accounting — the schedule-aware
+    counts of :func:`repro.profiler.memory.in_flight_micro_batches`
+    (``min(n, p - s)`` for 1F1B, ``n`` for GPipe, ...) are all >= 1. Bytes of optional units above that
     budget must be shed, and the fractional greedy (largest
     bytes-per-second first) lower-bounds the forward time recomputing
     them adds to the backward pass. Returns ``inf`` when the static floor

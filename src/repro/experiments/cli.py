@@ -5,6 +5,10 @@
 * ``adapipe plan ...`` — run the search engine on a chosen model, cluster
   and workload; print the plan and optionally write it as JSON and
   simulate it.
+* ``adapipe validate`` — the cross-implementation consistency battery.
+* ``adapipe audit ...`` — differential memory audit: the Section 4.2
+  model's per-stage totals vs the simulator's measured peaks, across the
+  schedule zoo.
 """
 
 from __future__ import annotations
@@ -78,6 +82,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate",
         help="run the cross-implementation consistency battery",
     )
+
+    audit = sub.add_parser(
+        "audit",
+        help="differential memory audit: Section 4.2 model vs simulator",
+    )
+    audit.add_argument("--model", default="bert-large",
+                       help="model name (gpt3-175b, llama2-70b, bert-large)")
+    audit.add_argument("--cluster", default="A", choices=["A", "B"],
+                       help="hardware cluster")
+    audit.add_argument("--seq", type=int, default=512, help="sequence length")
+    audit.add_argument("--batch", type=int, default=16, help="global batch size")
+    audit.add_argument("--tp", type=int, default=1, help="tensor parallel size")
+    audit.add_argument("--pp", type=int, default=4, help="pipeline parallel size")
+    audit.add_argument("--dp", type=int, default=1, help="data parallel size")
+    audit.add_argument("--memory-limit-gib", type=float,
+                       help="memory constraint in GiB (default: 92%% of device)")
+    audit.add_argument(
+        "--schedules", nargs="+",
+        default=["1f1b", "gpipe", "chimera", "chimerad", "interleaved"],
+        help="schedule kinds to audit the plan under",
+    )
+    audit.add_argument("--chunks", type=int, default=2,
+                       help="chunks per device for the interleaved audit")
+    audit.add_argument("--verbose", action="store_true",
+                       help="print the full per-stage discrepancy tables")
     return parser
 
 
@@ -182,6 +211,70 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    from repro.baselines.extensions import plan_interleaved
+    from repro.config import ConfigError, ParallelConfig, TrainingConfig
+    from repro.core.evaluate import build_schedule_for_plan
+    from repro.core.search import PlannerContext, plan_adapipe
+    from repro.core.strategies import RecomputePolicy
+    from repro.hardware.cluster import cluster_a, cluster_b
+    from repro.model.spec import model_by_name
+    from repro.pipeline.memory_audit import audit_schedule_memory
+
+    spec = model_by_name(args.model)
+    make_cluster = cluster_a if args.cluster == "A" else cluster_b
+    devices = args.tp * args.pp * args.dp
+    cluster = make_cluster(max(1, devices // 8))
+    train = TrainingConfig(sequence_length=args.seq, global_batch_size=args.batch)
+    limit = (
+        args.memory_limit_gib * 1024**3 if args.memory_limit_gib is not None else None
+    )
+    ctx = PlannerContext(
+        cluster, spec, train, ParallelConfig(args.tp, args.pp, args.dp),
+        memory_limit_bytes=limit,
+    )
+    plan = plan_adapipe(ctx)
+    if not plan.feasible:
+        print("planner found no feasible plan for this configuration")
+        return 2
+    print(plan.describe())
+    print()
+
+    failures = 0
+    audited = 0
+    for kind in args.schedules:
+        if kind == "interleaved":
+            target = plan_interleaved(ctx, RecomputePolicy.SELECTIVE, args.chunks)
+        else:
+            target = plan
+        try:
+            schedule = build_schedule_for_plan(target, cluster, kind)
+        except (ConfigError, ValueError) as err:
+            print(f"{kind:12s} skipped ({err})")
+            continue
+        report = audit_schedule_memory(schedule, kind)
+        audited += 1
+        summary = report.summary()
+        verdict = "conservative" if report.conservative else "UNDER-COUNTS"
+        print(
+            f"{kind:12s} {verdict:12s} model peak "
+            f"{summary['modeled_peak_bytes'] / 1024**3:7.2f} GiB vs sim "
+            f"{summary['simulated_peak_bytes'] / 1024**3:7.2f} GiB "
+            f"(max rel gap {summary['max_rel_gap']:+.2%}, "
+            f"{summary['stages_exact']}/{summary['stages_total']} stages exact)"
+        )
+        if args.verbose or not report.conservative:
+            print(report.describe())
+        if not report.conservative:
+            failures += 1
+    print()
+    if failures:
+        print(f"memory model UNDER-COUNTS on {failures}/{audited} schedules")
+        return 1
+    print(f"memory model conservative on all {audited} audited schedules")
+    return 0
+
+
 def _cmd_artifact(args) -> int:
     from repro.experiments.artifact import collect_results, run_artifact_workflow
 
@@ -200,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "artifact":
         return _cmd_artifact(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     if args.command == "validate":
         from repro.experiments.validate import render_validation, run_validation
 

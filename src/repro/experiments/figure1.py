@@ -32,10 +32,14 @@ def run(fast: bool = False) -> ExperimentResult:
         headers=["policy", "seq"] + [f"stage{s}" for s in range(8)],
     )
     limit_gib = cluster.device.memory_bytes / 1024**3
+    # One micro-batch per pipeline stage: with n >= p the schedule-aware
+    # in-flight count min(n, p - s) reaches the steady-state p - s the
+    # paper's figure depicts. (A batch smaller than the pipeline would —
+    # correctly — flatten the curves, since stage 0 can never hold more
+    # micro-batches than exist.)
+    batch = PARALLEL.data_parallel * PARALLEL.pipeline_parallel
     for seq in SEQUENCE_LENGTHS:
-        train = TrainingConfig(
-            sequence_length=seq, global_batch_size=PARALLEL.data_parallel
-        )
+        train = TrainingConfig(sequence_length=seq, global_batch_size=batch)
         ctx = PlannerContext(cluster, spec, train, PARALLEL)
         boundaries = even_boundaries(len(ctx.layers), PARALLEL.pipeline_parallel)
         for policy, label in (
@@ -59,7 +63,7 @@ def run(fast: bool = False) -> ExperimentResult:
     for seq in SEQUENCE_LENGTHS:
         train = TrainingConfig(
             sequence_length=seq,
-            global_batch_size=PARALLEL.data_parallel,
+            global_batch_size=batch,
             hidden_dropout=0.1,
         )
         ctx = PlannerContext(cluster, spec, train, PARALLEL)

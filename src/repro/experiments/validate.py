@@ -5,13 +5,17 @@ the consistency arguments that make the simulator-based reproduction
 trustworthy. Each check pits two independent implementations of the same
 quantity against each other:
 
-1. knapsack DP vs exponential brute force;
+1. knapsack DP vs exponential brute force (integer *and* fractional
+   weights — the DP must stay budget-feasible, never just value-close);
 2. 1F1B phase model vs event-driven simulator (homogeneous exactness);
 3. modelled per-stage memory vs simulated activation peaks;
 4. pipelined 1F1B executor vs monolithic training (losses and gradients);
 5. unit-granular recomputation vs save-everything (gradient identity);
 6. the eager (tape) engine vs the manual-backward engine;
-7. plan JSON round-trip fidelity.
+7. plan JSON round-trip fidelity;
+8. schedule-aware memory audit — modelled in-flight counts and device
+   peaks vs the simulator's, across the schedule zoo (conservative
+   everywhere, exact for 1F1B).
 """
 
 from __future__ import annotations
@@ -47,7 +51,37 @@ def _check_knapsack() -> CheckResult:
         result = optimize_stage_recompute(items, budget, in_flight=2)
         _, best = brute_force_recompute(items, budget, 2)
         worst = max(worst, abs(result.saved_value - best))
-    return ("knapsack vs brute force", worst < 1e-9, f"max gap {worst:.2e}")
+    if worst >= 1e-9:
+        return ("knapsack vs brute force", False, f"max gap {worst:.2e}")
+
+    # Fractional weights/budgets: quantization may legitimately leave value
+    # on the table, but the returned save set must stay budget-feasible
+    # (true bytes, not rounded ones) and never beat the true optimum.
+    infeasible = 0
+    for _ in range(25):
+        items = [
+            UnitItem(
+                name=f"u{i}",
+                value=float(rng.uniform(0.1, 5.0)),
+                weight_bytes=float(rng.uniform(0.5, 40.0)),
+                copies=int(rng.integers(1, 3)),
+            )
+            for i in range(4)
+        ]
+        budget = float(rng.uniform(0.0, 150.0))
+        in_flight = int(rng.integers(1, 4))
+        result = optimize_stage_recompute(items, budget, in_flight)
+        _, best = brute_force_recompute(items, budget, in_flight)
+        weight_of = {item.name: item.weight_bytes for item in items}
+        used = sum(
+            weight_of[name] * count * in_flight
+            for name, count in result.saved_counts.items()
+        )
+        if used > budget + 1e-9 or result.saved_value > best + 1e-9:
+            infeasible += 1
+    ok = infeasible == 0
+    detail = f"max gap {worst:.2e}; fractional violations {infeasible}"
+    return ("knapsack vs brute force", ok, detail)
 
 
 def _check_phase_model() -> CheckResult:
@@ -77,7 +111,7 @@ def _check_memory_model() -> CheckResult:
     peaks = simulate(one_f_one_b_schedule(costs, n)).device_peak_bytes
     expected = [float(min(p - s, n)) for s in range(p)]
     ok = peaks == expected
-    return ("1F1B in-flight memory (p - s)", ok, f"peaks {peaks}")
+    return ("1F1B in-flight memory min(n, p - s)", ok, f"peaks {peaks}")
 
 
 def _training_fixture():
@@ -107,6 +141,35 @@ def _training_fixture():
     tokens = rng.integers(0, 40, size=(4, 8))
     targets = rng.integers(0, 40, size=(4, 8))
     return spec, plan, tokens, targets, build_model
+
+
+def _planning_fixture():
+    """A small planned workload for the differential schedule checks.
+
+    Four layers so an interleaved layout with two chunks per device still
+    has one layer per global stage.
+    """
+    from repro.config import ParallelConfig, TrainingConfig
+    from repro.core.search import PlannerContext, plan_adapipe
+    from repro.hardware.cluster import cluster_a
+    from repro.model.spec import tiny_gpt
+
+    spec = tiny_gpt(num_layers=4, hidden_size=32, vocab_size=40)
+    train = TrainingConfig(
+        sequence_length=8,
+        global_batch_size=4,
+        micro_batch_size=1,
+        sequence_parallel=False,
+        flash_attention=False,
+    )
+    ctx = PlannerContext(
+        cluster_a(1),
+        spec,
+        train,
+        ParallelConfig(1, 2, 1),
+        memory_limit_bytes=8 * 1024**2,
+    )
+    return ctx, plan_adapipe(ctx)
 
 
 def _check_pipeline_executor() -> CheckResult:
@@ -176,6 +239,45 @@ def _check_plan_roundtrip() -> CheckResult:
     return ("plan JSON round-trip", ok, "lossless" if ok else "divergent")
 
 
+def _check_memory_audit() -> CheckResult:
+    from repro.baselines.extensions import plan_interleaved
+    from repro.core.evaluate import build_schedule_for_plan
+    from repro.core.strategies import RecomputePolicy
+    from repro.pipeline.memory_audit import audit_schedule_memory
+
+    ctx, plan = _planning_fixture()
+    kinds = []
+    reports = []
+    for kind in ("1f1b", "gpipe", "chimera", "chimerad"):
+        try:
+            schedule = build_schedule_for_plan(plan, ctx.cluster, kind)
+        except ValueError:
+            continue  # e.g. micro-batches don't split for ChimeraD
+        kinds.append(kind)
+        reports.append(audit_schedule_memory(schedule, kind))
+    interleaved = plan_interleaved(ctx, RecomputePolicy.SELECTIVE, chunks=2)
+    if interleaved.feasible:
+        kinds.append("interleaved")
+        reports.append(
+            audit_schedule_memory(
+                build_schedule_for_plan(interleaved, ctx.cluster, "interleaved"),
+                "interleaved",
+            )
+        )
+    under = [k for k, r in zip(kinds, reports) if not r.conservative]
+    onef1b_gap = max(
+        (r.max_abs_rel_gap for k, r in zip(kinds, reports) if k == "1f1b"),
+        default=1.0,
+    )
+    ok = not under and onef1b_gap <= 1e-6 and len(kinds) >= 4
+    detail = (
+        f"{len(kinds)} schedules conservative, 1f1b rel gap {onef1b_gap:.2e}"
+        if ok
+        else f"under-counting on {under or 'n/a'}; 1f1b gap {onef1b_gap:.2e}"
+    )
+    return ("memory model vs simulator audit", ok, detail)
+
+
 CHECKS: List[Callable[[], CheckResult]] = [
     _check_knapsack,
     _check_phase_model,
@@ -184,6 +286,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_recompute_identity,
     _check_eager_engine,
     _check_plan_roundtrip,
+    _check_memory_audit,
 ]
 
 

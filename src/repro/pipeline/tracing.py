@@ -192,3 +192,48 @@ def stage_in_flight_peaks(result: SimulationResult) -> Dict[Tuple[int, int], int
             peak = max(peak, level)
         peaks[stage_key] = peak
     return peaks
+
+
+def stage_in_flight_micro_batch_peaks(
+    result: SimulationResult,
+) -> Dict[Tuple[int, int], int]:
+    """Like :func:`stage_in_flight_peaks`, but in micro-batch units.
+
+    Each live activation interval is weighted by its task's ``weight`` —
+    the number of micro-batches the task processes (2 for ChimeraD's
+    doubled forwards, 1 elsewhere) — so the peaks are directly comparable
+    with the memory model's in-flight counts and with
+    ``saved_per_microbatch`` multipliers. For unit-weight schedules this
+    coincides with :func:`stage_in_flight_peaks` exactly.
+    """
+    forward_start: Dict[Tuple[int, int, int], float] = {}
+    weight_of: Dict[Tuple[int, int, int], int] = {}
+    spans: Dict[Tuple[int, int], List[Tuple[float, float, int]]] = {}
+    for task in result.schedule.all_tasks():
+        key = (task.key.pipe, task.key.stage, task.key.micro_batch)
+        if task.key.kind == TaskKind.FORWARD:
+            forward_start[key] = result.start_times[task.key]
+            weight_of[key] = task.weight
+        else:
+            end = result.end_times[task.key]
+            start = forward_start.get(key, result.start_times[task.key])
+            weight = weight_of.get(key, task.weight)
+            spans.setdefault((task.key.pipe, task.key.stage), []).append(
+                (start, end, weight)
+            )
+    peaks: Dict[Tuple[int, int], int] = {}
+    for stage_key, stage_spans in spans.items():
+        events = []
+        for start, end, weight in stage_spans:
+            events.append((start, weight))
+            events.append((end, -weight))
+        # Sort negatives first at equal timestamps: a backward that ends
+        # exactly when a forward begins frees its memory first, matching
+        # the simulator's free-before-alloc accounting.
+        events.sort(key=lambda item: (item[0], item[1]))
+        level = peak = 0
+        for _, delta in events:
+            level += delta
+            peak = max(peak, level)
+        peaks[stage_key] = peak
+    return peaks

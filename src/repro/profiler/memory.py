@@ -11,19 +11,119 @@ Per-stage memory splits into three parts:
    pass re-materialises at most one decoder layer's intermediates at a time,
    so the buffer is bounded by one layer's worth of activations.
 3. **Saved intermediates**: every unit configured *saved* holds
-   ``Mem(U)`` bytes per in-flight micro-batch, and stage ``s`` of ``p``
-   keeps ``p - s`` micro-batches in flight under 1F1B.
+   ``Mem(U)`` bytes per in-flight micro-batch, times the number of
+   micro-batches the *schedule* keeps live on the stage —
+   ``min(n, p - s)`` under 1F1B, all ``n`` under GPipe, and the
+   schedule-specific counts of :func:`in_flight_micro_batches` for the
+   interleaved and Chimera variants.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from functools import lru_cache
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.config import ParallelConfig, TrainingConfig
 from repro.model.layers import Layer, LayerKind
 from repro.model.spec import ModelSpec
 from repro.model.units import ComputationUnit, units_for_layer
+
+#: Schedule kinds with an in-flight accounting rule. ``interleaved`` expects
+#: ``num_stages`` to be the *global* stage count (chunks x devices) and
+#: ``num_devices`` the pipeline group size.
+SCHEDULE_KINDS = ("1f1b", "gpipe", "chimera", "chimerad", "interleaved")
+
+
+@lru_cache(maxsize=None)
+def _interleaved_stage_peaks(
+    num_devices: int, num_chunks: int, num_micro_batches: int
+) -> Tuple[int, ...]:
+    """Exact per-global-stage in-flight peaks of the interleaved schedule.
+
+    The Megatron task order is fixed combinatorics (warmup of
+    ``2(p - d - 1) + (v - 1)p`` virtual forwards, then strict 1F1B
+    alternation), independent of task durations, so the peak number of
+    live micro-batches per stage is obtained by replaying the index
+    arithmetic — no simulation needed. Forward and backward of a
+    micro-batch run on the same device and devices execute in list order,
+    so this dispatch-counter peak equals the simulator's measured
+    activation-liveness peak (`stage_in_flight_peaks`).
+    """
+    p, v, n = num_devices, num_chunks, num_micro_batches
+    total_virtual = n * v
+    peaks = [0] * (v * p)
+    for device in range(p):
+        live = [0] * v
+        warmup = min(2 * (p - device - 1) + (v - 1) * p, total_virtual)
+
+        def start_forward(k: int) -> None:
+            chunk = (k // p) % v
+            live[chunk] += 1
+            stage = chunk * p + device
+            if live[chunk] > peaks[stage]:
+                peaks[stage] = live[chunk]
+
+        for k in range(warmup):
+            start_forward(k)
+        for i in range(total_virtual - warmup):
+            start_forward(warmup + i)
+            live[v - 1 - (i // p) % v] -= 1  # backward i retires its chunk
+        # The drain phase only runs backwards; peaks cannot rise further.
+    return tuple(peaks)
+
+
+def in_flight_micro_batches(
+    schedule_kind: str,
+    stage: int,
+    num_stages: int,
+    num_micro_batches: int,
+    num_devices: Optional[int] = None,
+) -> int:
+    """Micro-batches whose activations stage ``s`` keeps live at peak.
+
+    Exact for 1F1B (``min(n, p - s)``), GPipe (``n``), and interleaved
+    1F1B (replayed from the deterministic task order); an admissible upper
+    bound for the Chimera variants, whose greedy list scheduler depends on
+    task durations but caps each direction's window at
+    ``min(p - s, p / 2)`` scheduling entities. ChimeraD counts are in
+    micro-batch units — each doubled forward entity pins two micro-batches
+    of activations.
+
+    Args:
+        schedule_kind: one of :data:`SCHEDULE_KINDS`.
+        stage: stage index (a *global* stage for ``interleaved``).
+        num_stages: stage count ``p`` (``chunks * devices`` for
+            ``interleaved``).
+        num_micro_batches: micro-batches ``n`` per iteration (per pipeline
+            replica pair for Chimera, which splits them over directions).
+        num_devices: pipeline group size; required for ``interleaved``.
+    """
+    p, n, s = num_stages, num_micro_batches, stage
+    if not 0 <= s < p:
+        raise ValueError(f"stage {s} out of range for {p} stages")
+    if n < 1:
+        raise ValueError(f"need at least one micro-batch, got {n}")
+    if schedule_kind == "1f1b":
+        return min(n, p - s)
+    if schedule_kind == "gpipe":
+        return n
+    if schedule_kind in ("chimera", "chimerad"):
+        weight = 2 if schedule_kind == "chimerad" else 1
+        entities_per_pipe = -(-n // (2 * weight))  # ceil: stays an upper bound
+        return weight * min(entities_per_pipe, p - s, max(1, p // 2))
+    if schedule_kind == "interleaved":
+        if num_devices is None or num_devices < 1 or p % num_devices:
+            raise ValueError(
+                f"interleaved needs num_devices dividing {p} stages, "
+                f"got {num_devices}"
+            )
+        chunks = p // num_devices
+        return _interleaved_stage_peaks(num_devices, chunks, n)[s]
+    raise ValueError(
+        f"unknown schedule kind {schedule_kind!r}; pick from {SCHEDULE_KINDS}"
+    )
 
 
 @dataclass(frozen=True)
@@ -49,11 +149,31 @@ class StageMemory:
 
 @dataclass(frozen=True)
 class MemoryModel:
-    """Evaluates the three-part memory model for a fixed workload."""
+    """Evaluates the three-part memory model for a fixed workload.
+
+    ``schedule_kind`` selects the in-flight accounting rule (default
+    ``"1f1b"``, the paper's schedule). Interleaved layouts replicate the
+    model over ``chunks * p`` global stages and should query
+    :func:`in_flight_micro_batches` directly with the global stage count.
+    """
 
     spec: ModelSpec
     train: TrainingConfig
     parallel: ParallelConfig
+    schedule_kind: str = "1f1b"
+
+    def with_schedule(self, schedule_kind: str) -> "MemoryModel":
+        """A copy of this model accounting for ``schedule_kind``."""
+        if schedule_kind not in SCHEDULE_KINDS:
+            raise ValueError(
+                f"unknown schedule kind {schedule_kind!r}; "
+                f"pick from {SCHEDULE_KINDS}"
+            )
+        return dataclasses.replace(self, schedule_kind=schedule_kind)
+
+    @property
+    def num_micro_batches(self) -> int:
+        return self.train.num_micro_batches(self.parallel)
 
     def unit_saved_bytes(self, unit: ComputationUnit) -> float:
         """The paper's ``Mem(U)``: bytes held when ``unit`` is saved."""
@@ -109,8 +229,20 @@ class MemoryModel:
         return sum(self.unit_saved_bytes(unit) for unit in saved_units)
 
     def in_flight(self, stage: int) -> int:
-        """Micro-batches stage ``s`` keeps live under 1F1B (``p - s``)."""
-        return self.parallel.pipeline_parallel - stage
+        """Micro-batches stage ``s`` keeps live under ``schedule_kind``.
+
+        ``min(n, p - s)`` for the default 1F1B — the unclamped ``p - s``
+        overstated memory whenever ``n < p``, rejecting plans the schedule
+        actually fits (and the converse rule, had it under-stated, would
+        have admitted OOMs).
+        """
+        return in_flight_micro_batches(
+            self.schedule_kind,
+            stage,
+            self.parallel.pipeline_parallel,
+            self.num_micro_batches,
+            num_devices=self.parallel.pipeline_parallel,
+        )
 
     def stage_memory(
         self,
@@ -132,6 +264,7 @@ class MemoryModel:
         """Memory left for saved intermediates after static state and buffer.
 
         This is the knapsack capacity ``M`` of Section 4.3 (before the
-        ``p - s`` multiplier, which the DP applies to item weights).
+        in-flight multiplier of :meth:`in_flight`, which the DP applies to
+        item weights).
         """
         return capacity_bytes - self.static_bytes(layers) - self.recompute_buffer_bytes()

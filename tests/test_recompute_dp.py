@@ -67,6 +67,37 @@ class TestBasics:
 
 
 class TestQuantization:
+    def test_fractional_weight_straddling_budget_is_rejected(self):
+        # Regression: weight 10.4 used to round *down* to 10, making the DP
+        # "save" an item whose true cost (10.4) exceeds the budget (10).
+        # Ceil rounding prices it at 11 and correctly recomputes it.
+        items = [_item("frac", value=1.0, weight=10.4)]
+        result = optimize_stage_recompute(items, 10.0, in_flight=1)
+        assert result.feasible
+        assert result.saved_counts == {"frac": 0}
+        assert result.saved_bytes == 0.0
+        _, best = brute_force_recompute(items, 10.0, 1)
+        assert best == 0.0  # the true optimum agrees: it cannot be saved
+
+    def test_fractional_product_with_in_flight_straddles(self):
+        # 3.48 * 3 = 10.44: rounding the product down to 10 would fit the
+        # 10-byte budget; the true weight does not.
+        items = [_item("frac", value=2.0, weight=3.48)]
+        result = optimize_stage_recompute(items, 10.0, in_flight=3)
+        assert result.saved_counts == {"frac": 0}
+        # With a budget covering the true cost, the item is saved again.
+        result = optimize_stage_recompute(items, 11.0, in_flight=3)
+        assert result.saved_counts == {"frac": 1}
+
+    def test_equal_value_tie_breaks_to_less_memory(self):
+        # Both solutions earn 1.0; backtracking from the leftmost optimal
+        # column must pick the lighter save set.
+        items = [_item("light", 1.0, 1.0), _item("heavy", 1.0, 9.0)]
+        result = optimize_stage_recompute(items, 9.0, in_flight=1)
+        assert result.saved_value == pytest.approx(1.0)
+        assert result.saved_counts == {"light": 1, "heavy": 0}
+        assert result.saved_bytes == pytest.approx(1.0)
+
     def test_gcd_exploited_exactly(self):
         # All weights share gcd 4096: quantization must stay exact.
         items = [
@@ -115,6 +146,29 @@ def knapsack_instances(draw):
     return items, budget, in_flight
 
 
+@st.composite
+def fractional_knapsack_instances(draw):
+    """Fractional weights and budgets — the rounding-bug regime.
+
+    Integer-only draws masked the old round-half-down under-count; these
+    instances exercise quantization on weights that do not divide evenly.
+    """
+    num_types = draw(st.integers(min_value=1, max_value=4))
+    items = []
+    for index in range(num_types):
+        items.append(
+            UnitItem(
+                name=f"u{index}",
+                value=draw(st.floats(min_value=0.1, max_value=10.0)),
+                weight_bytes=draw(st.floats(min_value=0.3, max_value=50.0)),
+                copies=draw(st.integers(min_value=1, max_value=3)),
+            )
+        )
+    budget = draw(st.floats(min_value=0.0, max_value=200.0))
+    in_flight = draw(st.integers(min_value=1, max_value=4))
+    return items, budget, in_flight
+
+
 class TestAgainstBruteForce:
     @given(knapsack_instances())
     @settings(max_examples=120, deadline=None)
@@ -124,6 +178,25 @@ class TestAgainstBruteForce:
         feasible, best = brute_force_recompute(items, budget, in_flight)
         assert result.feasible == feasible
         assert result.saved_value == pytest.approx(best, abs=1e-9)
+
+    @given(fractional_knapsack_instances())
+    @settings(max_examples=120, deadline=None)
+    def test_fractional_weights_stay_budget_feasible(self, instance):
+        # Quantizing fractional weights (ceil) may cost optimality but must
+        # never cost feasibility: the returned save set's *true* byte
+        # weight (x in-flight) has to fit the budget, and its value can
+        # never beat the exponential reference.
+        items, budget, in_flight = instance
+        result = optimize_stage_recompute(items, budget, in_flight)
+        feasible, best = brute_force_recompute(items, budget, in_flight)
+        assert result.feasible == feasible
+        if result.feasible:
+            used = sum(
+                result.saved_counts[item.name] * item.weight_bytes * in_flight
+                for item in items
+            )
+            assert used <= budget + 1e-9
+            assert result.saved_value <= best + 1e-9
 
     @given(knapsack_instances())
     @settings(max_examples=120, deadline=None)
