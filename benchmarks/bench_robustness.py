@@ -1,0 +1,96 @@
+"""Bench: the robustness ensemble (the ISSUE's CI smoke job).
+
+``evaluate_robustness`` runs 1 nominal + K ensemble + (p + 1) criticality
+simulations per report; this bench pins the ensemble's wall time on a
+p=4, K=8 configuration so regressions in the perturbation lowering or the
+simulator engines show up in the uploaded ``BENCH_robustness.json``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.robust import evaluate_robustness
+from repro.pipeline.perturb import PerturbationSpec, perturb_schedule
+from repro.pipeline.schedules import one_f_one_b_schedule
+from repro.pipeline.simulator import simulate
+from repro.pipeline.tasks import StageCosts
+
+P, N, DRAWS = 4, 64, 8
+
+
+def _schedule():
+    rng = random.Random(7)
+    costs = [
+        StageCosts(
+            forward=rng.uniform(0.8, 1.2),
+            backward=rng.uniform(1.6, 2.4),
+            activation_bytes=rng.uniform(1.0, 8.0),
+        )
+        for _ in range(P)
+    ]
+    return one_f_one_b_schedule(costs, N, hop_time=0.05)
+
+
+def _spec():
+    return PerturbationSpec.build({2: 1.5, 3: 1.5}, jitter_sigma=0.05, seed=0)
+
+
+def test_perturb_lowering_latency(benchmark):
+    """One spec application — the per-draw overhead on top of simulate."""
+    schedule = _schedule()
+    spec = _spec()
+    perturbed = benchmark(lambda: perturb_schedule(schedule, spec))
+    assert perturbed is not schedule
+
+
+def test_robustness_ensemble(benchmark):
+    """The full p=4, K=8 report: ensemble + criticality differences."""
+    schedule = _schedule()
+    spec = _spec()
+    report = benchmark(lambda: evaluate_robustness(schedule, spec, DRAWS))
+    assert len(report.times) == DRAWS
+    assert all(c >= 0.0 for c in report.device_criticality)
+    benchmark.extra_info.update(
+        devices=P,
+        draws=DRAWS,
+        tasks=2 * P * N,
+        simulations_per_report=1 + DRAWS + P + 1,
+        mean_slowdown=round(report.slowdown("mean"), 4),
+        p95_slowdown=round(report.slowdown("p95"), 4),
+    )
+
+
+def test_ensemble_overhead_floor(benchmark):
+    """A report is K+p+2 simulations plus K+p+1 spec lowerings; the
+    statistics/bookkeeping on top may not add more than ~3x slack."""
+    import time
+
+    schedule = _schedule()
+    spec = _spec()
+    sims = 1 + DRAWS + P + 1
+    lowerings = DRAWS + P + 1
+
+    def _best_of(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    single = _best_of(lambda: simulate(schedule, cache=False))
+    lower = _best_of(lambda: perturb_schedule(schedule, spec))
+    ensemble = _best_of(lambda: evaluate_robustness(schedule, spec, DRAWS))
+    budget = sims * single + lowerings * lower
+    benchmark.pedantic(
+        lambda: evaluate_robustness(schedule, spec, DRAWS),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(
+        single_sim_s=round(single, 6),
+        single_lowering_s=round(lower, 6),
+        ensemble_s=round(ensemble, 6),
+        overhead_ratio=round(ensemble / budget, 2),
+    )
+    assert ensemble <= 3.0 * budget

@@ -15,9 +15,11 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.plan import PipelinePlan
+from repro.core.robust import evaluate_robustness, robust_metadata
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.comm import CommModel
 from repro.pipeline.memory_audit import audit_schedule_memory
+from repro.pipeline.perturb import PerturbationSpec
 from repro.pipeline.schedules import (
     chimera_schedule,
     gpipe_schedule,
@@ -101,6 +103,8 @@ def evaluate_plan(
     schedule_kind: str = "1f1b",
     enforce_memory: bool = True,
     include_gradient_sync: bool = True,
+    perturbation: Optional[PerturbationSpec] = None,
+    robust_draws: int = 16,
 ) -> PlanEvaluation:
     """Simulate ``plan`` and check it against device memory.
 
@@ -116,6 +120,13 @@ def evaluate_plan(
     ``mem_sim_peak_bytes``, ``mem_model_conservative``,
     ``mem_model_max_rel_gap``) cross-checking the Section 4.2 model against
     the simulator's memory tracker under the executed schedule.
+
+    With a ``perturbation`` spec, the schedule is additionally executed
+    under a ``robust_draws``-member perturbation ensemble
+    (:func:`repro.core.robust.evaluate_robustness`) and the ensemble's
+    statistics land in metadata as ``robust_*`` keys (nominal / mean /
+    p95 / worst iteration time and per-device straggler criticality).
+    The headline ``iteration_time`` stays nominal.
     """
     if not plan.feasible:
         return PlanEvaluation(plan=plan, simulation=None, oom=True)
@@ -123,6 +134,9 @@ def evaluate_plan(
     schedule = build_schedule_for_plan(plan, cluster, schedule_kind, comm=comm)
     result, sim_info = simulate_with_info(schedule)
     audit = audit_schedule_memory(schedule, schedule_kind, result=result)
+    robustness = None
+    if perturbation is not None:
+        robustness = evaluate_robustness(schedule, perturbation, robust_draws)
     if include_gradient_sync and plan.parallel.data_parallel > 1:
         sync = max(
             comm.gradient_sync_time(stage.params, plan.parallel)
@@ -145,4 +159,6 @@ def evaluate_plan(
         mem_model_conservative=summary["conservative"],
         mem_model_max_rel_gap=summary["max_rel_gap"],
     )
+    if robustness is not None:
+        plan = plan.with_metadata(**robust_metadata(robustness))
     return PlanEvaluation(plan=plan, simulation=result, oom=oom)

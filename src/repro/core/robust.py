@@ -1,0 +1,291 @@
+"""Robustness evaluation: how fragile is a plan under perturbations?
+
+The planners rank plans by *nominal* simulated iteration time, but the
+paper's own motivation (Section 3) is that stage imbalance — not raw
+compute — decides iteration time, and a plan that is optimal under
+nominal costs can invert ranking once one device runs 20% slow. This
+module quantifies that:
+
+* :func:`evaluate_robustness` executes a schedule under ``K`` seeded
+  draws of a :class:`~repro.pipeline.perturb.PerturbationSpec` (draw
+  ``k`` reseeds the jitter; factors, stalls and link degradations are
+  held fixed) and summarises the resulting iteration times.
+* **Straggler criticality** is the marginal slowdown of iteration time
+  with respect to each device's slowdown factor — a normalised forward
+  difference ``(T(f_d * (1 + eps)) - T(f_d)) / (eps * T(f_d))``,
+  evaluated at the spec's deterministic component (factors + stalls +
+  links, no jitter). A criticality of 1.0 means the device is fully on
+  the critical path (1% slower device => 1% slower iteration); 0 means
+  its slack absorbs the bump entirely. Monotonicity of the DAG's
+  longest path in task durations makes every criticality non-negative.
+
+Everything is deterministic: same spec + same schedule + same draw count
+produce an identical :class:`RobustnessReport`, which is what lets the
+report double as a regression artifact and lets the sweep rank plans by
+a robust objective (``repro.core.sweep`` with ``robust_objective``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.pipeline.perturb import PerturbationSpec, perturb_schedule
+from repro.pipeline.simulator import SimulationCache, simulate
+from repro.pipeline.tasks import Schedule
+
+__all__ = [
+    "ROBUST_OBJECTIVES",
+    "RobustnessReport",
+    "cluster_perturbation",
+    "evaluate_robustness",
+    "robust_metadata",
+]
+
+#: Selectable ensemble statistics, in `--robust-objective` order.
+ROBUST_OBJECTIVES = ("nominal", "mean", "p95", "worst")
+
+#: Relative factor bump used by the criticality finite difference.
+CRITICALITY_EPSILON = 0.25
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Ensemble statistics of one schedule under one perturbation spec.
+
+    Attributes:
+        spec: the evaluated perturbation spec.
+        draws: number of seeded ensemble draws.
+        nominal_time: unperturbed iteration time.
+        times: perturbed iteration times, in draw order (empty when
+            ``draws == 0`` — the statistics then fall back to the
+            deterministic perturbed time).
+        deterministic_time: iteration time under the spec's deterministic
+            component (factors/stalls/links, jitter off) — the baseline
+            of the criticality differences.
+        device_criticality: per-device normalised marginal slowdown.
+        criticality_epsilon: relative factor bump used for the
+            finite difference.
+    """
+
+    spec: PerturbationSpec
+    draws: int
+    nominal_time: float
+    times: Tuple[float, ...]
+    deterministic_time: float
+    device_criticality: Tuple[float, ...]
+    criticality_epsilon: float = CRITICALITY_EPSILON
+
+    @property
+    def mean_time(self) -> float:
+        if not self.times:
+            return self.deterministic_time
+        return math.fsum(self.times) / len(self.times)
+
+    @property
+    def p95_time(self) -> float:
+        """Nearest-rank 95th percentile of the ensemble times."""
+        if not self.times:
+            return self.deterministic_time
+        ordered = sorted(self.times)
+        rank = max(1, math.ceil(0.95 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def worst_time(self) -> float:
+        if not self.times:
+            return self.deterministic_time
+        return max(self.times)
+
+    @property
+    def best_time(self) -> float:
+        if not self.times:
+            return self.deterministic_time
+        return min(self.times)
+
+    def objective(self, which: str) -> float:
+        """The iteration-time statistic a robust search ranks plans by."""
+        if which == "nominal":
+            return self.nominal_time
+        if which == "mean":
+            return self.mean_time
+        if which == "p95":
+            return self.p95_time
+        if which == "worst":
+            return self.worst_time
+        raise ValueError(
+            f"unknown robust objective {which!r}; pick from {ROBUST_OBJECTIVES}"
+        )
+
+    def slowdown(self, which: str) -> float:
+        """Ensemble statistic relative to the nominal time (1.0 = nominal)."""
+        if self.nominal_time == 0:
+            return 1.0
+        return self.objective(which) / self.nominal_time
+
+    def most_critical_device(self) -> int:
+        """Device index with the largest straggler criticality."""
+        return max(
+            range(len(self.device_criticality)),
+            key=lambda d: (self.device_criticality[d], -d),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible summary (benchmark artifacts, plan metadata)."""
+        return {
+            "spec_digest": self.spec.content_digest(),
+            "draws": self.draws,
+            "nominal_time": self.nominal_time,
+            "deterministic_time": self.deterministic_time,
+            "mean_time": self.mean_time,
+            "p95_time": self.p95_time,
+            "worst_time": self.worst_time,
+            "best_time": self.best_time,
+            "device_criticality": list(self.device_criticality),
+            "criticality_epsilon": self.criticality_epsilon,
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable report (the `adapipe robustness` table)."""
+        lines = [
+            f"robustness over {self.draws} draws "
+            f"(spec {self.spec.content_digest()[:12]}, "
+            f"jitter sigma {self.spec.jitter_sigma:g}, seed {self.spec.seed})",
+            f"  nominal  {self.nominal_time:.6f}s",
+            f"  mean     {self.mean_time:.6f}s  ({self.slowdown('mean'):.3f}x)",
+            f"  p95      {self.p95_time:.6f}s  ({self.slowdown('p95'):.3f}x)",
+            f"  worst    {self.worst_time:.6f}s  ({self.slowdown('worst'):.3f}x)",
+            "  device criticality (marginal slowdown per unit factor):",
+        ]
+        scale = max(self.device_criticality, default=0.0)
+        for device, crit in enumerate(self.device_criticality):
+            bar = "#" * int(round(24 * crit / scale)) if scale > 0 else ""
+            factor = self.spec.factor_for(device)
+            lines.append(
+                f"    device {device:2d}  factor {factor:5.2f}  "
+                f"criticality {crit:6.3f}  {bar}"
+            )
+        return "\n".join(lines)
+
+
+def _deterministic_spec(spec: PerturbationSpec) -> PerturbationSpec:
+    """The spec with its random (jitter) component switched off."""
+    if spec.jitter_sigma == 0.0:
+        return spec
+    return dataclasses.replace(spec, jitter_sigma=0.0)
+
+
+def evaluate_robustness(
+    schedule: Schedule,
+    spec: PerturbationSpec,
+    draws: int = 16,
+    *,
+    engine: Optional[str] = None,
+    cache: Union[SimulationCache, bool, None] = None,
+    criticality_epsilon: float = CRITICALITY_EPSILON,
+) -> RobustnessReport:
+    """Run the perturbation ensemble and the criticality differences.
+
+    Args:
+        schedule: the nominal schedule under evaluation.
+        spec: the perturbation model. Draw ``k`` applies
+            ``spec.reseeded(k)``, so jitter re-draws per ensemble member
+            while factors/stalls/links stay fixed.
+        draws: ensemble size ``K``; 0 skips the ensemble (the statistics
+            then report the deterministic perturbed time).
+        engine / cache: forwarded to :func:`repro.pipeline.simulator.simulate`.
+        criticality_epsilon: relative bump for the finite difference.
+
+    Determinism: the report depends only on (schedule content, spec,
+    draws, epsilon) — property-tested in ``tests/test_robustness.py``.
+    """
+    if draws < 0:
+        raise ValueError(f"draws must be >= 0, got {draws}")
+    if criticality_epsilon <= 0:
+        raise ValueError(
+            f"criticality epsilon must be > 0, got {criticality_epsilon}"
+        )
+    nominal = simulate(schedule, engine=engine, cache=cache).iteration_time
+    times = tuple(
+        simulate(
+            perturb_schedule(schedule, spec.reseeded(k)),
+            engine=engine,
+            cache=cache,
+        ).iteration_time
+        for k in range(draws)
+    )
+
+    base_spec = _deterministic_spec(spec)
+    base_schedule = perturb_schedule(schedule, base_spec)
+    base_time = simulate(base_schedule, engine=engine, cache=cache).iteration_time
+    criticality = []
+    for device in range(schedule.num_devices):
+        factor = base_spec.factor_for(device)
+        bumped = base_spec.with_device_factor(
+            device, factor * (1.0 + criticality_epsilon)
+        )
+        bumped_time = simulate(
+            perturb_schedule(schedule, bumped), engine=engine, cache=cache
+        ).iteration_time
+        if base_time > 0:
+            criticality.append(
+                (bumped_time - base_time) / (criticality_epsilon * base_time)
+            )
+        else:
+            criticality.append(0.0)
+    return RobustnessReport(
+        spec=spec,
+        draws=draws,
+        nominal_time=nominal,
+        times=times,
+        deterministic_time=base_time,
+        device_criticality=tuple(criticality),
+        criticality_epsilon=criticality_epsilon,
+    )
+
+
+def cluster_perturbation(
+    cluster,
+    num_ranks: int,
+    *,
+    jitter_sigma: float = 0.0,
+    seed: int = 0,
+    stalls: Sequence = (),
+    links: Sequence = (),
+) -> PerturbationSpec:
+    """The perturbation spec implied by a cluster's per-rank deratings.
+
+    Reads :meth:`repro.hardware.cluster.ClusterSpec.device_factor` for the
+    first ``num_ranks`` pipeline ranks (the devices a simulated pipeline
+    group occupies) and folds in any extra jitter/stall/link terms — the
+    bridge from the hardware description to a
+    :class:`~repro.pipeline.perturb.PerturbationSpec`.
+    """
+    factors = {
+        rank: cluster.device_factor(rank)
+        for rank in range(num_ranks)
+        if cluster.device_factor(rank) != 1.0
+    }
+    return PerturbationSpec.build(
+        factors,
+        jitter_sigma=jitter_sigma,
+        seed=seed,
+        stalls=stalls,
+        links=links,
+    )
+
+
+def robust_metadata(report: RobustnessReport) -> Dict[str, object]:
+    """The ``robust_*`` keys :func:`repro.core.evaluate.evaluate_plan`
+    folds into plan metadata."""
+    return {
+        "robust_spec_digest": report.spec.content_digest(),
+        "robust_draws": report.draws,
+        "robust_nominal_time": report.nominal_time,
+        "robust_mean_time": report.mean_time,
+        "robust_p95_time": report.p95_time,
+        "robust_worst_time": report.worst_time,
+        "robust_criticality": list(report.device_criticality),
+    }

@@ -33,6 +33,7 @@ already exceeds a feasible incumbent, and the final selection minimises
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import time
@@ -43,10 +44,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 from repro.config import ParallelConfig, TrainingConfig
 from repro.core.isomorphism import StageEvalCache
 from repro.core.plan import PipelinePlan
+from repro.core.robust import ROBUST_OBJECTIVES, evaluate_robustness, robust_metadata
 from repro.core.search import PlannerContext, enumerate_parallel_strategies, plan_adapipe
 from repro.core.serialize import plan_from_dict, plan_to_dict
 from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
+from repro.pipeline.perturb import PerturbationSpec
 
 #: A planner is either a context->plan callable (module-level, so it can be
 #: pickled to workers) or the name of a method in the baselines registry.
@@ -67,12 +70,26 @@ class SweepConfig:
             :func:`strategy_lower_bound`.
         share_cache: share one stage-evaluation cache across the sweep's
             contexts (serial) or per worker process (parallel).
+        robust_objective: statistic the final selection minimises —
+            ``"nominal"`` (default: the modelled iteration time, exactly
+            the classic sweep) or ``"mean"`` / ``"p95"`` / ``"worst"``
+            of the simulated perturbation ensemble. Non-nominal
+            objectives disable pruning (the admissible bound holds for
+            nominal time only) and require a ``perturbation`` spec.
+        perturbation: the :class:`~repro.pipeline.perturb.PerturbationSpec`
+            the robust objective evaluates plans under.
+        robust_draws: ensemble size per plan for robust objectives.
+        robust_schedule_kind: schedule the robust ensemble executes.
     """
 
     workers: int = 0
     min_parallel: int = 4
     prune: bool = True
     share_cache: bool = True
+    robust_objective: str = "nominal"
+    perturbation: Optional[PerturbationSpec] = None
+    robust_draws: int = 8
+    robust_schedule_kind: str = "1f1b"
 
     def resolve_workers(self, num_strategies: int) -> int:
         if num_strategies <= 0:
@@ -310,6 +327,23 @@ def run_sweep(
     with work outside this sweep.
     """
     config = config or SweepConfig()
+    if config.robust_objective not in ROBUST_OBJECTIVES:
+        raise ValueError(
+            f"unknown robust objective {config.robust_objective!r}; "
+            f"pick from {ROBUST_OBJECTIVES}"
+        )
+    robust_mode = config.robust_objective != "nominal"
+    if robust_mode:
+        if config.perturbation is None:
+            raise ValueError(
+                "robust_objective requires a PerturbationSpec (SweepConfig"
+                ".perturbation)"
+            )
+        if config.prune:
+            # strategy_lower_bound is admissible for the *nominal* modelled
+            # time only; a perturbed ensemble statistic may rank strategies
+            # differently, so branch-and-bound would no longer be sound.
+            config = dataclasses.replace(config, prune=False)
     if strategies is None:
         strategies = enumerate_parallel_strategies(num_devices, cluster, spec, train)
     strategies = list(strategies)
@@ -445,6 +479,38 @@ def run_sweep(
         plans_by_index[index] = plan
         position_by_index[index] = len(plans)
         plans.append(plan)
+    if robust_mode:
+        # Re-rank the planned strategies by the simulated perturbation
+        # ensemble: each feasible plan's schedule runs under the spec's
+        # K draws and the configured statistic (per sample) replaces the
+        # nominal modelled time as the selection key. Every evaluated
+        # plan keeps the ensemble's summary in its metadata.
+        from repro.core.evaluate import build_schedule_for_plan
+
+        best, best_key = None, None
+        for index in sorted(plans_by_index):
+            plan = plans_by_index[index]
+            if _per_sample_time(plan) is None:
+                continue
+            schedule = build_schedule_for_plan(
+                plan, cluster, config.robust_schedule_kind
+            )
+            report = evaluate_robustness(
+                schedule, config.perturbation, config.robust_draws
+            )
+            plan = plan.with_metadata(
+                robust_objective=config.robust_objective,
+                **robust_metadata(report),
+            )
+            plans_by_index[index] = plan
+            plans[position_by_index[index]] = plan
+            achieved = (
+                report.objective(config.robust_objective)
+                / plan.train.global_batch_size
+            )
+            key = (achieved, index)
+            if best_key is None or key < best_key:
+                best, best_key = plan, key
     if best is not None:
         # `best` predates the metadata refresh; re-point it at the enriched
         # copy and fold the sweep-level counters in (satisfies the "search

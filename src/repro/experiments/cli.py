@@ -9,6 +9,9 @@
 * ``adapipe audit ...`` — differential memory audit: the Section 4.2
   model's per-stage totals vs the simulator's measured peaks, across the
   schedule zoo.
+* ``adapipe robustness ...`` — perturbation-ensemble evaluation of one
+  plan: nominal vs mean/p95/worst iteration time plus per-device
+  straggler criticality, optionally rendered as an SVG heat map.
 """
 
 from __future__ import annotations
@@ -67,6 +70,23 @@ def _build_parser() -> argparse.ArgumentParser:
     planner.add_argument("--output", help="write the plan as JSON to this path")
     planner.add_argument("--no-simulate", action="store_true",
                          help="skip the pipeline simulation")
+    planner.add_argument(
+        "--robust-objective", default="nominal",
+        choices=["nominal", "mean", "p95", "worst"],
+        help="rank feasible strategies by this perturbation-ensemble "
+             "statistic instead of the nominal simulated time",
+    )
+    planner.add_argument("--robust-draws", type=int, default=8,
+                         help="perturbation ensemble size per strategy")
+    planner.add_argument("--robust-sigma", type=float, default=0.05,
+                         help="lognormal per-task jitter sigma")
+    planner.add_argument("--robust-seed", type=int, default=0,
+                         help="jitter base seed")
+    planner.add_argument(
+        "--robust-device-factor", action="append", default=[],
+        metavar="RANK=FACTOR",
+        help="derate pipeline rank RANK by FACTOR (repeatable)",
+    )
 
     artifact = sub.add_parser(
         "artifact",
@@ -107,7 +127,69 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="chunks per device for the interleaved audit")
     audit.add_argument("--verbose", action="store_true",
                        help="print the full per-stage discrepancy tables")
+
+    robust = sub.add_parser(
+        "robustness",
+        help="perturbation-ensemble statistics and straggler criticality "
+             "for one planned configuration",
+    )
+    robust.add_argument("--model", default="gpt3-175b",
+                        help="model name (gpt3-175b, llama2-70b, bert-large)")
+    robust.add_argument("--cluster", default="A", choices=["A", "B"],
+                        help="hardware cluster")
+    robust.add_argument("--seq", type=int, default=4096, help="sequence length")
+    robust.add_argument("--batch", type=int, default=128,
+                        help="global batch size")
+    robust.add_argument("--tp", type=int, default=8, help="tensor parallel size")
+    robust.add_argument("--pp", type=int, default=8, help="pipeline parallel size")
+    robust.add_argument("--dp", type=int, default=1, help="data parallel size")
+    robust.add_argument("--method", default="AdaPipe",
+                        help="planning method (see `adapipe list` methods)")
+    robust.add_argument("--memory-limit-gib", type=float,
+                        help="memory constraint in GiB (default: 92%% of device)")
+    robust.add_argument(
+        "--schedule", default="1f1b",
+        choices=["1f1b", "gpipe", "chimera", "chimerad", "interleaved"],
+        help="schedule to execute the plan under",
+    )
+    robust.add_argument("--draws", type=int, default=16,
+                        help="perturbation ensemble size")
+    robust.add_argument("--sigma", type=float, default=0.05,
+                        help="lognormal per-task jitter sigma")
+    robust.add_argument("--seed", type=int, default=0, help="jitter base seed")
+    robust.add_argument(
+        "--device-factor", action="append", default=[],
+        metavar="RANK=FACTOR",
+        help="derate pipeline rank RANK by FACTOR (repeatable)",
+    )
+    robust.add_argument("--json", metavar="FILE",
+                        help="write the report as JSON to FILE")
+    robust.add_argument(
+        "--svg", metavar="FILE",
+        help="write a per-device factor/criticality heat map to FILE",
+    )
     return parser
+
+
+def _parse_device_factors(pairs, num_ranks: int):
+    """``RANK=FACTOR`` strings -> a full per-rank factor tuple (or None)."""
+    if not pairs:
+        return None
+    factors = [1.0] * num_ranks
+    for pair in pairs:
+        rank_text, _, factor_text = pair.partition("=")
+        try:
+            rank, factor = int(rank_text), float(factor_text)
+        except ValueError:
+            raise SystemExit(
+                f"error: --device-factor expects RANK=FACTOR, got {pair!r}"
+            )
+        if not 0 <= rank < num_ranks:
+            raise SystemExit(
+                f"error: rank {rank} out of range for {num_ranks} pipeline ranks"
+            )
+        factors[rank] = factor
+    return tuple(factors)
 
 
 def _cmd_list() -> int:
@@ -143,6 +225,58 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _robust_select(args, cluster, feasible, nominal_strategy):
+    """Re-rank the feasible strategies by a perturbation-ensemble statistic.
+
+    Mirrors ``repro.core.sweep`` robust mode: every feasible plan's 1F1B
+    schedule runs under the same perturbation model (per-rank slowdown
+    factors + seeded jitter) and the requested statistic replaces the
+    nominal simulated time as the selection key. The chosen evaluation's
+    plan carries the ensemble summary as ``robust_*`` metadata.
+    """
+    import dataclasses
+
+    from repro.core.evaluate import build_schedule_for_plan
+    from repro.core.robust import (
+        cluster_perturbation,
+        evaluate_robustness,
+        robust_metadata,
+    )
+
+    num_ranks = max(s.pipeline_parallel for s, _ in feasible)
+    factors = _parse_device_factors(args.robust_device_factor, num_ranks)
+    if factors is not None:
+        cluster = cluster.with_device_factors(factors)
+    best = best_strategy = best_key = None
+    for strategy, evaluation in feasible:
+        schedule = build_schedule_for_plan(evaluation.plan, cluster, "1f1b")
+        pert = cluster_perturbation(
+            cluster,
+            schedule.num_devices,
+            jitter_sigma=args.robust_sigma,
+            seed=args.robust_seed,
+        )
+        report = evaluate_robustness(schedule, pert, args.robust_draws)
+        evaluation = dataclasses.replace(
+            evaluation,
+            plan=evaluation.plan.with_metadata(
+                robust_objective=args.robust_objective,
+                **robust_metadata(report),
+            ),
+        )
+        key = report.objective(args.robust_objective)
+        if best_key is None or key < best_key:
+            best, best_strategy, best_key = evaluation, strategy, key
+    flipped = "" if best_strategy == nominal_strategy else (
+        f" (flipped from nominal winner {nominal_strategy})"
+    )
+    print(
+        f"robust objective {args.robust_objective} over {args.robust_draws} "
+        f"draws selects {best_strategy} at {best_key:.3f}s{flipped}"
+    )
+    return best, best_strategy
+
+
 def _cmd_plan(args) -> int:
     from repro.baselines import evaluate_method
     from repro.config import ParallelConfig
@@ -175,6 +309,7 @@ def _cmd_plan(args) -> int:
 
     best = None
     best_strategy = None
+    feasible = []
     cache = StageEvalCache()
     inner_dp_total = 0
     started = time.time()
@@ -189,6 +324,7 @@ def _cmd_plan(args) -> int:
         )
         if evaluation.iteration_time is None:
             continue
+        feasible.append((strategy, evaluation))
         if best is None or evaluation.iteration_time < best.iteration_time:
             best, best_strategy = evaluation, strategy
     elapsed = time.time() - started
@@ -197,6 +333,9 @@ def _cmd_plan(args) -> int:
         print(f"no feasible strategy for {args.method} "
               f"({args.model}, seq {args.seq}) — all candidates OOM")
         return 1
+
+    if args.robust_objective != "nominal":
+        best, best_strategy = _robust_select(args, cluster, feasible, best_strategy)
 
     print(best.plan.describe())
     print(f"\nbest strategy: {best_strategy} (search took {elapsed:.1f}s, "
@@ -275,6 +414,79 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_robustness(args) -> int:
+    from repro.baselines import evaluate_method
+    from repro.config import ParallelConfig, TrainingConfig
+    from repro.core.evaluate import build_schedule_for_plan
+    from repro.core.robust import cluster_perturbation, evaluate_robustness
+    from repro.core.search import PlannerContext
+    from repro.hardware.cluster import cluster_a, cluster_b
+    from repro.model.spec import model_by_name
+
+    spec = model_by_name(args.model)
+    make_cluster = cluster_a if args.cluster == "A" else cluster_b
+    devices = args.tp * args.pp * args.dp
+    cluster = make_cluster(max(1, devices // 8))
+    factors = _parse_device_factors(args.device_factor, args.pp)
+    if factors is not None:
+        cluster = cluster.with_device_factors(factors)
+    train = TrainingConfig(sequence_length=args.seq, global_batch_size=args.batch)
+    limit = (
+        args.memory_limit_gib * 1024**3 if args.memory_limit_gib is not None else None
+    )
+    ctx = PlannerContext(
+        cluster, spec, train, ParallelConfig(args.tp, args.pp, args.dp),
+        memory_limit_bytes=limit,
+    )
+    evaluation = evaluate_method(args.method, ctx)
+    if evaluation.iteration_time is None:
+        print("planner found no feasible plan for this configuration")
+        return 2
+    print(evaluation.plan.describe())
+    print()
+
+    schedule = build_schedule_for_plan(evaluation.plan, cluster, args.schedule)
+    pert = cluster_perturbation(
+        cluster, schedule.num_devices, jitter_sigma=args.sigma, seed=args.seed
+    )
+    report = evaluate_robustness(schedule, pert, args.draws)
+    print(f"schedule: {args.schedule}, {schedule.num_devices} pipeline ranks")
+    print(report.describe())
+    worst = report.most_critical_device()
+    print(
+        f"most critical device: {worst} "
+        f"(criticality {report.device_criticality[worst]:.3f})"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    if args.svg:
+        from repro.report import heat_map
+        from repro.report.charts import ChartSpec
+
+        svg = heat_map(
+            ChartSpec(
+                title="Per-device slowdown factor and straggler criticality",
+                subtitle=f"{args.model}, ({args.tp},{args.pp},{args.dp}), "
+                f"{args.schedule}, {args.draws} draws",
+                x_labels=["factor", "criticality"],
+            ),
+            [f"device {d}" for d in range(schedule.num_devices)],
+            [
+                [report.spec.factor_for(d), report.device_criticality[d]]
+                for d in range(schedule.num_devices)
+            ],
+            width=420,
+        )
+        with open(args.svg, "w") as handle:
+            handle.write(svg)
+        print(f"heat map written to {args.svg}")
+    return 0
+
+
 def _cmd_artifact(args) -> int:
     from repro.experiments.artifact import collect_results, run_artifact_workflow
 
@@ -295,6 +507,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_artifact(args)
     if args.command == "audit":
         return _cmd_audit(args)
+    if args.command == "robustness":
+        return _cmd_robustness(args)
     if args.command == "validate":
         from repro.experiments.validate import render_validation, run_validation
 

@@ -8,7 +8,9 @@ data-parallel gradient reduction).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
 
 from repro.config import ConfigError, ParallelConfig
 from repro.hardware.device import DeviceSpec, a100_80gb, ascend910_32gb
@@ -27,6 +29,13 @@ class ClusterSpec:
             one node (NVLink for A, on-board mesh for B).
         inter_node_bandwidth: per-device bytes/s across nodes.
         link_latency: per-message latency in seconds.
+        device_factors: optional per-pipeline-rank sustained slowdown
+            factors for a heterogeneous (or degraded) cluster; rank ``r``
+            runs ``device_factors[r]`` times slower than nominal, and
+            ranks beyond the tuple fall back to ``device.slowdown``.
+            The planners' roofline model stays nominal — the factors
+            feed robustness evaluation
+            (:func:`repro.core.robust.cluster_perturbation`).
     """
 
     name: str
@@ -36,10 +45,36 @@ class ClusterSpec:
     intra_node_bandwidth: float
     inter_node_bandwidth: float
     link_latency: float = 5e-6
+    device_factors: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.device_factors is not None and any(
+            factor <= 0 for factor in self.device_factors
+        ):
+            raise ValueError(
+                f"device factors must all be > 0, got {self.device_factors}"
+            )
 
     @property
     def num_devices(self) -> int:
         return self.num_nodes * self.devices_per_node
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when some rank is derated relative to a nominal part."""
+        if self.device_factors and any(f != 1.0 for f in self.device_factors):
+            return True
+        return self.device.slowdown != 1.0
+
+    def device_factor(self, rank: int) -> float:
+        """Sustained slowdown factor of pipeline rank ``rank``."""
+        if self.device_factors and rank < len(self.device_factors):
+            return self.device_factors[rank]
+        return self.device.slowdown
+
+    def with_device_factors(self, factors: Iterable[float]) -> "ClusterSpec":
+        """A copy of this cluster with per-rank slowdown factors."""
+        return dataclasses.replace(self, device_factors=tuple(factors))
 
     def validate_parallel(self, parallel: ParallelConfig, num_devices: int) -> None:
         """Check that a 3D strategy fits this cluster.

@@ -39,6 +39,12 @@ class DeviceSpec:
         memory_bandwidth: HBM bandwidth, bytes/s.
         efficiency: achieved fraction of ``peak_flops`` per operator class.
         kernel_launch_overhead: fixed seconds added per operator.
+        slowdown: sustained performance derating of this accelerator
+            relative to a healthy part (1.0 = nominal, 1.2 = runs 20%
+            slow). The roofline model prices nominal parts; the derating
+            feeds robustness evaluation
+            (:func:`repro.core.robust.cluster_perturbation`) as the
+            default per-device slowdown factor.
     """
 
     name: str
@@ -50,6 +56,11 @@ class DeviceSpec:
         default_factory=lambda: dict(_DEFAULT_EFFICIENCY)
     )
     kernel_launch_overhead: float = 5e-6
+    slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slowdown <= 0:
+            raise ValueError(f"device slowdown must be > 0, got {self.slowdown}")
 
     @property
     def usable_memory_bytes(self) -> int:

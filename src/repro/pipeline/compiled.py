@@ -9,8 +9,9 @@ only flat lists:
   pinned at forward start, ``-activation_bytes`` released at backward end),
   and the number of incoming edges (unique dependencies plus the implicit
   device-order edge to the previous task on the same device);
-* per edge: the successor index and the hop addend (``hop_time`` when the
-  edge crosses devices, ``0.0`` otherwise), stored in CSR layout.
+* per edge: the successor index and the hop addend (``hop_time`` — or the
+  link's ``Schedule.link_hops`` override — when the edge crosses devices,
+  ``0.0`` otherwise), stored in CSR layout.
 
 Per-device aggregates that do not depend on execution at all — busy time
 (durations summed in list order, preserving the reference engine's float
@@ -141,6 +142,7 @@ def compile_schedule(schedule: Schedule) -> CompiledSchedule:
     successors: List[List[Tuple[int, float]]] = [[] for _ in range(num_tasks)]
     dep_indices: List[Tuple[int, ...]] = []
     hop = schedule.hop_time
+    link_hops = schedule.link_hops or {}
 
     for i, task in enumerate(tasks):
         seen: List[int] = []
@@ -151,7 +153,11 @@ def compile_schedule(schedule: Schedule) -> CompiledSchedule:
             if j in seen:  # duplicate deps must not double-count indegree
                 continue
             seen.append(j)
-            successors[j].append((i, hop if device[j] != device[i] else 0.0))
+            if device[j] != device[i]:
+                add = link_hops.get((device[j], device[i]), hop) if link_hops else hop
+            else:
+                add = 0.0
+            successors[j].append((i, add))
         dep_indices.append(tuple(seen))
         indegree[i] = len(seen)
 

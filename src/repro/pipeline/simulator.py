@@ -118,18 +118,33 @@ class SimulationResult:
 def schedule_digest(schedule: Schedule) -> str:
     """Content digest of everything that determines a simulation's numbers.
 
-    Covers devices, hop time, per-device static/buffer bytes and every
-    task's identity, device, duration, activation bytes, weight, and
-    dependencies. The schedule ``name`` and ``num_micro_batches`` are
-    deliberately excluded — they label the schedule but do not move any
-    simulated quantity, so e.g. a relabelled 1F1B schedule replays a
-    cached result. Memoized per instance via :meth:`Schedule.digest`.
+    Covers devices, hop time, per-link hop overrides, per-device
+    static/buffer bytes and every task's identity, device, duration,
+    activation bytes, weight, and dependencies. The schedule ``name`` and
+    ``num_micro_batches`` are deliberately excluded — they label the
+    schedule but do not move any simulated quantity, so e.g. a relabelled
+    1F1B schedule replays a cached result. Memoized per instance via
+    :meth:`Schedule.digest`.
+
+    The ``link_hops`` coverage is load-bearing for perturbation injection
+    (:mod:`repro.pipeline.perturb`): a link-degraded schedule is
+    structurally identical to its nominal twin — same tasks, durations and
+    edges — so without it the cache would serve a nominal result to a
+    perturbed run (and vice versa). An empty/absent mapping digests like
+    no mapping at all, since the two simulate identically.
     """
     parts: List[str] = [
         f"sim-v1|{schedule.num_devices}|{schedule.hop_time!r}",
         repr(schedule.device_static_bytes),
         repr(schedule.device_buffer_bytes),
     ]
+    if schedule.link_hops:
+        parts.append(
+            "links:" + ";".join(
+                f"{src}>{dst}:{hop!r}"
+                for (src, dst), hop in sorted(schedule.link_hops.items())
+            )
+        )
     append = parts.append
     for tasks in schedule.device_tasks:
         append("|device")
@@ -467,7 +482,7 @@ def simulate_reference(schedule: Schedule) -> SimulationResult:
                         break
                     dep_end = end_times[dep]
                     if task_map[dep].device != device:
-                        dep_end += schedule.hop_time
+                        dep_end += schedule.hop_for(task_map[dep].device, device)
                     ready_at = max(ready_at, dep_end)
                 if blocked:
                     break

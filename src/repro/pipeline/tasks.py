@@ -116,6 +116,10 @@ class Schedule:
             device's stages under Chimera).
         device_buffer_bytes: recompute-buffer bound per device.
         num_micro_batches: micro-batches per iteration per replica.
+        link_hops: optional per-link overrides of ``hop_time``, keyed by
+            the directed ``(src_device, dst_device)`` pair — how
+            perturbation injection expresses degraded p2p links. Links
+            absent from the mapping use ``hop_time``.
     """
 
     name: str
@@ -125,6 +129,13 @@ class Schedule:
     device_static_bytes: Optional[List[float]] = None
     device_buffer_bytes: Optional[List[float]] = None
     num_micro_batches: int = 0
+    link_hops: Optional[Dict[Tuple[int, int], float]] = None
+
+    def hop_for(self, src_device: int, dst_device: int) -> float:
+        """Hop time of a dependency crossing ``src -> dst``."""
+        if self.link_hops:
+            return self.link_hops.get((src_device, dst_device), self.hop_time)
+        return self.hop_time
 
     def all_tasks(self) -> List[Task]:
         return [task for tasks in self.device_tasks for task in tasks]

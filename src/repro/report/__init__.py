@@ -4,7 +4,8 @@ Every end-to-end experiment renders to a text table (``results/*.txt``);
 this package additionally renders the headline artifacts as standalone SVG
 charts (``results/svg/*.svg``) — per-stage memory lines for Figures 1/8,
 micro-step lines for Figure 9, grouped end-to-end bars for Figures 5/6/7,
-and loss curves for Figure 10.
+loss curves for Figure 10, and a per-device straggler-criticality heat map
+for the robustness artifact.
 
 Charts follow a fixed visual spec: a validated 8-slot categorical palette
 assigned in fixed order, 2px lines with ringed end-markers and direct end
@@ -13,11 +14,12 @@ gridlines, and all text in neutral ink (the accompanying text tables are
 the table view for low-contrast slots).
 """
 
-from repro.report.charts import grouped_bar_chart, line_chart
+from repro.report.charts import grouped_bar_chart, heat_map, line_chart
 from repro.report.render import render_experiment_svg, save_experiment_svgs
 
 __all__ = [
     "grouped_bar_chart",
+    "heat_map",
     "line_chart",
     "render_experiment_svg",
     "save_experiment_svgs",

@@ -1,4 +1,5 @@
-"""Chart layer: line charts and grouped bar charts on the SVG builder.
+"""Chart layer: line charts, grouped bar charts and heat maps on the SVG
+builder.
 
 Mark specs (fixed): 2px lines with round joins, >=8px end markers carrying
 a 2px surface ring, bars capped at 24px with a 4px rounded data-end and a
@@ -32,6 +33,8 @@ MARGIN_TOP = 56
 MARGIN_BOTTOM = 46
 BAR_MAX_WIDTH = 24.0
 BAR_GAP = 2.0
+HEAT_CELL_HEIGHT = 26.0
+HEAT_LOW = "#f3f2ef"  # near-surface end of the sequential ramp
 
 
 @dataclass
@@ -189,6 +192,108 @@ def line_chart(spec: ChartSpec, series: Sequence[Series], width: int = 760, heig
                 )
     if not direct_labels:
         _legend(canvas, series, x0 + plot_w + 16, y0 + 8)
+    return canvas.to_string()
+
+
+def _blend(start: str, end: str, t: float) -> str:
+    """Linear interpolation between two ``#rrggbb`` colors, t in [0, 1]."""
+    t = min(1.0, max(0.0, t))
+    channels = (
+        round(
+            int(start[i : i + 2], 16)
+            + (int(end[i : i + 2], 16) - int(start[i : i + 2], 16)) * t
+        )
+        for i in (1, 3, 5)
+    )
+    return "#" + "".join(f"{c:02x}" for c in channels)
+
+
+def heat_map(
+    spec: ChartSpec,
+    row_labels: Sequence[str],
+    values: Sequence[Sequence[Optional[float]]],
+    width: int = 640,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a row/column grid of scalar cells on a sequential ramp.
+
+    Columns come from ``spec.x_labels``; each cell's fill interpolates
+    from near-surface to the first series hue, normalised *per column*
+    (columns may carry different units — e.g. slowdown factors next to
+    criticalities). ``None`` cells render as a muted dash. Every cell also
+    carries its numeric label, so the chart stays readable without a
+    color key.
+    """
+    rows = len(row_labels)
+    cols = len(spec.x_labels)
+    left = MARGIN_LEFT + 46
+    right = 24
+    height = int(MARGIN_TOP + rows * HEAT_CELL_HEIGHT + 22)
+    canvas = SvgCanvas(width, height)
+    canvas.text(left, 22, spec.title, size=14, fill=TEXT_PRIMARY, weight="600")
+    if spec.subtitle:
+        canvas.text(left, 38, spec.subtitle, size=11, fill=TEXT_SECONDARY)
+    cell_w = (width - left - right) / max(1, cols)
+
+    ranges = []
+    for col in range(cols):
+        present = [
+            row[col]
+            for row in values
+            if col < len(row) and row[col] is not None and math.isfinite(row[col])
+        ]
+        low = min(present) if present else 0.0
+        high = max(present) if present else 1.0
+        ranges.append((low, high - low))
+
+    for col, label in enumerate(spec.x_labels):
+        canvas.text(
+            left + col * cell_w + cell_w / 2,
+            MARGIN_TOP - 8,
+            str(label),
+            size=10,
+            anchor="middle",
+        )
+    for row_index, label in enumerate(row_labels):
+        y = MARGIN_TOP + row_index * HEAT_CELL_HEIGHT
+        canvas.text(
+            left - 10,
+            y + HEAT_CELL_HEIGHT / 2 + 3.5,
+            str(label),
+            size=10,
+            anchor="end",
+        )
+        for col in range(cols):
+            value = values[row_index][col] if col < len(values[row_index]) else None
+            x = left + col * cell_w
+            if value is None or not math.isfinite(value):
+                canvas.rect(x + 1, y + 1, cell_w - 2, HEAT_CELL_HEIGHT - 2, fill=GRIDLINE)
+                canvas.text(
+                    x + cell_w / 2,
+                    y + HEAT_CELL_HEIGHT / 2 + 3.5,
+                    "–",
+                    size=10,
+                    fill=TEXT_MUTED,
+                    anchor="middle",
+                )
+                continue
+            low, span = ranges[col]
+            t = (value - low) / span if span > 0 else 0.0
+            canvas.rect(
+                x + 1,
+                y + 1,
+                cell_w - 2,
+                HEAT_CELL_HEIGHT - 2,
+                fill=_blend(HEAT_LOW, SERIES[0], t),
+            )
+            canvas.text(
+                x + cell_w / 2,
+                y + HEAT_CELL_HEIGHT / 2 + 3.5,
+                value_format.format(value),
+                size=10,
+                fill="#ffffff" if t > 0.55 else TEXT_PRIMARY,
+                anchor="middle",
+            )
     return canvas.to_string()
 
 

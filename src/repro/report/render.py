@@ -15,7 +15,13 @@ import pathlib
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.common import ExperimentResult
-from repro.report.charts import ChartSpec, Series, grouped_bar_chart, line_chart
+from repro.report.charts import (
+    ChartSpec,
+    Series,
+    grouped_bar_chart,
+    heat_map,
+    line_chart,
+)
 
 
 def _parse_cell(cell: str) -> Optional[float]:
@@ -185,6 +191,24 @@ def _render_figure10(result: ExperimentResult) -> str:
     return line_chart(spec, series)
 
 
+def _render_robustness(result: ExperimentResult) -> str:
+    # Device-criticality columns are the trailing "crit:devN" headers; a
+    # strategy with fewer pipeline ranks leaves the tail cells blank.
+    first_crit = next(
+        i for i, h in enumerate(result.headers) if h.startswith("crit:")
+    )
+    devices = result.headers[first_crit:]
+    values = [
+        [_parse_cell(cell) for cell in row[first_crit:]] for row in result.rows
+    ]
+    spec = ChartSpec(
+        title="Robustness — per-device straggler criticality",
+        subtitle="marginal iteration-time slowdown per unit device slowdown",
+        x_labels=[h.replace("crit:", "") for h in devices],
+    )
+    return heat_map(spec, [row[0] for row in result.rows], values)
+
+
 _RENDERERS: Dict[str, Callable[[ExperimentResult], str]] = {
     "figure1": _render_figure1,
     "figure5": _render_figure5,
@@ -193,6 +217,7 @@ _RENDERERS: Dict[str, Callable[[ExperimentResult], str]] = {
     "figure8": _render_figure8,
     "figure9": _render_figure9,
     "figure10": _render_figure10,
+    "robustness": _render_robustness,
     "table3": _render_table3,
     "table4": _render_table4,
 }

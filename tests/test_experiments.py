@@ -24,6 +24,7 @@ class TestRegistry:
             "figure8",
             "figure9",
             "figure10",
+            "robustness",
             "table3",
             "table4",
         }
@@ -180,6 +181,34 @@ class TestCli:
         out = capsys.readouterr().out
         assert "GPipe" in out and "1F1B" in out
 
+    def test_robustness_subcommand(self, capsys, tmp_path):
+        from repro.experiments.cli import main
+
+        svg = tmp_path / "crit.svg"
+        code = main([
+            "robustness", "--model", "bert-large", "--seq", "512",
+            "--batch", "16", "--tp", "1", "--pp", "4", "--dp", "1",
+            "--draws", "4", "--sigma", "0.05", "--device-factor", "2=1.5",
+            "--svg", str(svg),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "device criticality" in out
+        assert "most critical device: 2" in out
+        assert svg.read_text().startswith("<svg")
+
+    def test_plan_robust_objective_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main([
+            "plan", "--model", "bert-large", "--seq", "512", "--batch", "16",
+            "--tp", "1", "--pp", "2", "--dp", "2", "--robust-objective",
+            "p95", "--robust-draws", "4", "--robust-sigma", "0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "robust objective p95 over 4 draws selects" in out
+
 
 class TestFigure3:
     @pytest.fixture(scope="class")
@@ -220,3 +249,32 @@ class TestFigure4:
     def test_ffn_units_pin_most_memory(self, result):
         by_unit = {row[1]: float(row[4]) for row in result.rows}
         assert by_unit["ffn.in"] > by_unit["attn.q"]
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("robustness", fast=True)
+
+    def test_rows_cover_both_pinned_strategies(self, result):
+        assert [row[0] for row in result.rows] == ["(1, 2, 2)", "(1, 4, 1)"]
+        # The shallow pipeline leaves the criticality cells of the absent
+        # ranks blank.
+        assert result.rows[0][-1] == "" and result.rows[1][-1] != ""
+
+    def test_p95_flips_the_plan_choice(self, result):
+        notes = "\n".join(result.notes)
+        assert "best by nominal: (1, 4, 1)" in notes
+        assert "best by p95: (1, 2, 2)" in notes
+        assert "flips the plan choice" in notes
+
+    def test_derated_ranks_dominate_criticality(self, result):
+        deep = result.rows[1]
+        healthy = [float(deep[5]), float(deep[6])]
+        derated = [float(deep[7]), float(deep[8])]
+        assert min(derated) > max(healthy)
+
+    def test_report_is_deterministic(self, result):
+        again = run_experiment("robustness", fast=True)
+        assert again.rows == result.rows
+        assert again.notes == result.notes

@@ -2,7 +2,11 @@
 
 Every test runs against both engines (the compiled ready-queue engine and
 the reference polling oracle) with caching disabled, so the semantic
-assertions pin both implementations independently.
+assertions pin both implementations independently. ``_simulate``
+additionally cross-checks the two engines bit-for-bit on every schedule a
+test touches, so each closed-form expectation below is simultaneously a
+cross-engine comparison — a float can't drift in one engine without the
+other vouching for it.
 """
 
 import pytest
@@ -26,7 +30,21 @@ def _costs(p, f=1.0, b=2.0, act=1.0, static=0.0, buffer=0.0):
 
 
 def _simulate(schedule, engine):
-    return simulate(schedule, engine=engine, cache=False)
+    results = {
+        name: simulate(schedule, engine=name, cache=False)
+        for name in ("compiled", "reference")
+    }
+    compiled, reference = results["compiled"], results["reference"]
+    assert compiled.iteration_time == reference.iteration_time
+    assert compiled.start_times == reference.start_times
+    assert compiled.end_times == reference.end_times
+    assert compiled.device_busy_time == reference.device_busy_time
+    assert compiled.device_peak_bytes == reference.device_peak_bytes
+    assert (
+        compiled.device_micro_batch_passes
+        == reference.device_micro_batch_passes
+    )
+    return results[engine]
 
 
 class TestMakespan:
@@ -68,9 +86,11 @@ class TestMakespan:
 
 class TestMemoryTracking:
     def test_1f1b_peaks_are_p_minus_s(self, engine):
+        # Stage s pins at most min(n, p - s) activations of 1 byte each.
         p, n = 4, 8
         result = _simulate(one_f_one_b_schedule(_costs(p), n), engine)
-        assert result.device_peak_bytes == pytest.approx([4.0, 3.0, 2.0, 1.0])
+        expected = [float(min(n, p - s)) for s in range(p)]
+        assert result.device_peak_bytes == pytest.approx(expected)
 
     def test_1f1b_peak_capped_by_n(self, engine):
         p, n = 4, 2

@@ -11,7 +11,13 @@ import xml.etree.ElementTree as ET
 import pytest
 
 from repro.experiments import run_experiment
-from repro.report.charts import ChartSpec, Series, grouped_bar_chart, line_chart
+from repro.report.charts import (
+    ChartSpec,
+    Series,
+    grouped_bar_chart,
+    heat_map,
+    line_chart,
+)
 from repro.report.render import render_experiment_svg, save_experiment_svgs
 from repro.report.svg import SERIES, SvgCanvas, format_tick, nice_ticks
 
@@ -186,6 +192,44 @@ class TestExperimentRendering:
         result = run_experiment("table4", fast=True)
         svg = render_experiment_svg("table4", result)
         assert svg is not None and _bounds_ok(svg)
+
+    def test_robustness_renders_criticality_heat_map(self):
+        result = run_experiment("robustness", fast=True)
+        svg = render_experiment_svg("robustness", result)
+        assert svg is not None and _bounds_ok(svg)
+        texts = [t.text or "" for t in _all(svg, "text")]
+        assert any("criticality" in t for t in texts)
+
+
+class TestHeatMap:
+    @pytest.fixture
+    def heat_svg(self):
+        spec = ChartSpec(
+            title="test heat",
+            subtitle="per-column ramp",
+            x_labels=["dev0", "dev1", "dev2"],
+        )
+        values = [[0.1, 0.9, None], [0.5, 0.2, 0.7]]
+        return heat_map(spec, ["(1,2,2)", "(1,4,1)"], values, width=480)
+
+    def test_document_well_formed_and_in_bounds(self, heat_svg):
+        assert heat_svg.startswith("<svg")
+        assert _bounds_ok(heat_svg)
+
+    def test_every_cell_is_labelled(self, heat_svg):
+        texts = [t.text for t in _all(heat_svg, "text")]
+        for value in ("0.100", "0.900", "0.500", "0.200", "0.700"):
+            assert value in texts
+
+    def test_missing_cells_render_a_dash(self, heat_svg):
+        assert "–" in [t.text for t in _all(heat_svg, "text")]
+
+    def test_extremes_get_the_ramp_endpoints(self, heat_svg):
+        # Per-column normalisation: each column's max cell takes the full
+        # series hue, its min cell the near-surface end.
+        fills = {r.attrib["fill"] for r in _all(heat_svg, "rect")}
+        assert SERIES[0] in fills
+        assert "#f3f2ef" in fills
 
 
 class TestHtmlReport:

@@ -1,0 +1,340 @@
+"""Property and regression tests for repro.core.robust.
+
+Four properties pin the robustness layer's semantics:
+
+* zero-perturbation identity — an identity spec's ensemble is bit-identical
+  to the nominal simulation, all the way into ``evaluate_plan`` metadata;
+* monotonicity — slowing one device never speeds the deterministic
+  perturbed iteration (longest paths are monotone in task durations);
+* seed determinism — a report is a pure function of (schedule, spec,
+  draws);
+* non-negative criticality — the finite difference can never go negative.
+
+Plus the acceptance regression: on the pinned heterogeneous-cluster
+fixture, ranking by p95 selects a *different* 3D strategy than ranking by
+nominal time.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.evaluate import build_schedule_for_plan, evaluate_plan
+from repro.core.robust import (
+    ROBUST_OBJECTIVES,
+    RobustnessReport,
+    cluster_perturbation,
+    evaluate_robustness,
+    robust_metadata,
+)
+from repro.core.search import PlannerContext, plan_adapipe
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.hardware.cluster import cluster_a
+from repro.model.spec import model_by_name
+from repro.pipeline.perturb import PerturbationSpec, TransientStall
+from repro.pipeline.schedules import one_f_one_b_schedule
+from repro.pipeline.simulator import simulate
+from repro.pipeline.tasks import StageCosts
+
+
+def _schedule(p=4, n=8, hop=0.1):
+    costs = [
+        StageCosts(forward=1.0, backward=2.0, activation_bytes=1.0)
+        for _ in range(p)
+    ]
+    return one_f_one_b_schedule(costs, n, hop_time=hop)
+
+
+def _report(times, nominal=1.0, deterministic=1.0):
+    return RobustnessReport(
+        spec=PerturbationSpec(),
+        draws=len(times),
+        nominal_time=nominal,
+        times=tuple(times),
+        deterministic_time=deterministic,
+        device_criticality=(0.2, 0.8),
+    )
+
+
+class TestReportStatistics:
+    def test_summary_statistics(self):
+        report = _report([float(i) for i in range(1, 21)], nominal=2.0)
+        assert report.mean_time == pytest.approx(10.5)
+        # Nearest-rank p95 of 20 samples is the 19th order statistic.
+        assert report.p95_time == 19.0
+        assert report.worst_time == 20.0
+        assert report.best_time == 1.0
+        assert report.objective("nominal") == 2.0
+        assert report.slowdown("worst") == 10.0
+
+    def test_single_draw_statistics_coincide(self):
+        report = _report([3.0])
+        assert report.mean_time == report.p95_time == report.worst_time == 3.0
+
+    def test_zero_draws_fall_back_to_deterministic(self):
+        report = _report([], deterministic=4.0)
+        for which in ("mean", "p95", "worst"):
+            assert report.objective(which) == 4.0
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="unknown robust objective"):
+            _report([1.0]).objective("median")
+        assert set(ROBUST_OBJECTIVES) == {"nominal", "mean", "p95", "worst"}
+
+    def test_most_critical_device_prefers_lowest_on_tie(self):
+        report = dataclasses.replace(
+            _report([1.0]), device_criticality=(0.5, 0.9, 0.9)
+        )
+        assert report.most_critical_device() == 1
+
+    def test_to_dict_round_trips_the_summary(self):
+        report = _report([1.0, 2.0])
+        payload = report.to_dict()
+        assert payload["draws"] == 2
+        assert payload["mean_time"] == report.mean_time
+        assert payload["device_criticality"] == [0.2, 0.8]
+        assert payload["spec_digest"] == report.spec.content_digest()
+
+    def test_describe_mentions_every_statistic(self):
+        text = _report([1.0, 2.0]).describe()
+        for token in ("nominal", "mean", "p95", "worst", "criticality"):
+            assert token in text
+
+
+class TestZeroPerturbationIdentity:
+    def test_identity_ensemble_is_bit_identical_to_nominal(self):
+        schedule = _schedule()
+        nominal = simulate(schedule, cache=False).iteration_time
+        report = evaluate_robustness(schedule, PerturbationSpec(), draws=5)
+        assert report.nominal_time == nominal
+        assert report.deterministic_time == nominal
+        assert report.times == (nominal,) * 5
+        for which in ROBUST_OBJECTIVES:
+            assert report.objective(which) == nominal
+            assert report.slowdown(which) == 1.0
+
+    def test_identity_metadata_through_evaluate_plan(self):
+        cluster = cluster_a(1)
+        ctx = PlannerContext(
+            cluster,
+            model_by_name("bert-large"),
+            TrainingConfig(sequence_length=512, global_batch_size=16),
+            ParallelConfig(1, 4, 1),
+        )
+        plan = plan_adapipe(ctx)
+        evaluation = evaluate_plan(
+            plan, cluster, perturbation=PerturbationSpec(), robust_draws=4
+        )
+        meta = evaluation.plan.metadata
+        assert meta["robust_draws"] == 4
+        assert (
+            meta["robust_nominal_time"]
+            == meta["robust_mean_time"]
+            == meta["robust_p95_time"]
+            == meta["robust_worst_time"]
+        )
+        assert len(meta["robust_criticality"]) == 4
+        assert all(c >= 0.0 for c in meta["robust_criticality"])
+
+
+class TestMonotonicity:
+    def test_slowing_one_device_never_speeds_iteration(self):
+        schedule = _schedule()
+        previous = None
+        for factor in (1.0, 1.05, 1.2, 1.5, 2.0, 4.0):
+            report = evaluate_robustness(
+                schedule, PerturbationSpec.build({2: factor}), draws=0
+            )
+            if previous is not None:
+                assert report.deterministic_time >= previous
+            previous = report.deterministic_time
+
+    def test_stall_never_speeds_iteration(self):
+        schedule = _schedule()
+        base = simulate(schedule, cache=False).iteration_time
+        spec = PerturbationSpec.build(
+            stalls=[TransientStall(0, 2.0, first_task=0, length=3)]
+        )
+        report = evaluate_robustness(schedule, spec, draws=0)
+        assert report.deterministic_time >= base
+
+
+class TestSeedDeterminism:
+    def test_reports_are_pure_functions_of_their_inputs(self):
+        schedule = _schedule()
+        spec = PerturbationSpec.build({1: 1.3}, jitter_sigma=0.2, seed=7)
+        first = evaluate_robustness(schedule, spec, draws=6)
+        second = evaluate_robustness(schedule, spec, draws=6)
+        assert first == second
+
+    def test_distinct_seeds_draw_distinct_ensembles(self):
+        schedule = _schedule()
+        a = evaluate_robustness(
+            schedule, PerturbationSpec.build(jitter_sigma=0.2, seed=0), draws=4
+        )
+        b = evaluate_robustness(
+            schedule, PerturbationSpec.build(jitter_sigma=0.2, seed=99), draws=4
+        )
+        assert a.times != b.times
+
+    def test_draws_reseed_the_jitter_only(self):
+        # Ensemble members differ (jitter re-draws) while the nominal and
+        # deterministic components are shared.
+        schedule = _schedule()
+        spec = PerturbationSpec.build({0: 1.5}, jitter_sigma=0.2, seed=3)
+        report = evaluate_robustness(schedule, spec, draws=4)
+        assert len(set(report.times)) > 1
+
+
+class TestCriticality:
+    def test_criticality_is_non_negative(self):
+        schedule = _schedule()
+        spec = PerturbationSpec.build({2: 1.5}, jitter_sigma=0.1, seed=1)
+        report = evaluate_robustness(schedule, spec, draws=0)
+        assert all(c >= 0.0 for c in report.device_criticality)
+        assert len(report.device_criticality) == schedule.num_devices
+
+    def test_single_stage_pipeline_is_fully_critical(self):
+        # With one device every task scales with its factor, so the
+        # normalised marginal slowdown is exactly 1.
+        schedule = _schedule(p=1, n=4, hop=0.0)
+        report = evaluate_robustness(schedule, PerturbationSpec(), draws=0)
+        assert report.device_criticality[0] == pytest.approx(1.0)
+
+    def test_derated_device_dominates_criticality(self):
+        schedule = _schedule()
+        report = evaluate_robustness(
+            schedule, PerturbationSpec.build({2: 2.0}), draws=0
+        )
+        assert report.most_critical_device() == 2
+
+    def test_invalid_arguments_rejected(self):
+        schedule = _schedule()
+        with pytest.raises(ValueError, match="draws"):
+            evaluate_robustness(schedule, PerturbationSpec(), draws=-1)
+        with pytest.raises(ValueError, match="epsilon"):
+            evaluate_robustness(
+                schedule, PerturbationSpec(), draws=0, criticality_epsilon=0.0
+            )
+
+
+class TestClusterPerturbation:
+    def test_reads_per_rank_factors(self):
+        cluster = cluster_a(1).with_device_factors((1.0, 1.25, 1.5, 1.0))
+        spec = cluster_perturbation(cluster, 4, jitter_sigma=0.1, seed=2)
+        assert spec.device_factors == ((1, 1.25), (2, 1.5))
+        assert spec.jitter_sigma == 0.1 and spec.seed == 2
+
+    def test_device_slowdown_is_the_fallback(self):
+        cluster = cluster_a(1)
+        derated = dataclasses.replace(
+            cluster, device=dataclasses.replace(cluster.device, slowdown=1.3)
+        )
+        assert derated.heterogeneous
+        assert derated.device_factor(0) == 1.3
+        spec = cluster_perturbation(derated, 2)
+        assert spec.device_factors == ((0, 1.3), (1, 1.3))
+
+    def test_homogeneous_cluster_yields_identity(self):
+        spec = cluster_perturbation(cluster_a(1), 4)
+        assert spec.is_identity()
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError, match="> 0"):
+            cluster_a(1).with_device_factors((1.0, 0.0))
+        with pytest.raises(ValueError, match="> 0"):
+            dataclasses.replace(cluster_a(1).device, slowdown=-1.0)
+
+
+class TestRobustMetadata:
+    def test_metadata_mirrors_the_report(self):
+        report = evaluate_robustness(
+            _schedule(), PerturbationSpec.build({0: 1.5}), draws=3
+        )
+        meta = robust_metadata(report)
+        assert meta["robust_nominal_time"] == report.nominal_time
+        assert meta["robust_p95_time"] == report.p95_time
+        assert meta["robust_worst_time"] == report.worst_time
+        assert meta["robust_spec_digest"] == report.spec.content_digest()
+        assert meta["robust_criticality"] == list(report.device_criticality)
+
+
+# The pinned heterogeneous fixture: BERT-large at seq 4096 under a tight
+# memory limit, four ranks with the last two derated 1.5x. Nominally the
+# deeper pipeline (1, 4, 1) wins; under the perturbation ensemble its p95
+# loses to (1, 2, 2), which keeps all work on the healthy ranks.
+def _flip_fixture():
+    cluster = cluster_a(1).with_device_factors((1.0, 1.0, 1.5, 1.5))
+    spec = model_by_name("bert-large")
+    train = TrainingConfig(sequence_length=4096, global_batch_size=16)
+    strategies = [ParallelConfig(1, 2, 2), ParallelConfig(1, 4, 1)]
+    return cluster, spec, train, strategies
+
+
+class TestRobustSweep:
+    def test_robust_objective_requires_perturbation(self):
+        cluster, spec, train, strategies = _flip_fixture()
+        with pytest.raises(ValueError, match="PerturbationSpec"):
+            run_sweep(
+                cluster, spec, train, 4, strategies=strategies,
+                config=SweepConfig(workers=1, robust_objective="p95"),
+            )
+
+    def test_unknown_objective_rejected(self):
+        cluster, spec, train, strategies = _flip_fixture()
+        with pytest.raises(ValueError, match="unknown robust objective"):
+            run_sweep(
+                cluster, spec, train, 4, strategies=strategies,
+                config=SweepConfig(workers=1, robust_objective="median"),
+            )
+
+    def test_p95_objective_flips_the_selected_plan(self):
+        cluster, spec, train, strategies = _flip_fixture()
+        limit = int(2.0 * 1024**3)
+        nominal = run_sweep(
+            cluster, spec, train, 4, strategies=strategies,
+            config=SweepConfig(workers=1), memory_limit_bytes=limit,
+        )
+        assert nominal.best.parallel == ParallelConfig(1, 4, 1)
+
+        pert = cluster_perturbation(cluster, 4, jitter_sigma=0.03, seed=5)
+        robust = run_sweep(
+            cluster, spec, train, 4, strategies=strategies,
+            config=SweepConfig(
+                workers=1, robust_objective="p95",
+                perturbation=pert, robust_draws=8,
+            ),
+            memory_limit_bytes=limit,
+        )
+        assert robust.best.parallel == ParallelConfig(1, 2, 2)
+        assert robust.best.metadata["robust_objective"] == "p95"
+        # Every planned strategy carries the ensemble summary, and the
+        # selection is explained by it: the nominal winner's p95 is worse.
+        by_parallel = {plan.parallel: plan for plan in robust.plans}
+        deep = by_parallel[ParallelConfig(1, 4, 1)]
+        shallow = by_parallel[ParallelConfig(1, 2, 2)]
+        assert deep.metadata["robust_nominal_time"] < (
+            shallow.metadata["robust_nominal_time"]
+        )
+        assert deep.metadata["robust_p95_time"] > (
+            shallow.metadata["robust_p95_time"]
+        )
+
+    def test_robust_report_via_plan_schedule(self):
+        # The acceptance path `adapipe robustness` exercises: plan, build
+        # the schedule, evaluate the cluster-implied perturbation — and
+        # the result is deterministic.
+        cluster, spec, train, _ = _flip_fixture()
+        ctx = PlannerContext(
+            cluster, spec, train, ParallelConfig(1, 4, 1),
+            memory_limit_bytes=int(2.0 * 1024**3),
+        )
+        plan = plan_adapipe(ctx)
+        schedule = build_schedule_for_plan(plan, cluster, "1f1b")
+        pert = cluster_perturbation(cluster, 4, jitter_sigma=0.03, seed=5)
+        first = evaluate_robustness(schedule, pert, draws=8)
+        second = evaluate_robustness(schedule, pert, draws=8)
+        assert first == second
+        # The derated ranks carry the highest straggler criticality.
+        assert first.most_critical_device() in (2, 3)

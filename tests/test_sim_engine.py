@@ -10,7 +10,15 @@ nonzero hop times and compare with ``==``.
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.pipeline.perturb import (
+    LinkDegradation,
+    PerturbationSpec,
+    TransientStall,
+    perturb_schedule,
+)
 from repro.pipeline.schedules import (
     chimera_schedule,
     gpipe_schedule,
@@ -116,6 +124,106 @@ class TestEngineEquivalence:
             simulate(one_f_one_b_schedule(costs, 2), engine="magic")
 
 
+_FUZZ_KINDS = ("1f1b", "gpipe", "chimera", "chimerad", "interleaved")
+_FUZZ_DEVICES = 4
+_FUZZ_SCHEDULES = {}
+
+
+def _fuzz_schedule(kind):
+    if kind not in _FUZZ_SCHEDULES:
+        # One fixed base schedule per kind; the fuzzing happens in the
+        # drawn PerturbationSpec, not in the schedule itself.
+        _FUZZ_SCHEDULES[kind] = _builders(
+            random.Random(0xADA), _FUZZ_DEVICES, 8
+        )[kind]
+    return _FUZZ_SCHEDULES[kind]
+
+
+def _finite(low, high):
+    return st.floats(
+        min_value=low, max_value=high, allow_nan=False, allow_infinity=False
+    )
+
+
+_SPEC_STRATEGY = st.builds(
+    PerturbationSpec.build,
+    device_factors=st.dictionaries(
+        st.integers(0, _FUZZ_DEVICES - 1), _finite(0.25, 4.0),
+        max_size=_FUZZ_DEVICES,
+    ),
+    jitter_sigma=st.sampled_from([0.0, 0.01, 0.1, 0.5]),
+    seed=st.integers(0, 2**16),
+    stalls=st.lists(
+        st.builds(
+            TransientStall,
+            device=st.integers(0, _FUZZ_DEVICES - 1),
+            delay=_finite(0.0, 5.0),
+            first_task=st.integers(0, 8),
+            length=st.integers(1, 4),
+        ),
+        max_size=2,
+    ),
+    links=st.lists(
+        st.builds(
+            LinkDegradation,
+            src=st.integers(0, _FUZZ_DEVICES - 1),
+            dst=st.integers(0, _FUZZ_DEVICES - 1),
+            factor=_finite(0.0, 8.0),
+            added_latency=_finite(0.0, 1.0),
+        ),
+        max_size=3,
+    ),
+)
+
+
+def _content_changed(schedule, perturbed):
+    if perturbed is schedule:
+        return False
+    for old, new in zip(schedule.device_tasks, perturbed.device_tasks):
+        if any(a.duration != b.duration for a, b in zip(old, new)):
+            return True
+    return (perturbed.link_hops or {}) != (schedule.link_hops or {})
+
+
+class TestPerturbationFuzz:
+    """Differential fuzz: 40 drawn PerturbationSpecs per schedule kind
+    (200 total) must keep the engines bit-identical on the perturbed
+    schedule and keep the digest cache sound (any content change moves
+    the digest; identity specs return the schedule object itself)."""
+
+    @pytest.mark.parametrize("kind", _FUZZ_KINDS)
+    @given(spec=_SPEC_STRATEGY)
+    @settings(
+        max_examples=40,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_bit_identical_under_drawn_perturbations(self, kind, spec):
+        schedule = _fuzz_schedule(kind)
+        perturbed = perturb_schedule(schedule, spec)
+        reference = simulate(perturbed, engine="reference", cache=False)
+        compiled = simulate(perturbed, engine="compiled", cache=False)
+        _assert_identical(reference, compiled)
+        if spec.is_identity():
+            assert perturbed is schedule
+        if _content_changed(schedule, perturbed):
+            assert schedule_digest(perturbed) != schedule_digest(schedule)
+        else:
+            assert schedule_digest(perturbed) == schedule_digest(schedule)
+
+    @given(spec=_SPEC_STRATEGY)
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_lowering_is_deterministic(self, spec):
+        schedule = _fuzz_schedule("1f1b")
+        once = perturb_schedule(schedule, spec)
+        twice = perturb_schedule(schedule, spec)
+        assert schedule_digest(once) == schedule_digest(twice)
+        assert simulate(once, cache=False).iteration_time == (
+            simulate(twice, cache=False).iteration_time
+        )
+
+
 class TestDeadlockDiagnostics:
     def test_message_names_unmet_dependencies(self):
         a_key = TaskKey(0, 0, 0, TaskKind.FORWARD)
@@ -202,6 +310,65 @@ class TestSimulationCache:
         simulate(schedule, cache=cache)
         assert cache.lookups == 3
         assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+class TestPerturbedCacheIsolation:
+    """Regression: the digest must cover perturbation content, so a
+    perturbed run can never replay a nominal cached result and a nominal
+    run can never replay a perturbed one."""
+
+    def _schedule(self):
+        costs = [
+            StageCosts(forward=1.0, backward=2.0, activation_bytes=1.0)
+            for _ in range(2)
+        ]
+        return one_f_one_b_schedule(costs, 4, hop_time=0.1)
+
+    def _spec(self):
+        return PerturbationSpec.build(
+            {0: 1.5},
+            jitter_sigma=0.1,
+            seed=3,
+            links=[LinkDegradation(0, 1, factor=2.0)],
+        )
+
+    def test_perturbed_run_misses_nominal_entry(self):
+        cache = SimulationCache()
+        schedule = self._schedule()
+        nominal = simulate(schedule, cache=cache)
+        perturbed, info = simulate_with_info(
+            perturb_schedule(schedule, self._spec()), cache=cache
+        )
+        assert not info["cache_hit"]
+        assert perturbed.iteration_time != nominal.iteration_time
+
+    def test_nominal_run_misses_perturbed_entry(self):
+        cache = SimulationCache()
+        schedule = self._schedule()
+        simulate(perturb_schedule(schedule, self._spec()), cache=cache)
+        _, info = simulate_with_info(schedule, cache=cache)
+        assert not info["cache_hit"]
+
+    def test_distinct_seeds_get_distinct_entries(self):
+        cache = SimulationCache()
+        schedule = self._schedule()
+        spec = PerturbationSpec.build(jitter_sigma=0.2, seed=0)
+        simulate(perturb_schedule(schedule, spec), cache=cache)
+        _, info = simulate_with_info(
+            perturb_schedule(schedule, spec.reseeded(1)), cache=cache
+        )
+        assert not info["cache_hit"]
+        assert len(cache) == 2
+
+    def test_identical_perturbations_share_an_entry(self):
+        cache = SimulationCache()
+        schedule = self._schedule()
+        spec = self._spec()
+        simulate(perturb_schedule(schedule, spec), cache=cache)
+        _, info = simulate_with_info(
+            perturb_schedule(schedule, spec), cache=cache
+        )
+        assert info["cache_hit"]
 
 
 class TestLoweringMemoization:
