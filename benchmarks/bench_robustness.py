@@ -8,7 +8,6 @@ simulator engines show up in the uploaded ``BENCH_robustness.json``.
 
 import random
 
-import pytest
 
 from repro.core.robust import evaluate_robustness
 from repro.pipeline.perturb import PerturbationSpec, perturb_schedule

@@ -1,0 +1,64 @@
+"""adalint: domain-aware static analysis for the AdaPipe reproduction.
+
+A small AST-based lint framework plus four rules proving, on every file at
+every CI run, the invariants the repo's correctness rests on but no test
+suite can exhaustively cover:
+
+* **digest-coverage** — every field of a dataclass feeding a content
+  digest/fingerprint (simulation cache, stage-eval fingerprint, plan
+  serialization) is hashed or allowlisted with a reason;
+* **determinism** — no module-level/unseeded RNG, no wall-clock reads
+  outside the measurement layers, no iteration over sets without
+  ``sorted()``;
+* **unit-consistency** — ``_bytes``/``_seconds``/``_flops``/``_bps``
+  identifiers are never added or compared across dimensions without an
+  explicit conversion call (enforced over ``profiler/``, ``hardware/``,
+  ``core/``);
+* **frozen-mutation** — ``object.__setattr__`` only inside
+  ``__post_init__``.
+
+Entry points: ``adapipe lint`` (CLI), check 9 of ``adapipe validate``,
+and :func:`run_lint` for programmatic use. See ``docs/ALGORITHMS.md``
+section 10 for each rule's soundness argument.
+"""
+
+from repro.analysis.findings import SEVERITIES, Finding
+from repro.analysis.framework import (
+    FRAMEWORK_RULES,
+    LintContext,
+    LintResult,
+    Rule,
+    SourceModule,
+    default_rules,
+    load_baseline,
+    parse_suppressions,
+    register,
+    registered_rule_names,
+    run_lint,
+)
+from repro.analysis.reporters import (
+    REPORT_VERSION,
+    render_json,
+    render_text,
+    result_to_dict,
+)
+
+__all__ = [
+    "FRAMEWORK_RULES",
+    "Finding",
+    "LintContext",
+    "LintResult",
+    "REPORT_VERSION",
+    "Rule",
+    "SEVERITIES",
+    "SourceModule",
+    "default_rules",
+    "load_baseline",
+    "parse_suppressions",
+    "register",
+    "registered_rule_names",
+    "render_json",
+    "render_text",
+    "result_to_dict",
+    "run_lint",
+]

@@ -1,0 +1,63 @@
+"""Text and JSON renderings of a :class:`~repro.analysis.framework.LintResult`."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.framework import LintResult
+
+#: Schema version of the JSON report (bump on breaking shape changes).
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One finding per line, ``path:line: severity rule: message``."""
+    lines = [
+        f"{finding.location()}: {finding.severity} [{finding.rule}] "
+        f"{finding.message}"
+        for finding in result.findings
+    ]
+    verdict = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"adalint: {verdict} in {result.files_scanned} file(s) "
+        f"({len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined; rules: {', '.join(result.rules)})"
+    )
+    return "\n".join(lines)
+
+
+def result_to_dict(result: LintResult) -> Dict[str, Any]:
+    """The JSON report document (schema v1).
+
+    Shape::
+
+        {
+          "adalint_version": 1,
+          "ok": bool,
+          "files_scanned": int,
+          "rules": [rule, ...],
+          "counts": {"findings": n, "suppressed": n, "baselined": n},
+          "findings": [{rule, severity, path, line, message}, ...],
+          "suppressed": [...same shape...],
+          "baselined": [...same shape...]
+        }
+    """
+    return {
+        "adalint_version": REPORT_VERSION,
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "rules": list(result.rules),
+        "counts": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result_to_dict(result), indent=2, sort_keys=True)

@@ -1,0 +1,25 @@
+"""The adalint domain rules.
+
+Importing this package registers every rule with the framework registry;
+:func:`repro.analysis.framework.default_rules` does so lazily.
+"""
+
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.digest_coverage import (
+    DEFAULT_CONTRACTS,
+    DigestContract,
+    DigestCoverageRule,
+    FieldAllowance,
+)
+from repro.analysis.rules.frozen_mutation import FrozenMutationRule
+from repro.analysis.rules.units import UnitConsistencyRule
+
+__all__ = [
+    "DEFAULT_CONTRACTS",
+    "DeterminismRule",
+    "DigestContract",
+    "DigestCoverageRule",
+    "FieldAllowance",
+    "FrozenMutationRule",
+    "UnitConsistencyRule",
+]

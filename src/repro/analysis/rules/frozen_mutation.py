@@ -1,0 +1,70 @@
+"""frozen-mutation: ``object.__setattr__`` only inside ``__post_init__``.
+
+Frozen dataclasses are this repo's immutability backbone: plans, specs,
+task keys, and perturbation specs are shared across caches and process
+boundaries on the promise that they never change after construction —
+hashes are precomputed, digests memoized, and cache keys assume value
+semantics. ``object.__setattr__`` is the documented escape hatch for
+*constructing* derived state inside ``__post_init__`` (e.g.
+``TaskKey``'s precomputed hash); anywhere else it mutates an object
+other code believes frozen, silently invalidating memoized digests and
+cache entries.
+
+The check is syntactic and over-approximate on purpose: every
+``object.__setattr__(...)`` call outside a ``__post_init__`` (or
+``__setstate__``, the pickle analogue) body is flagged, whether or not
+the receiver is provably frozen — a non-frozen object never needs the
+escape hatch, so the call site is suspicious either way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.framework import LintContext, Rule, SourceModule, register
+
+#: Methods in which the escape hatch is legitimate construction.
+ALLOWED_METHODS: Tuple[str, ...] = ("__post_init__", "__setstate__")
+
+
+def _is_object_setattr(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "__setattr__"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "object"
+    )
+
+
+@register
+class FrozenMutationRule(Rule):
+    name = "frozen-mutation"
+    severity = "error"
+    description = (
+        "object.__setattr__ (the frozen-dataclass escape hatch) is only "
+        "legitimate inside __post_init__/__setstate__"
+    )
+
+    def check(self, module: SourceModule, ctx: LintContext) -> Iterator:
+        del ctx
+        yield from self._walk(module, module.tree, enclosing=None)
+
+    def _walk(self, module: SourceModule, node: ast.AST, enclosing) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            scope = enclosing
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = child.name
+            if isinstance(child, ast.Call) and _is_object_setattr(child):
+                if enclosing not in ALLOWED_METHODS:
+                    where = (
+                        f"function {enclosing!r}" if enclosing else "module level"
+                    )
+                    yield self.finding(
+                        module,
+                        child.lineno,
+                        f"object.__setattr__ at {where} mutates a frozen "
+                        "object after construction; derived state belongs "
+                        "in __post_init__",
+                    )
+            yield from self._walk(module, child, scope)

@@ -1,0 +1,124 @@
+"""unit-consistency: suffix-driven dimensional analysis.
+
+The cost model mixes three physical dimensions — bytes (memory model,
+knapsack budgets), seconds (roofline times, DP objectives), and FLOPs
+(device throughput) — as bare floats. Confusing them does not crash: it
+silently corrupts every downstream figure. The repo's naming convention
+carries the dimension in the identifier suffix (``capacity_bytes``,
+``planning_seconds``, ``peak_flops``, bandwidth in ``_bps``), which makes
+a sound *syntactic* check possible: two identifiers of **different**
+known dimensions may never be added, subtracted, or compared directly.
+
+Dimension inference is deliberately conservative:
+
+* a ``Name``/``Attribute`` whose identifier ends in a known suffix has
+  that dimension; anything else (calls, products, quotients, constants,
+  unsuffixed names) is *unknown* and never flagged;
+* ``+``/``-`` propagate a dimension only when both operands agree;
+* a finding requires **both** sides to have known, different dimensions.
+
+Any function call therefore acts as the explicit conversion escape hatch
+(``busy_seconds + seconds_from_bytes(spill_bytes, bw_bps)`` passes), and
+multiplying by a rate (``size_bytes / bandwidth_bps``) yields an unknown
+dimension rather than a false positive. The rule is enforced over the
+numeric core — ``profiler/``, ``hardware/``, ``core/`` — where every
+scalar is one of these dimensions; presentation layers format freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.framework import LintContext, Rule, SourceModule, register
+
+#: Identifier suffix -> dimension.
+SUFFIX_DIMENSIONS = {
+    "_bytes": "bytes",
+    "_seconds": "seconds",
+    "_flops": "flops",
+    "_bps": "bytes/second",
+}
+
+#: Directory names under which the rule is enforced.
+ENFORCED_DIRS: Tuple[str, ...] = ("profiler", "hardware", "core")
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def identifier_dimension(name: str) -> Optional[str]:
+    for suffix, dimension in SUFFIX_DIMENSIONS.items():
+        if name.endswith(suffix):
+            return dimension
+    return None
+
+
+def expression_dimension(node: ast.expr) -> Optional[str]:
+    """The dimension of an expression, or ``None`` when not provable."""
+    if isinstance(node, ast.Name):
+        return identifier_dimension(node.id)
+    if isinstance(node, ast.Attribute):
+        return identifier_dimension(node.attr)
+    if isinstance(node, ast.UnaryOp):
+        return expression_dimension(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = expression_dimension(node.left)
+        right = expression_dimension(node.right)
+        if left is not None and left == right:
+            return left
+        return None
+    return None
+
+
+def _enforced(relpath: str) -> bool:
+    parts = relpath.split("/")[:-1]
+    return any(part in ENFORCED_DIRS for part in parts)
+
+
+@register
+class UnitConsistencyRule(Rule):
+    name = "unit-consistency"
+    severity = "error"
+    description = (
+        "identifiers suffixed _bytes/_seconds/_flops/_bps may not be "
+        "added, subtracted, or compared across dimensions without an "
+        "explicit conversion call"
+    )
+
+    def check(self, module: SourceModule, ctx: LintContext) -> Iterator:
+        del ctx
+        if not _enforced(module.relpath):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(module, node, node.left, node.right)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(module, node, node.target, node.value)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if isinstance(op, _COMPARE_OPS):
+                        yield from self._check_pair(module, node, left, right)
+
+    def _check_pair(
+        self,
+        module: SourceModule,
+        anchor: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+    ) -> Iterator:
+        left_dim = expression_dimension(left)
+        right_dim = expression_dimension(right)
+        if left_dim is None or right_dim is None or left_dim == right_dim:
+            return
+        yield self.finding(
+            module,
+            getattr(anchor, "lineno", 1),
+            f"mixing dimensions: {ast.unparse(left)!r} is {left_dim} but "
+            f"{ast.unparse(right)!r} is {right_dim}; convert explicitly "
+            "(any conversion call makes the dimension unknown and passes)",
+        )

@@ -106,6 +106,17 @@ def evaluator_fingerprint(profiler: Profiler, capacity_bytes: float) -> Tuple:
     across strategies that differ only in pipeline depth. The micro-batch
     count ``n`` (which clamps 1F1B's in-flight to ``min(n, p - s)``) is
     pinned by the workload and data-parallel fields already present.
+
+    The robust-sweep inputs (``robust_objective``, ``PerturbationSpec``,
+    ``robust_draws``) are **deliberately absent**: robust mode re-ranks
+    the already-planned feasible strategies by re-simulating their
+    schedules under perturbation, *after* planning. A cached
+    :class:`StageEval` holds only nominal per-stage cost/memory DP
+    results, which no robust input reaches, so nominal and robust sweeps
+    may soundly share one :class:`StageEvalCache`
+    (``tests/test_robustness.py`` pins this with a warm-vs-cold cache
+    regression test). Adding a perturbation-dependent quantity to
+    ``StageEval`` would require extending this fingerprint first.
     """
     parallel = profiler.parallel
     # Cluster/model/workload specs hold dicts (per-op efficiencies), so the

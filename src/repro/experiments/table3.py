@@ -51,7 +51,7 @@ def run(fast: bool = False) -> ExperimentResult:
         parallel = ParallelConfig(t, p, d)
         ctx = PlannerContext(cluster, spec, train, parallel, eval_cache=cache)
         cells = []
-        row_started = time_module.perf_counter()
+        row_started = time_module.perf_counter()  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
         for method in METHODS:
             evaluation = evaluate_method(method, ctx)
             inner_dp_total += int(
@@ -64,7 +64,7 @@ def run(fast: bool = False) -> ExperimentResult:
                 cells.append(f"{time:.3f}s")
                 if time < best[method][1]:
                     best[method] = ((t, p, d), time)
-        cells.append(f"{time_module.perf_counter() - row_started:.1f}s")
+        cells.append(f"{time_module.perf_counter() - row_started:.1f}s")  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
         result.add_row((t, p, d), *cells)
     for method, (strategy, time) in best.items():
         if strategy is not None:

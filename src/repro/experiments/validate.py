@@ -15,7 +15,10 @@ quantity against each other:
 7. plan JSON round-trip fidelity;
 8. schedule-aware memory audit — modelled in-flight counts and device
    peaks vs the simulator's, across the schedule zoo (conservative
-   everywhere, exact for 1F1B).
+   everywhere, exact for 1F1B);
+9. adalint — the domain-aware static analysis pass over the installed
+   package (digest coverage, determinism, unit consistency, frozen
+   mutation) must report zero unsuppressed findings.
 """
 
 from __future__ import annotations
@@ -278,6 +281,21 @@ def _check_memory_audit() -> CheckResult:
     return ("memory model vs simulator audit", ok, detail)
 
 
+def _check_adalint() -> CheckResult:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import run_lint
+
+    package_root = Path(repro.__file__).parent
+    result = run_lint([str(package_root)])
+    detail = (
+        f"{result.files_scanned} files, {len(result.findings)} findings, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return ("adalint static analysis", result.ok, detail)
+
+
 CHECKS: List[Callable[[], CheckResult]] = [
     _check_knapsack,
     _check_phase_model,
@@ -287,6 +305,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_eager_engine,
     _check_plan_roundtrip,
     _check_memory_audit,
+    _check_adalint,
 ]
 
 

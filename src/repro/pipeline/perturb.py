@@ -43,9 +43,9 @@ import hashlib
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Mapping, Sequence, Tuple, Union
 
-from repro.pipeline.tasks import Schedule, Task, TaskKey
+from repro.pipeline.tasks import Schedule, TaskKey
 
 __all__ = [
     "LinkDegradation",
@@ -194,8 +194,8 @@ class PerturbationSpec:
             for s in self.stalls
         )
         parts.extend(
-            f"l{l.src}>{l.dst}:{l.factor!r}:{l.added_latency!r}"
-            for l in self.links
+            f"l{link.src}>{link.dst}:{link.factor!r}:{link.added_latency!r}"
+            for link in self.links
         )
         return hashlib.blake2b("|".join(parts).encode(), digest_size=16).hexdigest()
 

@@ -43,7 +43,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.pipeline.compiled import SimulationError, compile_schedule
+from repro.pipeline.compiled import SimulationError
 from repro.pipeline.tasks import Schedule, Task, TaskKey, TaskKind
 
 __all__ = [

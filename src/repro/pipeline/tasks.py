@@ -11,8 +11,8 @@ executes each device's list in order, waiting on dependencies.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 
 class TaskKind(enum.Enum):
@@ -50,7 +50,7 @@ class TaskKey:
         )
 
     def __hash__(self) -> int:
-        return self._hash
+        return self._hash  # type: ignore[attr-defined]  # set in __post_init__
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.kind}(p{self.pipe},s{self.stage},m{self.micro_batch})"
@@ -162,7 +162,7 @@ class Schedule:
             from repro.pipeline.compiled import compile_schedule
 
             cached = compile_schedule(self)
-            self._compiled = cached
+            self._compiled = cached  # type: ignore[attr-defined]  # per-instance memo
         return cached
 
     def digest(self) -> str:
@@ -172,7 +172,7 @@ class Schedule:
             from repro.pipeline.simulator import schedule_digest
 
             cached = schedule_digest(self)
-            self._digest = cached
+            self._digest = cached  # type: ignore[attr-defined]  # per-instance memo
         return cached
 
     def validate(self) -> None:

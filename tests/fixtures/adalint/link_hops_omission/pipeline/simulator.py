@@ -1,0 +1,37 @@
+"""The pre-PR4 ``schedule_digest`` that silently dropped ``link_hops``.
+
+This is the historic bug the digest-coverage rule exists to prevent: a
+link-degraded schedule is structurally identical to its nominal twin —
+same tasks, durations, and edges — so a digest that skips ``link_hops``
+serves a cached nominal result to a perturbed run. The companion test
+asserts adalint flags exactly ``Schedule.link_hops`` here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from .tasks import Schedule
+
+
+def schedule_digest(schedule: Schedule) -> str:
+    parts: List[str] = [
+        f"sim-v1|{schedule.num_devices}|{schedule.hop_time!r}",
+        repr(schedule.device_static_bytes),
+        repr(schedule.device_buffer_bytes),
+    ]
+    append = parts.append
+    for tasks in schedule.device_tasks:
+        append("|device")
+        for task in tasks:
+            k = task.key
+            append(
+                f"{k.pipe},{k.stage},{k.micro_batch},{k.kind.value},"
+                f"{task.device},{task.duration!r},{task.activation_bytes!r},"
+                f"{task.weight}"
+            )
+            for dep in task.deps:
+                append(f"<{dep.pipe},{dep.stage},{dep.micro_batch},{dep.kind.value}")
+    digest = hashlib.blake2b("\n".join(parts).encode(), digest_size=16)
+    return digest.hexdigest()

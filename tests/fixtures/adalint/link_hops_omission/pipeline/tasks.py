@@ -1,0 +1,47 @@
+"""Trimmed copy of ``repro.pipeline.tasks`` for the adalint regression.
+
+Same dataclasses (and the same ``link_hops`` field) the real module
+declares, so the default digest-coverage contract resolves against this
+tree exactly as it does against ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class TaskKind(enum.Enum):
+    FORWARD = "F"
+    BACKWARD = "B"
+
+
+@dataclass(frozen=True)
+class TaskKey:
+    pipe: int
+    stage: int
+    micro_batch: int
+    kind: TaskKind
+
+
+@dataclass(frozen=True)
+class Task:
+    key: TaskKey
+    device: int
+    duration: float
+    deps: Tuple[TaskKey, ...] = ()
+    activation_bytes: float = 0.0
+    weight: int = 1
+
+
+@dataclass
+class Schedule:
+    name: str
+    num_devices: int
+    device_tasks: List[List[Task]]
+    hop_time: float = 0.0
+    device_static_bytes: Tuple[float, ...] = ()
+    device_buffer_bytes: Tuple[float, ...] = ()
+    num_micro_batches: int = 0
+    link_hops: Optional[Dict[Tuple[int, int], float]] = field(default=None)

@@ -1,0 +1,420 @@
+"""Tests for adalint (repro.analysis): framework, rules, reporters, CLI.
+
+Every rule gets a firing and a non-firing golden snippet; the framework
+tests pin suppression handling (including the bare/unknown meta-rules),
+the baseline filter, and the JSON report schema. The acceptance pair:
+the re-introduced historic ``link_hops`` digest omission fixture must be
+flagged, and the real ``src/repro`` tree must be clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    FRAMEWORK_RULES,
+    REPORT_VERSION,
+    Finding,
+    default_rules,
+    load_baseline,
+    parse_suppressions,
+    registered_rule_names,
+    render_text,
+    result_to_dict,
+    run_lint,
+)
+from repro.analysis.rules import (
+    DigestContract,
+    DigestCoverageRule,
+    FieldAllowance,
+)
+from repro.experiments.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "adalint"
+
+
+def _lint_file(tmp_path, source, name="snippet.py", rules=None):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return run_lint([tmp_path], rules=rules)
+
+
+def _rules_fired(result):
+    return {finding.rule for finding in result.findings}
+
+
+class TestFramework:
+    def test_all_rules_registered(self):
+        assert set(registered_rule_names()) == {
+            "determinism",
+            "digest-coverage",
+            "frozen-mutation",
+            "unit-consistency",
+        }
+        assert {rule.name for rule in default_rules()} == set(
+            registered_rule_names()
+        )
+
+    def test_clean_file_is_clean(self, tmp_path):
+        result = _lint_file(tmp_path, "x = 1\n")
+        assert result.ok and result.files_scanned == 1
+        assert result.findings == result.suppressed == result.baselined == []
+
+    def test_syntax_error_reported_as_parse_error(self, tmp_path):
+        result = _lint_file(tmp_path, "def broken(:\n")
+        assert [f.rule for f in result.findings] == ["parse-error"]
+        assert not result.ok
+
+    def test_severity_validated(self):
+        with pytest.raises(ValueError, match="severity"):
+            Finding(rule="r", severity="fatal", path="p.py", line=1, message="m")
+
+    def test_suppression_parsing(self):
+        table = parse_suppressions(
+            [
+                "x = 1",
+                "y = 2  # adalint: disable=determinism -- observability",
+                "z = 3  # adalint: disable=determinism, unit-consistency -- both",
+            ]
+        )
+        assert set(table) == {2, 3}
+        assert table[2].rules == ("determinism",)
+        assert table[2].reason == "observability"
+        assert table[3].covers("unit-consistency")
+
+    def test_suppression_with_reason_mutes_the_finding(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "import time\n"
+            "t = time.time()  # adalint: disable=determinism -- just a log stamp\n",
+        )
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["determinism"]
+
+    def test_disable_all_covers_every_rule(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "import time\n"
+            "t = time.time()  # adalint: disable=all -- demo snippet\n",
+        )
+        assert result.ok and len(result.suppressed) == 1
+
+    def test_bare_suppression_is_itself_a_finding(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "import time\nt = time.time()  # adalint: disable=determinism\n",
+        )
+        # The reason-less suppression does NOT mute, and is reported.
+        assert _rules_fired(result) == {"determinism", "bare-suppression"}
+
+    def test_unknown_suppression_is_reported(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "x = 1  # adalint: disable=no-such-rule -- typo'd rule name\n",
+        )
+        assert _rules_fired(result) == {"unknown-suppression"}
+
+    def test_framework_findings_cannot_be_suppressed(self, tmp_path):
+        # A reason-less suppression stays a finding even if another comment
+        # tried to disable the meta-rule itself.
+        assert "bare-suppression" in FRAMEWORK_RULES
+        result = _lint_file(
+            tmp_path,
+            "import time\n"
+            "t = time.time()  # adalint: disable=determinism, bare-suppression\n",
+        )
+        assert "bare-suppression" in _rules_fired(result)
+
+    def test_baseline_mutes_on_rule_path_message(self, tmp_path):
+        source = "import time\nt = time.time()\n"
+        first = _lint_file(tmp_path, source)
+        assert not first.ok
+        baseline = {f.baseline_key() for f in first.findings}
+        # Shift the finding to a different line: the baseline still matches.
+        second = _lint_file(tmp_path, "# comment\n" + source)
+        shifted = run_lint([tmp_path], baseline=baseline)
+        assert second.findings and shifted.ok
+        assert [f.rule for f in shifted.baselined] == ["determinism"]
+
+    def test_load_baseline_accepts_full_report(self, tmp_path):
+        result = _lint_file(tmp_path, "import time\nt = time.time()\n")
+        report = tmp_path / "baseline.json"
+        report.write_text(json.dumps(result_to_dict(result)))
+        keys = load_baseline(report)
+        assert keys == {f.baseline_key() for f in result.findings}
+
+
+class TestDeterminismRule:
+    def test_global_rng_draw_fires(self, tmp_path):
+        result = _lint_file(tmp_path, "import random\nx = random.random()\n")
+        assert _rules_fired(result) == {"determinism"}
+
+    def test_aliased_numpy_global_draw_fires(self, tmp_path):
+        result = _lint_file(
+            tmp_path, "import numpy as np\nnp.random.shuffle([1, 2])\n"
+        )
+        assert _rules_fired(result) == {"determinism"}
+
+    def test_unseeded_constructor_fires_seeded_passes(self, tmp_path):
+        fired = _lint_file(tmp_path, "import random\nr = random.Random()\n")
+        assert _rules_fired(fired) == {"determinism"}
+        clean = _lint_file(
+            tmp_path,
+            "import random\nimport numpy as np\n"
+            "r = random.Random(0)\ng = np.random.default_rng(7)\n"
+            "x = g.normal()\n",
+        )
+        assert clean.ok
+
+    def test_wall_clock_fires_outside_measurement_layers(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "import time as clock\nfrom datetime import datetime\n"
+            "a = clock.perf_counter()\nb = datetime.now()\n",
+        )
+        assert [f.rule for f in result.findings] == ["determinism"] * 2
+
+    def test_wall_clock_allowed_under_benchmarks(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "import time\nstart = time.perf_counter()\n",
+            name="benchmarks/bench_sim.py",
+        )
+        assert result.ok
+
+    def test_set_iteration_fires_sorted_and_dict_pass(self, tmp_path):
+        fired = _lint_file(
+            tmp_path,
+            "for x in {1, 2}:\n    pass\n"
+            "ys = [y for y in set([3, 4])]\n",
+        )
+        assert [f.rule for f in fired.findings] == ["determinism"] * 2
+        clean = _lint_file(
+            tmp_path,
+            "for x in sorted({1, 2}):\n    pass\n"
+            "d = {'a': 1}\nfor k in d:\n    pass\n",
+        )
+        assert clean.ok
+
+
+class TestUnitConsistencyRule:
+    def test_cross_dimension_add_and_compare_fire(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "def f(size_bytes, busy_seconds):\n"
+            "    total = size_bytes + busy_seconds\n"
+            "    if size_bytes > busy_seconds:\n"
+            "        total += 1\n"
+            "    return total\n",
+            name="core/costs.py",
+        )
+        assert [f.rule for f in result.findings] == ["unit-consistency"] * 2
+
+    def test_augassign_cross_dimension_fires(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "def f(peak_bytes, wait_seconds):\n"
+            "    peak_bytes += wait_seconds\n"
+            "    return peak_bytes\n",
+            name="profiler/memory.py",
+        )
+        assert _rules_fired(result) == {"unit-consistency"}
+
+    def test_same_dimension_and_conversion_calls_pass(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "def f(a_bytes, b_bytes, c_seconds, bw_bps):\n"
+            "    total_bytes = a_bytes + b_bytes\n"
+            "    t = c_seconds + seconds_for(a_bytes, bw_bps)\n"
+            "    rate = a_bytes / c_seconds\n"  # division -> unknown dim
+            "    return total_bytes, t, rate\n",
+            name="hardware/model.py",
+        )
+        assert result.ok
+
+    def test_not_enforced_outside_numeric_core(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "def f(a_bytes, b_seconds):\n    return a_bytes + b_seconds\n",
+            name="report/charts.py",
+        )
+        assert result.ok
+
+
+class TestFrozenMutationRule:
+    def test_setattr_outside_post_init_fires(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "class C:\n"
+            "    def poke(self):\n"
+            "        object.__setattr__(self, 'x', 1)\n"
+            "object.__setattr__(C, 'y', 2)\n",
+        )
+        assert [f.rule for f in result.findings] == ["frozen-mutation"] * 2
+
+    def test_setattr_inside_post_init_and_setstate_passes(self, tmp_path):
+        result = _lint_file(
+            tmp_path,
+            "class C:\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, '_hash', 7)\n"
+            "    def __setstate__(self, state):\n"
+            "        object.__setattr__(self, '_hash', 8)\n",
+        )
+        assert result.ok
+
+
+def _digest_tree(tmp_path, digest_source):
+    (tmp_path / "data.py").write_text(
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class Point:\n"
+        "    x: int\n"
+        "    y: int\n"
+    )
+    (tmp_path / "digest.py").write_text(digest_source)
+    return tmp_path
+
+
+def _point_rule(allow=(), required=()):
+    contract = DigestContract(
+        digest_path="digest.py",
+        digest_name="point_digest",
+        sources=(("data.py", "Point"),),
+        allow=allow,
+        required_names=required,
+    )
+    return [DigestCoverageRule(contracts=(contract,))]
+
+
+class TestDigestCoverageRule:
+    def test_omitted_field_fires(self, tmp_path):
+        _digest_tree(tmp_path, "def point_digest(p):\n    return str(p.x)\n")
+        result = run_lint([tmp_path], rules=_point_rule())
+        assert len(result.findings) == 1
+        assert "Point.y" in result.findings[0].message
+
+    def test_full_coverage_passes(self, tmp_path):
+        _digest_tree(
+            tmp_path, "def point_digest(p):\n    return f'{p.x},{p.y}'\n"
+        )
+        assert run_lint([tmp_path], rules=_point_rule()).ok
+
+    def test_allowance_with_reason_passes(self, tmp_path):
+        _digest_tree(tmp_path, "def point_digest(p):\n    return str(p.x)\n")
+        rules = _point_rule(
+            allow=(FieldAllowance("Point.y", "label only, never simulated"),)
+        )
+        assert run_lint([tmp_path], rules=rules).ok
+
+    def test_reasonless_allowance_fires(self, tmp_path):
+        _digest_tree(tmp_path, "def point_digest(p):\n    return str(p.x)\n")
+        rules = _point_rule(allow=(FieldAllowance("Point.y", "  "),))
+        result = run_lint([tmp_path], rules=rules)
+        assert any("carries no reason" in f.message for f in result.findings)
+
+    def test_stale_allowance_fires(self, tmp_path):
+        _digest_tree(
+            tmp_path, "def point_digest(p):\n    return f'{p.x},{p.y}'\n"
+        )
+        rules = _point_rule(allow=(FieldAllowance("Point.z", "gone"),))
+        result = run_lint([tmp_path], rules=rules)
+        assert any("stale allowance" in f.message for f in result.findings)
+
+    def test_missing_required_name_fires(self, tmp_path):
+        _digest_tree(
+            tmp_path, "def point_digest(p):\n    return f'{p.x},{p.y}'\n"
+        )
+        result = run_lint([tmp_path], rules=_point_rule(required=("seed",)))
+        assert any("required input 'seed'" in f.message for f in result.findings)
+
+    def test_missing_digest_function_breaks_contract(self, tmp_path):
+        _digest_tree(tmp_path, "def other():\n    return 1\n")
+        result = run_lint([tmp_path], rules=_point_rule())
+        assert any("contract broken" in f.message for f in result.findings)
+
+    def test_link_hops_fixture_is_flagged(self):
+        # The historic PR 4 bug, re-introduced verbatim: the pre-fix
+        # schedule_digest must produce exactly one finding, naming
+        # Schedule.link_hops — no more, no less.
+        result = run_lint([FIXTURES / "link_hops_omission"])
+        assert [f.rule for f in result.findings] == ["digest-coverage"]
+        assert "Schedule.link_hops" in result.findings[0].message
+        assert result.findings[0].path == "pipeline/simulator.py"
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        return _lint_file(tmp_path, "import time\nt = time.time()\n")
+
+    def test_json_schema(self, tmp_path):
+        payload = result_to_dict(self._result(tmp_path))
+        assert payload["adalint_version"] == REPORT_VERSION
+        assert payload["ok"] is False
+        assert payload["files_scanned"] == 1
+        assert payload["counts"] == {
+            "findings": 1,
+            "suppressed": 0,
+            "baselined": 0,
+        }
+        (entry,) = payload["findings"]
+        assert set(entry) == {"rule", "severity", "path", "line", "message"}
+        assert entry["rule"] == "determinism" and entry["line"] == 2
+        json.dumps(payload)  # must be serializable as-is
+
+    def test_text_rendering(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert "snippet.py:2: error [determinism]" in text
+        clean = render_text(_lint_file(tmp_path / "other", "x = 1\n"))
+        assert "clean" in clean
+
+
+class TestCli:
+    def test_lint_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert cli_main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_findings_exit_one_with_json_artifact(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        out_file = tmp_path / "lint_findings.json"
+        code = cli_main(
+            ["lint", str(tmp_path), "--format", "json",
+             "--output", str(out_file)]
+        )
+        assert code == 1
+        stdout_payload = json.loads(capsys.readouterr().out)
+        file_payload = json.loads(out_file.read_text())
+        assert stdout_payload == file_payload
+        assert file_payload["counts"]["findings"] == 1
+
+    def test_baseline_round_trip_via_cli(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(
+            ["lint", str(tmp_path), "--write-baseline", str(baseline)]
+        ) == 0
+        assert cli_main(
+            ["lint", str(tmp_path), "--baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in registered_rule_names():
+            assert name in out
+
+
+class TestRepositoryIsClean:
+    def test_src_repro_has_zero_unsuppressed_findings(self):
+        result = run_lint([REPO_ROOT / "src" / "repro"])
+        assert result.findings == []
+        assert result.files_scanned > 50
+        # Every accepted exception carries a reason (bare-suppression would
+        # otherwise appear in findings); keep the count visible so growth
+        # is a conscious decision.
+        assert len(result.suppressed) == 17

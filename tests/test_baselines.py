@@ -6,7 +6,6 @@ from repro.baselines import ALL_METHODS, BASELINE_METHODS, evaluate_method, meth
 from repro.config import ConfigError, ParallelConfig, TrainingConfig
 from repro.core.search import PlannerContext
 from repro.hardware.cluster import cluster_a
-from repro.model.spec import gpt3_175b
 
 
 class TestRegistry:

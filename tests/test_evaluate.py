@@ -5,7 +5,6 @@ import pytest
 from repro.core.evaluate import build_schedule_for_plan, evaluate_plan
 from repro.core.search import plan_adapipe, plan_even_partitioning, plan_policy
 from repro.core.strategies import RecomputePolicy
-from repro.hardware.cluster import cluster_a
 
 
 class TestEvaluatePlan:

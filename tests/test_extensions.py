@@ -13,7 +13,6 @@ from repro.core.evaluate import evaluate_plan
 from repro.core.search import PlannerContext, plan_adapipe, plan_policy
 from repro.core.strategies import RecomputePolicy
 from repro.hardware.cluster import cluster_a
-from repro.model.spec import gpt3_175b
 
 
 @pytest.fixture

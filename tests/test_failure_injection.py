@@ -14,7 +14,6 @@ from repro.core.recompute_dp import UnitItem, optimize_stage_recompute
 from repro.core.search import PlannerContext, plan_adapipe
 from repro.core.serialize import PlanFormatError, plan_from_dict, plan_to_dict
 from repro.hardware.cluster import cluster_a
-from repro.model.spec import tiny_gpt
 from repro.pipeline.simulator import SimulationError, simulate
 from repro.pipeline.tasks import Schedule, Task, TaskKey, TaskKind
 from repro.training.modules import Parameter, build_model

@@ -1,6 +1,5 @@
 """Tests for simulator-guided partition refinement."""
 
-import pytest
 
 from repro.core.evaluate import evaluate_plan
 from repro.core.refine import _boundary_moves, plan_adapipe_refined, refine_partition

@@ -321,6 +321,57 @@ class TestRobustSweep:
             shallow.metadata["robust_p95_time"]
         )
 
+    def test_robust_sweep_shares_eval_cache_with_nominal_soundly(self):
+        # Regression for the StageEvalCache fingerprint audit: the robust
+        # inputs (robust_objective, PerturbationSpec, robust_draws) are
+        # deliberately absent from `evaluator_fingerprint` because robust
+        # mode only re-ranks already-planned strategies by re-simulating
+        # them — cached StageEvals hold nominal DP results that no robust
+        # input reaches. Sharing one cache between a nominal and a robust
+        # sweep must therefore (a) actually hit, and (b) change nothing
+        # about the robust sweep's outcome relative to a cold cache.
+        from repro.core.isomorphism import StageEvalCache
+        from repro.core.serialize import plan_signature
+
+        cluster, spec, train, strategies = _flip_fixture()
+        limit = int(2.0 * 1024**3)
+        pert = cluster_perturbation(cluster, 4, jitter_sigma=0.03, seed=5)
+        robust_config = SweepConfig(
+            workers=1, robust_objective="p95",
+            perturbation=pert, robust_draws=8,
+        )
+
+        cold = run_sweep(
+            cluster, spec, train, 4, strategies=strategies,
+            config=robust_config, memory_limit_bytes=limit,
+        )
+
+        shared = StageEvalCache()
+        run_sweep(  # warm the cache with a plain nominal sweep
+            cluster, spec, train, 4, strategies=strategies,
+            config=SweepConfig(workers=1), memory_limit_bytes=limit,
+            eval_cache=shared,
+        )
+        assert shared.misses > 0
+        hits_before = shared.hits
+        warm = run_sweep(
+            cluster, spec, train, 4, strategies=strategies,
+            config=robust_config, memory_limit_bytes=limit,
+            eval_cache=shared,
+        )
+        # (a) the robust sweep reused the nominal sweep's evaluations ...
+        assert shared.hits > hits_before
+        # ... and (b) produced the same plans and robust statistics.
+        assert plan_signature(warm.best) == plan_signature(cold.best)
+        for key in (
+            "robust_objective",
+            "robust_nominal_time",
+            "robust_mean_time",
+            "robust_p95_time",
+            "robust_worst_time",
+        ):
+            assert warm.best.metadata[key] == cold.best.metadata[key]
+
     def test_robust_report_via_plan_schedule(self):
         # The acceptance path `adapipe robustness` exercises: plan, build
         # the schedule, evaluate the cluster-implied perturbation — and

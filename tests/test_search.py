@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import ConfigError, ParallelConfig, TrainingConfig
+from repro.config import ParallelConfig, TrainingConfig
 from repro.core.search import (
     PlannerContext,
     enumerate_parallel_strategies,
