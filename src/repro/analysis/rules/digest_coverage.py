@@ -114,6 +114,46 @@ DEFAULT_CONTRACTS: Tuple[DigestContract, ...] = (
         ),
     ),
     DigestContract(
+        digest_path="core/robust.py",
+        digest_name="ensemble_digest",
+        # The ensemble cache key: one whole RobustnessReport per entry.
+        # The subject is (schedule, spec, draws, epsilon) rather than a
+        # single dataclass — schedule/spec content arrives through their
+        # own contracted digests above. The engine is deliberately not an
+        # input: batched and scalar paths are bit-equivalent (the tested
+        # invariant), so one entry serves all of them.
+        required_names=(
+            "schedule",
+            "spec",
+            "draws",
+            "criticality_epsilon",
+        ),
+    ),
+    DigestContract(
+        digest_path="pipeline/batched.py",
+        digest_name="shape_digest",
+        # The batch-grouping key of evaluate_robustness_many: schedules
+        # sharing it execute through ONE lowered DAG, so any shape input
+        # it missed would silently run one schedule under another's
+        # structure. Durations/activation bytes/weights are excluded by
+        # design — they never affect the execution plan — which is why
+        # this digest must never key a result cache (results DO depend
+        # on durations; ensemble_digest covers those via
+        # schedule.digest()).
+        required_names=(
+            "num_devices",
+            "hop_time",
+            "link_hops",
+            "device_tasks",
+            "key",
+            "deps",
+            "pipe",
+            "stage",
+            "micro_batch",
+            "kind",
+        ),
+    ),
+    DigestContract(
         digest_path="core/isomorphism.py",
         digest_name="evaluator_fingerprint",
         # The fingerprint's subject (a Profiler) is not a dataclass, so the

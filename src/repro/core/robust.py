@@ -23,29 +23,70 @@ Everything is deterministic: same spec + same schedule + same draw count
 produce an identical :class:`RobustnessReport`, which is what lets the
 report double as a regression artifact and lets the sweep rank plans by
 a robust objective (``repro.core.sweep`` with ``robust_objective``).
+
+Execution engines. By default the whole ensemble — nominal row, K jitter
+rows, the deterministic baseline and the p criticality bumps — is lowered
+into one ``(2 + K + p) x tasks`` duration matrix and swept through the
+batched vectorized executor (:mod:`repro.pipeline.batched`) in one numpy
+call: perturbations are pure duration/hop transforms, so the DAG is
+lowered once and only the numbers change per row (ALGORITHMS.md section
+11). The scalar per-draw path — ``perturb_schedule`` + ``simulate`` per
+ensemble member — is kept verbatim behind ``engine="compiled"`` /
+``engine="reference"`` as the bit-equivalence oracle: every batched
+report equals the scalar engines' report exactly (fuzz-pinned in
+``tests/test_batched.py``). Completed ensembles are cached whole in an
+:class:`EnsembleCache` keyed by :func:`ensemble_digest` — one lookup per
+report instead of K+p+2 per-draw ``SimulationCache`` probes.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import math
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.pipeline.perturb import PerturbationSpec, perturb_schedule
-from repro.pipeline.simulator import SimulationCache, simulate
+import numpy as np
+
+from repro.pipeline.batched import BatchedSchedule, batched_simulator, shape_digest
+from repro.pipeline.perturb import (
+    PerturbationSpec,
+    lower_spec_components,
+    lowered_link_hops,
+    perturb_schedule,
+)
+from repro.pipeline.simulator import (
+    _ENGINE_ENV,
+    SimulationCache,
+    simulate,
+    simulation_cache_disabled,
+)
 from repro.pipeline.tasks import Schedule
 
 __all__ = [
+    "ROBUST_ENGINES",
     "ROBUST_OBJECTIVES",
+    "EnsembleCache",
     "RobustnessReport",
     "cluster_perturbation",
+    "ensemble_digest",
     "evaluate_robustness",
+    "evaluate_robustness_many",
+    "global_ensemble_cache",
     "robust_metadata",
 ]
 
 #: Selectable ensemble statistics, in `--robust-objective` order.
 ROBUST_OBJECTIVES = ("nominal", "mean", "p95", "worst")
+
+#: Robustness execution paths: the batched vectorized sweep (default) and
+#: the two scalar simulator engines, kept as bit-equivalence oracles.
+#: ``REPRO_SIM_ENGINE=compiled|reference`` forces the scalar path here
+#: exactly as it selects the engine for ``simulate``.
+ROBUST_ENGINES = ("batched", "compiled", "reference")
 
 #: Relative factor bump used by the criticality finite difference.
 CRITICALITY_EPSILON = 0.25
@@ -177,36 +218,268 @@ def _deterministic_spec(spec: PerturbationSpec) -> PerturbationSpec:
     return dataclasses.replace(spec, jitter_sigma=0.0)
 
 
-def evaluate_robustness(
+def ensemble_digest(
     schedule: Schedule,
     spec: PerturbationSpec,
-    draws: int = 16,
-    *,
-    engine: Optional[str] = None,
-    cache: Union[SimulationCache, bool, None] = None,
+    draws: int,
     criticality_epsilon: float = CRITICALITY_EPSILON,
-) -> RobustnessReport:
-    """Run the perturbation ensemble and the criticality differences.
+) -> str:
+    """Content digest keying one whole robustness ensemble.
 
-    Args:
-        schedule: the nominal schedule under evaluation.
-        spec: the perturbation model. Draw ``k`` applies
-            ``spec.reseeded(k)``, so jitter re-draws per ensemble member
-            while factors/stalls/links stay fixed.
-        draws: ensemble size ``K``; 0 skips the ensemble (the statistics
-            then report the deterministic perturbed time).
-        engine / cache: forwarded to :func:`repro.pipeline.simulator.simulate`.
-        criticality_epsilon: relative bump for the finite difference.
-
-    Determinism: the report depends only on (schedule content, spec,
-    draws, epsilon) — property-tested in ``tests/test_robustness.py``.
+    Covers everything a :class:`RobustnessReport` depends on: the
+    schedule's full content digest, the spec's content digest, the draw
+    count and the criticality epsilon. The engine is deliberately
+    excluded — batched and scalar paths are bit-equivalent (the tested
+    invariant), so one cache entry serves all of them.
     """
+    payload = (
+        f"robust-ensemble-v1|{schedule.digest()}|{spec.content_digest()}"
+        f"|{draws}|{criticality_epsilon!r}"
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+class EnsembleCache:
+    """Cross-run memo of whole :class:`RobustnessReport` objects.
+
+    Keyed by :func:`ensemble_digest`; entries are evicted FIFO past
+    ``max_entries``. Reports are frozen dataclasses, so hits share the
+    stored object. One hit replaces the ``2 + K + p`` per-draw
+    ``SimulationCache`` lookups the scalar path performs.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self._entries: "OrderedDict[str, RobustnessReport]" = OrderedDict()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def get(self, digest: str) -> Optional[RobustnessReport]:
+        found = self._entries.get(digest)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, digest: str, report: RobustnessReport) -> None:
+        self._entries[digest] = report
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_GLOBAL_ENSEMBLE_CACHE = EnsembleCache()
+
+
+def global_ensemble_cache() -> EnsembleCache:
+    """The process-wide cache batched robustness consults by default."""
+    return _GLOBAL_ENSEMBLE_CACHE
+
+
+def _resolve_robust_engine(engine: Optional[str]) -> str:
+    engine = engine or os.environ.get(_ENGINE_ENV) or "batched"
+    if engine not in ROBUST_ENGINES:
+        raise ValueError(
+            f"unknown robustness engine {engine!r}; pick from {ROBUST_ENGINES}"
+        )
+    return engine
+
+
+def _resolve_ensemble_cache(
+    cache: Union[EnsembleCache, bool, None]
+) -> Optional[EnsembleCache]:
+    if cache is None:
+        if simulation_cache_disabled():
+            return None
+        return _GLOBAL_ENSEMBLE_CACHE
+    if cache is False:
+        return None
+    if cache is True:
+        return _GLOBAL_ENSEMBLE_CACHE
+    return cache  # an explicit EnsembleCache
+
+
+def _validate_ensemble_args(draws: int, criticality_epsilon: float) -> None:
     if draws < 0:
         raise ValueError(f"draws must be >= 0, got {draws}")
     if criticality_epsilon <= 0:
         raise ValueError(
             f"criticality epsilon must be > 0, got {criticality_epsilon}"
         )
+
+
+def _ensemble_rows(
+    raw: np.ndarray,
+    device: np.ndarray,
+    num_devices: int,
+    spec: PerturbationSpec,
+    factors: np.ndarray,
+    delays: np.ndarray,
+    draws: int,
+    jitters: Sequence[np.ndarray],
+    criticality_epsilon: float,
+) -> List[np.ndarray]:
+    """The ensemble's duration rows for one schedule's raw durations.
+
+    Fixed layout: ``[nominal, draw 0 .. draw K-1, deterministic base,
+    device-0 bump .. device-(p-1) bump]``. Every elementwise operation
+    replays the scalar transform's per-task float order (factor, then
+    jitter, then stall delay), so each row is bit-identical to the
+    durations of the equivalent ``perturb_schedule`` output.
+
+    ``jitters`` is empty when the spec draws no jitter — every ensemble
+    member then equals the deterministic base. The deterministic
+    components — ``factors``, ``delays`` and the ``raw * factors``
+    baseline — are computed once and shared across the K jitter rows and
+    the p criticality bumps (the scalar path rebuilt the baseline spec
+    per device).
+    """
+    has_delay = bool(delays.any())
+
+    def finish(durations: np.ndarray) -> np.ndarray:
+        return durations + delays if has_delay else durations
+
+    rows = [raw]
+    base = raw * factors
+    if jitters:
+        rows.extend(finish(base * jitter) for jitter in jitters)
+    else:
+        deterministic = finish(base)
+        rows.extend(deterministic for _ in range(draws))
+    rows.append(finish(base))
+    for d in range(num_devices):
+        bumped_factor = spec.factor_for(d) * (1.0 + criticality_epsilon)
+        bumped = factors.copy()
+        bumped[device == d] = bumped_factor
+        rows.append(finish(raw * bumped))
+    return rows
+
+
+def _execute_rows(
+    sim: BatchedSchedule,
+    matrix: np.ndarray,
+    link_hops: Optional[Dict[Tuple[int, int], float]],
+    nominal_rows: np.ndarray,
+) -> np.ndarray:
+    """Iteration times of the stacked ensemble rows.
+
+    ``nominal_rows`` marks the rows that run under the schedule's own
+    hop times; every other row uses the spec's perturbed ``link_hops``
+    mapping (when the spec degrades any link — otherwise one call
+    covers everything).
+    """
+    if link_hops is None:
+        return sim.iteration_times(matrix)
+    perturbed = np.ones(matrix.shape[0], dtype=bool)
+    perturbed[nominal_rows] = False
+    times = np.empty(matrix.shape[0], dtype=np.float64)
+    times[nominal_rows] = sim.iteration_times(matrix[nominal_rows])
+    times[perturbed] = sim.iteration_times(matrix[perturbed], link_hops=link_hops)
+    return times
+
+
+def _report_from_times(
+    spec: PerturbationSpec,
+    draws: int,
+    times: np.ndarray,
+    num_devices: int,
+    criticality_epsilon: float,
+) -> RobustnessReport:
+    """Assemble a report from one schedule's block of iteration times."""
+    nominal = float(times[0])
+    ensemble = tuple(float(t) for t in times[1:1 + draws])
+    base_time = float(times[1 + draws])
+    criticality = []
+    for d in range(num_devices):
+        bumped_time = float(times[2 + draws + d])
+        if base_time > 0:
+            criticality.append(
+                (bumped_time - base_time) / (criticality_epsilon * base_time)
+            )
+        else:
+            criticality.append(0.0)
+    return RobustnessReport(
+        spec=spec,
+        draws=draws,
+        nominal_time=nominal,
+        times=ensemble,
+        deterministic_time=base_time,
+        device_criticality=tuple(criticality),
+        criticality_epsilon=criticality_epsilon,
+    )
+
+
+def _evaluate_batched(
+    schedule: Schedule,
+    spec: PerturbationSpec,
+    draws: int,
+    criticality_epsilon: float,
+) -> RobustnessReport:
+    """One schedule's ensemble as a single batched sweep."""
+    sim = batched_simulator(schedule)
+    compiled = schedule.compiled()
+    base_spec = _deterministic_spec(spec)
+    factors, delays = lower_spec_components(compiled, base_spec)
+    sigma = spec.jitter_sigma
+    jitters = (
+        [sim.jitter_vector(spec.seed + k, sigma) for k in range(draws)]
+        if sigma
+        else []
+    )
+    rows = _ensemble_rows(
+        raw=sim.raw_durations,
+        device=np.asarray(compiled.device, dtype=np.intp),
+        num_devices=schedule.num_devices,
+        spec=base_spec,
+        factors=factors,
+        delays=delays,
+        draws=draws,
+        jitters=jitters,
+        criticality_epsilon=criticality_epsilon,
+    )
+    matrix = np.stack(rows)
+    times = _execute_rows(
+        sim,
+        matrix,
+        lowered_link_hops(spec, schedule),
+        nominal_rows=np.asarray([0], dtype=np.intp),
+    )
+    return _report_from_times(
+        spec, draws, times, schedule.num_devices, criticality_epsilon
+    )
+
+
+def _evaluate_scalar(
+    schedule: Schedule,
+    spec: PerturbationSpec,
+    draws: int,
+    *,
+    engine: Optional[str],
+    cache: Union[SimulationCache, bool, None],
+    criticality_epsilon: float,
+) -> RobustnessReport:
+    """The per-draw oracle path: perturb, re-lower and simulate each row.
+
+    Kept verbatim from the pre-batched implementation — this is the
+    semantics the batched sweep must reproduce bit-for-bit.
+    """
     nominal = simulate(schedule, engine=engine, cache=cache).iteration_time
     times = tuple(
         simulate(
@@ -244,6 +517,181 @@ def evaluate_robustness(
         device_criticality=tuple(criticality),
         criticality_epsilon=criticality_epsilon,
     )
+
+
+def evaluate_robustness(
+    schedule: Schedule,
+    spec: PerturbationSpec,
+    draws: int = 16,
+    *,
+    engine: Optional[str] = None,
+    cache: Union[EnsembleCache, SimulationCache, bool, None] = None,
+    criticality_epsilon: float = CRITICALITY_EPSILON,
+) -> RobustnessReport:
+    """Run the perturbation ensemble and the criticality differences.
+
+    Args:
+        schedule: the nominal schedule under evaluation.
+        spec: the perturbation model. Draw ``k`` applies
+            ``spec.reseeded(k)``, so jitter re-draws per ensemble member
+            while factors/stalls/links stay fixed.
+        draws: ensemble size ``K``; 0 skips the ensemble (the statistics
+            then report the deterministic perturbed time).
+        engine: one of :data:`ROBUST_ENGINES`; default (or
+            ``REPRO_SIM_ENGINE``) picks the batched vectorized sweep,
+            ``"compiled"`` / ``"reference"`` force the scalar per-draw
+            oracle through :func:`repro.pipeline.simulator.simulate`.
+        cache: batched path: an :class:`EnsembleCache`, ``None`` for the
+            process-global one (unless ``REPRO_SIM_CACHE`` disables it)
+            or ``False`` for none. Passing a
+            :class:`~repro.pipeline.simulator.SimulationCache` requests
+            per-draw caching semantics and therefore the scalar path.
+        criticality_epsilon: relative bump for the finite difference.
+
+    Determinism: the report depends only on (schedule content, spec,
+    draws, epsilon) — property-tested in ``tests/test_robustness.py`` —
+    and is bit-identical across every engine (``tests/test_batched.py``).
+    """
+    _validate_ensemble_args(draws, criticality_epsilon)
+    resolved = _resolve_robust_engine(engine)
+    if resolved != "batched" or isinstance(cache, SimulationCache):
+        scalar_engine = None if resolved == "batched" else resolved
+        return _evaluate_scalar(
+            schedule,
+            spec,
+            draws,
+            engine=scalar_engine,
+            cache=cache,
+            criticality_epsilon=criticality_epsilon,
+        )
+    ens_cache = _resolve_ensemble_cache(cache)
+    digest = None
+    if ens_cache is not None:
+        digest = ensemble_digest(schedule, spec, draws, criticality_epsilon)
+        found = ens_cache.get(digest)
+        if found is not None:
+            return found
+    report = _evaluate_batched(schedule, spec, draws, criticality_epsilon)
+    if ens_cache is not None and digest is not None:
+        ens_cache.put(digest, report)
+    return report
+
+
+def evaluate_robustness_many(
+    schedules: Sequence[Schedule],
+    spec: PerturbationSpec,
+    draws: int = 16,
+    *,
+    engine: Optional[str] = None,
+    cache: Union[EnsembleCache, SimulationCache, bool, None] = None,
+    criticality_epsilon: float = CRITICALITY_EPSILON,
+) -> List[RobustnessReport]:
+    """:func:`evaluate_robustness` for many schedules, batched by shape.
+
+    Candidate plans in a robust sweep build schedules that differ only in
+    task durations — same policy, same device count, same micro-batch
+    count, hence the same DAG. Schedules sharing a
+    :func:`~repro.pipeline.batched.shape_digest` are grouped and their
+    ensembles stacked into one duration matrix executed through a single
+    :class:`~repro.pipeline.batched.BatchedSchedule`, which also shares
+    the spec lowering (factors, stall delays, jitter vectors) across the
+    whole group. Reports equal per-schedule :func:`evaluate_robustness`
+    results exactly.
+    """
+    schedules = list(schedules)
+    _validate_ensemble_args(draws, criticality_epsilon)
+    resolved = _resolve_robust_engine(engine)
+    if resolved != "batched" or isinstance(cache, SimulationCache):
+        scalar_engine = None if resolved == "batched" else resolved
+        return [
+            _evaluate_scalar(
+                schedule,
+                spec,
+                draws,
+                engine=scalar_engine,
+                cache=cache,
+                criticality_epsilon=criticality_epsilon,
+            )
+            for schedule in schedules
+        ]
+
+    ens_cache = _resolve_ensemble_cache(cache)
+    reports: List[Optional[RobustnessReport]] = [None] * len(schedules)
+    digests: List[Optional[str]] = [None] * len(schedules)
+    groups: "OrderedDict[str, List[int]]" = OrderedDict()
+    for i, schedule in enumerate(schedules):
+        if ens_cache is not None:
+            digests[i] = ensemble_digest(
+                schedule, spec, draws, criticality_epsilon
+            )
+            found = ens_cache.get(digests[i])
+            if found is not None:
+                reports[i] = found
+                continue
+        groups.setdefault(shape_digest(schedule.compiled()), []).append(i)
+
+    sigma = spec.jitter_sigma
+    for members in groups.values():
+        first = schedules[members[0]]
+        sim = batched_simulator(first)
+        compiled = first.compiled()
+        num_devices = first.num_devices
+        base_spec = _deterministic_spec(spec)
+        factors, delays = lower_spec_components(compiled, base_spec)
+        jitters = (
+            [sim.jitter_vector(spec.seed + k, sigma) for k in range(draws)]
+            if sigma
+            else []
+        )
+        device = np.asarray(compiled.device, dtype=np.intp)
+        link_hops = lowered_link_hops(spec, first)
+        block = 2 + draws + num_devices
+        rows: List[np.ndarray] = []
+        for i in members:
+            # Same shape => same task enumeration order; only the raw
+            # duration numbers differ per member (no re-lowering).
+            if schedules[i] is first:
+                raw = sim.raw_durations
+            else:
+                raw = np.array(
+                    [
+                        task.duration
+                        for tasks in schedules[i].device_tasks
+                        for task in tasks
+                    ],
+                    dtype=np.float64,
+                )
+            rows.extend(
+                _ensemble_rows(
+                    raw=raw,
+                    device=device,
+                    num_devices=num_devices,
+                    spec=base_spec,
+                    factors=factors,
+                    delays=delays,
+                    draws=draws,
+                    jitters=jitters,
+                    criticality_epsilon=criticality_epsilon,
+                )
+            )
+        matrix = np.stack(rows)
+        nominal_rows = np.arange(len(members), dtype=np.intp) * block
+        times = _execute_rows(sim, matrix, link_hops, nominal_rows)
+        for slot, i in enumerate(members):
+            report = _report_from_times(
+                spec,
+                draws,
+                times[slot * block:(slot + 1) * block],
+                num_devices,
+                criticality_epsilon,
+            )
+            reports[i] = report
+            digest = digests[i]
+            if ens_cache is not None and digest is not None:
+                ens_cache.put(digest, report)
+    # Every index either hit the cache or belongs to exactly one group.
+    assert all(report is not None for report in reports)
+    return reports  # type: ignore[return-value]
 
 
 def cluster_perturbation(

@@ -44,7 +44,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 from repro.config import ParallelConfig, TrainingConfig
 from repro.core.isomorphism import StageEvalCache
 from repro.core.plan import PipelinePlan
-from repro.core.robust import ROBUST_OBJECTIVES, evaluate_robustness, robust_metadata
+from repro.core.robust import (
+    ROBUST_OBJECTIVES,
+    evaluate_robustness_many,
+    robust_metadata,
+)
 from repro.core.search import PlannerContext, enumerate_parallel_strategies, plan_adapipe
 from repro.core.serialize import plan_from_dict, plan_to_dict
 from repro.hardware.cluster import ClusterSpec
@@ -484,21 +488,30 @@ def run_sweep(
         # ensemble: each feasible plan's schedule runs under the spec's
         # K draws and the configured statistic (per sample) replaces the
         # nominal modelled time as the selection key. Every evaluated
-        # plan keeps the ensemble's summary in its metadata.
+        # plan keeps the ensemble's summary in its metadata. All
+        # ensembles go through evaluate_robustness_many, so candidate
+        # schedules sharing a shape (same policy/devices/micro-batches,
+        # different stage durations) execute as one batched sweep with a
+        # single DAG lowering (ALGORITHMS.md section 11).
         from repro.core.evaluate import build_schedule_for_plan
 
         best, best_key = None, None
-        for index in sorted(plans_by_index):
-            plan = plans_by_index[index]
-            if _per_sample_time(plan) is None:
-                continue
-            schedule = build_schedule_for_plan(
-                plan, cluster, config.robust_schedule_kind
+        indices = [
+            index
+            for index in sorted(plans_by_index)
+            if _per_sample_time(plans_by_index[index]) is not None
+        ]
+        schedules = [
+            build_schedule_for_plan(
+                plans_by_index[index], cluster, config.robust_schedule_kind
             )
-            report = evaluate_robustness(
-                schedule, config.perturbation, config.robust_draws
-            )
-            plan = plan.with_metadata(
+            for index in indices
+        ]
+        reports = evaluate_robustness_many(
+            schedules, config.perturbation, config.robust_draws
+        )
+        for index, report in zip(indices, reports):
+            plan = plans_by_index[index].with_metadata(
                 robust_objective=config.robust_objective,
                 **robust_metadata(report),
             )

@@ -182,6 +182,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     robust.add_argument("--draws", type=int, default=16,
                         help="perturbation ensemble size")
+    robust.add_argument(
+        "--engine", default=None,
+        choices=["batched", "compiled", "reference"],
+        help="ensemble execution path: the batched vectorized sweep "
+             "(default) or a scalar per-draw oracle engine",
+    )
     robust.add_argument("--sigma", type=float, default=0.05,
                         help="lognormal per-task jitter sigma")
     robust.add_argument("--seed", type=int, default=0, help="jitter base seed")
@@ -267,7 +273,7 @@ def _robust_select(args, cluster, feasible, nominal_strategy):
     from repro.core.evaluate import build_schedule_for_plan
     from repro.core.robust import (
         cluster_perturbation,
-        evaluate_robustness,
+        evaluate_robustness_many,
         robust_metadata,
     )
 
@@ -275,16 +281,33 @@ def _robust_select(args, cluster, feasible, nominal_strategy):
     factors = _parse_device_factors(args.robust_device_factor, num_ranks)
     if factors is not None:
         cluster = cluster.with_device_factors(factors)
-    best = best_strategy = best_key = None
-    for strategy, evaluation in feasible:
-        schedule = build_schedule_for_plan(evaluation.plan, cluster, "1f1b")
+    # The perturbation spec depends only on the pipeline width, so
+    # strategies sharing one width share a spec and batch-evaluate
+    # through evaluate_robustness_many (one vectorized sweep per shape).
+    schedules = [
+        build_schedule_for_plan(evaluation.plan, cluster, "1f1b")
+        for _, evaluation in feasible
+    ]
+    by_width = {}
+    for position, schedule in enumerate(schedules):
+        by_width.setdefault(schedule.num_devices, []).append(position)
+    reports = [None] * len(feasible)
+    for width, positions in sorted(by_width.items()):
         pert = cluster_perturbation(
             cluster,
-            schedule.num_devices,
+            width,
             jitter_sigma=args.robust_sigma,
             seed=args.robust_seed,
         )
-        report = evaluate_robustness(schedule, pert, args.robust_draws)
+        width_reports = evaluate_robustness_many(
+            [schedules[position] for position in positions],
+            pert,
+            args.robust_draws,
+        )
+        for position, report in zip(positions, width_reports):
+            reports[position] = report
+    best = best_strategy = best_key = None
+    for (strategy, evaluation), report in zip(feasible, reports):
         evaluation = dataclasses.replace(
             evaluation,
             plan=evaluation.plan.with_metadata(
@@ -477,7 +500,7 @@ def _cmd_robustness(args) -> int:
     pert = cluster_perturbation(
         cluster, schedule.num_devices, jitter_sigma=args.sigma, seed=args.seed
     )
-    report = evaluate_robustness(schedule, pert, args.draws)
+    report = evaluate_robustness(schedule, pert, args.draws, engine=args.engine)
     print(f"schedule: {args.schedule}, {schedule.num_devices} pipeline ranks")
     print(report.describe())
     worst = report.most_critical_device()

@@ -88,17 +88,27 @@ def _check_knapsack() -> CheckResult:
 
 
 def _check_phase_model() -> CheckResult:
+    from repro.pipeline.batched import batched_simulator
     from repro.pipeline.schedules import one_f_one_b_schedule
     from repro.pipeline.simulator import simulate
     from repro.pipeline.tasks import StageCosts
 
     worst = 0.0
+    batched_exact = True
     for p, n, f, b in ((2, 4, 1.0, 2.0), (4, 12, 0.7, 1.4), (8, 8, 1.0, 2.5)):
         costs = [StageCosts(forward=f, backward=b) for _ in range(p)]
-        simulated = simulate(one_f_one_b_schedule(costs, n)).iteration_time
+        schedule = one_f_one_b_schedule(costs, n)
+        simulated = simulate(schedule).iteration_time
+        sim = batched_simulator(schedule)
+        batched = float(sim.iteration_times(sim.raw_durations)[0])
+        batched_exact = batched_exact and batched == simulated
         modeled = (n + p - 1) * (f + b)
         worst = max(worst, abs(simulated - modeled) / modeled)
-    return ("1F1B phase model vs simulator", worst < 1e-9, f"max rel gap {worst:.2e}")
+    ok = worst < 1e-9 and batched_exact
+    detail = f"max rel gap {worst:.2e}, batched sweep " + (
+        "bit-exact" if batched_exact else "MISMATCH"
+    )
+    return ("1F1B phase model vs simulator", ok, detail)
 
 
 def _check_memory_model() -> CheckResult:

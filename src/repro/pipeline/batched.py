@@ -1,0 +1,330 @@
+"""Batched vectorized simulation: lower once, execute K duration vectors.
+
+The scalar engines walk a ready queue task-by-task for every simulation.
+Robustness ensembles (``repro.core.robust``) and robust-objective sweeps
+(``repro.core.sweep``) run ``1 + K + p + 1`` simulations whose schedules
+differ *only in task durations and hop addends* — the DAG is frozen by
+the perturbation contract (ALGORITHMS.md section 9). This module exploits
+that: lower the DAG once, then execute any number of duration vectors as
+one numpy sweep (the lower-once/execute-many idiom of ngraph's numpy
+transformer).
+
+Why this is exact, not approximate (ALGORITHMS.md section 11):
+
+* Both scalar engines evaluate the longest-path recurrence
+  ``finish[i] = max(0, max_j(finish[j] + add_ij)) + dur[i]`` over the
+  task's unique in-edges (dependency edges plus the implicit
+  device-order edge). ``max`` over IEEE-754 doubles selects one operand
+  bit-for-bit and is commutative/associative, and each task's finish
+  depends only on its predecessors' finishes — so *any* topological
+  order yields bit-identical floats to the ready-queue discovery order.
+  The executor therefore precomputes one Kahn order
+  (:meth:`CompiledSchedule.topological_order`), groups tasks into
+  dependency levels, and evaluates each level for all K duration rows
+  at once with ``np.maximum.reduceat`` / ``add`` over flattened edge
+  arrays. Elementwise float64 numpy arithmetic is the same IEEE double
+  arithmetic the scalar engines perform, in the same per-task operand
+  order, hence bit-identical iteration times (fuzz-pinned in
+  ``tests/test_batched.py``).
+
+* Batched rows carry no memory tracking: per-device memory events occur
+  in device list order regardless of durations, so peak bytes are
+  invariant under pure duration/hop transforms (ALGORITHMS.md section
+  8). The nominal scalar simulation already reports the peaks valid for
+  every row.
+
+The public surface is :func:`batched_simulator` (a per-``Schedule`` memo
+of :class:`BatchedSchedule`, mirroring ``Schedule.compiled``) and
+:func:`shape_digest` (groups schedules that may share one lowering —
+what robust sweeps key their batches by).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.pipeline.compiled import CompiledSchedule
+from repro.pipeline.perturb import jitter_multiplier
+from repro.pipeline.tasks import Schedule
+
+__all__ = [
+    "BatchedSchedule",
+    "batched_simulator",
+    "shape_digest",
+]
+
+#: Jitter vectors memoized per BatchedSchedule ((seed, sigma) -> vector).
+#: Each entry is num_tasks float64s; 1024 of them bound the memo at a few
+#: MB for the largest schedules the sweeps build.
+_JITTER_MEMO_LIMIT = 1024
+
+
+def shape_digest(compiled: CompiledSchedule) -> str:
+    """Digest of everything the batched executor lowers — except durations.
+
+    Two schedules with equal shape digests share task identities, device
+    assignment, dependency structure, per-device order, hop time and link
+    overrides, so one :class:`BatchedSchedule` built from either executes
+    duration vectors of both (and their spec lowerings — factors, stall
+    delays, jitter vectors — coincide). Task durations, activation bytes
+    and weights are deliberately excluded: none of them affect the
+    execution plan or the iteration-time recurrence.
+
+    This digest keys *batch grouping only*; result caching uses the full
+    content digests (``schedule.digest()`` × spec) — see
+    ``repro.core.robust.ensemble_digest``.
+    """
+    cached = getattr(compiled, "_shape_digest", None)
+    if cached is not None:
+        return cached
+    schedule = compiled.schedule
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(f"batch-shape-v1|{schedule.num_devices}|{schedule.hop_time!r}".encode())
+    for pair, hop in sorted((schedule.link_hops or {}).items()):
+        hasher.update(f"|L{pair[0]}>{pair[1]}:{hop!r}".encode())
+    for device, tasks in enumerate(schedule.device_tasks):
+        hasher.update(f"|d{device}:{len(tasks)}".encode())
+        for task in tasks:
+            key = task.key
+            hasher.update(
+                f"|t{key.pipe},{key.stage},{key.micro_batch},{key.kind.value}".encode()
+            )
+            for dep in task.deps:
+                hasher.update(
+                    f"<{dep.pipe},{dep.stage},{dep.micro_batch},{dep.kind.value}".encode()
+                )
+    digest = hasher.hexdigest()
+    compiled._shape_digest = digest  # type: ignore[attr-defined]  # per-instance memo
+    return digest
+
+
+class BatchedSchedule:
+    """One schedule's DAG lowered into a level-wavefront execution plan.
+
+    Construction performs the one-time work: a Kahn topological order,
+    dependency levels, and per-level flattened in-edge arrays (predecessor
+    indices, edge ids into the global addend vector, and segment starts
+    for ``np.maximum.reduceat``). Execution then touches only numpy
+    reductions, whatever the number of duration rows.
+
+    Raises:
+        SimulationError: at construction, when the dependency graph has a
+            cycle (via :meth:`CompiledSchedule.topological_order`).
+    """
+
+    def __init__(self, compiled: CompiledSchedule) -> None:
+        self.compiled = compiled
+        schedule = compiled.schedule
+        n = compiled.num_tasks
+        self.num_tasks = n
+        self._hop_time = schedule.hop_time
+
+        order = compiled.topological_order()
+
+        # In-edges per task, rebuilt from the CSR out-edge arrays. Each
+        # in-edge keeps its global edge id so hop-addend overrides index
+        # one flat vector.
+        pred_of: List[List[int]] = [[] for _ in range(n)]
+        eid_of: List[List[int]] = [[] for _ in range(n)]
+        succ_ptr, succ_idx = compiled.succ_ptr, compiled.succ_idx
+        for j in range(n):
+            for e in range(succ_ptr[j], succ_ptr[j + 1]):
+                i = succ_idx[e]
+                pred_of[i].append(j)
+                eid_of[i].append(e)
+
+        # Dependency levels: level[i] = 1 + max(level of predecessors).
+        # Tasks in one level have no edges among themselves, so a level is
+        # evaluated as one wavefront.
+        level = [0] * n
+        depth = 0
+        for i in order:
+            preds = pred_of[i]
+            if preds:
+                level[i] = 1 + max(level[j] for j in preds)
+                if level[i] > depth:
+                    depth = level[i]
+        self.num_levels = depth + 1 if n else 0
+
+        by_level: List[List[int]] = [[] for _ in range(self.num_levels)]
+        for i in range(n):
+            by_level[level[i]].append(i)
+        self._level0 = np.asarray(by_level[0] if by_level else [], dtype=np.intp)
+
+        # Per level >= 1: task indices, flattened predecessor/edge-id
+        # arrays and reduceat segment starts.
+        plan: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        for tasks in by_level[1:]:
+            preds_flat: List[int] = []
+            eids_flat: List[int] = []
+            seg: List[int] = []
+            for i in tasks:
+                seg.append(len(preds_flat))
+                preds_flat.extend(pred_of[i])
+                eids_flat.extend(eid_of[i])
+            plan.append((
+                np.asarray(tasks, dtype=np.intp),
+                np.asarray(preds_flat, dtype=np.intp),
+                np.asarray(eids_flat, dtype=np.intp),
+                np.asarray(seg, dtype=np.intp),
+            ))
+        self._plan = plan
+
+        # Global edge addends (base = the schedule's own hops), plus the
+        # edge ids of every cross-device link for hop overrides.
+        self._base_add = np.asarray(compiled.succ_add, dtype=np.float64)
+        self._base_add.flags.writeable = False
+        device = compiled.device
+        link_edges: Dict[Tuple[int, int], List[int]] = {}
+        for j in range(n):
+            for e in range(succ_ptr[j], succ_ptr[j + 1]):
+                i = succ_idx[e]
+                if device[j] != device[i]:
+                    link_edges.setdefault((device[j], device[i]), []).append(e)
+        self._link_edges: List[Tuple[Tuple[int, int], np.ndarray]] = [
+            (pair, np.asarray(eids, dtype=np.intp))
+            for pair, eids in sorted(link_edges.items())
+        ]
+
+        # Addend columns per level for the base mapping, precomputed (the
+        # common case: no degraded links).
+        self._base_addcols = [
+            np.ascontiguousarray(self._base_add[eids][:, np.newaxis])
+            for _, _, eids, _ in plan
+        ]
+
+        self._device_last = np.asarray(
+            [i for i in compiled.device_last if i >= 0], dtype=np.intp
+        )
+        self._raw_durations = np.asarray(compiled.duration, dtype=np.float64)
+        self._raw_durations.flags.writeable = False
+        self._jitter_memo: "OrderedDict[Tuple[int, float], np.ndarray]" = OrderedDict()
+
+    @property
+    def raw_durations(self) -> np.ndarray:
+        """The schedule's own per-task durations (read-only float64)."""
+        return self._raw_durations
+
+    @property
+    def shape_digest(self) -> str:
+        """See :func:`shape_digest`."""
+        return shape_digest(self.compiled)
+
+    def jitter_vector(self, seed: int, sigma: float) -> np.ndarray:
+        """Per-task jitter multipliers of one ensemble draw (memoized).
+
+        Elementwise :func:`repro.pipeline.perturb.jitter_multiplier` —
+        the draw depends only on ``(seed, task key, sigma)``, never on
+        durations, which is what makes the vector legitimate lowering
+        state: it is shared across repeated ensembles and across every
+        schedule with this schedule's shape. The memo is FIFO-bounded
+        and entries are returned read-only.
+        """
+        if sigma == 0.0:
+            return np.ones(self.num_tasks, dtype=np.float64)
+        memo_key = (seed, sigma)
+        vector = self._jitter_memo.get(memo_key)
+        if vector is None:
+            vector = np.array(
+                [
+                    jitter_multiplier(seed, key, sigma)
+                    for key in self.compiled.keys
+                ],
+                dtype=np.float64,
+            )
+            vector.flags.writeable = False
+            if len(self._jitter_memo) >= _JITTER_MEMO_LIMIT:
+                self._jitter_memo.popitem(last=False)
+            self._jitter_memo[memo_key] = vector
+        return vector
+
+    def _addend_columns(
+        self, link_hops: Optional[Dict[Tuple[int, int], float]]
+    ) -> List[np.ndarray]:
+        if link_hops is None:
+            return self._base_addcols
+        add = np.array(self._base_add)
+        hop = self._hop_time
+        for pair, eids in self._link_edges:
+            add[eids] = link_hops.get(pair, hop)
+        return [add[eids][:, np.newaxis] for _, _, eids, _ in self._plan]
+
+    def _sweep(
+        self,
+        durations: np.ndarray,
+        link_hops: Optional[Dict[Tuple[int, int], float]],
+    ) -> np.ndarray:
+        """Finish times of every task for every duration row: ``(n, R)``."""
+        dur = np.asarray(durations, dtype=np.float64)
+        if dur.ndim == 1:
+            dur = dur[np.newaxis, :]
+        if dur.ndim != 2 or dur.shape[1] != self.num_tasks:
+            raise ValueError(
+                f"duration matrix must be (rows, {self.num_tasks}), "
+                f"got shape {dur.shape}"
+            )
+        rows = dur.shape[0]
+        durT = np.ascontiguousarray(dur.T)
+        finish = np.empty((self.num_tasks, rows), dtype=np.float64)
+        if self._level0.size:
+            # Ready time 0.0; finish = duration.
+            finish[self._level0] = durT[self._level0]
+        addcols = self._addend_columns(link_hops)
+        for (tasks, preds, _eids, seg), addcol in zip(self._plan, addcols):
+            candidates = finish[preds] + addcol
+            ready = np.maximum.reduceat(candidates, seg, axis=0)
+            # The scalar engines seed every ready time at 0.0 before
+            # folding in dependency candidates; keep that exact floor.
+            np.maximum(ready, 0.0, out=ready)
+            finish[tasks] = ready + durT[tasks]
+        return finish
+
+    def finish_matrix(
+        self,
+        durations: np.ndarray,
+        link_hops: Optional[Dict[Tuple[int, int], float]] = None,
+    ) -> np.ndarray:
+        """Per-task finish times, one row per duration vector: ``(R, n)``.
+
+        Row ``r``, column ``i`` equals the scalar engines' end time of
+        task ``i`` under duration vector ``r`` (and, when given, the
+        ``link_hops`` hop overrides), bit for bit.
+        """
+        return np.ascontiguousarray(self._sweep(durations, link_hops).T)
+
+    def iteration_times(
+        self,
+        durations: np.ndarray,
+        link_hops: Optional[Dict[Tuple[int, int], float]] = None,
+    ) -> np.ndarray:
+        """Iteration time of every duration row: ``(R,)``.
+
+        Accepts a single ``(n,)`` vector (returning shape ``(1,)``) or an
+        ``(R, n)`` matrix. ``link_hops`` overrides the hop addend of every
+        cross-device edge, exactly like a perturbed schedule's
+        ``link_hops`` mapping — absent links fall back to the schedule's
+        ``hop_time``.
+        """
+        finish = self._sweep(durations, link_hops)
+        if self._device_last.size == 0:
+            return np.zeros(finish.shape[1], dtype=np.float64)
+        times = finish[self._device_last].max(axis=0)
+        np.maximum(times, 0.0, out=times)
+        return times
+
+
+def batched_simulator(schedule: Schedule) -> BatchedSchedule:
+    """The schedule's batched executor, built once (memoized).
+
+    Mirrors :meth:`Schedule.compiled`: the lowering assumes
+    ``device_tasks`` is not mutated afterwards.
+    """
+    cached = getattr(schedule, "_batched", None)
+    if cached is None:
+        cached = BatchedSchedule(schedule.compiled())
+        schedule._batched = cached  # type: ignore[attr-defined]  # per-instance memo
+    return cached

@@ -29,7 +29,7 @@ already lowered.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.pipeline.tasks import Schedule, Task, TaskKey, TaskKind
 
@@ -100,6 +100,52 @@ class CompiledSchedule:
     def num_tasks(self) -> int:
         return len(self.tasks)
 
+    def topological_order(self) -> List[int]:
+        """One topological order over all edges, computed once (memoized).
+
+        A single Kahn pass over the CSR arrays (``indegree`` /
+        ``succ_ptr`` / ``succ_idx``). The batched executor precomputes
+        its level-wavefront execution plan from this order; the scalar
+        engines never need it (their ready queue discovers an order
+        dynamically). The traversal is fixed, so the order is
+        deterministic — but no consumer may depend on *which* valid
+        order is returned: the longest-path recurrence the engines
+        evaluate is order-independent (ALGORITHMS.md section 11).
+
+        Raises:
+            SimulationError: when the dependency graph has a cycle (the
+                same schedules the scalar engines report as deadlocked).
+        """
+        cached = getattr(self, "_topo_order", None)
+        if cached is None:
+            indegree = list(self.indegree)
+            frontier = [i for i in range(self.num_tasks) if indegree[i] == 0]
+            order: List[int] = []
+            cursor = 0
+            frontier.sort()
+            while cursor < len(frontier):
+                i = frontier[cursor]
+                cursor += 1
+                order.append(i)
+                for e in range(self.succ_ptr[i], self.succ_ptr[i + 1]):
+                    j = self.succ_idx[e]
+                    indegree[j] -= 1
+                    if indegree[j] == 0:
+                        frontier.append(j)
+            if len(order) != self.num_tasks:
+                stuck = [
+                    str(self.keys[i])
+                    for i in range(self.num_tasks)
+                    if indegree[i] > 0
+                ]
+                raise SimulationError(
+                    "schedule deadlocked (dependency cycle); unfinished: "
+                    + ", ".join(stuck[:8])
+                    + ("..." if len(stuck) > 8 else "")
+                )
+            self._topo_order = cached = order  # type: ignore[attr-defined]
+        return cached
+
     def validate_twins(self) -> None:
         """Check every forward has a same-device backward twin (the
         structural guarantee ``Schedule.validate`` promises)."""
@@ -145,13 +191,20 @@ def compile_schedule(schedule: Schedule) -> CompiledSchedule:
     link_hops = schedule.link_hops or {}
 
     for i, task in enumerate(tasks):
+        # Duplicate deps must not double-count indegree. The filter keeps
+        # first-seen edge order (it feeds `dep_indices` and the CSR edge
+        # layout) but tests membership against a set — lists made this
+        # O(deps^2) per task, which bites schedules with heavily repeated
+        # dependency keys.
         seen: List[int] = []
+        seen_set: Set[int] = set()
         for dep in task.deps:
             j = index.get(dep)
             if j is None:
                 raise SimulationError(f"{task.key} depends on missing task {dep}")
-            if j in seen:  # duplicate deps must not double-count indegree
+            if j in seen_set:
                 continue
+            seen_set.add(j)
             seen.append(j)
             if device[j] != device[i]:
                 add = link_hops.get((device[j], device[i]), hop) if link_hops else hop

@@ -43,15 +43,23 @@ import hashlib
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.pipeline.tasks import Schedule, TaskKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.pipeline.compiled import CompiledSchedule
 
 __all__ = [
     "LinkDegradation",
     "PerturbationSpec",
     "TransientStall",
     "jitter_multiplier",
+    "lower_spec_components",
+    "lower_spec_durations",
+    "lowered_link_hops",
     "perturb_schedule",
 ]
 
@@ -302,3 +310,93 @@ def perturb_schedule(schedule: Schedule, spec: PerturbationSpec) -> Schedule:
         num_micro_batches=schedule.num_micro_batches,
         link_hops=_link_hops(spec, schedule) if spec.links else schedule.link_hops,
     )
+
+
+# ---------------------------------------------------------------------------
+# Duration-only lowering: a spec as vectors against a compiled schedule.
+#
+# The batched engine (repro.pipeline.batched) never materialises perturbed
+# Schedule objects. These helpers map a spec straight onto the task arrays of
+# an existing CompiledSchedule, and are contractually bit-identical to what
+# perturb_schedule would have produced: every elementwise float64 operation
+# below is IEEE-754 double arithmetic, exactly the operation (and operation
+# *order*) the scalar transform performs per task — multiply by the device
+# factor, then by the jitter multiplier, then add the stall delay. The fuzz
+# suite in tests/test_batched.py pins the equivalence.
+# ---------------------------------------------------------------------------
+
+
+def lower_spec_components(
+    compiled: "CompiledSchedule", spec: PerturbationSpec
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The spec's deterministic per-task vectors: ``(factors, delays)``.
+
+    ``factors[i]`` is the slowdown factor of task ``i``'s device and
+    ``delays[i]`` the summed stall delay landing on the task's position —
+    everything in the spec except jitter and link degradations, which are
+    keyed by seed and link rather than task. Both vectors depend only on
+    the schedule's *shape* (device assignment and per-device positions),
+    never on durations, so batched sweeps share them across every
+    schedule with the same shape digest.
+
+    Raises:
+        ValueError: when a stall targets a device the schedule does not
+            have (matching :func:`perturb_schedule`).
+    """
+    schedule = compiled.schedule
+    num_tasks = compiled.num_tasks
+    factor_by_device = np.array(
+        [spec.factor_for(d) for d in range(schedule.num_devices)],
+        dtype=np.float64,
+    )
+    factors = factor_by_device[np.asarray(compiled.device, dtype=np.intp)]
+    delays = np.zeros(num_tasks, dtype=np.float64)
+    if spec.stalls:
+        stall_map = _stall_delays(spec, schedule.num_devices)
+        base = 0
+        for device, tasks in enumerate(schedule.device_tasks):
+            per_device = stall_map.get(device)
+            if per_device:
+                for position, delay in per_device.items():
+                    if position < len(tasks):
+                        delays[base + position] = delay
+            base += len(tasks)
+    return factors, delays
+
+
+def lower_spec_durations(
+    compiled: "CompiledSchedule", spec: PerturbationSpec
+) -> np.ndarray:
+    """``spec`` lowered to the perturbed per-task duration vector.
+
+    Bit-identical to the durations ``perturb_schedule(schedule, spec)``
+    would write, without building any ``Task`` or ``Schedule`` objects.
+    """
+    factors, delays = lower_spec_components(compiled, spec)
+    durations = np.asarray(compiled.duration, dtype=np.float64) * factors
+    if spec.jitter_sigma:
+        jitter = np.array(
+            [
+                jitter_multiplier(spec.seed, key, spec.jitter_sigma)
+                for key in compiled.keys
+            ],
+            dtype=np.float64,
+        )
+        durations = durations * jitter
+    if delays.any():
+        durations = durations + delays
+    return durations
+
+
+def lowered_link_hops(
+    spec: PerturbationSpec, schedule: Schedule
+) -> Optional[Dict[Tuple[int, int], float]]:
+    """The ``link_hops`` mapping a perturbed schedule would carry.
+
+    ``None`` means the spec leaves hop times untouched (no degraded
+    links) — the batched executor then keeps its precompiled edge
+    addends instead of overriding them.
+    """
+    if not spec.links:
+        return None
+    return _link_hops(spec, schedule)

@@ -32,6 +32,14 @@ The cache is keyed by :func:`schedule_digest` — schedule *content*, not
 identity — plus the engine name, and can be disabled with ``cache=False``
 or ``REPRO_SIM_CACHE=0``. Cached results share their timing/memory
 structures; treat :class:`SimulationResult` as read-only.
+
+A third execution path lives in :mod:`repro.pipeline.batched`: many
+duration vectors over one unchanged DAG, swept as a single numpy matrix.
+It is not an engine here (it answers iteration times, not full
+:class:`SimulationResult` objects) but is bit-equivalent to both scalar
+engines row by row; robustness ensembles run on it by default
+(``repro.core.robust``). Its ensemble-level cache honours the same
+``REPRO_SIM_CACHE`` switch via :func:`simulation_cache_disabled`.
 """
 
 from __future__ import annotations
@@ -55,6 +63,7 @@ __all__ = [
     "simulate",
     "simulate_reference",
     "simulate_with_info",
+    "simulation_cache_disabled",
 ]
 
 ENGINES = ("compiled", "reference")
@@ -224,11 +233,18 @@ def _resolve_engine(engine: Optional[str]) -> str:
     return engine
 
 
+def simulation_cache_disabled() -> bool:
+    """True when ``REPRO_SIM_CACHE`` disables digest-keyed caching
+    process-wide — honoured by this module's :class:`SimulationCache`
+    default and by the ensemble cache in ``repro.core.robust``."""
+    return os.environ.get(_CACHE_ENV, "").lower() in ("0", "off", "false")
+
+
 def _resolve_cache(
     cache: Union[SimulationCache, bool, None]
 ) -> Optional[SimulationCache]:
     if cache is None:
-        if os.environ.get(_CACHE_ENV, "").lower() in ("0", "off", "false"):
+        if simulation_cache_disabled():
             return None
         return _GLOBAL_CACHE
     if cache is False:

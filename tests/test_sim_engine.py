@@ -390,3 +390,60 @@ class TestLoweringMemoization:
     def _make():
         costs = [StageCosts(forward=1.0, backward=2.0) for _ in range(2)]
         return one_f_one_b_schedule(costs, 4)
+
+
+class TestDuplicateDependencies:
+    """compile_schedule's duplicate-dep filter: set-backed, order-stable.
+
+    The filter used to test membership against a list — O(deps^2) per
+    task. The set-backed replacement must keep the exact same semantics:
+    duplicates are dropped, first-seen order is preserved (it fixes the
+    CSR edge layout), and indegrees count unique dependencies once.
+    """
+
+    def _many_duplicates_schedule(self, copies=200):
+        # One backward depending on the same three forwards `copies`
+        # times each, interleaved so first-seen order (f0, f1, f2) is
+        # established by the leading occurrences.
+        fwd_keys = [TaskKey(0, 0, m, TaskKind.FORWARD) for m in range(3)]
+        deps = tuple(fwd_keys) + tuple(
+            fwd_keys[m % 3] for m in range(3 * copies)
+        )
+        tasks = [
+            Task(key=key, device=0, duration=1.0) for key in fwd_keys
+        ]
+        bwd_keys = [TaskKey(0, 0, m, TaskKind.BACKWARD) for m in range(3)]
+        tasks.append(Task(key=bwd_keys[0], device=0, duration=2.0, deps=deps))
+        tasks.extend(
+            Task(key=key, device=0, duration=2.0) for key in bwd_keys[1:]
+        )
+        return Schedule(name="dupes", num_devices=1, device_tasks=[tasks])
+
+    def test_duplicates_counted_once_in_first_seen_order(self):
+        schedule = self._many_duplicates_schedule()
+        compiled = schedule.compiled()
+        backward = compiled.index[TaskKey(0, 0, 0, TaskKind.BACKWARD)]
+        # 3 unique deps (+1 device-order edge), in first-seen order.
+        assert compiled.dep_indices[backward] == (0, 1, 2)
+        assert compiled.indegree[backward] == 4
+        # Each forward carries exactly one dependency edge to the backward
+        # (the immediately preceding forward also carries the implicit
+        # device-order edge).
+        for forward in range(3):
+            edges_to_backward = [
+                compiled.succ_idx[e]
+                for e in range(
+                    compiled.succ_ptr[forward], compiled.succ_ptr[forward + 1]
+                )
+            ].count(backward)
+            expected = 2 if forward == backward - 1 else 1
+            assert edges_to_backward == expected
+
+    def test_simulation_unaffected_by_duplicate_count(self):
+        light = self._many_duplicates_schedule(copies=1)
+        heavy = self._many_duplicates_schedule(copies=500)
+        for engine in ("compiled", "reference"):
+            assert (
+                simulate(light, engine=engine, cache=False).iteration_time
+                == simulate(heavy, engine=engine, cache=False).iteration_time
+            )
