@@ -154,6 +154,27 @@ DEFAULT_CONTRACTS: Tuple[DigestContract, ...] = (
         ),
     ),
     DigestContract(
+        digest_path="core/orchestrator.py",
+        digest_name="stage_eval_to_dict",
+        # The value half of a persisted/checkpointed cache-shard entry:
+        # warm starts and resumed sweeps replay these evaluations, so a
+        # StageEval (or StageMemory) field this function fails to read
+        # would be silently zeroed on every restore.
+        sources=(
+            ("core/isomorphism.py", "StageEval"),
+            ("profiler/memory.py", "StageMemory"),
+        ),
+    ),
+    DigestContract(
+        digest_path="core/orchestrator.py",
+        digest_name="checkpoint_to_dict",
+        # The resume boundary: every SweepCheckpoint field must reach the
+        # JSON document, or a killed-and-resumed sweep would silently
+        # drop that part of its frontier (completed plans, prunes,
+        # incumbent, cache shard).
+        sources=(("core/orchestrator.py", "SweepCheckpoint"),),
+    ),
+    DigestContract(
         digest_path="core/isomorphism.py",
         digest_name="evaluator_fingerprint",
         # The fingerprint's subject (a Profiler) is not a dataclass, so the

@@ -20,8 +20,9 @@ strategy — reuse inner-DP solutions instead of recomputing them per
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.recompute_dp import (
     RecomputeResult,
@@ -55,6 +56,16 @@ class StageEval:
     memory: StageMemory
 
 
+#: Fingerprint marker for evaluators that cannot be fingerprinted (e.g.
+#: measured profilers): their entries are process-private and must never be
+#: exported, merged, or persisted — the ``id()`` that scopes them is
+#: meaningless in any other process.
+PRIVATE_FINGERPRINT = "__private__"
+
+#: One exportable cache entry: a flat primitive key plus its evaluation.
+CacheEntry = Tuple[Tuple, StageEval]
+
+
 class StageEvalCache:
     """Cross-strategy (and cross-planner) stage-evaluation cache.
 
@@ -63,12 +74,26 @@ class StageEvalCache:
     range's full isomorphism class. Sharing one instance across the
     contexts of a strategy sweep lets every planner that evaluates the same
     class reuse the inner recomputation DP's solution.
+
+    Because the key is a pure content digest of every input the evaluation
+    depends on, two caches can be **merged** by dict union: colliding keys
+    are guaranteed to hold equal values, so merge order never matters. The
+    sweep orchestrator leans on this to ship per-worker cache shards back
+    to the coordinator and redistribute the union (see
+    :mod:`repro.core.orchestrator`).
+
+    Args:
+        max_entries: evict FIFO past this many entries (``None`` =
+            unbounded, the historical behavior). Worker-side caches in
+            long-lived processes should always be bounded.
     """
 
-    def __init__(self) -> None:
-        self._entries: Dict[Tuple, StageEval] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._entries: "OrderedDict[Tuple, StageEval]" = OrderedDict()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self._journal: Optional[List[CacheEntry]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -92,7 +117,67 @@ class StageEvalCache:
         return found
 
     def put(self, key: Tuple, value: StageEval) -> None:
+        if (
+            key not in self._entries
+            and self._journal is not None
+            and not (key and key[0] == PRIVATE_FINGERPRINT)
+        ):
+            # The journal is the shareable delta stream: process-private
+            # entries never enter it, so slices ship without filtering.
+            self._journal.append((key, value))
         self._entries[key] = value
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    # -- shard export / merge-back ------------------------------------
+
+    def enable_journal(self) -> None:
+        """Start recording first-seen entries into an append-only journal.
+
+        The journal survives FIFO eviction (it is history, not the live
+        table), so offsets into it are stable — the orchestrator uses
+        per-worker journal offsets to ship each worker exactly the
+        entries it has not seen yet.
+        """
+        if self._journal is None:
+            self._journal = []
+
+    @property
+    def journal_length(self) -> int:
+        return len(self._journal) if self._journal is not None else 0
+
+    def journal_slice(self, start: int, stop: Optional[int] = None) -> List[CacheEntry]:
+        """Entries first seen in journal positions ``[start, stop)``."""
+        if self._journal is None:
+            return []
+        return self._journal[start:stop]
+
+    def export_entries(self) -> List[CacheEntry]:
+        """Every live, shareable entry (process-private entries excluded)."""
+        return [
+            (key, value)
+            for key, value in self._entries.items()
+            if not (key and key[0] == PRIVATE_FINGERPRINT)
+        ]
+
+    def merge_entries(self, entries: Sequence[CacheEntry]) -> int:
+        """Union ``entries`` into the cache; returns how many were new.
+
+        Digest keys make this trivially safe: a key collision means both
+        sides computed the same deterministic evaluation, so the existing
+        entry is kept and the duplicate dropped (no journal churn, no
+        re-broadcast).
+        """
+        merged = 0
+        for key, value in entries:
+            if key and key[0] == PRIVATE_FINGERPRINT:
+                continue
+            if key in self._entries:
+                continue
+            self.put(key, value)
+            merged += 1
+        return merged
 
 
 def evaluator_fingerprint(profiler: Profiler, capacity_bytes: float) -> Tuple:
@@ -168,8 +253,10 @@ class StageEvaluator:
             except AttributeError:
                 # Profiler variants (e.g. measured profilers) that don't
                 # expose the fingerprint fields keep a private partition of
-                # the shared cache instead of sharing incorrectly.
-                self._fingerprint = (id(self),)
+                # the shared cache instead of sharing incorrectly. The
+                # marker keeps these entries out of shard exports and
+                # persisted cache files (an id() is process-local).
+                self._fingerprint = (PRIVATE_FINGERPRINT, id(self))
         self.inner_dp_invocations = 0
         self.cache_hits = 0
         self.cache_misses = 0

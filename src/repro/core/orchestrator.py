@@ -1,0 +1,937 @@
+"""Distributed sweep orchestration: shards, merge-back, checkpoints.
+
+The strategy sweep's execution layer. :func:`repro.core.sweep.run_sweep`
+owns *what* to plan (enumeration, bounds, selection, robust re-ranking);
+this module owns *how* the planning work is executed, serially or across
+worker processes:
+
+1. **Work-stealing shard dispatch** — the bound-ordered strategy queue is
+   carved into shards on demand. Each worker holds exactly one shard at a
+   time and requests the next when it finishes (guided self-scheduling:
+   shard size shrinks as the queue drains), so an idle worker always
+   steals from the shared tail and a straggler planner never serializes
+   more than its own shard.
+2. **Cache merge-back** — every shard result carries the worker's new
+   :class:`~repro.core.isomorphism.StageEvalCache` entries (its journal
+   delta). The coordinator merges them — digest keys make the union
+   order-independent — and piggybacks everything a worker has not yet
+   seen onto its next shard, so worker B never re-runs an inner DP that
+   worker A already solved. The merged cache can persist to disk
+   (``SweepConfig.cache_path``) for warm starts across runs.
+3. **Incumbent broadcast** — the best feasible per-sample time so far
+   rides on every dispatched shard, so branch-and-bound pruning happens
+   *inside* workers on freshly stolen shards (against the freshest
+   incumbent they have), not only on the coordinator at dispatch time.
+   Stale incumbents only ever prune less, never incorrectly.
+4. **Frontier checkpoints** — a JSON snapshot of completed plan
+   documents, pruned indices, the incumbent, and the merged cache shard,
+   written atomically every ``checkpoint_every`` completions. A killed
+   sweep resumes via ``run_sweep(..., resume_from=path)`` and re-plans
+   only the strategies the checkpoint does not cover. A streaming
+   :class:`SweepProgress` callback emits best-so-far plans as they land.
+
+Serial-equivalence argument (ALGORITHMS.md §12): none of the four
+mechanisms can change the selected plan. Cache entries are deterministic
+functions of their digest keys, so merge-back only changes *when* an
+evaluation is computed, never its value; incumbent-broadcast pruning only
+discards strategies whose admissible bound exceeds an *achieved* feasible
+per-sample time (sound against any later, smaller incumbent too); and the
+final selection minimises (per-sample time, enumeration index) over
+whatever was planned, independent of completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.isomorphism import CacheEntry, StageEval, StageEvalCache
+from repro.core.plan import PipelinePlan
+from repro.core.search import PlannerContext
+from repro.core.serialize import plan_from_dict, plan_to_dict
+from repro.hardware.cluster import ClusterSpec
+from repro.model.spec import ModelSpec
+from repro.profiler.memory import StageMemory
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import, no cycle
+    from repro.core.sweep import SweepConfig
+
+#: A planner is either a context->plan callable (module-level, so it can be
+#: pickled to workers) or the name of a method in the baselines registry.
+PlannerRef = Union[str, Callable[[PlannerContext], PipelinePlan]]
+
+CHECKPOINT_FORMAT_VERSION = 1
+CACHE_FILE_FORMAT_VERSION = 1
+
+#: How long the coordinator waits on the result queue before checking
+#: worker liveness (a worker killed by the OOM killer would otherwise
+#: hang the sweep forever).
+_POLL_SECONDS = 2.0
+
+
+class SweepWorkerError(RuntimeError):
+    """A sweep worker process failed or died unexpectedly."""
+
+
+class CheckpointError(ValueError):
+    """Raised on malformed, incompatible, or mismatched checkpoint files."""
+
+
+def resolve_planner(planner: PlannerRef) -> Callable[[PlannerContext], PipelinePlan]:
+    """Resolve a :data:`PlannerRef` to a callable.
+
+    Strings name methods in the baselines registry (``"AdaPipe"``,
+    ``"DAPPLE-Full"``, ...) and are always safe to ship to workers;
+    callables must be module-level to survive pickling.
+    """
+    if callable(planner):
+        return planner
+    from repro.baselines.methods import method_spec
+
+    return method_spec(planner).planner
+
+
+def per_sample_time(plan: PipelinePlan) -> Optional[float]:
+    """Selection objective: modelled seconds per sample of the global batch."""
+    if not plan.feasible or plan.modeled_iteration_time is None:
+        return None
+    return plan.modeled_iteration_time / plan.train.global_batch_size
+
+
+# ---------------------------------------------------------------------------
+# Serialization: cache shards and checkpoints
+# ---------------------------------------------------------------------------
+
+
+def stage_eval_to_dict(value: StageEval) -> Dict:
+    """Serialise one cached :class:`StageEval` to JSON-compatible data.
+
+    This is the value half of a persisted cache-shard entry; the adalint
+    ``digest-coverage`` contract binds it to every ``StageEval`` and
+    ``StageMemory`` field, so a new cache-value field cannot silently go
+    un-serialized (it would resurrect stale evaluations on warm starts).
+    """
+    memory: StageMemory = value.memory
+    return {
+        "feasible": value.feasible,
+        "forward": value.forward,
+        "backward": value.backward,
+        "saved_unit_counts": dict(value.saved_unit_counts),
+        "saved_bytes_per_microbatch": value.saved_bytes_per_microbatch,
+        "memory": {
+            "static_bytes": memory.static_bytes,
+            "buffer_bytes": memory.buffer_bytes,
+            "saved_per_microbatch": memory.saved_per_microbatch,
+            "in_flight_microbatches": memory.in_flight_microbatches,
+        },
+    }
+
+
+def stage_eval_from_dict(data: Dict) -> StageEval:
+    """Reconstruct a :class:`StageEval` from :func:`stage_eval_to_dict`."""
+    try:
+        return StageEval(
+            feasible=data["feasible"],
+            forward=data["forward"],
+            backward=data["backward"],
+            saved_unit_counts=dict(data["saved_unit_counts"]),
+            saved_bytes_per_microbatch=data["saved_bytes_per_microbatch"],
+            memory=StageMemory(**data["memory"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed stage evaluation entry: {exc}") from exc
+
+
+def _encode_entries(entries: Sequence[CacheEntry]) -> List[List]:
+    """Cache entries -> JSON rows. Keys are flat primitive tuples."""
+    return [[list(key), stage_eval_to_dict(value)] for key, value in entries]
+
+
+def _decode_entries(rows: Sequence[Sequence]) -> List[CacheEntry]:
+    """JSON rows -> cache entries (keys back to hashable tuples)."""
+    try:
+        return [(tuple(key), stage_eval_from_dict(value)) for key, value in rows]
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed cache entry row: {exc}") from exc
+
+
+def _atomic_write_json(document: Dict, path: str) -> None:
+    """Write-then-rename so a kill mid-write never corrupts the file."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def save_cache_file(cache: StageEvalCache, path: str) -> int:
+    """Persist a cache's shareable entries for cross-run warm starts."""
+    entries = cache.export_entries()
+    _atomic_write_json(
+        {
+            "format_version": CACHE_FILE_FORMAT_VERSION,
+            "entries": _encode_entries(entries),
+        },
+        path,
+    )
+    return len(entries)
+
+
+def load_cache_file(path: str) -> List[CacheEntry]:
+    """Load the entries of a persisted cache file (see :func:`save_cache_file`)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    version = document.get("format_version")
+    if version != CACHE_FILE_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported cache file version {version} (want {CACHE_FILE_FORMAT_VERSION})"
+        )
+    return _decode_entries(document.get("entries", []))
+
+
+def sweep_fingerprint(
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    train: TrainingConfig,
+    planner: PlannerRef,
+    strategies: Sequence[ParallelConfig],
+    context_kwargs: Dict,
+) -> str:
+    """Content digest of everything that defines one sweep's work-list.
+
+    A checkpoint may only resume a sweep with the identical fingerprint —
+    same cluster, model, workload, planner, strategy list, and planner
+    context arguments — otherwise restored plan documents and pruning
+    decisions would be replayed against different inputs.
+    """
+    if isinstance(planner, str):
+        planner_name = planner
+    else:
+        planner_name = (
+            f"{getattr(planner, '__module__', '?')}."
+            f"{getattr(planner, '__qualname__', repr(planner))}"
+        )
+    payload = repr(
+        (
+            repr(cluster),
+            repr(spec),
+            repr(train),
+            planner_name,
+            tuple(strategies),
+            sorted((key, repr(value)) for key, value in context_kwargs.items()),
+        )
+    ).encode()
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepCheckpoint:
+    """One frontier snapshot of an in-flight (or finished) sweep.
+
+    Attributes:
+        sweep_digest: :func:`sweep_fingerprint` of the sweep's inputs.
+        incumbent: best feasible per-sample time so far (``None`` before
+            the first feasible plan lands).
+        completed: enumeration index -> serialized plan document, for
+            every strategy planned so far.
+        walls: enumeration index -> planning wall seconds.
+        pruned: enumeration indices branch-and-bound skipped. Pruning is
+            justified against an incumbent achieved *before* the prune,
+            so it stays sound under any later (smaller) incumbent.
+        cache_entries: the merged stage-evaluation cache shard, so a
+            resumed sweep re-plans its remaining strategies warm.
+    """
+
+    sweep_digest: str
+    incumbent: Optional[float]
+    completed: Dict[int, Dict]
+    walls: Dict[int, float]
+    pruned: Tuple[int, ...]
+    cache_entries: Tuple[CacheEntry, ...]
+
+
+def checkpoint_to_dict(checkpoint: SweepCheckpoint) -> Dict:
+    """Serialise a checkpoint to JSON-compatible data.
+
+    Covered by an adalint ``digest-coverage`` contract: every
+    :class:`SweepCheckpoint` field must be read here, so new frontier
+    state cannot silently be dropped from the resume path.
+    """
+    return {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "sweep_digest": checkpoint.sweep_digest,
+        "incumbent": checkpoint.incumbent,
+        "completed": {
+            str(index): document
+            for index, document in sorted(checkpoint.completed.items())
+        },
+        "walls": {
+            str(index): wall for index, wall in sorted(checkpoint.walls.items())
+        },
+        "pruned": sorted(checkpoint.pruned),
+        "cache_entries": _encode_entries(checkpoint.cache_entries),
+    }
+
+
+def checkpoint_from_dict(data: Dict) -> SweepCheckpoint:
+    """Reconstruct a checkpoint from :func:`checkpoint_to_dict` output."""
+    try:
+        version = data["format_version"]
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version} "
+                f"(want {CHECKPOINT_FORMAT_VERSION})"
+            )
+        return SweepCheckpoint(
+            sweep_digest=data["sweep_digest"],
+            incumbent=data.get("incumbent"),
+            completed={
+                int(index): document
+                for index, document in data.get("completed", {}).items()
+            },
+            walls={
+                int(index): wall for index, wall in data.get("walls", {}).items()
+            },
+            pruned=tuple(data.get("pruned", [])),
+            cache_entries=tuple(_decode_entries(data.get("cache_entries", []))),
+        )
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint document: {exc}") from exc
+
+
+def save_checkpoint(checkpoint: SweepCheckpoint, path: str) -> None:
+    """Atomically write a checkpoint file."""
+    _atomic_write_json(checkpoint_to_dict(checkpoint), path)
+
+
+def load_checkpoint(path: str) -> SweepCheckpoint:
+    """Read a checkpoint file written by :func:`save_checkpoint`."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"checkpoint {path!r} is not valid JSON: {exc}") from exc
+    return checkpoint_from_dict(document)
+
+
+# ---------------------------------------------------------------------------
+# Progress streaming
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One streamed sweep event: a strategy was planned or pruned.
+
+    Emitted in completion order (which, under parallel execution, is
+    scheduling-dependent — only the *content* of each event and the final
+    selection are deterministic). ``improved`` marks frontier events:
+    this plan became the best-so-far, and ``plan`` carries it.
+    """
+
+    kind: str  # "planned" | "pruned"
+    index: int
+    parallel: ParallelConfig
+    per_sample_time: Optional[float]
+    improved: bool
+    best_per_sample_time: Optional[float]
+    best_index: Optional[int]
+    completed: int
+    total: int
+    wall_seconds: float = 0.0
+    plan: Optional[PipelinePlan] = None
+
+
+ProgressCallback = Callable[[SweepProgress], None]
+
+
+# ---------------------------------------------------------------------------
+# Worker protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WorkerInit:
+    """The invariant planning context, shipped once per worker process.
+
+    Replaces the old pool path's habit of re-pickling (cluster, spec,
+    train, context kwargs) into every task tuple.
+    """
+
+    planner: PlannerRef
+    cluster: ClusterSpec
+    spec: ModelSpec
+    train: TrainingConfig
+    context_kwargs: Dict
+    share_cache: bool
+    cache_max_entries: Optional[int]
+    prune: bool
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One stolen shard: strategies to plan plus the freshest shared state."""
+
+    indices: Tuple[int, ...]
+    strategies: Tuple[ParallelConfig, ...]
+    bounds: Tuple[float, ...]
+    incumbent: float
+    cache_entries: Tuple[CacheEntry, ...]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """What a worker sends back: plans, prunes, and its cache delta."""
+
+    planned: Tuple[Tuple[int, Dict, float], ...]  # (index, plan doc, wall)
+    pruned: Tuple[int, ...]
+    cache_entries: Tuple[CacheEntry, ...]
+    cache_hits: int
+    cache_misses: int
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """A worker's traceback, surfaced as :class:`SweepWorkerError`."""
+
+    traceback: str
+
+
+def run_shard(
+    planner_fn: Callable[[PlannerContext], PipelinePlan],
+    init: _WorkerInit,
+    cache: Optional[StageEvalCache],
+    task: ShardTask,
+) -> ShardResult:
+    """Plan one shard against the broadcast incumbent and cache delta.
+
+    The incumbent starts from the coordinator's broadcast value and
+    tightens as the shard's own feasible plans land, so later shard
+    members are pruned against the freshest bound available anywhere.
+    """
+    journal_base = 0
+    hits_base = misses_base = 0
+    if cache is not None:
+        cache.merge_entries(task.cache_entries)
+        # Entries merged from the broadcast are *received*, not produced:
+        # the delta exported below starts after them.
+        journal_base = cache.journal_length
+        hits_base, misses_base = cache.hits, cache.misses
+    incumbent = task.incumbent
+    planned: List[Tuple[int, Dict, float]] = []
+    pruned: List[int] = []
+    for index, parallel, bound in zip(task.indices, task.strategies, task.bounds):
+        if init.prune and bound > incumbent:
+            pruned.append(index)
+            continue
+        ctx = PlannerContext(
+            init.cluster,
+            init.spec,
+            init.train,
+            parallel,
+            eval_cache=cache,
+            **init.context_kwargs,
+        )
+        started = time.perf_counter()  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
+        plan = planner_fn(ctx)
+        wall = time.perf_counter() - started  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
+        planned.append((index, plan_to_dict(plan), wall))
+        achieved = per_sample_time(plan)
+        if achieved is not None and achieved < incumbent:
+            incumbent = achieved
+    cache_entries: Tuple[CacheEntry, ...] = ()
+    cache_hits = cache_misses = 0
+    if cache is not None:
+        cache_entries = tuple(cache.journal_slice(journal_base))
+        cache_hits = cache.hits - hits_base
+        cache_misses = cache.misses - misses_base
+    return ShardResult(
+        planned=tuple(planned),
+        pruned=tuple(pruned),
+        cache_entries=cache_entries,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+    )
+
+
+def _worker_main(worker_id: int, init: _WorkerInit, tasks, results) -> None:
+    """Worker loop: steal a shard, plan it, report, repeat until shutdown.
+
+    The worker cache is size-bounded FIFO (unlike the old per-process
+    ``_WORKER_CACHE`` global, which grew without bound across sweeps in a
+    long-lived process) and journaled so each shard exports exactly its
+    newly computed entries.
+    """
+    cache: Optional[StageEvalCache] = None
+    if init.share_cache:
+        cache = StageEvalCache(max_entries=init.cache_max_entries)
+        cache.enable_journal()
+    try:
+        planner_fn = resolve_planner(init.planner)
+        while True:
+            task = tasks.get()
+            if task is None:
+                break
+            results.put((worker_id, run_shard(planner_fn, init, cache, task)))
+    except BaseException:
+        results.put((worker_id, ShardFailure(traceback.format_exc())))
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything the execution layer hands back to :func:`run_sweep`."""
+
+    plans_by_index: Dict[int, PipelinePlan] = field(default_factory=dict)
+    walls: Dict[int, float] = field(default_factory=dict)
+    pruned: Set[int] = field(default_factory=set)
+    resumed_planned: Set[int] = field(default_factory=set)
+    resumed_pruned: Set[int] = field(default_factory=set)
+    worker_cache_hits: int = 0
+    worker_cache_misses: int = 0
+    incumbent_prunes: int = 0
+    coordinator_prunes: int = 0
+    shards_dispatched: int = 0
+    cache_entries_merged: int = 0
+    cache_entries_loaded: int = 0
+
+
+class _Coordinator:
+    """Shared state of one sweep execution: incumbent, cache, checkpoints."""
+
+    def __init__(
+        self,
+        *,
+        cluster: ClusterSpec,
+        spec: ModelSpec,
+        train: TrainingConfig,
+        strategies: Sequence[ParallelConfig],
+        bounds: Sequence[float],
+        order: Sequence[int],
+        planner: PlannerRef,
+        config: "SweepConfig",
+        context_kwargs: Dict,
+        cache: Optional[StageEvalCache],
+        resume_from: Optional[str],
+        progress: Optional[ProgressCallback],
+    ) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.train = train
+        self.strategies = strategies
+        self.bounds = bounds
+        self.planner = planner
+        self.config = config
+        self.context_kwargs = context_kwargs
+        self.cache = cache
+        self.progress = progress
+        self.outcome = ExecutionOutcome()
+        self.best_key: Optional[Tuple[float, int]] = None
+        self.digest = sweep_fingerprint(
+            cluster, spec, train, planner, strategies, context_kwargs
+        )
+        self._since_checkpoint = 0
+
+        if cache is not None:
+            cache.enable_journal()
+            if config.cache_path and os.path.exists(config.cache_path):
+                self.outcome.cache_entries_loaded = cache.merge_entries(
+                    load_cache_file(config.cache_path)
+                )
+        if resume_from:
+            self._restore(load_checkpoint(resume_from))
+        self.remaining: Deque[int] = deque(
+            index
+            for index in order
+            if index not in self.outcome.plans_by_index
+            and index not in self.outcome.pruned
+        )
+
+    # -- resume --------------------------------------------------------
+
+    def _restore(self, checkpoint: SweepCheckpoint) -> None:
+        if checkpoint.sweep_digest != self.digest:
+            raise CheckpointError(
+                "checkpoint does not match this sweep (different cluster, "
+                f"model, workload, planner, or strategies): checkpoint "
+                f"digest {checkpoint.sweep_digest}, sweep digest {self.digest}"
+            )
+        outcome = self.outcome
+        for index, document in checkpoint.completed.items():
+            plan = plan_from_dict(document)
+            outcome.plans_by_index[index] = plan
+            outcome.walls[index] = checkpoint.walls.get(index, 0.0)
+            outcome.resumed_planned.add(index)
+            self._observe(index, plan)
+        outcome.pruned.update(checkpoint.pruned)
+        outcome.resumed_pruned.update(checkpoint.pruned)
+        if self.cache is not None:
+            self.cache.merge_entries(checkpoint.cache_entries)
+
+    # -- incumbent / frontier ------------------------------------------
+
+    @property
+    def incumbent(self) -> float:
+        return self.best_key[0] if self.best_key is not None else float("inf")
+
+    def _observe(self, index: int, plan: PipelinePlan) -> bool:
+        """Fold one planned strategy into the frontier; True on improvement."""
+        achieved = per_sample_time(plan)
+        if achieved is None:
+            return False
+        key = (achieved, index)
+        if self.best_key is None or key < self.best_key:
+            self.best_key = key
+            return True
+        return False
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.outcome.plans_by_index) + len(self.outcome.pruned)
+
+    def _emit(
+        self,
+        kind: str,
+        index: int,
+        plan: Optional[PipelinePlan],
+        wall: float,
+        improved: bool,
+    ) -> None:
+        if self.progress is None:
+            return
+        best_time = best_index = None
+        if self.best_key is not None:
+            best_time, best_index = self.best_key
+        self.progress(
+            SweepProgress(
+                kind=kind,
+                index=index,
+                parallel=self.strategies[index],
+                per_sample_time=per_sample_time(plan) if plan else None,
+                improved=improved,
+                best_per_sample_time=best_time,
+                best_index=best_index,
+                completed=self.completed_count,
+                total=len(self.strategies),
+                wall_seconds=wall,
+                plan=plan if improved else None,
+            )
+        )
+
+    # -- bookkeeping shared by both execution paths --------------------
+
+    def record_planned(self, index: int, plan: PipelinePlan, wall: float) -> bool:
+        self.outcome.plans_by_index[index] = plan
+        self.outcome.walls[index] = wall
+        self._since_checkpoint += 1
+        return self._observe(index, plan)
+
+    def record_pruned(self, index: int, by_worker: bool) -> None:
+        self.outcome.pruned.add(index)
+        if by_worker:
+            self.outcome.incumbent_prunes += 1
+        else:
+            self.outcome.coordinator_prunes += 1
+        self._since_checkpoint += 1
+
+    def prune_remaining_front(self) -> List[int]:
+        """Coordinator-side branch and bound over the bound-ordered queue.
+
+        ``remaining`` ascends in bound, so the moment its head exceeds
+        the incumbent every queued strategy is provably hopeless.
+        """
+        if not self.config.prune or not self.remaining:
+            return []
+        if self.bounds[self.remaining[0]] <= self.incumbent:
+            return []
+        dropped = list(self.remaining)
+        self.remaining.clear()
+        for index in dropped:
+            self.record_pruned(index, by_worker=False)
+        return dropped
+
+    # -- checkpointing -------------------------------------------------
+
+    def _snapshot(self) -> SweepCheckpoint:
+        cache_entries: Tuple[CacheEntry, ...] = ()
+        if self.cache is not None and self.config.checkpoint_cache:
+            cache_entries = tuple(self.cache.export_entries())
+        best_time = self.best_key[0] if self.best_key is not None else None
+        return SweepCheckpoint(
+            sweep_digest=self.digest,
+            incumbent=best_time,
+            completed={
+                index: plan_to_dict(plan)
+                for index, plan in self.outcome.plans_by_index.items()
+            },
+            walls=dict(self.outcome.walls),
+            pruned=tuple(sorted(self.outcome.pruned)),
+            cache_entries=cache_entries,
+        )
+
+    def maybe_checkpoint(self) -> None:
+        if not self.config.checkpoint_path:
+            return
+        if self._since_checkpoint < max(1, self.config.checkpoint_every):
+            return
+        save_checkpoint(self._snapshot(), self.config.checkpoint_path)
+        self._since_checkpoint = 0
+
+    def finalize(self) -> None:
+        """Final checkpoint + persistent cache write after a complete sweep."""
+        if self.config.checkpoint_path:
+            save_checkpoint(self._snapshot(), self.config.checkpoint_path)
+        if self.config.cache_path and self.cache is not None:
+            save_cache_file(self.cache, self.config.cache_path)
+
+    # -- shard carving -------------------------------------------------
+
+    def next_shard(self) -> Optional[ShardTask]:
+        pruned_now = self.prune_remaining_front()
+        if pruned_now:
+            self.maybe_checkpoint()
+            for index in pruned_now:
+                self._emit("pruned", index, None, 0.0, improved=False)
+        if not self.remaining:
+            return None
+        if self.config.shard_size > 0:
+            size = self.config.shard_size
+        else:
+            # Guided self-scheduling: hand out 1/(2w) of what's left, so
+            # early shards amortise dispatch overhead and the tail breaks
+            # into single strategies that idle workers steal.
+            size = max(1, len(self.remaining) // (2 * max(1, self.config_workers)))
+        indices = tuple(
+            self.remaining.popleft() for _ in range(min(size, len(self.remaining)))
+        )
+        self.outcome.shards_dispatched += 1
+        return ShardTask(
+            indices=indices,
+            strategies=tuple(self.strategies[index] for index in indices),
+            bounds=tuple(self.bounds[index] for index in indices),
+            incumbent=self.incumbent,
+            cache_entries=(),
+        )
+
+    config_workers: int = 1
+
+
+def execute_sweep(
+    *,
+    cluster: ClusterSpec,
+    spec: ModelSpec,
+    train: TrainingConfig,
+    strategies: Sequence[ParallelConfig],
+    contexts: Sequence[PlannerContext],
+    bounds: Sequence[float],
+    order: Sequence[int],
+    planner: PlannerRef,
+    config: "SweepConfig",
+    workers: int,
+    context_kwargs: Dict,
+    shared_cache: Optional[StageEvalCache],
+    resume_from: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ExecutionOutcome:
+    """Execute a sweep's planning work serially or across worker processes.
+
+    ``bounds`` are per-sample admissible lower bounds aligned to
+    ``strategies``; ``order`` is the bound-ascending visit order. The
+    caller owns enumeration and final selection — this function only
+    decides execution, pruning, checkpointing, and cache movement.
+    """
+    if config.cache_path and shared_cache is None:
+        raise ValueError("SweepConfig.cache_path requires share_cache=True")
+    coordinator = _Coordinator(
+        cluster=cluster,
+        spec=spec,
+        train=train,
+        strategies=strategies,
+        bounds=bounds,
+        order=order,
+        planner=planner,
+        config=config,
+        context_kwargs=context_kwargs,
+        cache=shared_cache,
+        resume_from=resume_from,
+        progress=progress,
+    )
+    coordinator.config_workers = workers
+    if coordinator.remaining:
+        if workers > 1:
+            _execute_parallel(coordinator, workers)
+        else:
+            _execute_serial(coordinator, contexts)
+    coordinator.finalize()
+    return coordinator.outcome
+
+
+def _execute_serial(
+    coordinator: _Coordinator, contexts: Sequence[PlannerContext]
+) -> None:
+    """In-process execution: one strategy at a time, checkpointing as it goes."""
+    planner_fn = resolve_planner(coordinator.planner)
+    while coordinator.remaining:
+        dropped = coordinator.prune_remaining_front()
+        if dropped:
+            # prune_remaining_front recorded them; checkpoint before the
+            # events fire so an aborting callback finds them on disk.
+            coordinator.maybe_checkpoint()
+            for index in dropped:
+                coordinator._emit("pruned", index, None, 0.0, improved=False)
+            break
+        index = coordinator.remaining.popleft()
+        started = time.perf_counter()  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
+        plan = planner_fn(contexts[index])
+        wall = time.perf_counter() - started  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
+        improved = coordinator.record_planned(index, plan, wall)
+        coordinator.maybe_checkpoint()
+        coordinator._emit("planned", index, plan, wall, improved)
+
+
+def _execute_parallel(coordinator: _Coordinator, workers: int) -> None:
+    """Work-stealing execution over ``workers`` processes.
+
+    Dispatch is request-driven: each worker holds one shard; returning a
+    result is its request for the next. Every dispatch carries the
+    freshest incumbent and exactly the cache entries that worker has not
+    seen (tracked as per-worker offsets into the coordinator cache's
+    append-only journal).
+    """
+    config = coordinator.config
+    cache = coordinator.cache
+    mp = multiprocessing.get_context()
+    init = _WorkerInit(
+        planner=coordinator.planner,
+        cluster=coordinator.cluster,
+        spec=coordinator.spec,
+        train=coordinator.train,
+        context_kwargs=dict(coordinator.context_kwargs),
+        share_cache=config.share_cache,
+        cache_max_entries=config.cache_max_entries,
+        prune=config.prune,
+    )
+    result_queue = mp.Queue()
+    task_queues = [mp.Queue() for _ in range(workers)]
+    processes = [
+        mp.Process(
+            target=_worker_main,
+            args=(worker_id, init, task_queues[worker_id], result_queue),
+            daemon=True,
+        )
+        for worker_id in range(workers)
+    ]
+    # None = never synced: first dispatch ships the full cache export.
+    sync_offsets: List[Optional[int]] = [None] * workers
+    active = [False] * workers
+    outstanding = 0
+
+    def dispatch(worker_id: int, journal_cut: Optional[int] = None) -> bool:
+        nonlocal outstanding
+        task = coordinator.next_shard()
+        if task is None:
+            if active[worker_id]:
+                task_queues[worker_id].put(None)
+                active[worker_id] = False
+            return False
+        if cache is not None:
+            cut = cache.journal_length if journal_cut is None else journal_cut
+            offset = sync_offsets[worker_id]
+            if offset is None:
+                entries = tuple(cache.export_entries())
+            else:
+                entries = tuple(cache.journal_slice(offset, cut))
+            sync_offsets[worker_id] = cache.journal_length
+            task = ShardTask(
+                indices=task.indices,
+                strategies=task.strategies,
+                bounds=task.bounds,
+                incumbent=task.incumbent,
+                cache_entries=entries,
+            )
+        task_queues[worker_id].put(task)
+        outstanding += 1
+        return True
+
+    try:
+        for process in processes:
+            process.start()
+        for worker_id in range(workers):
+            active[worker_id] = True
+            # dispatch() sends the shutdown sentinel itself when the queue
+            # is already exhausted (e.g. fewer shards than workers).
+            dispatch(worker_id)
+        while outstanding:
+            try:
+                worker_id, payload = result_queue.get(timeout=_POLL_SECONDS)
+            except Empty:
+                for process in processes:
+                    if process.exitcode is not None and process.exitcode != 0:
+                        raise SweepWorkerError(
+                            f"sweep worker {process.name} died with exit code "
+                            f"{process.exitcode} before finishing its shard"
+                        )
+                continue
+            if isinstance(payload, ShardFailure):
+                raise SweepWorkerError(
+                    f"sweep worker {worker_id} failed:\n{payload.traceback}"
+                )
+            outstanding -= 1
+            result: ShardResult = payload
+            journal_cut = cache.journal_length if cache is not None else None
+            if cache is not None and result.cache_entries:
+                coordinator.outcome.cache_entries_merged += cache.merge_entries(
+                    result.cache_entries
+                )
+            coordinator.outcome.worker_cache_hits += result.cache_hits
+            coordinator.outcome.worker_cache_misses += result.cache_misses
+            events: List[Tuple[str, int, Optional[PipelinePlan], float, bool]] = []
+            for index in result.pruned:
+                coordinator.record_pruned(index, by_worker=True)
+                events.append(("pruned", index, None, 0.0, False))
+            for index, document, wall in result.planned:
+                plan = plan_from_dict(document)
+                improved = coordinator.record_planned(index, plan, wall)
+                events.append(("planned", index, plan, wall, improved))
+            coordinator.maybe_checkpoint()
+            for kind, index, plan, wall, improved in events:
+                coordinator._emit(kind, index, plan, wall, improved)
+            dispatch(worker_id, journal_cut=journal_cut)
+    finally:
+        for worker_id in range(workers):
+            if active[worker_id]:
+                try:
+                    task_queues[worker_id].put_nowait(None)
+                except Exception:
+                    pass
+        for process in processes:
+            process.join(timeout=_POLL_SECONDS)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_POLL_SECONDS)

@@ -5,22 +5,33 @@ fastest feasible plan. Planning one strategy runs the full two-level DP,
 so the sweep — not any single plan — is the search layer's hot path. This
 module attacks it with three cooperating optimizations:
 
-1. **Parallel execution** — planning fans out over a
-   ``ProcessPoolExecutor``; plans cross the process boundary through the
-   :mod:`repro.core.serialize` documents, and each worker keeps a
-   process-local :class:`~repro.core.isomorphism.StageEvalCache` that is
-   reused across every strategy it plans.
+1. **Orchestrated parallel execution** — planning work is carved into
+   bound-ordered shards that idle worker processes steal from a shared
+   queue (:mod:`repro.core.orchestrator`); plans cross the process
+   boundary through the :mod:`repro.core.serialize` documents. Each
+   worker keeps a size-bounded :class:`~repro.core.isomorphism
+   .StageEvalCache`, exports its new entries back to the coordinator with
+   every shard result, and receives everything the other workers have
+   computed with its next shard (cache merge-back). The sweep can
+   checkpoint its frontier to disk and resume after a kill
+   (``resume_from=``), persist the merged cache for warm starts across
+   runs (``SweepConfig.cache_path``), and stream best-so-far plans
+   through a ``progress`` callback.
 2. **Branch-and-bound pruning** — :func:`strategy_lower_bound` is a cheap
    *admissible* bound on a strategy's modelled iteration time (ideal
    balanced partition, plus an aggregate-memory floor on the
    recomputation any feasible plan must pay). Strategies are visited in
    bound order and skipped once their bound exceeds the incumbent best
-   per-sample time; a skipped strategy provably cannot win.
+   per-sample time; a skipped strategy provably cannot win. The incumbent
+   is broadcast to workers with every shard, so pruning happens inside
+   workers too, not only at dispatch time.
 3. **Cross-strategy evaluation reuse** — in serial mode all contexts share
    one :class:`StageEvalCache`, so every planner that meets the same
    (fingerprint, isomorphism-class) pair — e.g. AdaPipe and Even
    Partitioning on the same strategy — reuses the inner recomputation DP's
-   solution instead of re-solving it per :class:`PlannerContext`.
+   solution instead of re-solving it per :class:`PlannerContext`. In
+   parallel mode the merge-back gives workers the same property across
+   process boundaries.
 
 Equivalence guarantee: for planners whose ``modeled_iteration_time``
 follows the 1F1B cost model of Section 5.1 (all built-in planners), the
@@ -28,7 +39,9 @@ pruned and/or parallel sweep selects a best plan whose
 :func:`~repro.core.serialize.plan_signature` is identical to the serial
 exhaustive sweep's — pruning only ever discards strategies whose bound
 already exceeds a feasible incumbent, and the final selection minimises
-(per-sample time, enumeration index) deterministically.
+(per-sample time, enumeration index) deterministically. ALGORITHMS.md
+§12 extends the argument to cache merge-back, incumbent broadcast, and
+checkpoint/resume.
 """
 
 from __future__ import annotations
@@ -37,12 +50,18 @@ import dataclasses
 import os
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import ParallelConfig, TrainingConfig
 from repro.core.isomorphism import StageEvalCache
+from repro.core.orchestrator import (
+    PlannerRef,
+    ProgressCallback,
+    execute_sweep,
+    per_sample_time,
+    resolve_planner,
+)
 from repro.core.plan import PipelinePlan
 from repro.core.robust import (
     ROBUST_OBJECTIVES,
@@ -50,14 +69,23 @@ from repro.core.robust import (
     robust_metadata,
 )
 from repro.core.search import PlannerContext, enumerate_parallel_strategies, plan_adapipe
-from repro.core.serialize import plan_from_dict, plan_to_dict
 from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
 from repro.pipeline.perturb import PerturbationSpec
 
-#: A planner is either a context->plan callable (module-level, so it can be
-#: pickled to workers) or the name of a method in the baselines registry.
-PlannerRef = Union[str, Callable[[PlannerContext], PipelinePlan]]
+__all__ = [
+    "PlannerRef",
+    "SweepConfig",
+    "SweepResult",
+    "SweepStats",
+    "StrategyReport",
+    "resolve_planner",
+    "run_sweep",
+    "strategy_lower_bound",
+]
+
+# Selection objective, shared with the execution layer.
+_per_sample_time = per_sample_time
 
 
 @dataclass(frozen=True)
@@ -73,7 +101,27 @@ class SweepConfig:
         prune: enable branch-and-bound pruning via
             :func:`strategy_lower_bound`.
         share_cache: share one stage-evaluation cache across the sweep's
-            contexts (serial) or per worker process (parallel).
+            contexts (serial) or merge worker cache shards through the
+            coordinator (parallel).
+        shard_size: strategies per stolen shard. ``0`` (default) sizes
+            shards adaptively — ``remaining / (2 * workers)``, floored at
+            1 — so early shards amortise dispatch overhead and the tail
+            degenerates to single-strategy steals.
+        cache_max_entries: FIFO bound on each worker process's
+            stage-evaluation cache (the coordinator/serial shared cache
+            is unbounded unless the caller bounds the cache it passes).
+        cache_path: optional JSON file persisting the merged evaluation
+            cache across runs: loaded (if present) before planning,
+            rewritten after the sweep. Requires ``share_cache``.
+        checkpoint_path: optional JSON file receiving periodic frontier
+            checkpoints (completed plan documents, pruned indices,
+            incumbent, merged cache shard). A killed sweep resumes via
+            ``run_sweep(..., resume_from=checkpoint_path)``.
+        checkpoint_every: completed strategies between checkpoint writes
+            (the final state is always written when the sweep finishes).
+        checkpoint_cache: include the merged cache shard in checkpoints
+            so a resumed sweep re-plans warm. Disable to keep checkpoint
+            files small.
         robust_objective: statistic the final selection minimises —
             ``"nominal"`` (default: the modelled iteration time, exactly
             the classic sweep) or ``"mean"`` / ``"p95"`` / ``"worst"``
@@ -90,6 +138,12 @@ class SweepConfig:
     min_parallel: int = 4
     prune: bool = True
     share_cache: bool = True
+    shard_size: int = 0
+    cache_max_entries: Optional[int] = 65536
+    cache_path: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 8
+    checkpoint_cache: bool = True
     robust_objective: str = "nominal"
     perturbation: Optional[PerturbationSpec] = None
     robust_draws: int = 8
@@ -127,11 +181,26 @@ class StrategyReport:
 
 @dataclass
 class SweepStats:
-    """Aggregate observability counters of one sweep."""
+    """Aggregate observability counters of one sweep.
+
+    ``strategies_planned`` / ``strategies_pruned`` count everything the
+    sweep's *result* covers, including work restored from a resume
+    checkpoint; ``strategies_resumed`` says how much of it was restored
+    rather than recomputed, so ``strategies_planned - strategies_resumed``
+    is the fresh planning work this run actually performed.
+    """
 
     strategies_total: int = 0
     strategies_planned: int = 0
     strategies_pruned: int = 0
+    strategies_resumed: int = 0
+    incumbent_prunes: int = 0
+    coordinator_prunes: int = 0
+    shards_dispatched: int = 0
+    cache_entries_merged: int = 0
+    cache_entries_loaded: int = 0
+    worker_cache_hits: int = 0
+    worker_cache_misses: int = 0
     inner_dp_invocations: int = 0
     eval_cache_hits: int = 0
     eval_cache_misses: int = 0
@@ -144,10 +213,18 @@ class SweepStats:
         total = self.eval_cache_hits + self.eval_cache_misses
         return self.eval_cache_hits / total if total else 0.0
 
+    @property
+    def worker_cache_hit_rate(self) -> float:
+        total = self.worker_cache_hits + self.worker_cache_misses
+        return self.worker_cache_hits / total if total else 0.0
+
     def describe(self) -> str:
+        resumed = (
+            f" ({self.strategies_resumed} resumed)" if self.strategies_resumed else ""
+        )
         return (
             f"{self.strategies_planned}/{self.strategies_total} strategies "
-            f"planned ({self.strategies_pruned} pruned), "
+            f"planned{resumed} ({self.strategies_pruned} pruned), "
             f"{self.inner_dp_invocations} inner-DP invocations, "
             f"eval-cache hit rate {self.eval_cache_hit_rate:.0%}, "
             f"{self.workers} worker(s), {self.wall_seconds:.2f}s"
@@ -266,50 +343,6 @@ def _recompute_time_floor(ctx: PlannerContext) -> float:
     return floor
 
 
-def _per_sample_time(plan: PipelinePlan) -> Optional[float]:
-    """Selection objective: modelled seconds per sample of the global batch."""
-    if not plan.feasible or plan.modeled_iteration_time is None:
-        return None
-    return plan.modeled_iteration_time / plan.train.global_batch_size
-
-
-def resolve_planner(planner: PlannerRef) -> Callable[[PlannerContext], PipelinePlan]:
-    """Resolve a :data:`PlannerRef` to a callable.
-
-    Strings name methods in the baselines registry (``"AdaPipe"``,
-    ``"DAPPLE-Full"``, ...) and are always safe to ship to workers;
-    callables must be module-level to survive pickling.
-    """
-    if callable(planner):
-        return planner
-    from repro.baselines.methods import method_spec
-
-    return method_spec(planner).planner
-
-
-# One evaluation cache per worker process, reused across every strategy the
-# worker plans (the parallel-mode analogue of the serial shared cache).
-_WORKER_CACHE: Optional[StageEvalCache] = None
-
-
-def _plan_strategy_task(task: Tuple) -> Tuple[Dict, float]:
-    """Worker entry point: plan one strategy, return (plan document, wall)."""
-    planner_ref, cluster, spec, train, parallel, share_cache, context_kwargs = task
-    global _WORKER_CACHE
-    cache = None
-    if share_cache:
-        if _WORKER_CACHE is None:
-            _WORKER_CACHE = StageEvalCache()
-        cache = _WORKER_CACHE
-    planner = resolve_planner(planner_ref)
-    ctx = PlannerContext(
-        cluster, spec, train, parallel, eval_cache=cache, **context_kwargs
-    )
-    started = time.perf_counter()  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
-    plan = planner(ctx)
-    return plan_to_dict(plan), time.perf_counter() - started  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
-
-
 def run_sweep(
     cluster: ClusterSpec,
     spec: ModelSpec,
@@ -318,6 +351,8 @@ def run_sweep(
     planner: PlannerRef = plan_adapipe,
     strategies: Optional[Iterable[ParallelConfig]] = None,
     config: Optional[SweepConfig] = None,
+    resume_from: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
     **context_kwargs,
 ) -> SweepResult:
     """Plan the strategy space and return the best plan plus sweep stats.
@@ -325,10 +360,15 @@ def run_sweep(
     Drop-in performance replacement for the serial Table 3 sweep: the
     selected best plan is signature-identical to the exhaustive serial
     sweep's (see the module docstring for the argument), while pruning,
-    cache reuse, and (on multi-core hosts) parallel planning cut the wall
-    clock. ``context_kwargs`` are forwarded to every
-    :class:`PlannerContext`; pass ``eval_cache=`` to share evaluations
-    with work outside this sweep.
+    cache reuse, and (on multi-core hosts) work-stealing parallel
+    planning cut the wall clock. ``resume_from`` restores a frontier
+    checkpoint written by ``SweepConfig.checkpoint_path`` and re-plans
+    only the strategies it does not cover; ``progress`` receives a
+    :class:`~repro.core.orchestrator.SweepProgress` event per planned or
+    pruned strategy, with best-so-far plans attached to improvements.
+    ``context_kwargs`` are forwarded to every :class:`PlannerContext`;
+    pass ``eval_cache=`` to share evaluations with work outside this
+    sweep.
     """
     config = config or SweepConfig()
     if config.robust_objective not in ROBUST_OBJECTIVES:
@@ -376,66 +416,25 @@ def run_sweep(
         except Exception:
             workers = 1  # unpicklable planner (closure/lambda): stay serial
 
-    plans_by_index: Dict[int, PipelinePlan] = {}
-    walls: Dict[int, float] = {}
-    pruned: Set[int] = set()
-    best_time = float("inf")
-
-    if workers == 1:
-        planner_fn = resolve_planner(planner)
-        for position, index in enumerate(order):
-            if config.prune and bounds[index] > best_time:
-                # `order` ascends in bound, so everything left is worse.
-                pruned.update(order[position:])
-                break
-            plan_started = time.perf_counter()  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
-            plan = planner_fn(contexts[index])
-            walls[index] = time.perf_counter() - plan_started  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
-            plans_by_index[index] = plan
-            achieved = _per_sample_time(plan)
-            if achieved is not None and achieved < best_time:
-                best_time = achieved
-    else:
-        queue = list(order)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending: Dict = {}
-
-            def submit_up_to_capacity() -> None:
-                nonlocal best_time
-                while queue and len(pending) < workers:
-                    index = queue[0]
-                    if config.prune and bounds[index] > best_time:
-                        pruned.update(queue)
-                        queue.clear()
-                        return
-                    queue.pop(0)
-                    future = pool.submit(
-                        _plan_strategy_task,
-                        (
-                            planner,
-                            cluster,
-                            spec,
-                            train,
-                            strategies[index],
-                            config.share_cache,
-                            dict(context_kwargs),
-                        ),
-                    )
-                    pending[future] = index
-
-            submit_up_to_capacity()
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = pending.pop(future)
-                    plan_doc, wall = future.result()
-                    plan = plan_from_dict(plan_doc)
-                    plans_by_index[index] = plan
-                    walls[index] = wall
-                    achieved = _per_sample_time(plan)
-                    if achieved is not None and achieved < best_time:
-                        best_time = achieved
-                submit_up_to_capacity()
+    outcome = execute_sweep(
+        cluster=cluster,
+        spec=spec,
+        train=train,
+        strategies=strategies,
+        contexts=contexts,
+        bounds=bounds,
+        order=order,
+        planner=planner,
+        config=config,
+        workers=workers,
+        context_kwargs=context_kwargs,
+        shared_cache=shared_cache,
+        resume_from=resume_from,
+        progress=progress,
+    )
+    plans_by_index = outcome.plans_by_index
+    walls = outcome.walls
+    pruned = outcome.pruned
 
     # Deterministic selection, independent of completion order: smallest
     # per-sample time, earliest enumeration index on exact ties — the same
@@ -454,6 +453,14 @@ def run_sweep(
         strategies_total=len(strategies),
         strategies_planned=len(plans_by_index),
         strategies_pruned=len(pruned),
+        strategies_resumed=len(outcome.resumed_planned),
+        incumbent_prunes=outcome.incumbent_prunes,
+        coordinator_prunes=outcome.coordinator_prunes,
+        shards_dispatched=outcome.shards_dispatched,
+        cache_entries_merged=outcome.cache_entries_merged,
+        cache_entries_loaded=outcome.cache_entries_loaded,
+        worker_cache_hits=outcome.worker_cache_hits,
+        worker_cache_misses=outcome.worker_cache_misses,
         workers=workers,
         wall_seconds=time.perf_counter() - started,  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
     )

@@ -89,6 +89,31 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="RANK=FACTOR",
         help="derate pipeline rank RANK by FACTOR (repeatable)",
     )
+    planner.add_argument(
+        "--sweep-workers", type=int, metavar="N",
+        help="run the search through the sweep orchestrator with N worker "
+             "processes (0 = one per CPU core); enables work-stealing "
+             "shards, cache merge-back and incumbent-broadcast pruning",
+    )
+    planner.add_argument(
+        "--sweep-checkpoint", metavar="FILE",
+        help="write periodic frontier checkpoints to FILE so a killed "
+             "sweep can resume via --sweep-resume FILE",
+    )
+    planner.add_argument(
+        "--sweep-resume", metavar="FILE",
+        help="resume the sweep from a checkpoint written by "
+             "--sweep-checkpoint (re-plans only uncovered strategies)",
+    )
+    planner.add_argument(
+        "--sweep-cache", metavar="FILE",
+        help="persist the merged stage-evaluation cache to FILE and warm-"
+             "start from it on later runs",
+    )
+    planner.add_argument(
+        "--sweep-progress", action="store_true",
+        help="stream best-so-far plans as the sweep's frontier advances",
+    )
 
     artifact = sub.add_parser(
         "artifact",
@@ -328,6 +353,87 @@ def _robust_select(args, cluster, feasible, nominal_strategy):
     return best, best_strategy
 
 
+def _cmd_plan_sweep(args, cluster, spec, train, limit) -> int:
+    """``adapipe plan`` through the sweep orchestrator (--sweep-* flags).
+
+    Work-stealing parallel planning with cache merge-back, incumbent
+    broadcast, frontier streaming, and checkpoint/resume — selecting the
+    same best plan as the legacy strategy loop (ALGORITHMS.md §12).
+    """
+    from repro.baselines import evaluate_method
+    from repro.core.isomorphism import StageEvalCache
+    from repro.core.search import PlannerContext
+    from repro.core.serialize import dump_plan
+    from repro.core.sweep import SweepConfig, run_sweep
+
+    if any(v is not None for v in (args.tp, args.pp, args.dp)):
+        print("error: --sweep-* flags search the strategy space; drop "
+              "--tp/--pp/--dp (or drop the sweep flags)", file=sys.stderr)
+        return 2
+    if args.robust_objective != "nominal":
+        print("error: the sweep orchestrator ranks by the nominal modelled "
+              "time; use `adapipe plan` without --sweep-* flags for robust "
+              "objectives", file=sys.stderr)
+        return 2
+
+    progress = None
+    if args.sweep_progress:
+        def progress(event) -> None:
+            if event.improved and event.per_sample_time is not None:
+                iteration = event.per_sample_time * train.global_batch_size
+                print(
+                    f"[{event.completed}/{event.total}] frontier: "
+                    f"{event.parallel} at {iteration:.3f}s/iter (modelled)"
+                )
+
+    cache = StageEvalCache()
+    config = SweepConfig(
+        workers=args.sweep_workers if args.sweep_workers is not None else 0,
+        checkpoint_path=args.sweep_checkpoint,
+        cache_path=args.sweep_cache,
+    )
+    result = run_sweep(
+        cluster,
+        spec,
+        train,
+        args.devices,
+        planner=args.method,
+        config=config,
+        resume_from=args.sweep_resume,
+        progress=progress,
+        eval_cache=cache,
+        memory_limit_bytes=limit,
+    )
+    if result.best is None:
+        print(f"no feasible strategy for {args.method} "
+              f"({args.model}, seq {args.seq}) — all candidates OOM")
+        return 1
+    print(result.best.describe())
+    print(f"\nbest strategy: {result.best.parallel}")
+    print(f"sweep: {result.stats.describe()}")
+    if result.stats.worker_cache_hits or result.stats.worker_cache_misses:
+        print(f"worker caches: {result.stats.worker_cache_hits} hits / "
+              f"{result.stats.worker_cache_misses} misses "
+              f"({result.stats.cache_entries_merged} entries merged back)")
+    if args.sweep_checkpoint:
+        print(f"checkpoint written to {args.sweep_checkpoint}")
+    if args.sweep_cache:
+        print(f"evaluation cache persisted to {args.sweep_cache}")
+    if not args.no_simulate:
+        ctx = PlannerContext(
+            cluster, spec, train, result.best.parallel,
+            memory_limit_bytes=limit, eval_cache=cache,
+        )
+        evaluation = evaluate_method(args.method, ctx)
+        if evaluation.iteration_time is not None:
+            print(f"simulated iteration time: {evaluation.iteration_time:.3f}s "
+                  f"(bubble {evaluation.simulation.bubble_ratio:.1%})")
+    if args.output:
+        dump_plan(result.best, args.output)
+        print(f"plan written to {args.output}")
+    return 0
+
+
 def _cmd_plan(args) -> int:
     from repro.baselines import evaluate_method
     from repro.config import ParallelConfig
@@ -345,6 +451,15 @@ def _cmd_plan(args) -> int:
     limit = (
         args.memory_limit_gib * 1024**3 if args.memory_limit_gib is not None else None
     )
+
+    if (
+        args.sweep_workers is not None
+        or args.sweep_checkpoint
+        or args.sweep_resume
+        or args.sweep_cache
+        or args.sweep_progress
+    ):
+        return _cmd_plan_sweep(args, cluster, spec, train, limit)
 
     explicit = [args.tp, args.pp, args.dp]
     if any(v is not None for v in explicit):

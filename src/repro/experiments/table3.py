@@ -78,4 +78,35 @@ def run(fast: bool = False) -> ExperimentResult:
         f"hit rate {cache.hit_rate:.0%} "
         f"({cache.hits} hits / {cache.lookups} lookups)"
     )
+
+    # Orchestrated AdaPipe sweep over the same strategies, streaming the
+    # frontier (best-so-far plans as they land). It shares `cache`, so the
+    # stage evaluations above make the re-plan nearly free — this surfaces
+    # the search trajectory, while the table rows surface the end states.
+    from repro.core.sweep import SweepConfig, run_sweep
+
+    frontier = []
+
+    def on_progress(event) -> None:
+        if event.improved and event.per_sample_time is not None:
+            iteration = event.per_sample_time * train.global_batch_size
+            frontier.append(
+                f"frontier [{event.completed}/{len(strategies)}]: "
+                f"{event.parallel} at {iteration:.3f}s/iter (modelled)"
+            )
+
+    sweep = run_sweep(
+        cluster,
+        spec,
+        train,
+        64,
+        planner="AdaPipe",
+        strategies=[ParallelConfig(t, p, d) for t, p, d in strategies],
+        config=SweepConfig(workers=1),
+        progress=on_progress,
+        eval_cache=cache,
+    )
+    for note in frontier:
+        result.add_note(note)
+    result.add_note(f"orchestrated sweep: {sweep.stats.describe()}")
     return result

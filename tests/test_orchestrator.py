@@ -1,0 +1,573 @@
+"""Tests for the sweep orchestration layer.
+
+Covers the four orchestrator mechanisms against the sweep's pinned
+invariant (bit-identical best plan to the serial exhaustive sweep):
+work-stealing shard execution, cache merge-back (including the persisted
+cache file), incumbent-broadcast pruning inside workers, and frontier
+checkpoint/resume — including a real SIGKILL mid-sweep.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.config import ParallelConfig
+from repro.core.isomorphism import PRIVATE_FINGERPRINT, StageEvalCache
+from repro.core.orchestrator import (
+    CheckpointError,
+    ShardTask,
+    SweepProgress,
+    _WorkerInit,
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+    load_cache_file,
+    load_checkpoint,
+    per_sample_time,
+    resolve_planner,
+    run_shard,
+    save_cache_file,
+    sweep_fingerprint,
+)
+from repro.core.search import PlannerContext, enumerate_parallel_strategies
+from repro.core.serialize import plan_signature
+from repro.core.sweep import SweepConfig, run_sweep, strategy_lower_bound
+from repro.hardware.cluster import cluster_a
+
+LIMIT = 8 * 1024**2
+
+SERIAL = SweepConfig(workers=1, prune=False, share_cache=False)
+
+
+@pytest.fixture
+def sweep_args(tiny_spec, tiny_train):
+    """Tiny-GPT sweep over cluster A's one-node 8-device strategy space."""
+    return dict(
+        cluster=cluster_a(1),
+        spec=tiny_spec,
+        train=tiny_train,
+        num_devices=8,
+        memory_limit_bytes=LIMIT,
+    )
+
+
+class _Abort(Exception):
+    """Raised by a progress callback to cut a sweep short mid-flight."""
+
+
+def _aborting_after(n):
+    """Progress callback raising _Abort once ``n`` events have fired."""
+    seen = []
+
+    def callback(event: SweepProgress) -> None:
+        seen.append(event)
+        if len(seen) >= n:
+            raise _Abort
+
+    return callback, seen
+
+
+class TestCheckpointResume:
+    def test_abort_and_resume_identical_best(self, sweep_args, tmp_path):
+        """Kill a sweep via its callback mid-flight; the resumed sweep must
+        select the bit-identical best plan while re-planning strictly
+        fewer strategies than it restores + plans in total."""
+        serial = run_sweep(config=SERIAL, **sweep_args)
+        path = str(tmp_path / "frontier.json")
+        callback, seen = _aborting_after(3)
+        with pytest.raises(_Abort):
+            run_sweep(
+                config=SweepConfig(
+                    workers=1, checkpoint_path=path, checkpoint_every=1
+                ),
+                progress=callback,
+                **sweep_args,
+            )
+        assert os.path.exists(path)
+        resumed = run_sweep(
+            config=SweepConfig(workers=1, checkpoint_path=path, checkpoint_every=1),
+            resume_from=path,
+            **sweep_args,
+        )
+        assert plan_signature(resumed.best) == plan_signature(serial.best)
+        stats = resumed.stats
+        # Everything the abort covered was restored, not recomputed.
+        assert stats.strategies_resumed >= len(
+            [e for e in seen if e.kind == "planned"]
+        )
+        fresh = stats.strategies_planned - stats.strategies_resumed
+        assert fresh < serial.stats.strategies_planned
+        assert stats.strategies_planned + stats.strategies_pruned == (
+            stats.strategies_total
+        )
+
+    def test_resume_completed_checkpoint_plans_nothing(self, sweep_args, tmp_path):
+        path = str(tmp_path / "frontier.json")
+        first = run_sweep(
+            config=SweepConfig(workers=1, checkpoint_path=path), **sweep_args
+        )
+        resumed = run_sweep(
+            config=SweepConfig(workers=1, checkpoint_path=path),
+            resume_from=path,
+            **sweep_args,
+        )
+        assert plan_signature(resumed.best) == plan_signature(first.best)
+        assert resumed.stats.strategies_resumed == (
+            resumed.stats.strategies_planned
+        )
+
+    def test_checkpoint_written_before_progress_event(self, sweep_args, tmp_path):
+        """The checkpoint covering an event is on disk before the event
+        fires — an abort (or kill) inside the callback loses nothing."""
+        path = str(tmp_path / "frontier.json")
+        callback, seen = _aborting_after(1)
+        with pytest.raises(_Abort):
+            run_sweep(
+                config=SweepConfig(
+                    workers=1, checkpoint_path=path, checkpoint_every=1
+                ),
+                progress=callback,
+                **sweep_args,
+            )
+        checkpoint = load_checkpoint(path)
+        (event,) = seen
+        assert event.index in checkpoint.completed
+
+    def test_digest_mismatch_rejected(self, sweep_args, tmp_path):
+        path = str(tmp_path / "frontier.json")
+        run_sweep(
+            config=SweepConfig(workers=1, checkpoint_path=path), **sweep_args
+        )
+        other = dict(sweep_args)
+        other["memory_limit_bytes"] = LIMIT * 2
+        with pytest.raises(CheckpointError, match="does not match"):
+            run_sweep(
+                config=SweepConfig(workers=1),
+                resume_from=path,
+                **other,
+            )
+
+    def test_malformed_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_checkpoint(str(path))
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(str(path))
+
+    def test_checkpoint_round_trip(self, sweep_args, tmp_path):
+        path = str(tmp_path / "frontier.json")
+        run_sweep(
+            config=SweepConfig(workers=1, checkpoint_path=path), **sweep_args
+        )
+        checkpoint = load_checkpoint(path)
+        assert checkpoint_from_dict(checkpoint_to_dict(checkpoint)) == checkpoint
+        assert checkpoint.completed
+        assert checkpoint.incumbent is not None
+
+    def test_sigkill_and_resume(self, sweep_args, tmp_path):
+        """A worker-style hard kill (SIGKILL from inside the progress
+        callback, no cleanup, no atexit) leaves a checkpoint the next run
+        resumes to the bit-identical best plan."""
+        serial = run_sweep(config=SERIAL, **sweep_args)
+        path = str(tmp_path / "frontier.json")
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.config import TrainingConfig
+            from repro.core.sweep import SweepConfig, run_sweep
+            from repro.hardware.cluster import cluster_a
+            from repro.model.spec import tiny_gpt
+
+            events = []
+
+            def killer(event):
+                events.append(event)
+                if len(events) >= 2:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            run_sweep(
+                cluster_a(1),
+                tiny_gpt(num_layers=3, hidden_size=32, vocab_size=50),
+                TrainingConfig(
+                    sequence_length=8, global_batch_size=4, micro_batch_size=1,
+                    sequence_parallel=False, flash_attention=False,
+                ),
+                8,
+                config=SweepConfig(
+                    workers=1, checkpoint_path={path!r}, checkpoint_every=1
+                ),
+                progress=killer,
+                memory_limit_bytes={LIMIT},
+            )
+            raise SystemExit("the kill never fired")
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.abspath("src"), env.get("PYTHONPATH")])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        killed = load_checkpoint(path)
+        assert len(killed.completed) >= 2
+        resumed = run_sweep(
+            config=SweepConfig(workers=1, checkpoint_path=path, checkpoint_every=1),
+            resume_from=path,
+            **sweep_args,
+        )
+        assert plan_signature(resumed.best) == plan_signature(serial.best)
+        fresh = resumed.stats.strategies_planned - resumed.stats.strategies_resumed
+        assert resumed.stats.strategies_resumed >= 2
+        assert fresh < serial.stats.strategies_planned
+
+
+class TestCacheMergeBack:
+    def test_merged_cache_sweep_bit_identical_to_cold(self, sweep_args):
+        """Two disjoint half-sweeps' cache shards, merged, must drive a
+        full sweep to the bit-identical plans of a cold sweep."""
+        strategies = enumerate_parallel_strategies(
+            sweep_args["num_devices"],
+            sweep_args["cluster"],
+            sweep_args["spec"],
+            sweep_args["train"],
+        )
+        assert len(strategies) >= 2
+        half = len(strategies) // 2
+        shard_a, shard_b = StageEvalCache(), StageEvalCache()
+        run_sweep(
+            strategies=strategies[:half],
+            config=SweepConfig(workers=1, prune=False),
+            eval_cache=shard_a,
+            **sweep_args,
+        )
+        run_sweep(
+            strategies=strategies[half:],
+            config=SweepConfig(workers=1, prune=False),
+            eval_cache=shard_b,
+            **sweep_args,
+        )
+        merged = StageEvalCache()
+        assert merged.merge_entries(shard_a.export_entries()) == len(
+            shard_a.export_entries()
+        )
+        merged.merge_entries(shard_b.export_entries())
+        # Merging again is a no-op: digest keys make the union idempotent.
+        assert merged.merge_entries(shard_a.export_entries()) == 0
+
+        cold = run_sweep(config=SERIAL, **sweep_args)
+        warm = run_sweep(
+            config=SweepConfig(workers=1, prune=False),
+            eval_cache=merged,
+            **sweep_args,
+        )
+        assert plan_signature(warm.best) == plan_signature(cold.best)
+        for a, b in zip(cold.plans, warm.plans):
+            assert plan_signature(a) == plan_signature(b)
+
+    def test_parallel_sweep_merges_worker_entries(self, sweep_args):
+        cache = StageEvalCache()
+        result = run_sweep(
+            config=SweepConfig(workers=2, min_parallel=1, prune=False),
+            eval_cache=cache,
+            **sweep_args,
+        )
+        assert result.stats.workers == 2
+        assert result.stats.shards_dispatched >= 2
+        assert result.stats.cache_entries_merged > 0
+        # The coordinator cache ends up holding the workers' evaluations.
+        assert len(cache) >= result.stats.cache_entries_merged
+        total = result.stats.worker_cache_hits + result.stats.worker_cache_misses
+        assert total > 0
+
+    def test_cache_file_round_trip(self, sweep_args, tmp_path):
+        path = str(tmp_path / "evals.json")
+        cold = run_sweep(
+            config=SweepConfig(workers=1, cache_path=path), **sweep_args
+        )
+        assert os.path.exists(path)
+        entries = load_cache_file(path)
+        assert entries
+        # Values round-trip exactly (including inf backward times, which
+        # JSON carries as Infinity literals).
+        probe = StageEvalCache()
+        assert probe.merge_entries(entries) == len(entries)
+        warm = run_sweep(
+            config=SweepConfig(workers=1, cache_path=path), **sweep_args
+        )
+        assert warm.stats.cache_entries_loaded == len(entries)
+        assert plan_signature(warm.best) == plan_signature(cold.best)
+
+    def test_cache_path_requires_share_cache(self, sweep_args, tmp_path):
+        with pytest.raises(ValueError, match="share_cache"):
+            run_sweep(
+                config=SweepConfig(
+                    workers=1, share_cache=False, cache_path=str(tmp_path / "c.json")
+                ),
+                **sweep_args,
+            )
+
+    def test_private_entries_never_exported(self):
+        cache = StageEvalCache()
+        cache.enable_journal()
+        private = (PRIVATE_FINGERPRINT, 1234, "k")
+        cache.put(private, "secret")
+        cache.put(("fp", "k"), "shared")
+        assert cache.get(private) == "secret"
+        exported = cache.export_entries()
+        assert [key for key, _ in exported] == [("fp", "k")]
+        assert [key for key, _ in cache.journal_slice(0)] == [("fp", "k")]
+        sink = StageEvalCache()
+        assert sink.merge_entries([(private, "secret")]) == 0
+
+
+class TestBoundedWorkerCache:
+    def test_fifo_eviction(self):
+        cache = StageEvalCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("c",), 3)
+        assert len(cache) == 2
+        assert cache.get(("a",)) is None  # first in, first out
+        assert cache.get(("b",)) == 2
+        assert cache.get(("c",)) == 3
+
+    def test_journal_survives_eviction(self):
+        cache = StageEvalCache(max_entries=1)
+        cache.enable_journal()
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert len(cache) == 1
+        assert [key for key, _ in cache.journal_slice(0)] == [("a",), ("b",)]
+        assert cache.journal_length == 2
+        # Stable offsets: a later slice sees only later entries.
+        cache.put(("c",), 3)
+        assert [key for key, _ in cache.journal_slice(2)] == [("c",)]
+
+    def test_rewriting_same_key_does_not_grow_journal(self):
+        cache = StageEvalCache()
+        cache.enable_journal()
+        cache.put(("a",), 1)
+        cache.put(("a",), 1)
+        assert cache.journal_length == 1
+
+
+class TestIncumbentBroadcast:
+    def test_run_shard_prunes_against_broadcast_incumbent(self, sweep_args):
+        """A shard whose bounds exceed the broadcast incumbent is pruned
+        inside the worker without planning anything."""
+        strategies = enumerate_parallel_strategies(
+            sweep_args["num_devices"],
+            sweep_args["cluster"],
+            sweep_args["spec"],
+            sweep_args["train"],
+        )
+        contexts = [
+            PlannerContext(
+                sweep_args["cluster"],
+                sweep_args["spec"],
+                sweep_args["train"],
+                parallel,
+                memory_limit_bytes=LIMIT,
+            )
+            for parallel in strategies
+        ]
+        per_sample = 1.0 / sweep_args["train"].global_batch_size
+        bounds = [strategy_lower_bound(ctx) * per_sample for ctx in contexts]
+        init = _WorkerInit(
+            planner="AdaPipe",
+            cluster=sweep_args["cluster"],
+            spec=sweep_args["spec"],
+            train=sweep_args["train"],
+            context_kwargs={"memory_limit_bytes": LIMIT},
+            share_cache=True,
+            cache_max_entries=None,
+            prune=True,
+        )
+        planner_fn = resolve_planner("AdaPipe")
+        cache = StageEvalCache()
+        cache.enable_journal()
+        # Incumbent below every bound: the whole shard must be pruned.
+        task = ShardTask(
+            indices=tuple(range(len(strategies))),
+            strategies=tuple(strategies),
+            bounds=tuple(bounds),
+            incumbent=min(bounds) / 2.0,
+            cache_entries=(),
+        )
+        result = run_shard(planner_fn, init, cache, task)
+        assert result.planned == ()
+        assert set(result.pruned) == set(range(len(strategies)))
+        assert result.cache_entries == ()
+
+    def test_run_shard_tightens_incumbent_within_shard(self, sweep_args):
+        """With no broadcast incumbent, the shard's own first feasible
+        plans establish one that prunes its later, worse members."""
+        strategies = enumerate_parallel_strategies(
+            sweep_args["num_devices"],
+            sweep_args["cluster"],
+            sweep_args["spec"],
+            sweep_args["train"],
+        )
+        contexts = [
+            PlannerContext(
+                sweep_args["cluster"],
+                sweep_args["spec"],
+                sweep_args["train"],
+                parallel,
+                memory_limit_bytes=LIMIT,
+            )
+            for parallel in strategies
+        ]
+        per_sample = 1.0 / sweep_args["train"].global_batch_size
+        bounds = [strategy_lower_bound(ctx) * per_sample for ctx in contexts]
+        order = sorted(range(len(strategies)), key=lambda i: (bounds[i], i))
+        init = _WorkerInit(
+            planner="AdaPipe",
+            cluster=sweep_args["cluster"],
+            spec=sweep_args["spec"],
+            train=sweep_args["train"],
+            context_kwargs={"memory_limit_bytes": LIMIT},
+            share_cache=True,
+            cache_max_entries=None,
+            prune=True,
+        )
+        task = ShardTask(
+            indices=tuple(order),
+            strategies=tuple(strategies[i] for i in order),
+            bounds=tuple(bounds[i] for i in order),
+            incumbent=float("inf"),
+            cache_entries=(),
+        )
+        cache = StageEvalCache()
+        cache.enable_journal()
+        result = run_shard(resolve_planner("AdaPipe"), init, cache, task)
+        reference = run_sweep(
+            config=SweepConfig(workers=1, prune=True), **sweep_args
+        )
+        # The whole bound-ordered space as one shard IS the serial pruned
+        # sweep: same planned/pruned split, and the cache delta holds
+        # every exported evaluation.
+        assert len(result.planned) == reference.stats.strategies_planned
+        assert len(result.pruned) == reference.stats.strategies_pruned
+        assert len(result.cache_entries) > 0
+
+    def test_pruning_stats_split_by_origin(self, sweep_args):
+        result = run_sweep(
+            config=SweepConfig(workers=2, min_parallel=1, prune=True),
+            **sweep_args,
+        )
+        stats = result.stats
+        assert stats.strategies_pruned == (
+            stats.incumbent_prunes + stats.coordinator_prunes
+        )
+        assert stats.strategies_planned + stats.strategies_pruned == (
+            stats.strategies_total
+        )
+
+
+class TestProgressStreaming:
+    def test_every_strategy_emits_exactly_one_event(self, sweep_args):
+        events = []
+        result = run_sweep(
+            config=SweepConfig(workers=1, prune=True),
+            progress=events.append,
+            **sweep_args,
+        )
+        assert len(events) == result.stats.strategies_total
+        assert sorted(e.index for e in events) == list(
+            range(result.stats.strategies_total)
+        )
+        planned = [e for e in events if e.kind == "planned"]
+        pruned = [e for e in events if e.kind == "pruned"]
+        assert len(planned) == result.stats.strategies_planned
+        assert len(pruned) == result.stats.strategies_pruned
+
+    def test_frontier_events_carry_best_plan(self, sweep_args):
+        events = []
+        result = run_sweep(
+            config=SweepConfig(workers=1, prune=True),
+            progress=events.append,
+            **sweep_args,
+        )
+        improvements = [e for e in events if e.improved]
+        assert improvements
+        for event in improvements:
+            assert event.plan is not None
+            assert per_sample_time(event.plan) == event.per_sample_time
+        # The last improvement is the sweep's selected best.
+        final = improvements[-1]
+        assert plan_signature(final.plan) == plan_signature(result.best)
+        # Best-so-far only decreases along the stream.
+        times = [e.best_per_sample_time for e in events if e.best_per_sample_time]
+        assert times == sorted(times, reverse=True)
+
+    def test_parallel_stream_counts_match(self, sweep_args):
+        events = []
+        result = run_sweep(
+            config=SweepConfig(workers=2, min_parallel=1, prune=True),
+            progress=events.append,
+            **sweep_args,
+        )
+        assert result.stats.workers == 2
+        assert len(events) == result.stats.strategies_total
+
+
+class TestFingerprint:
+    def test_fingerprint_moves_with_inputs(self, sweep_args):
+        strategies = enumerate_parallel_strategies(
+            sweep_args["num_devices"],
+            sweep_args["cluster"],
+            sweep_args["spec"],
+            sweep_args["train"],
+        )
+        base = sweep_fingerprint(
+            sweep_args["cluster"],
+            sweep_args["spec"],
+            sweep_args["train"],
+            "AdaPipe",
+            strategies,
+            {"memory_limit_bytes": LIMIT},
+        )
+        assert base == sweep_fingerprint(
+            sweep_args["cluster"],
+            sweep_args["spec"],
+            sweep_args["train"],
+            "AdaPipe",
+            strategies,
+            {"memory_limit_bytes": LIMIT},
+        )
+        for planner, kwargs, subset in [
+            ("Even Partitioning", {"memory_limit_bytes": LIMIT}, strategies),
+            ("AdaPipe", {"memory_limit_bytes": LIMIT * 2}, strategies),
+            ("AdaPipe", {"memory_limit_bytes": LIMIT}, strategies[:-1]),
+        ]:
+            assert base != sweep_fingerprint(
+                sweep_args["cluster"],
+                sweep_args["spec"],
+                sweep_args["train"],
+                planner,
+                subset,
+                kwargs,
+            )
+
+    def test_save_and_load_cache_file_roundtrip_values(self, sweep_args, tmp_path):
+        cache = StageEvalCache()
+        run_sweep(
+            config=SweepConfig(workers=1, prune=False),
+            eval_cache=cache,
+            **sweep_args,
+        )
+        path = str(tmp_path / "evals.json")
+        saved = save_cache_file(cache, path)
+        loaded = dict(load_cache_file(path))
+        assert saved == len(loaded)
+        for key, value in cache.export_entries():
+            assert loaded[key] == value
