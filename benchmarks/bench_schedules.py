@@ -1,0 +1,68 @@
+"""Bench: 1F1B vs the 2BP split backward — bubble ratio at p=4 and p=8.
+
+The ISSUE's acceptance artifact: the 2BP family must strictly reduce
+pipeline bubble time against plain 1F1B at identical per-device peak
+activation memory, and the achieved ratios are tracked in the uploaded
+``BENCH_schedules.json`` so regressions in the schedule builders or the
+engine lowering show up in CI history.
+
+Bubble time here is ``p * iteration_time - total_busy_time`` — the idle
+device-seconds of one iteration. Both schedules carry identical
+per-device work, so any iteration-time gap is pure bubble.
+"""
+
+import pytest
+
+from repro.pipeline.schedules import one_f_one_b_2bp, one_f_one_b_schedule
+from repro.pipeline.simulator import simulate
+from repro.pipeline.tasks import StageCosts
+
+N, HOP = 8, 0.1
+
+
+def _costs(p):
+    return [
+        StageCosts(forward=1.0, backward=2.0, activation_bytes=1.0)
+        for _ in range(p)
+    ]
+
+
+def _bubble(result, schedule):
+    busy = sum(
+        task.duration for tasks in schedule.device_tasks for task in tasks
+    )
+    return result.iteration_time * schedule.num_devices - busy
+
+
+@pytest.mark.parametrize("p", [4, 8])
+def test_2bp_bubble_ratio(benchmark, p):
+    """Build + simulate both families; gate the strict bubble reduction
+    at equal peaks and record the ratio."""
+    costs = _costs(p)
+    base_schedule = one_f_one_b_schedule(costs, N, hop_time=HOP)
+    split_schedule = one_f_one_b_2bp(costs, N, hop_time=HOP)
+
+    def _both():
+        return (
+            simulate(base_schedule, cache=False),
+            simulate(split_schedule, cache=False),
+        )
+
+    base, split = benchmark(_both)
+    assert split.iteration_time < base.iteration_time
+    assert split.device_peak_bytes == base.device_peak_bytes
+
+    base_bubble = _bubble(base, base_schedule)
+    split_bubble = _bubble(split, split_schedule)
+    assert split_bubble < base_bubble
+    benchmark.extra_info.update(
+        devices=p,
+        micro_batches=N,
+        hop_time=HOP,
+        onef1b_iteration_s=round(base.iteration_time, 6),
+        twobp_iteration_s=round(split.iteration_time, 6),
+        onef1b_bubble_s=round(base_bubble, 6),
+        twobp_bubble_s=round(split_bubble, 6),
+        bubble_ratio=round(split_bubble / base_bubble, 4),
+        peak_bytes=list(base.device_peak_bytes),
+    )

@@ -24,6 +24,8 @@ from repro.pipeline.schedules import (
     chimera_schedule,
     gpipe_schedule,
     interleaved_1f1b_schedule,
+    one_f_one_b_2bp,
+    one_f_one_b_overlapped,
     one_f_one_b_schedule,
 )
 from repro.pipeline.simulator import SimulationResult, simulate_with_info
@@ -73,7 +75,9 @@ def build_schedule_for_plan(
     Args:
         plan: the pipeline plan.
         cluster: hardware, for the stage-boundary hop time.
-        schedule_kind: ``"1f1b"``, ``"gpipe"``, ``"chimera"``,
+        schedule_kind: ``"1f1b"``, ``"2bp"`` (split backward: grad-input /
+            deferred grad-weight), ``"overlap"`` (recomputation hidden
+            under the gradient hop), ``"gpipe"``, ``"chimera"``,
             ``"chimerad"`` or ``"interleaved"`` (the latter reads the chunk
             count off the plan: ``num_stages / pipeline_parallel``).
         comm: an existing communication model for ``cluster``, to avoid
@@ -84,6 +88,12 @@ def build_schedule_for_plan(
     n = plan.train.num_micro_batches(plan.parallel)
     if schedule_kind == "1f1b":
         return one_f_one_b_schedule(costs, n, hop_time=hop, name=plan.method)
+    if schedule_kind == "2bp":
+        return one_f_one_b_2bp(costs, n, hop_time=hop, name=f"{plan.method}-2BP")
+    if schedule_kind == "overlap":
+        return one_f_one_b_overlapped(
+            costs, n, hop_time=hop, name=f"{plan.method}-OR"
+        )
     if schedule_kind == "gpipe":
         return gpipe_schedule(costs, n, hop_time=hop)
     if schedule_kind == "chimera":

@@ -45,6 +45,7 @@ import dataclasses
 import hashlib
 import math
 import os
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -126,10 +127,36 @@ class RobustnessReport:
         return math.fsum(self.times) / len(self.times)
 
     @property
+    def p95_degenerate(self) -> bool:
+        """Whether ``p95_time`` collapses onto ``worst_time``.
+
+        The nearest-rank 95th percentile of ``K`` samples is order
+        statistic ``ceil(0.95 K)``, which equals ``K`` — the maximum —
+        for every ``K < 20``. A robust sweep ranking by ``"p95"`` with
+        fewer than 20 draws is therefore ranking by worst-case.
+        """
+        return 0 < len(self.times) < 20
+
+    @property
     def p95_time(self) -> float:
-        """Nearest-rank 95th percentile of the ensemble times."""
+        """Nearest-rank 95th percentile of the ensemble times.
+
+        For ensembles with fewer than 20 draws the nearest-rank index
+        ``ceil(0.95 K)`` is ``K`` itself, so this *equals*
+        ``worst_time`` (see :attr:`p95_degenerate`); a
+        ``RuntimeWarning`` is emitted once per call site so small-K
+        sweeps don't silently rank by worst-case.
+        """
         if not self.times:
             return self.deterministic_time
+        if self.p95_degenerate:
+            warnings.warn(
+                f"p95_time over {len(self.times)} draws degenerates to "
+                "worst_time (nearest-rank ceil(0.95 K) == K for K < 20); "
+                "use draws >= 20 for a p95 distinct from the maximum",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         ordered = sorted(self.times)
         rank = max(1, math.ceil(0.95 * len(ordered)))
         return ordered[rank - 1]

@@ -173,7 +173,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="memory constraint in GiB (default: 92%% of device)")
     audit.add_argument(
         "--schedules", nargs="+",
-        default=["1f1b", "gpipe", "chimera", "chimerad", "interleaved"],
+        default=["1f1b", "2bp", "overlap", "gpipe", "chimera", "chimerad",
+                 "interleaved"],
         help="schedule kinds to audit the plan under",
     )
     audit.add_argument("--chunks", type=int, default=2,
@@ -202,7 +203,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="memory constraint in GiB (default: 92%% of device)")
     robust.add_argument(
         "--schedule", default="1f1b",
-        choices=["1f1b", "gpipe", "chimera", "chimerad", "interleaved"],
+        choices=["1f1b", "2bp", "overlap", "gpipe", "chimera", "chimerad",
+                 "interleaved"],
         help="schedule to execute the plan under",
     )
     robust.add_argument("--draws", type=int, default=16,

@@ -15,10 +15,15 @@ quantity against each other:
 7. plan JSON round-trip fidelity;
 8. schedule-aware memory audit — modelled in-flight counts and device
    peaks vs the simulator's, across the schedule zoo (conservative
-   everywhere, exact for 1F1B);
-9. adalint — the domain-aware static analysis pass over the installed
-   package (digest coverage, determinism, unit consistency, frozen
-   mutation) must report zero unsuppressed findings.
+   everywhere, exact for the 1F1B family including 2BP and overlapped
+   recomputation);
+9. the new schedule families — 2BP split backward and overlapped
+   recomputation: tri-engine bit-equality (compiled / reference /
+   batched), 2BP strictly shrinking the bubble at equal peak memory,
+   and fused-vs-explicit overlap lowering equivalence;
+10. adalint — the domain-aware static analysis pass over the installed
+    package (digest coverage, determinism, unit consistency, frozen
+    mutation) must report zero unsuppressed findings.
 """
 
 from __future__ import annotations
@@ -261,7 +266,7 @@ def _check_memory_audit() -> CheckResult:
     ctx, plan = _planning_fixture()
     kinds = []
     reports = []
-    for kind in ("1f1b", "gpipe", "chimera", "chimerad"):
+    for kind in ("1f1b", "2bp", "overlap", "gpipe", "chimera", "chimerad"):
         try:
             schedule = build_schedule_for_plan(plan, ctx.cluster, kind)
         except ValueError:
@@ -278,17 +283,95 @@ def _check_memory_audit() -> CheckResult:
             )
         )
     under = [k for k, r in zip(kinds, reports) if not r.conservative]
-    onef1b_gap = max(
-        (r.max_abs_rel_gap for k, r in zip(kinds, reports) if k == "1f1b"),
-        default=1.0,
-    )
-    ok = not under and onef1b_gap <= 1e-6 and len(kinds) >= 4
+    exact_kinds = ("1f1b", "2bp", "overlap")
+    inexact = [
+        k
+        for k, r in zip(kinds, reports)
+        if k in exact_kinds
+        and (r.max_abs_rel_gap > 1e-6 or any(not s.exact for s in r.stages))
+    ]
+    missing = [k for k in exact_kinds if k not in kinds]
+    ok = not under and not inexact and not missing and len(kinds) >= 6
     detail = (
-        f"{len(kinds)} schedules conservative, 1f1b rel gap {onef1b_gap:.2e}"
+        f"{len(kinds)} schedules conservative, 1F1B family exact"
         if ok
-        else f"under-counting on {under or 'n/a'}; 1f1b gap {onef1b_gap:.2e}"
+        else (
+            f"under-counting on {under or 'n/a'}; "
+            f"inexact on {inexact or 'n/a'}; missing {missing or 'n/a'}"
+        )
     )
     return ("memory model vs simulator audit", ok, detail)
+
+
+def _check_schedule_families() -> CheckResult:
+    """Differential check of the 2BP and overlapped-recompute families.
+
+    On a pinned p=4 fixture: all three engines must agree bit-for-bit on
+    every family; 2BP must strictly shrink the pipeline bubble vs 1F1B at
+    identical per-device activation peaks; and the fused ``Task.overlap``
+    lowering must agree with explicit ``RECOMPUTE`` tasks to float
+    round-off.
+    """
+    from repro.pipeline.batched import batched_simulator
+    from repro.pipeline.schedules import (
+        one_f_one_b_2bp,
+        one_f_one_b_overlapped,
+        one_f_one_b_schedule,
+    )
+    from repro.pipeline.simulator import simulate, simulate_reference
+    from repro.pipeline.tasks import StageCosts
+
+    p, n, hop = 4, 8, 0.1
+    costs = [
+        StageCosts(forward=1.0, backward=2.0, activation_bytes=1.0)
+        for _ in range(p)
+    ]
+    baseline = one_f_one_b_schedule(costs, n, hop_time=hop)
+    twobp = one_f_one_b_2bp(costs, n, hop_time=hop)
+    explicit = one_f_one_b_overlapped(costs, n, hop_time=hop)
+    fused = one_f_one_b_overlapped(costs, n, hop_time=hop, fused=True)
+
+    for schedule in (twobp, explicit, fused):
+        compiled = simulate(schedule)
+        reference = simulate_reference(schedule)
+        sim = batched_simulator(schedule)
+        batched = float(sim.iteration_times(sim.raw_durations)[0])
+        if not (
+            compiled.iteration_time == reference.iteration_time == batched
+            and compiled.device_peak_bytes == reference.device_peak_bytes
+        ):
+            return (
+                "2BP / overlapped schedule families",
+                False,
+                f"engine mismatch on {schedule.name}",
+            )
+
+    base = simulate(baseline)
+    split = simulate(twobp)
+    busy = [sum(t.duration for t in tasks) for tasks in baseline.device_tasks]
+    base_bubble = base.iteration_time * p - sum(busy)
+    split_bubble = split.iteration_time * p - sum(busy)
+    if split.device_peak_bytes != base.device_peak_bytes:
+        return (
+            "2BP / overlapped schedule families",
+            False,
+            f"2BP peaks {split.device_peak_bytes} != 1F1B {base.device_peak_bytes}",
+        )
+    if not split_bubble < base_bubble:
+        return (
+            "2BP / overlapped schedule families",
+            False,
+            f"2BP bubble {split_bubble:.3f} not < 1F1B {base_bubble:.3f}",
+        )
+    fuse_gap = abs(
+        simulate(explicit).iteration_time - simulate(fused).iteration_time
+    )
+    ok = fuse_gap < 1e-9
+    detail = (
+        f"tri-engine bit-exact; bubble {base_bubble:.1f} -> {split_bubble:.1f} "
+        f"at equal peaks; fused/explicit gap {fuse_gap:.1e}"
+    )
+    return ("2BP / overlapped schedule families", ok, detail)
 
 
 def _check_adalint() -> CheckResult:
@@ -315,6 +398,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_eager_engine,
     _check_plan_roundtrip,
     _check_memory_audit,
+    _check_schedule_families,
     _check_adalint,
 ]
 

@@ -70,9 +70,12 @@ def shape_digest(compiled: CompiledSchedule) -> str:
     assignment, dependency structure, per-device order, hop time and link
     overrides, so one :class:`BatchedSchedule` built from either executes
     duration vectors of both (and their spec lowerings — factors, stall
-    delays, jitter vectors — coincide). Task durations, activation bytes
-    and weights are deliberately excluded: none of them affect the
-    execution plan or the iteration-time recurrence.
+    delays, jitter vectors — coincide). Per-task ``overlap`` windows are
+    *included*: they are folded into the lowered edge addends, so two
+    schedules differing only in overlap must not share a lowering. Task
+    durations, activation bytes and weights are deliberately excluded:
+    none of them affect the execution plan or the iteration-time
+    recurrence.
 
     This digest keys *batch grouping only*; result caching uses the full
     content digests (``schedule.digest()`` × spec) — see
@@ -83,7 +86,7 @@ def shape_digest(compiled: CompiledSchedule) -> str:
         return cached
     schedule = compiled.schedule
     hasher = hashlib.blake2b(digest_size=16)
-    hasher.update(f"batch-shape-v1|{schedule.num_devices}|{schedule.hop_time!r}".encode())
+    hasher.update(f"batch-shape-v2|{schedule.num_devices}|{schedule.hop_time!r}".encode())
     for pair, hop in sorted((schedule.link_hops or {}).items()):
         hasher.update(f"|L{pair[0]}>{pair[1]}:{hop!r}".encode())
     for device, tasks in enumerate(schedule.device_tasks):
@@ -91,7 +94,8 @@ def shape_digest(compiled: CompiledSchedule) -> str:
         for task in tasks:
             key = task.key
             hasher.update(
-                f"|t{key.pipe},{key.stage},{key.micro_batch},{key.kind.value}".encode()
+                f"|t{key.pipe},{key.stage},{key.micro_batch},{key.kind.value}"
+                f",{task.overlap!r}".encode()
             )
             for dep in task.deps:
                 hasher.update(
@@ -190,6 +194,22 @@ class BatchedSchedule:
             for pair, eids in sorted(link_edges.items())
         ]
 
+        # Overlap windows folded into cross-device addends at lowering
+        # (`hop - overlap` in compiled.succ_add). Hop overrides overwrite
+        # the addend wholesale, so the overlapped edges and their windows
+        # are kept to re-apply the subtraction after an override.
+        overlap_eids: List[int] = []
+        overlap_vals: List[float] = []
+        tasks = compiled.tasks
+        for j in range(n):
+            for e in range(succ_ptr[j], succ_ptr[j + 1]):
+                i = succ_idx[e]
+                if device[j] != device[i] and tasks[i].overlap:
+                    overlap_eids.append(e)
+                    overlap_vals.append(tasks[i].overlap)
+        self._overlap_eids = np.asarray(overlap_eids, dtype=np.intp)
+        self._overlap_vals = np.asarray(overlap_vals, dtype=np.float64)
+
         # Addend columns per level for the base mapping, precomputed (the
         # common case: no degraded links).
         self._base_addcols = [
@@ -251,6 +271,12 @@ class BatchedSchedule:
         hop = self._hop_time
         for pair, eids in self._link_edges:
             add[eids] = link_hops.get(pair, hop)
+        if self._overlap_eids.size:
+            # Re-fold the compute/comm overlap windows the override just
+            # clobbered — same single `hop - overlap` float subtraction
+            # the compiled lowering performs, keeping rows bit-identical
+            # to the scalar engines under degraded links.
+            add[self._overlap_eids] -= self._overlap_vals
         return [add[eids][:, np.newaxis] for _, _, eids, _ in self._plan]
 
     def _sweep(

@@ -6,12 +6,18 @@ every dependency with a precomputed edge, so executing the schedule touches
 only flat lists:
 
 * per task: duration, device, a signed memory delta (``+activation_bytes``
-  pinned at forward start, ``-activation_bytes`` released at backward end),
-  and the number of incoming edges (unique dependencies plus the implicit
-  device-order edge to the previous task on the same device);
+  pinned at forward start, ``-activation_bytes`` released at the end of the
+  forward's *releasing* twin — grad-weight when the backward is split,
+  the plain backward otherwise), and the number of incoming edges (unique
+  dependencies plus the implicit device-order edge to the previous task on
+  the same device);
 * per edge: the successor index and the hop addend (``hop_time`` — or the
   link's ``Schedule.link_hops`` override — when the edge crosses devices,
-  ``0.0`` otherwise), stored in CSR layout.
+  ``0.0`` otherwise), stored in CSR layout. A destination task with a
+  compute/comm overlap window (``Task.overlap``) has the window folded
+  into its cross-device addends (``hop - overlap``): the longest-path
+  recurrence then evaluates ``end = max(local_ready + dur, end[src] + hop
+  + dur - overlap)`` with no engine change.
 
 Per-device aggregates that do not depend on execution at all — busy time
 (durations summed in list order, preserving the reference engine's float
@@ -70,10 +76,11 @@ class CompiledSchedule:
         device_busy: per-device busy seconds, summed in list order.
         device_passes: per-device weighted micro-batch passes (``weight``
             summed over the device's tasks).
-        same_device_twins: True when every backward's forward twin runs on
-            the backward's own device — the invariant the incremental
-            memory tracker relies on (``Schedule.validate`` enforces it;
-            the engine falls back to the reference path when it is absent).
+        same_device_twins: True when every releasing task's forward twin
+            runs on the releasing task's own device — the invariant the
+            incremental memory tracker relies on (``Schedule.validate``
+            enforces it; the engine falls back to the reference path when
+            it is absent).
         num_edges: total edge count (dependency + device-order).
     """
 
@@ -147,27 +154,101 @@ class CompiledSchedule:
         return cached
 
     def validate_twins(self) -> None:
-        """Check every forward has a same-device backward twin (the
-        structural guarantee ``Schedule.validate`` promises)."""
+        """Enforce the per-kind completeness contract (the structural
+        guarantee ``Schedule.validate`` promises).
+
+        Per ``(pipe, stage, micro_batch)``:
+
+        * a ``FORWARD`` needs a complete backward: either one plain
+          ``BACKWARD``, or a ``BACKWARD_INPUT``/``BACKWARD_WEIGHT`` pair —
+          never a mix of the split and unsplit forms;
+        * every backward (or half), and every ``RECOMPUTE``, needs the
+          matching ``FORWARD``;
+        * all of a micro-batch's twins run on the forward's device (the
+          invariant the incremental memory tracker relies on).
+
+        Unlike the deadlock diagnostics' single-edge reports, twin
+        violations are *collected*: the raised ``ValueError`` names every
+        missing or conflicting key, grouped per device, so a malformed
+        generator is diagnosed in one pass.
+        """
+        violations: List[Tuple[int, str]] = []
         for i, task in enumerate(self.tasks):
-            if task.key.kind != TaskKind.FORWARD:
-                continue
-            twin = TaskKey(
-                task.key.pipe, task.key.stage, task.key.micro_batch,
-                TaskKind.BACKWARD,
+            key = task.key
+            device_i = self.device[i]
+
+            def twin(kind: TaskKind) -> "TaskKey":
+                return TaskKey(key.pipe, key.stage, key.micro_batch, kind)
+
+            if key.kind == TaskKind.FORWARD:
+                plain = self.index.get(twin(TaskKind.BACKWARD))
+                grad_in = self.index.get(twin(TaskKind.BACKWARD_INPUT))
+                grad_w = self.index.get(twin(TaskKind.BACKWARD_WEIGHT))
+                if plain is None and grad_in is None and grad_w is None:
+                    violations.append(
+                        (device_i, f"forward {key} has no backward twin")
+                    )
+                elif plain is not None and (
+                    grad_in is not None or grad_w is not None
+                ):
+                    violations.append((
+                        device_i,
+                        f"forward {key} has both a plain backward and a "
+                        "split grad-input/grad-weight backward",
+                    ))
+                elif plain is None:
+                    if grad_in is None:
+                        violations.append((
+                            device_i,
+                            f"forward {key} has a grad-weight twin but no "
+                            f"grad-input {twin(TaskKind.BACKWARD_INPUT)}",
+                        ))
+                    if grad_w is None:
+                        violations.append((
+                            device_i,
+                            f"forward {key} has a grad-input twin but no "
+                            f"grad-weight {twin(TaskKind.BACKWARD_WEIGHT)} "
+                            "(activations would never be released)",
+                        ))
+                for j in (plain, grad_in, grad_w):
+                    if j is not None and self.device[j] != device_i:
+                        violations.append((
+                            device_i,
+                            f"{key} and {self.keys[j]} run on different devices",
+                        ))
+            else:
+                j = self.index.get(twin(TaskKind.FORWARD))
+                if j is None:
+                    violations.append(
+                        (device_i, f"{key} has no forward twin")
+                    )
+                elif key.kind == TaskKind.RECOMPUTE and self.device[j] != device_i:
+                    violations.append((
+                        device_i,
+                        f"{key} and {self.keys[j]} run on different devices",
+                    ))
+        if violations:
+            by_device: Dict[int, List[str]] = {}
+            for device_i, message in violations:
+                by_device.setdefault(device_i, []).append(message)
+            report = "; ".join(
+                f"device {device_i}: " + ", ".join(messages)
+                for device_i, messages in sorted(by_device.items())
             )
-            j = self.index.get(twin)
-            if j is None:
-                raise ValueError(f"forward {task.key} has no backward twin")
-            if self.device[j] != self.device[i]:
-                raise ValueError(f"{task.key} and {twin} run on different devices")
+            raise ValueError(
+                f"schedule twin contract violated ({len(violations)} "
+                f"violation{'s' if len(violations) != 1 else ''}): {report}"
+            )
 
 
 def compile_schedule(schedule: Schedule) -> CompiledSchedule:
     """Lower ``schedule`` into a :class:`CompiledSchedule`.
 
     Raises:
-        ValueError: on duplicate task keys (matching ``Schedule.task_map``).
+        ValueError: on duplicate task keys (matching ``Schedule.task_map``),
+            on a nonzero ``activation_bytes`` on any non-forward task (the
+            forward carries the pinned bytes — see ``Task``), or on a
+            negative ``overlap``.
         SimulationError: when a task depends on a key absent from the
             schedule.
     """
@@ -191,6 +272,10 @@ def compile_schedule(schedule: Schedule) -> CompiledSchedule:
     link_hops = schedule.link_hops or {}
 
     for i, task in enumerate(tasks):
+        if task.overlap < 0.0:
+            raise ValueError(
+                f"{task.key}: overlap must be >= 0, got {task.overlap!r}"
+            )
         # Duplicate deps must not double-count indegree. The filter keeps
         # first-seen edge order (it feeds `dep_indices` and the CSR edge
         # layout) but tests membership against a set — lists made this
@@ -208,6 +293,16 @@ def compile_schedule(schedule: Schedule) -> CompiledSchedule:
             seen.append(j)
             if device[j] != device[i]:
                 add = link_hops.get((device[j], device[i]), hop) if link_hops else hop
+                if task.overlap:
+                    # Compute/comm overlap window: up to `overlap` seconds
+                    # of task i's duration run while this hop is in
+                    # flight, so the edge contributes
+                    # `end[j] + hop - overlap` to i's start — i.e.
+                    # `end[i] = max(local_ready + dur, end[j] + hop +
+                    # dur - overlap)`. The device-order edge (addend 0)
+                    # keeps the local floor, so a negative effective
+                    # addend never starts i before its own device frees.
+                    add -= task.overlap
             else:
                 add = 0.0
             successors[j].append((i, add))
@@ -236,19 +331,44 @@ def compile_schedule(schedule: Schedule) -> CompiledSchedule:
     mem_delta = [0.0] * num_tasks
     same_device_twins = True
     for i, task in enumerate(tasks):
-        if task.key.kind == TaskKind.FORWARD:
+        kind = task.key.kind
+        if kind == TaskKind.FORWARD:
             if task.activation_bytes > 0:
                 mem_delta[i] = task.activation_bytes
-        else:
-            twin = TaskKey(
-                task.key.pipe, task.key.stage, task.key.micro_batch,
-                TaskKind.FORWARD,
+            continue
+        if task.activation_bytes:
+            # The Task contract says forwards carry the pinned bytes; a
+            # nonzero value anywhere else used to be silently dropped,
+            # which 2BP's deferred-release accounting cannot afford.
+            raise ValueError(
+                f"{task.key}: activation_bytes={task.activation_bytes!r} on "
+                f"a {kind.value} task; activations are carried by the "
+                "forward and released by its backward (grad-weight) twin"
             )
-            j = index.get(twin)
-            if j is not None and tasks[j].activation_bytes > 0:
-                mem_delta[i] = -tasks[j].activation_bytes
-                if device[j] != device[i]:
-                    same_device_twins = False
+        if kind in (TaskKind.BACKWARD_INPUT, TaskKind.RECOMPUTE):
+            # Grad-input and recomputation never release: the activations
+            # stay pinned until grad-weight (split backward) or the plain
+            # backward consumes them.
+            continue
+        if kind == TaskKind.BACKWARD and (
+            TaskKey(
+                task.key.pipe, task.key.stage, task.key.micro_batch,
+                TaskKind.BACKWARD_WEIGHT,
+            )
+            in index
+        ):
+            # Defensive: mixed plain/split backwards fail validate_twins,
+            # but lowering must not double-release if asked anyway.
+            continue
+        twin = TaskKey(
+            task.key.pipe, task.key.stage, task.key.micro_batch,
+            TaskKind.FORWARD,
+        )
+        j = index.get(twin)
+        if j is not None and tasks[j].activation_bytes > 0:
+            mem_delta[i] = -tasks[j].activation_bytes
+            if device[j] != device[i]:
+                same_device_twins = False
 
     rows = [
         (duration[i], device[i], mem_delta[i], tuple(successors[i]))

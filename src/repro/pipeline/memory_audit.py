@@ -15,8 +15,12 @@ The contract being audited:
   device peak >= simulated device peak on every device, for every
   schedule kind. (The converse — a model that under-counts — is exactly
   the planner-admits-OOM failure mode this audit exists to catch.)
-* **Tightness for 1F1B** — the plain 1F1B counts are exact, so modelled
-  and simulated peaks must agree to floating-point tolerance there.
+* **Tightness for the 1F1B family** — the plain 1F1B, 2BP split-backward
+  and overlapped-recomputation counts are exact (ALGORITHMS.md §13: 2BP
+  defers grad-weight releases only into the drain; recompute tasks do not
+  touch liveness), so modelled and simulated peaks must agree to
+  floating-point tolerance there — the audit reports them "exact", not
+  merely "conservative".
 
 ``adapipe audit`` runs this over the schedule zoo; ``adapipe validate``
 registers it as a differential check; :func:`repro.core.evaluate.evaluate_plan`
@@ -256,7 +260,14 @@ def audit_plan_memory(
 def audit_plan_over_schedules(
     plan,
     cluster,
-    schedule_kinds: Sequence[str] = ("1f1b", "gpipe", "chimera", "chimerad"),
+    schedule_kinds: Sequence[str] = (
+        "1f1b",
+        "2bp",
+        "overlap",
+        "gpipe",
+        "chimera",
+        "chimerad",
+    ),
 ) -> Mapping[str, MemoryAuditReport]:
     """Audit a plan across the schedule zoo; skips kinds the plan can't run.
 

@@ -15,6 +15,18 @@ def backward_key(stage: int, micro_batch: int, pipe: int = 0) -> TaskKey:
     return TaskKey(pipe, stage, micro_batch, TaskKind.BACKWARD)
 
 
+def backward_input_key(stage: int, micro_batch: int, pipe: int = 0) -> TaskKey:
+    return TaskKey(pipe, stage, micro_batch, TaskKind.BACKWARD_INPUT)
+
+
+def backward_weight_key(stage: int, micro_batch: int, pipe: int = 0) -> TaskKey:
+    return TaskKey(pipe, stage, micro_batch, TaskKind.BACKWARD_WEIGHT)
+
+
+def recompute_key(stage: int, micro_batch: int, pipe: int = 0) -> TaskKey:
+    return TaskKey(pipe, stage, micro_batch, TaskKind.RECOMPUTE)
+
+
 def forward_deps(
     stage: int, micro_batch: int, num_stages: int, pipe: int = 0
 ) -> tuple:

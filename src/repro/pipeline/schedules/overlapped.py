@@ -1,0 +1,158 @@
+"""1F1B with overlapped recomputation (recompute hidden under hop windows).
+
+When a stage discards activations, its backward must first re-execute the
+forward to rebuild them. The classic lowering bakes that recompute time
+into ``StageCosts.backward`` — serialized *after* the gradient hop from
+the next stage arrives. But recomputation needs only locally saved state
+(the stage's own forward inputs), never the incoming gradient, so it can
+run *while the gradient is still in flight*: the compute/comm overlap
+window of "Optimizing Large Model Training through Overlapped Activation
+Recomputation" (PAPERS.md).
+
+Two equivalent lowerings are provided (their makespans agree to float
+round-off; tests pin it):
+
+* **explicit** (default): a ``RECOMPUTE`` task per micro-batch, depending
+  only on its forward, placed immediately before the (pure) backward in
+  device order. The backward waits on ``max(recompute end, gradient end +
+  hop)`` — the engines' ordinary longest-path recurrence evaluates the
+  overlap with no special casing.
+* **fused** (``fused=True``): one backward task of the full duration with
+  ``Task.overlap`` set to the recompute portion — the engines evaluate
+  ``end = max(local_ready + dur, grad_end + hop + dur - overlap)``, the
+  overlap-window recurrence folded into the edge addends at lowering
+  (ALGORITHMS.md §13).
+
+Activation liveness is identical to plain 1F1B — recompute neither pins
+nor releases the forward's bytes — so the exact in-flight count stays
+``min(n, p - s)``. The recompute *buffer* is already accounted by
+``StageCosts.buffer_bytes``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.pipeline.schedules.common import (
+    backward_key,
+    build_schedule,
+    forward_deps,
+    forward_key,
+    recompute_key,
+)
+from repro.pipeline.tasks import Schedule, StageCosts, Task
+
+
+def default_recompute_times(
+    stage_costs: Sequence[StageCosts],
+) -> List[float]:
+    """Recompute seconds carved out of each stage's backward by default.
+
+    The cost model's no-recompute backward is ~2x the forward (two GEMMs
+    per saved one), so anything a plan's ``backward`` carries beyond
+    ``2 * forward`` is recomputation — the same convention the
+    recomputation DP uses when it credits ``Time_f`` per discarded unit.
+    Clamped into ``[0, backward]``.
+    """
+    return [
+        min(max(0.0, costs.backward - 2.0 * costs.forward), costs.backward)
+        for costs in stage_costs
+    ]
+
+
+def one_f_one_b_overlapped(
+    stage_costs: Sequence[StageCosts],
+    num_micro_batches: int,
+    hop_time: float = 0.0,
+    recompute_times: Optional[Sequence[float]] = None,
+    fused: bool = False,
+    name: str = "1F1B-OR",
+) -> Schedule:
+    """Build the overlapped-recomputation schedule.
+
+    Args:
+        stage_costs: per-stage costs; ``backward`` *includes* the
+            recompute time, which this builder splits off (explicit) or
+            declares as an overlap window (fused).
+        num_micro_batches: micro-batches per iteration.
+        hop_time: cross-device dependency delay — the window the
+            recompute hides under.
+        recompute_times: per-stage recompute seconds; ``None`` derives
+            them via :func:`default_recompute_times`. Each must lie in
+            ``[0, backward]``.
+        fused: lower recompute as ``Task.overlap`` on the backward
+            instead of an explicit ``RECOMPUTE`` task.
+        name: schedule label.
+    """
+    p = len(stage_costs)
+    n = num_micro_batches
+    if recompute_times is None:
+        recompute_times = default_recompute_times(stage_costs)
+    if len(recompute_times) != p:
+        raise ValueError(
+            f"need one recompute time per stage ({p}), got "
+            f"{len(recompute_times)}"
+        )
+    for stage, (costs, recompute) in enumerate(zip(stage_costs, recompute_times)):
+        if not 0.0 <= recompute <= costs.backward:
+            raise ValueError(
+                f"stage {stage}: recompute time {recompute!r} outside "
+                f"[0, backward={costs.backward!r}]"
+            )
+    device_tasks: List[List[Task]] = []
+    for stage, costs in enumerate(stage_costs):
+        tasks: List[Task] = []
+        recompute_time = float(recompute_times[stage])
+
+        def forward(m: int) -> Task:
+            return Task(
+                key=forward_key(stage, m),
+                device=stage,
+                duration=costs.forward,
+                deps=forward_deps(stage, m, p),
+                activation_bytes=costs.activation_bytes,
+            )
+
+        def recompute(m: int) -> Task:
+            return Task(
+                key=recompute_key(stage, m),
+                device=stage,
+                duration=recompute_time,
+                deps=(forward_key(stage, m),),
+            )
+
+        def backward(m: int, explicit_recompute: bool) -> Task:
+            deps = [forward_key(stage, m)]
+            if explicit_recompute:
+                deps.append(recompute_key(stage, m))
+            if stage < p - 1:
+                deps.append(backward_key(stage + 1, m))
+            if explicit_recompute:
+                duration = costs.backward - recompute_time
+                overlap = 0.0
+            else:
+                duration = costs.backward
+                overlap = recompute_time
+            return Task(
+                key=backward_key(stage, m),
+                device=stage,
+                duration=duration,
+                deps=tuple(deps),
+                overlap=overlap,
+            )
+
+        explicit = not fused and recompute_time > 0.0
+        warmup = min(p - stage - 1, n)
+        for m in range(warmup):
+            tasks.append(forward(m))
+        for i in range(n - warmup):
+            tasks.append(forward(warmup + i))
+            if explicit:
+                tasks.append(recompute(i))
+            tasks.append(backward(i, explicit))
+        for m in range(n - warmup, n):
+            if explicit:
+                tasks.append(recompute(m))
+            tasks.append(backward(m, explicit))
+        device_tasks.append(tasks)
+    return build_schedule(name, stage_costs, device_tasks, hop_time, n)

@@ -1,0 +1,116 @@
+"""1F1B with 2BP split backward (grad-input / grad-weight).
+
+2BP splits each backward pass into its two chain-rule halves: *grad-input*
+(``Bi``) propagates the activation gradient to the previous stage, and
+*grad-weight* (``Bw``) accumulates the weight gradient. Only grad-input
+sits on the inter-stage critical path — the upstream stage unblocks as
+soon as ``Bi`` finishes — while grad-weight is deferrable filler work the
+device can run whenever it would otherwise idle.
+
+This builder keeps the 1F1B skeleton and defers exactly the *drain-phase*
+grad-weights: during the steady phase every micro-batch runs
+``F, Bi, Bw`` back to back (same per-cycle work as 1F1B, so the steady
+in-flight window is unchanged), and the ``warmup``-many micro-batches of
+the drain run their grad-input chain first, then fill the tail bubble
+with the deferred grad-weights. Two consequences (ALGORITHMS.md §13):
+
+* the tail critical path shrinks from a chain of full backwards to a
+  chain of grad-inputs — stage 0 stops ``(p - 1) * Bw`` earlier, which is
+  the bubble 2BP removes;
+* activations stay live until *grad-weight* (not grad-input), but since
+  deferral is confined to the drain — where liveness only declines — the
+  peak in-flight count stays exactly ``min(n, p - s)``, matching 1F1B's
+  memory profile byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.pipeline.schedules.common import (
+    backward_input_key,
+    backward_weight_key,
+    build_schedule,
+    forward_deps,
+    forward_key,
+)
+from repro.pipeline.tasks import Schedule, StageCosts, Task
+
+
+def one_f_one_b_2bp(
+    stage_costs: Sequence[StageCosts],
+    num_micro_batches: int,
+    hop_time: float = 0.0,
+    weight_fraction: float = 0.5,
+    name: str = "1F1B-2BP",
+) -> Schedule:
+    """Build the 2BP split-backward schedule over ``len(stage_costs)`` stages.
+
+    Args:
+        stage_costs: per-stage costs; each stage's ``backward`` is split
+            into the two halves.
+        num_micro_batches: micro-batches per iteration.
+        hop_time: cross-device dependency delay.
+        weight_fraction: fraction of the backward that is grad-weight
+            (``Bw = backward * weight_fraction``, ``Bi = backward - Bw``);
+            the default even split keeps ``Bi + Bw`` bit-equal to the
+            unsplit backward. Must lie in ``(0, 1)``.
+        name: schedule label.
+    """
+    if not 0.0 < weight_fraction < 1.0:
+        raise ValueError(
+            f"weight_fraction must lie in (0, 1), got {weight_fraction!r}"
+        )
+    p = len(stage_costs)
+    n = num_micro_batches
+    device_tasks: List[List[Task]] = []
+    for stage, costs in enumerate(stage_costs):
+        tasks: List[Task] = []
+        grad_weight_time = costs.backward * weight_fraction
+        grad_input_time = costs.backward - grad_weight_time
+
+        def forward(m: int) -> Task:
+            return Task(
+                key=forward_key(stage, m),
+                device=stage,
+                duration=costs.forward,
+                deps=forward_deps(stage, m, p),
+                activation_bytes=costs.activation_bytes,
+            )
+
+        def grad_input(m: int) -> Task:
+            deps = [forward_key(stage, m)]
+            if stage < p - 1:
+                # Only the *grad-input* half of the next stage gates this
+                # one — the whole point of the split.
+                deps.append(backward_input_key(stage + 1, m))
+            return Task(
+                key=backward_input_key(stage, m),
+                device=stage,
+                duration=grad_input_time,
+                deps=tuple(deps),
+            )
+
+        def grad_weight(m: int) -> Task:
+            return Task(
+                key=backward_weight_key(stage, m),
+                device=stage,
+                duration=grad_weight_time,
+                deps=(backward_input_key(stage, m),),
+            )
+
+        warmup = min(p - stage - 1, n)
+        for m in range(warmup):
+            tasks.append(forward(m))
+        for i in range(n - warmup):
+            tasks.append(forward(warmup + i))
+            tasks.append(grad_input(i))
+            tasks.append(grad_weight(i))
+        # Drain: propagate the remaining grad-input chain first, then fill
+        # the tail bubble with the deferred grad-weights.
+        for m in range(n - warmup, n):
+            tasks.append(grad_input(m))
+        for m in range(n - warmup, n):
+            tasks.append(grad_weight(m))
+        device_tasks.append(tasks)
+    return build_schedule(name, stage_costs, device_tasks, hop_time, n)

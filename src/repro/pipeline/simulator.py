@@ -8,7 +8,9 @@ the iteration time.
 
 The simulator also tracks activation memory per device: a micro-batch's
 intermediates are pinned from the start of its forward until the end of its
-backward, sitting on top of the device's static state and recompute buffer.
+releasing backward twin — the grad-weight half when the backward is split
+(2BP), the plain backward otherwise — sitting on top of the device's static
+state and recompute buffer.
 The per-device high-water mark supports the paper's Figure 1/Figure 8 memory
 profiles and OOM detection for infeasible baselines.
 
@@ -129,8 +131,8 @@ def schedule_digest(schedule: Schedule) -> str:
 
     Covers devices, hop time, per-link hop overrides, per-device
     static/buffer bytes and every task's identity, device, duration,
-    activation bytes, weight, and dependencies. The schedule ``name`` and
-    ``num_micro_batches`` are deliberately excluded — they label the
+    activation bytes, weight, overlap window, and dependencies. The
+    schedule ``name`` and ``num_micro_batches`` are deliberately excluded — they label the
     schedule but do not move any simulated quantity, so e.g. a relabelled
     1F1B schedule replays a cached result. Memoized per instance via
     :meth:`Schedule.digest`.
@@ -143,7 +145,7 @@ def schedule_digest(schedule: Schedule) -> str:
     no mapping at all, since the two simulate identically.
     """
     parts: List[str] = [
-        f"sim-v1|{schedule.num_devices}|{schedule.hop_time!r}",
+        f"sim-v2|{schedule.num_devices}|{schedule.hop_time!r}",
         repr(schedule.device_static_bytes),
         repr(schedule.device_buffer_bytes),
     ]
@@ -162,7 +164,7 @@ def schedule_digest(schedule: Schedule) -> str:
             append(
                 f"{k.pipe},{k.stage},{k.micro_batch},{k.kind.value},"
                 f"{task.device},{task.duration!r},{task.activation_bytes!r},"
-                f"{task.weight}"
+                f"{task.weight},{task.overlap!r}"
             )
             for dep in task.deps:
                 append(f"<{dep.pipe},{dep.stage},{dep.micro_batch},{dep.kind.value}")
@@ -498,7 +500,15 @@ def simulate_reference(schedule: Schedule) -> SimulationResult:
                         break
                     dep_end = end_times[dep]
                     if task_map[dep].device != device:
-                        dep_end += schedule.hop_for(task_map[dep].device, device)
+                        add = schedule.hop_for(task_map[dep].device, device)
+                        if task.overlap:
+                            # Compute/comm overlap window: the task's
+                            # first `overlap` seconds run while the hop is
+                            # in flight. Same float ops as the compiled
+                            # lowering's `hop - overlap` addend, so both
+                            # engines stay bit-identical.
+                            add -= task.overlap
+                        dep_end += add
                     ready_at = max(ready_at, dep_end)
                 if blocked:
                     break
@@ -538,22 +548,38 @@ def _record_memory(
     forward_device: Dict[TaskKey, int],
     task_map: Dict[TaskKey, Task],
 ) -> None:
-    """Pin activations at forward start, release them at backward end."""
+    """Pin activations at forward start, release them at the end of the
+    forward's releasing twin (grad-weight under a split backward, the
+    plain backward otherwise). Grad-input and recompute tasks touch no
+    activation accounting."""
     del end  # backward release uses its own end below
-    if task.key.kind == TaskKind.FORWARD:
+    kind = task.key.kind
+    if kind == TaskKind.FORWARD:
         if task.activation_bytes > 0:
             memory_events[device].append((start, task.activation_bytes))
         forward_device[task.key] = device
-    else:
-        twin = TaskKey(
-            task.key.pipe, task.key.stage, task.key.micro_batch, TaskKind.FORWARD
+        return
+    if kind in (TaskKind.BACKWARD_INPUT, TaskKind.RECOMPUTE):
+        return
+    if kind == TaskKind.BACKWARD and (
+        TaskKey(
+            task.key.pipe, task.key.stage, task.key.micro_batch,
+            TaskKind.BACKWARD_WEIGHT,
         )
-        twin_task = task_map.get(twin)
-        if twin_task is not None and twin_task.activation_bytes > 0:
-            release_at = start + task.duration
-            memory_events[forward_device.get(twin, device)].append(
-                (release_at, -twin_task.activation_bytes)
-            )
+        in task_map
+    ):
+        # Mixed plain/split backwards fail validation; mirror the compiled
+        # lowering and never double-release regardless.
+        return
+    twin = TaskKey(
+        task.key.pipe, task.key.stage, task.key.micro_batch, TaskKind.FORWARD
+    )
+    twin_task = task_map.get(twin)
+    if twin_task is not None and twin_task.activation_bytes > 0:
+        release_at = start + task.duration
+        memory_events[forward_device.get(twin, device)].append(
+            (release_at, -twin_task.activation_bytes)
+        )
 
 
 def _memory_peaks(

@@ -1,11 +1,13 @@
 """Task-graph representation of a pipeline schedule.
 
-A *schedule* is, per device, a total order over *tasks*; each task is the
-forward or backward pass of one micro-batch through one stage of one
-pipeline replica (Chimera runs two replicas in opposite directions, hence
-the ``pipe`` coordinate). Tasks carry explicit dependency keys, so the
-simulator needs no knowledge of any particular scheduling policy — it just
-executes each device's list in order, waiting on dependencies.
+A *schedule* is, per device, a total order over *tasks*; each task is one
+pass of one micro-batch through one stage of one pipeline replica (Chimera
+runs two replicas in opposite directions, hence the ``pipe`` coordinate):
+a forward, a backward — possibly split into grad-input and grad-weight
+halves (2BP) — or an explicit recomputation. Tasks carry explicit
+dependency keys, so the simulator needs no knowledge of any particular
+scheduling policy — it just executes each device's list in order, waiting
+on dependencies.
 """
 
 from __future__ import annotations
@@ -16,11 +18,39 @@ from typing import Dict, List, Optional, Tuple
 
 
 class TaskKind(enum.Enum):
+    """The kinds of device work a schedule can express.
+
+    ``FORWARD``/``BACKWARD`` are the classic twins every schedule family
+    used to be built from. Two further families split or extend them:
+
+    * ``BACKWARD_INPUT`` / ``BACKWARD_WEIGHT`` — the 2BP split backward:
+      grad-input propagates the activation gradient upstream (so the
+      previous stage unblocks as soon as it finishes), grad-weight is
+      deferrable filler work. A micro-batch's activations stay pinned
+      until its *grad-weight* completes, so ``BACKWARD_WEIGHT`` (not
+      ``BACKWARD_INPUT``) is the releasing twin of the forward.
+    * ``RECOMPUTE`` — explicit re-execution of discarded activations
+      before a backward. It depends only on locally saved state (its own
+      forward), never on the incoming gradient, which is what lets its
+      duration overlap the cross-device hop window of the backward that
+      consumes it.
+    """
+
     FORWARD = "F"
     BACKWARD = "B"
+    BACKWARD_INPUT = "Bi"
+    BACKWARD_WEIGHT = "Bw"
+    RECOMPUTE = "R"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+#: Kinds that release their forward twin's pinned activations when they
+#: finish. ``BACKWARD`` only releases when no ``BACKWARD_WEIGHT`` twin
+#: exists (the per-kind completeness contract forbids mixing the two for
+#: one micro-batch; lowering is defensive about it regardless).
+RELEASE_KINDS = (TaskKind.BACKWARD, TaskKind.BACKWARD_WEIGHT)
 
 
 @dataclass(frozen=True)
@@ -32,7 +62,7 @@ class TaskKey:
             second, reversed pipeline).
         stage: pipeline stage the task runs on.
         micro_batch: micro-batch index within the replica.
-        kind: forward or backward.
+        kind: the :class:`TaskKind` of the pass.
     """
 
     pipe: int
@@ -68,11 +98,22 @@ class Task:
             schedule's communication hop time.
         activation_bytes: intermediates pinned by this micro-batch on this
             stage from the *start of the forward* until the *end of the
-            backward* (0 on backward tasks — the matching forward carries it).
+            releasing backward twin* — ``BACKWARD_WEIGHT`` when the
+            backward is split, plain ``BACKWARD`` otherwise. Only forwards
+            may carry a nonzero value; ``compile_schedule`` rejects it on
+            any other kind (the matching forward carries it).
         weight: micro-batches processed (2 for ChimeraD's doubled forwards).
             The simulator sums it into
             ``SimulationResult.device_micro_batch_passes``, the weighted
             useful-work count backing throughput accounting.
+        overlap: seconds of this task's leading duration that do not need
+            its cross-device inputs — the compute/comm overlap window. The
+            engines evaluate ``end = max(local_ready + duration,
+            comm_ready + duration - overlap)``: up to ``overlap`` seconds
+            of the task run while the hop is still in flight. ``0.0``
+            (the default) reproduces the fully serialized hop addend. The
+            fused lowering of overlapped recomputation sets it to the
+            recompute portion of a backward's duration.
     """
 
     key: TaskKey
@@ -81,6 +122,7 @@ class Task:
     deps: Tuple[TaskKey, ...] = ()
     activation_bytes: float = 0.0
     weight: int = 1
+    overlap: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -177,7 +219,11 @@ class Schedule:
 
     def validate(self) -> None:
         """Check structural sanity: unique keys, resolvable dependencies,
-        and that every forward has a matching backward on the same device.
+        and the per-kind completeness contract — every forward has a
+        complete set of same-device backward twins (a plain backward, or a
+        grad-input/grad-weight pair, never both) and every auxiliary task
+        (recompute, backward halves) has its forward. Violations are
+        collected and reported together, grouped per device.
 
         Runs on the shared :meth:`compiled` lowering, so the task map built
         here is the one the simulator executes."""

@@ -162,19 +162,35 @@ class ResultCollector:
             json.dump(self.entries, handle, indent=2, default=list)
 
 
+def _releases(kind: str, key: Tuple[int, int, int], split: set) -> bool:
+    """Whether a task record of ``kind`` ends its micro-batch's activation
+    span: the grad-weight half when the backward is split, the plain
+    backward otherwise. Grad-input and recompute tasks never release."""
+    if kind == str(TaskKind.BACKWARD_WEIGHT):
+        return True
+    return kind == str(TaskKind.BACKWARD) and key not in split
+
+
 def stage_in_flight_peaks(result: SimulationResult) -> Dict[Tuple[int, int], int]:
     """Per (pipe, stage): the peak number of micro-batches whose
-    activations are simultaneously live (forward started, backward not yet
+    activations are simultaneously live (forward started, releasing
+    backward twin — grad-weight under a split backward — not yet
     finished). For plain 1F1B this reproduces the analytic ``p - s``; for
     interleaved or bidirectional schedules it measures what no closed form
     gives — the multiplier adaptive recomputation needs per stage."""
     intervals: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
     forward_start: Dict[Tuple[int, int, int], float] = {}
-    for record in trace_simulation(result):
+    records = trace_simulation(result)
+    split = {
+        (r.pipe, r.stage, r.micro_batch)
+        for r in records
+        if r.kind == str(TaskKind.BACKWARD_WEIGHT)
+    }
+    for record in records:
         key = (record.pipe, record.stage, record.micro_batch)
         if record.kind == str(TaskKind.FORWARD):
             forward_start[key] = record.start
-        else:
+        elif _releases(record.kind, key, split):
             start = forward_start.get(key, record.start)
             intervals.setdefault((record.pipe, record.stage), []).append(
                 (start, record.end)
@@ -209,12 +225,18 @@ def stage_in_flight_micro_batch_peaks(
     forward_start: Dict[Tuple[int, int, int], float] = {}
     weight_of: Dict[Tuple[int, int, int], int] = {}
     spans: Dict[Tuple[int, int], List[Tuple[float, float, int]]] = {}
-    for task in result.schedule.all_tasks():
+    tasks = result.schedule.all_tasks()
+    split = {
+        (t.key.pipe, t.key.stage, t.key.micro_batch)
+        for t in tasks
+        if t.key.kind == TaskKind.BACKWARD_WEIGHT
+    }
+    for task in tasks:
         key = (task.key.pipe, task.key.stage, task.key.micro_batch)
         if task.key.kind == TaskKind.FORWARD:
             forward_start[key] = result.start_times[task.key]
             weight_of[key] = task.weight
-        else:
+        elif _releases(task.key.kind.value, key, split):
             end = result.end_times[task.key]
             start = forward_start.get(key, result.start_times[task.key])
             weight = weight_of.get(key, task.weight)

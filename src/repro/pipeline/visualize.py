@@ -60,16 +60,21 @@ def render_memory_timeline(result: SimulationResult, width: int = 80) -> str:
         return "(empty schedule)"
 
     # Rebuild the activation level per device from task timings: a forward
-    # pins its activation bytes from its start until its backward's end.
+    # pins its activation bytes from its start until the end of its
+    # releasing twin (grad-weight when the backward is split).
     events = {device: [] for device in range(schedule.num_devices)}
     for task in schedule.all_tasks():
         if task.key.kind != TaskKind.FORWARD or task.activation_bytes <= 0:
             continue
-        twin = type(task.key)(
-            task.key.pipe, task.key.stage, task.key.micro_batch, TaskKind.BACKWARD
-        )
+        end = total
+        for kind in (TaskKind.BACKWARD_WEIGHT, TaskKind.BACKWARD):
+            twin = type(task.key)(
+                task.key.pipe, task.key.stage, task.key.micro_batch, kind
+            )
+            if twin in result.end_times:
+                end = result.end_times[twin]
+                break
         start = result.start_times[task.key]
-        end = result.end_times.get(twin, total)
         events[task.device].append((start, task.activation_bytes))
         events[task.device].append((end, -task.activation_bytes))
 

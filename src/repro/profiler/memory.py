@@ -33,7 +33,15 @@ from repro.model.units import ComputationUnit, units_for_layer
 #: Schedule kinds with an in-flight accounting rule. ``interleaved`` expects
 #: ``num_stages`` to be the *global* stage count (chunks x devices) and
 #: ``num_devices`` the pipeline group size.
-SCHEDULE_KINDS = ("1f1b", "gpipe", "chimera", "chimerad", "interleaved")
+SCHEDULE_KINDS = (
+    "1f1b",
+    "2bp",
+    "overlap",
+    "gpipe",
+    "chimera",
+    "chimerad",
+    "interleaved",
+)
 
 
 @lru_cache(maxsize=None)
@@ -91,6 +99,15 @@ def in_flight_micro_batches(
     micro-batch units — each doubled forward entity pins two micro-batches
     of activations.
 
+    The two DAG-changing families stay exactly ``min(n, p - s)`` as well
+    (ALGORITHMS.md §13): ``"2bp"`` holds activations until *grad-weight*,
+    but the builder defers grad-weights only into the drain phase, where
+    liveness already declines monotonically, so the steady-phase peak is
+    untouched; ``"overlap"`` adds recompute tasks that neither pin nor
+    release activations (the recompute buffer is separate,
+    ``StageCosts.buffer_bytes``). The memory audit asserts both exact, not
+    merely conservative.
+
     Args:
         schedule_kind: one of :data:`SCHEDULE_KINDS`.
         stage: stage index (a *global* stage for ``interleaved``).
@@ -105,7 +122,7 @@ def in_flight_micro_batches(
         raise ValueError(f"stage {s} out of range for {p} stages")
     if n < 1:
         raise ValueError(f"need at least one micro-batch, got {n}")
-    if schedule_kind == "1f1b":
+    if schedule_kind in ("1f1b", "2bp", "overlap"):
         return min(n, p - s)
     if schedule_kind == "gpipe":
         return n

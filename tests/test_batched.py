@@ -38,12 +38,23 @@ from repro.pipeline.schedules import (
     chimera_schedule,
     gpipe_schedule,
     interleaved_1f1b_schedule,
+    one_f_one_b_2bp,
+    one_f_one_b_overlapped,
     one_f_one_b_schedule,
 )
 from repro.pipeline.simulator import simulate
 from repro.pipeline.tasks import Schedule, StageCosts, Task, TaskKey, TaskKind
 
-_KINDS = ("1f1b", "gpipe", "chimera", "chimerad", "interleaved")
+_KINDS = (
+    "1f1b",
+    "gpipe",
+    "chimera",
+    "chimerad",
+    "interleaved",
+    "2bp",
+    "overlap",
+    "overlap-fused",
+)
 _DEVICES = 4
 
 
@@ -60,7 +71,7 @@ def _random_costs(rng, p):
 
 def _builders(rng, p, n):
     hop = rng.uniform(0.01, 0.5)
-    return {
+    schedules = {
         "1f1b": one_f_one_b_schedule(_random_costs(rng, p), n, hop_time=hop),
         "gpipe": gpipe_schedule(_random_costs(rng, p), n, hop_time=hop),
         "chimera": chimera_schedule(_random_costs(rng, p), n, hop_time=hop),
@@ -71,6 +82,28 @@ def _builders(rng, p, n):
             _random_costs(rng, 2 * p), n, p, hop_time=hop
         ),
     }
+    # New families appended after the dict literal so the earlier kinds'
+    # rng streams (and therefore their pinned fuzz schedules) stay
+    # unchanged. Recompute times are pinned at a nonzero fraction of each
+    # backward so the overlap machinery is always exercised (the default
+    # clamp can degenerate to plain 1F1B on random costs).
+    schedules["2bp"] = one_f_one_b_2bp(_random_costs(rng, p), n, hop_time=hop)
+    overlap_costs = _random_costs(rng, p)
+    schedules["overlap"] = one_f_one_b_overlapped(
+        overlap_costs,
+        n,
+        hop_time=hop,
+        recompute_times=[0.25 * c.backward for c in overlap_costs],
+    )
+    fused_costs = _random_costs(rng, p)
+    schedules["overlap-fused"] = one_f_one_b_overlapped(
+        fused_costs,
+        n,
+        hop_time=hop,
+        recompute_times=[0.25 * c.backward for c in fused_costs],
+        fused=True,
+    )
+    return schedules
 
 
 _FUZZ_SCHEDULES = {}

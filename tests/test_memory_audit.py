@@ -31,6 +31,8 @@ from repro.pipeline.schedules import (
     chimera_schedule,
     gpipe_schedule,
     interleaved_1f1b_schedule,
+    one_f_one_b_2bp,
+    one_f_one_b_overlapped,
     one_f_one_b_schedule,
 )
 from repro.pipeline.simulator import simulate
@@ -186,11 +188,25 @@ class TestMeasuredPeakOracles:
 class TestAuditConservativeness:
     """Randomized costs x the schedule zoo: modelled >= simulated."""
 
-    KINDS = ("1f1b", "gpipe", "chimera", "chimerad", "interleaved")
+    KINDS = (
+        "1f1b",
+        "2bp",
+        "overlap",
+        "gpipe",
+        "chimera",
+        "chimerad",
+        "interleaved",
+    )
 
     def _build(self, kind, costs, n, p):
         if kind == "1f1b":
             return one_f_one_b_schedule(costs, n)
+        if kind == "2bp":
+            return one_f_one_b_2bp(costs, n)
+        if kind == "overlap":
+            return one_f_one_b_overlapped(
+                costs, n, recompute_times=[0.25 * c.backward for c in costs]
+            )
         if kind == "gpipe":
             return gpipe_schedule(costs, n)
         if kind == "chimera":
@@ -231,6 +247,22 @@ class TestAuditConservativeness:
             assert report.max_abs_rel_gap <= 1e-6
             assert all(stage.exact for stage in report.stages)
 
+    @pytest.mark.parametrize("kind", ("2bp", "overlap"))
+    def test_new_families_are_exact_not_just_conservative(self, kind):
+        # The ISSUE's acceptance bar: the audit must report the 2BP and
+        # overlapped families "exact" — modelled in-flight equal to the
+        # simulator's measured liveness on every stage, peaks matching to
+        # float tolerance — not merely conservative.
+        rng = np.random.default_rng(hash(kind) % 2**32 + 1)
+        for p, n in ((2, 4), (4, 4), (4, 12), (6, 3)):
+            costs = _costs(p, rng=rng)
+            report = audit_schedule_memory(self._build(kind, costs, n, p), kind)
+            assert report.conservative
+            assert all(stage.exact for stage in report.stages), (
+                f"{kind} p={p} n={n}:\n{report.describe()}"
+            )
+            assert report.max_abs_rel_gap <= 1e-6
+
     def test_modeled_device_peaks_include_statics(self):
         costs = _costs(3)
         schedule = one_f_one_b_schedule(costs, 5)
@@ -269,7 +301,14 @@ class TestPlanIntegration:
     def test_audit_plan_over_schedules_skips_invalid(self, tiny_ctx):
         plan = plan_adapipe(tiny_ctx)
         reports = audit_plan_over_schedules(plan, tiny_ctx.cluster)
-        assert set(reports) == {"1f1b", "gpipe", "chimera", "chimerad"}
+        assert set(reports) == {
+            "1f1b",
+            "2bp",
+            "overlap",
+            "gpipe",
+            "chimera",
+            "chimerad",
+        }
         assert all(r.conservative for r in reports.values())
         # n=4 splits for ChimeraD here; a 6-micro-batch workload would not.
 

@@ -55,3 +55,84 @@ class TestScheduleValidation:
     def test_task_key_str(self):
         key = TaskKey(0, 1, 2, TaskKind.FORWARD)
         assert "s1" in str(key) and "m2" in str(key)
+
+
+class TestPerKindTwinContract:
+    """The generalized completeness contract over the five task kinds."""
+
+    def test_split_backward_quad_passes(self):
+        fwd = _task(0, 0, TaskKind.FORWARD)
+        rec = _task(0, 0, TaskKind.RECOMPUTE, deps=(fwd.key,))
+        gi = _task(0, 0, TaskKind.BACKWARD_INPUT, deps=(rec.key,))
+        gw = _task(0, 0, TaskKind.BACKWARD_WEIGHT, deps=(gi.key,))
+        _schedule([[fwd, rec, gi, gw]]).validate()
+
+    def test_grad_input_without_grad_weight_rejected(self):
+        fwd = _task(0, 0, TaskKind.FORWARD)
+        gi = _task(0, 0, TaskKind.BACKWARD_INPUT, deps=(fwd.key,))
+        with pytest.raises(ValueError, match="no grad-weight"):
+            _schedule([[fwd, gi]]).validate()
+
+    def test_mixed_plain_and_split_backward_rejected(self):
+        fwd = _task(0, 0, TaskKind.FORWARD)
+        bwd = _task(0, 0, TaskKind.BACKWARD, deps=(fwd.key,))
+        gi = _task(0, 0, TaskKind.BACKWARD_INPUT, deps=(fwd.key,))
+        gw = _task(0, 0, TaskKind.BACKWARD_WEIGHT, deps=(gi.key,))
+        with pytest.raises(ValueError, match="both"):
+            _schedule([[fwd, bwd, gi, gw]]).validate()
+
+    def test_orphan_non_forward_rejected(self):
+        fwd = _task(0, 0, TaskKind.FORWARD)
+        bwd = _task(0, 0, TaskKind.BACKWARD, deps=(fwd.key,))
+        orphan = _task(0, 1, TaskKind.BACKWARD_WEIGHT)
+        with pytest.raises(ValueError, match="no forward twin"):
+            _schedule([[fwd, bwd, orphan]]).validate()
+
+    def test_recompute_on_wrong_device_rejected(self):
+        fwd = _task(0, 0, TaskKind.FORWARD, device=0)
+        bwd = _task(0, 0, TaskKind.BACKWARD, device=0, deps=(fwd.key,))
+        rec = _task(0, 0, TaskKind.RECOMPUTE, device=1, deps=(fwd.key,))
+        with pytest.raises(ValueError, match="different devices"):
+            _schedule([[fwd, bwd], [rec]]).validate()
+
+    def test_all_violations_reported_per_device(self):
+        # Three independent violations across two devices: the error must
+        # name every one of them, grouped per device, not just the first.
+        lone0 = _task(0, 0, TaskKind.FORWARD, device=0)
+        lone1 = _task(1, 1, TaskKind.FORWARD, device=0)
+        fwd = _task(2, 0, TaskKind.FORWARD, device=1)
+        gi = _task(2, 0, TaskKind.BACKWARD_INPUT, device=1, deps=(fwd.key,))
+        with pytest.raises(ValueError) as exc:
+            _schedule([[lone0, lone1], [fwd, gi]]).validate()
+        message = str(exc.value)
+        assert "3 violations" in message
+        assert "device 0" in message and "device 1" in message
+        assert str(lone0.key) in message and str(lone1.key) in message
+        assert "no grad-weight" in message
+
+
+class TestActivationBytesContract:
+    """Only forwards may carry activation_bytes (enforced at lowering)."""
+
+    def _pair(self, backward_bytes):
+        fwd = Task(
+            key=TaskKey(0, 0, 0, TaskKind.FORWARD),
+            device=0,
+            duration=1.0,
+            activation_bytes=4.0,
+        )
+        bwd = Task(
+            key=TaskKey(0, 0, 0, TaskKind.BACKWARD),
+            device=0,
+            duration=2.0,
+            deps=(fwd.key,),
+            activation_bytes=backward_bytes,
+        )
+        return _schedule([[fwd, bwd]])
+
+    def test_nonzero_activation_bytes_on_backward_rejected(self):
+        with pytest.raises(ValueError, match="activation_bytes"):
+            self._pair(backward_bytes=4.0).compiled()
+
+    def test_zero_activation_bytes_on_backward_allowed(self):
+        self._pair(backward_bytes=0.0).compiled()

@@ -16,6 +16,7 @@ nominal time.
 """
 
 import dataclasses
+import warnings
 
 import pytest
 
@@ -71,6 +72,30 @@ class TestReportStatistics:
     def test_single_draw_statistics_coincide(self):
         report = _report([3.0])
         assert report.mean_time == report.p95_time == report.worst_time == 3.0
+
+    def test_p95_degenerates_to_worst_below_twenty_draws(self):
+        # Nearest-rank ceil(0.95 K) == K for every K < 20: the "p95" of a
+        # small ensemble IS the maximum. The report must say so.
+        for k in (1, 5, 19):
+            report = _report([float(i + 1) for i in range(k)])
+            assert report.p95_degenerate
+            with pytest.warns(RuntimeWarning, match="degenerates to worst_time"):
+                assert report.p95_time == float(k)
+            assert report.worst_time == float(k)
+
+    def test_p95_distinct_from_worst_at_twenty_draws(self):
+        report = _report([float(i + 1) for i in range(20)])
+        assert not report.p95_degenerate
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert report.p95_time == 19.0
+
+    def test_zero_draws_not_flagged_degenerate(self):
+        report = _report([], deterministic=4.0)
+        assert not report.p95_degenerate
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert report.p95_time == 4.0
 
     def test_zero_draws_fall_back_to_deterministic(self):
         report = _report([], deterministic=4.0)

@@ -7,8 +7,11 @@ from hypothesis import strategies as st
 from repro.config import ConfigError
 from repro.pipeline.schedules import (
     chimera_schedule,
+    default_recompute_times,
     gpipe_schedule,
     interleaved_1f1b_schedule,
+    one_f_one_b_2bp,
+    one_f_one_b_overlapped,
     one_f_one_b_schedule,
 )
 from repro.pipeline.simulator import simulate
@@ -71,6 +74,168 @@ class TestOneFOneB:
         work = n * (f + b)
         fill = (p - 1) * f
         assert result.iteration_time >= max(work, fill) - 1e-9
+
+
+class TestTwoBP:
+    def test_task_count_and_split_durations(self):
+        p, n = 3, 5
+        schedule = one_f_one_b_2bp(_costs(p), n)
+        tasks = schedule.all_tasks()
+        assert len(tasks) == 3 * p * n  # F + Bi + Bw per (stage, mb)
+        by_kind = {}
+        for task in tasks:
+            by_kind.setdefault(task.key.kind, []).append(task)
+        # The default 0.5 split halves each backward bit-exactly.
+        for gi, gw in zip(
+            by_kind[TaskKind.BACKWARD_INPUT], by_kind[TaskKind.BACKWARD_WEIGHT]
+        ):
+            assert gi.duration + gw.duration == 2.0
+        assert TaskKind.BACKWARD not in by_kind
+
+    def test_validates_and_simulates(self):
+        schedule = one_f_one_b_2bp(_costs(4), 8, hop_time=0.1)
+        schedule.validate()
+        simulate(schedule, cache=False)
+
+    def test_grad_weights_deferred_to_drain(self):
+        # On every device the last n tasks of the layout are the deferred
+        # grad-weight drain for stage 0's device... only stage 0 defers
+        # all of them; deeper stages defer p - s - 1 fewer. At minimum the
+        # final task on every device is a grad-weight.
+        schedule = one_f_one_b_2bp(_costs(4), 8)
+        for tasks in schedule.device_tasks:
+            assert tasks[-1].key.kind == TaskKind.BACKWARD_WEIGHT
+
+    def test_pinned_bubble_reduction_at_equal_peaks(self):
+        # The acceptance fixture: p=4, n=8, F=1, B=2, hop=0.1. 2BP must
+        # strictly shrink the bubble while holding every device's peak
+        # activation memory at 1F1B's min(n, p - s).
+        p, n, hop = 4, 8, 0.1
+        base = simulate(one_f_one_b_schedule(_costs(p), n, hop_time=hop))
+        split = simulate(one_f_one_b_2bp(_costs(p), n, hop_time=hop))
+        assert split.iteration_time < base.iteration_time
+        assert split.device_peak_bytes == base.device_peak_bytes
+
+    def test_weight_fraction_validated(self):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="weight_fraction"):
+                one_f_one_b_2bp(_costs(2), 2, weight_fraction=bad)
+
+    @given(
+        p=st.integers(min_value=1, max_value=6),
+        n=st.integers(min_value=1, max_value=12),
+        frac=st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_deadlocks_and_matches_1f1b_memory(self, p, n, frac):
+        result = simulate(
+            one_f_one_b_2bp(_costs(p), n, weight_fraction=frac), cache=False
+        )
+        base = simulate(one_f_one_b_schedule(_costs(p), n), cache=False)
+        assert result.device_peak_bytes == base.device_peak_bytes
+
+    @given(
+        p=st.integers(min_value=2, max_value=6),
+        n=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_slower_than_1f1b(self, p, n):
+        # Deferring grad-weights can only relax the grad-input chain's
+        # critical path; with equal per-device work the makespan can't rise.
+        base = simulate(one_f_one_b_schedule(_costs(p), n), cache=False)
+        split = simulate(one_f_one_b_2bp(_costs(p), n), cache=False)
+        assert split.iteration_time <= base.iteration_time + 1e-9
+
+
+class TestOverlapped:
+    def test_default_recompute_times_clamp(self):
+        costs = [
+            StageCosts(forward=1.0, backward=5.0),  # 5 - 2 = 3
+            StageCosts(forward=2.0, backward=2.0),  # clamps to 0
+            StageCosts(forward=0.1, backward=1.0),  # 1 - 0.2 = 0.8
+        ]
+        assert default_recompute_times(costs) == [3.0, 0.0, 0.8]
+
+    def test_explicit_emits_recompute_tasks(self):
+        p, n = 4, 6
+        costs = _costs(p, f=1.0, b=3.0)  # default recompute = 1.0 > 0
+        schedule = one_f_one_b_overlapped(costs, n)
+        kinds = [t.key.kind for t in schedule.all_tasks()]
+        assert kinds.count(TaskKind.RECOMPUTE) == p * n
+        assert all(t.overlap == 0.0 for t in schedule.all_tasks())
+        schedule.validate()
+
+    def test_fused_carries_overlap_instead(self):
+        p, n = 4, 6
+        costs = _costs(p, f=1.0, b=3.0)
+        schedule = one_f_one_b_overlapped(costs, n, fused=True)
+        kinds = [t.key.kind for t in schedule.all_tasks()]
+        assert TaskKind.RECOMPUTE not in kinds
+        backwards = [
+            t for t in schedule.all_tasks() if t.key.kind == TaskKind.BACKWARD
+        ]
+        assert all(t.overlap == 1.0 for t in backwards)
+
+    def test_fused_matches_explicit_makespan(self):
+        costs = _costs(4, f=1.0, b=3.0)
+        explicit = simulate(
+            one_f_one_b_overlapped(costs, 8, hop_time=0.4), cache=False
+        )
+        fused = simulate(
+            one_f_one_b_overlapped(costs, 8, hop_time=0.4, fused=True),
+            cache=False,
+        )
+        assert fused.iteration_time == pytest.approx(
+            explicit.iteration_time, rel=1e-12
+        )
+        assert fused.device_peak_bytes == explicit.device_peak_bytes
+
+    def test_overlap_beats_serialized_recompute(self):
+        # With a hop to hide under, starting recomputation before the
+        # gradient arrives must strictly beat the serialized 1F1B whose
+        # backward duration already includes the recompute time.
+        costs = _costs(4, f=1.0, b=3.0)
+        serialized = simulate(
+            one_f_one_b_schedule(costs, 8, hop_time=0.5), cache=False
+        )
+        overlapped = simulate(
+            one_f_one_b_overlapped(costs, 8, hop_time=0.5), cache=False
+        )
+        assert overlapped.iteration_time < serialized.iteration_time
+
+    def test_zero_recompute_degenerates_to_1f1b(self):
+        costs = _costs(3)
+        base = simulate(one_f_one_b_schedule(costs, 5, hop_time=0.2))
+        for fused in (False, True):
+            schedule = one_f_one_b_overlapped(
+                costs, 5, hop_time=0.2, recompute_times=[0.0] * 3, fused=fused
+            )
+            assert len(schedule.all_tasks()) == 2 * 3 * 5
+            result = simulate(schedule, cache=False)
+            assert result.iteration_time == base.iteration_time
+
+    def test_recompute_times_validated(self):
+        costs = _costs(2)
+        with pytest.raises(ValueError, match="one recompute time per stage"):
+            one_f_one_b_overlapped(costs, 2, recompute_times=[0.5])
+        with pytest.raises(ValueError, match="recompute"):
+            one_f_one_b_overlapped(costs, 2, recompute_times=[-0.1, 0.5])
+        with pytest.raises(ValueError, match="recompute"):
+            one_f_one_b_overlapped(costs, 2, recompute_times=[0.5, 9.0])
+
+    @given(
+        p=st.integers(min_value=1, max_value=5),
+        n=st.integers(min_value=1, max_value=10),
+        fused=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_deadlocks_and_matches_1f1b_memory(self, p, n, fused):
+        costs = _costs(p, f=1.0, b=3.0)
+        result = simulate(
+            one_f_one_b_overlapped(costs, n, fused=fused), cache=False
+        )
+        base = simulate(one_f_one_b_schedule(costs, n), cache=False)
+        assert result.device_peak_bytes == base.device_peak_bytes
 
 
 class TestGPipe:

@@ -23,6 +23,8 @@ from repro.pipeline.schedules import (
     chimera_schedule,
     gpipe_schedule,
     interleaved_1f1b_schedule,
+    one_f_one_b_2bp,
+    one_f_one_b_overlapped,
     one_f_one_b_schedule,
 )
 from repro.pipeline.simulator import (
@@ -50,7 +52,7 @@ def _random_costs(rng, p):
 
 def _builders(rng, p, n):
     hop = rng.uniform(0.01, 0.5)
-    return {
+    schedules = {
         "1f1b": one_f_one_b_schedule(_random_costs(rng, p), n, hop_time=hop),
         "gpipe": gpipe_schedule(_random_costs(rng, p), n, hop_time=hop),
         "chimera": chimera_schedule(_random_costs(rng, p), n, hop_time=hop),
@@ -61,6 +63,28 @@ def _builders(rng, p, n):
             _random_costs(rng, 2 * p), n, p, hop_time=hop
         ),
     }
+    # New families appended after the dict literal so the earlier kinds'
+    # rng streams (and therefore their pinned fuzz schedules) stay
+    # unchanged. Recompute times are pinned at a nonzero fraction of each
+    # backward so the overlap machinery is always exercised (the default
+    # clamp can degenerate to plain 1F1B on random costs).
+    schedules["2bp"] = one_f_one_b_2bp(_random_costs(rng, p), n, hop_time=hop)
+    overlap_costs = _random_costs(rng, p)
+    schedules["overlap"] = one_f_one_b_overlapped(
+        overlap_costs,
+        n,
+        hop_time=hop,
+        recompute_times=[0.25 * c.backward for c in overlap_costs],
+    )
+    fused_costs = _random_costs(rng, p)
+    schedules["overlap-fused"] = one_f_one_b_overlapped(
+        fused_costs,
+        n,
+        hop_time=hop,
+        recompute_times=[0.25 * c.backward for c in fused_costs],
+        fused=True,
+    )
+    return schedules
 
 
 def _assert_identical(reference, compiled):
@@ -78,7 +102,17 @@ def _assert_identical(reference, compiled):
 
 class TestEngineEquivalence:
     @pytest.mark.parametrize(
-        "kind", ["1f1b", "gpipe", "chimera", "chimerad", "interleaved"]
+        "kind",
+        [
+            "1f1b",
+            "gpipe",
+            "chimera",
+            "chimerad",
+            "interleaved",
+            "2bp",
+            "overlap",
+            "overlap-fused",
+        ],
     )
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_bit_identical_on_randomized_costs(self, kind, seed):
@@ -124,7 +158,16 @@ class TestEngineEquivalence:
             simulate(one_f_one_b_schedule(costs, 2), engine="magic")
 
 
-_FUZZ_KINDS = ("1f1b", "gpipe", "chimera", "chimerad", "interleaved")
+_FUZZ_KINDS = (
+    "1f1b",
+    "gpipe",
+    "chimera",
+    "chimerad",
+    "interleaved",
+    "2bp",
+    "overlap",
+    "overlap-fused",
+)
 _FUZZ_DEVICES = 4
 _FUZZ_SCHEDULES = {}
 
