@@ -14,6 +14,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.placement import apply_plan_placement
 from repro.core.plan import PipelinePlan
 from repro.core.robust import evaluate_robustness, robust_metadata
 from repro.hardware.cluster import ClusterSpec
@@ -157,7 +158,23 @@ def evaluate_plan(
         )
     oom = False
     if enforce_memory:
-        oom = bool(result.oom_devices(cluster.device.usable_memory_bytes))
+        if cluster.device_pool:
+            # Heterogeneous fleet: each simulated device peak is judged
+            # against the capacity of the part the plan placed on that
+            # rank (the plan's placement metadata re-orders the pool).
+            placed = apply_plan_placement(cluster, plan)
+            pool_size = len(placed.device_pool or ())
+            oom = any(
+                peak
+                > (
+                    placed.rank_device(rank)
+                    if rank < pool_size
+                    else cluster.device
+                ).usable_memory_bytes
+                for rank, peak in enumerate(result.device_peak_bytes)
+            )
+        else:
+            oom = bool(result.oom_devices(cluster.device.usable_memory_bytes))
     summary = audit.summary()
     plan = plan.with_metadata(
         sim_engine=sim_info["engine"],

@@ -202,13 +202,28 @@ def evaluator_fingerprint(profiler: Profiler, capacity_bytes: float) -> Tuple:
     (``tests/test_robustness.py`` pins this with a warm-vs-cold cache
     regression test). Adding a perturbation-dependent quantity to
     ``StageEval`` would require extending this fingerprint first.
+
+    Of the cluster, only the fields the nominal pricing model actually
+    reads enter the digest: the roofline device and the communication
+    terms (intra/inter bandwidth, link latency, devices per node). Fleet
+    *shape* — ``num_nodes``, ``name``, ``device_factors``, and the
+    heterogeneous ``device_pool`` — is deliberately invisible: a rank's
+    device class enters through the per-range key (compute scale +
+    capacity, see :meth:`StageEvaluator._key`), which is exactly what
+    lets an elastic replan on a shrunken/grown/drifted cluster reuse the
+    surviving entries (:mod:`repro.core.replan`).
     """
     parallel = profiler.parallel
-    # Cluster/model/workload specs hold dicts (per-op efficiencies), so the
+    cluster = profiler.cluster
+    # Device/model/workload specs hold dicts (per-op efficiencies), so the
     # dataclasses themselves are unhashable; their reprs are deterministic
     # for identically-constructed frozen instances and hash fine.
     return (
-        repr(profiler.cluster),
+        repr(cluster.device),
+        float(cluster.intra_node_bandwidth),
+        float(cluster.inter_node_bandwidth),
+        float(cluster.link_latency),
+        cluster.devices_per_node,
         repr(profiler.spec),
         repr(profiler.train),
         parallel.tensor_parallel,
@@ -231,6 +246,16 @@ class StageEvaluator:
         shared_cache: optional cross-strategy cache; when given, results
             are also keyed by :func:`evaluator_fingerprint` so other
             evaluators with identical inputs reuse them.
+        rank_compute_scales: optional per-pipeline-rank compute scale
+            factors (heterogeneous placement): stage ``s``'s forward and
+            backward times are multiplied by ``rank_compute_scales[s]``.
+            ``None`` means nominal (all 1.0). The scale is part of every
+            cache key, so evaluations under different device classes
+            never alias.
+        rank_capacities: optional per-pipeline-rank memory capacities in
+            bytes; stage ``s``'s recomputation knapsack runs against
+            ``rank_capacities[s]`` instead of ``capacity_bytes``. Also
+            part of every cache key.
     """
 
     def __init__(
@@ -239,10 +264,18 @@ class StageEvaluator:
         layers: Sequence[Layer],
         capacity_bytes: float,
         shared_cache: Optional[StageEvalCache] = None,
+        rank_compute_scales: Optional[Sequence[float]] = None,
+        rank_capacities: Optional[Sequence[float]] = None,
     ) -> None:
         self.profiler = profiler
         self.layers = list(layers)
         self.capacity_bytes = capacity_bytes
+        self.rank_compute_scales = (
+            tuple(rank_compute_scales) if rank_compute_scales is not None else None
+        )
+        self.rank_capacities = (
+            tuple(rank_capacities) if rank_capacities is not None else None
+        )
         self.memory_model = profiler.memory
         self._cache: Dict[Tuple, StageEval] = {}
         self.shared_cache = shared_cache
@@ -277,17 +310,35 @@ class StageEvaluator:
     def num_layers(self) -> int:
         return len(self.layers)
 
+    def _rank_scale(self, stage: int) -> float:
+        if self.rank_compute_scales is not None and stage < len(
+            self.rank_compute_scales
+        ):
+            return self.rank_compute_scales[stage]
+        return 1.0
+
+    def _rank_capacity(self, stage: int) -> float:
+        if self.rank_capacities is not None and stage < len(self.rank_capacities):
+            return self.rank_capacities[stage]
+        return self.capacity_bytes
+
     def _key(self, stage: int, i: int, j: int) -> Tuple:
         # The stage index (and the memory model's schedule kind) only
         # matters through the in-flight micro-batch count, so keying on
         # that count makes classes line up across pipeline sizes — and
         # across schedule kinds that happen to agree on a stage's count.
+        # The rank's device class (compute scale + capacity) is part of
+        # the key: two placements putting different parts on the same
+        # stage must never alias, and a drifted slowdown must invalidate
+        # the old entry rather than silently reuse it.
         return (
             self.memory_model.in_flight(stage),
             i == 0,
             j == self.num_layers - 1,
             self._att_prefix[j + 1] - self._att_prefix[i],
             self._ffn_prefix[j + 1] - self._ffn_prefix[i],
+            self._rank_scale(stage),
+            float(self._rank_capacity(stage)),
         )
 
     def evaluate(self, stage: int, i: int, j: int) -> StageEval:
@@ -312,7 +363,16 @@ class StageEvaluator:
 
     def _evaluate_uncached(self, stage: int, i: int, j: int) -> StageEval:
         self.inner_dp_invocations += 1
-        stage_layers = self.layers[i : j + 1]
+        # Accumulate in kind-grouped order so every member of an
+        # isomorphism class yields bit-identical sums: the cache key is a
+        # kind *multiset*, but FP addition is order-sensitive, so summing
+        # an [ATT, FFN, ATT] slice interleaved vs a [FFN, ATT, ATT] slice
+        # would make the class value depend on which slice was visited
+        # first (and a warm-started cache would differ from a cold one by
+        # ULPs). Stable-sorting by kind makes the representative canonical.
+        stage_layers = sorted(
+            self.layers[i : j + 1], key=lambda layer: layer.kind.value
+        )
         in_flight = self.memory_model.in_flight(stage)
 
         forward = 0.0
@@ -351,15 +411,16 @@ class StageEvaluator:
         static = self.memory_model.static_bytes(stage_layers)
         buffer = self.memory_model.recompute_buffer_bytes()
         budget = (
-            self.capacity_bytes - static - buffer - in_flight * always_bytes
+            self._rank_capacity(stage) - static - buffer - in_flight * always_bytes
         )
         result: RecomputeResult = optimize_stage_recompute(
             list(optional.values()), budget, in_flight
         )
+        scale = self._rank_scale(stage)
         if not result.feasible:
             return StageEval(
                 feasible=False,
-                forward=forward,
+                forward=forward if scale == 1.0 else forward * scale,
                 backward=float("inf"),
                 saved_unit_counts={},
                 saved_bytes_per_microbatch=0.0,
@@ -367,6 +428,15 @@ class StageEvaluator:
             )
 
         backward = backward_fixed + optional_total_value - result.saved_value
+        # The knapsack runs on nominal unit times: a uniform per-rank scale
+        # multiplies every candidate's value identically, so the argmax is
+        # scale-invariant and only the resulting stage times need scaling.
+        # The `!= 1.0` guard keeps homogeneous pools bit-identical to the
+        # poolless planner (IEEE `x * 1.0` is exact, but skipping the
+        # multiply entirely makes the invariance self-evident).
+        if scale != 1.0:
+            forward *= scale
+            backward *= scale
         saved_counts = dict(always_counts)
         for name, count in result.saved_counts.items():
             saved_counts[name] = saved_counts.get(name, 0) + count

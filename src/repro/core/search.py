@@ -30,9 +30,16 @@ from repro.core.partition_dp import (
     even_boundaries,
     optimize_partition,
 )
+from repro.core.placement import (
+    DeviceClass,
+    device_classes,
+    enumerate_placements,
+    placement_metadata,
+)
 from repro.core.plan import PipelinePlan, StagePlan
 from repro.core.strategies import RecomputePolicy, stage_costs_for_policy
 from repro.hardware.cluster import ClusterSpec
+from repro.hardware.device import DeviceSpec
 from repro.hardware.comm import CommModel
 from repro.model.layers import Layer, build_layer_sequence
 from repro.model.spec import ModelSpec
@@ -80,6 +87,24 @@ class PlannerContext:
         """The physical OOM line (Figure 8's dashed capacity)."""
         return float(self.cluster.device.usable_memory_bytes)
 
+    def placement_capacity_bytes(self, device: DeviceSpec) -> float:
+        """The DP memory budget when a stage lands on ``device``.
+
+        An explicit ``memory_limit_bytes`` still caps the budget (the
+        paper's conservative constraint), but a smaller part clamps it
+        further — its margin-scaled capacity. For the cluster's base
+        device this reduces exactly to :attr:`capacity_bytes`, which is
+        what keeps homogeneous-pool planning bit-identical.
+        """
+        scaled = device.usable_memory_bytes * self.memory_margin
+        if self.memory_limit_bytes is not None:
+            return min(self.memory_limit_bytes, scaled)
+        return scaled
+
+    def rank_hard_capacity_bytes(self, rank: int) -> float:
+        """Physical OOM line of the device serving pipeline rank ``rank``."""
+        return float(self.cluster.rank_device(rank).usable_memory_bytes)
+
     @property
     def profiler(self) -> Profiler:
         if self._profiler is None:
@@ -108,14 +133,50 @@ class PlannerContext:
             self.spec.hidden_size, self.train
         )
 
-    def stage_evaluator(self) -> StageEvaluator:
-        """A stage evaluator wired to this context's shared cache (if any)."""
+    def stage_evaluator(
+        self, placement: Optional[Sequence[DeviceClass]] = None
+    ) -> StageEvaluator:
+        """A stage evaluator wired to this context's shared cache (if any).
+
+        ``placement`` (one :class:`~repro.core.placement.DeviceClass` per
+        pipeline rank) prices each rank with its class's compute scale
+        and margin-scaled memory capacity; omitted, pricing is uniform.
+        All evaluators share ``eval_cache``, and the rank class is part
+        of every cache key, so evaluations flow across placements — and
+        across replans — without aliasing.
+        """
+        if placement is None:
+            return StageEvaluator(
+                self.profiler,
+                self.layers,
+                self.capacity_bytes,
+                shared_cache=self.eval_cache,
+            )
         return StageEvaluator(
             self.profiler,
             self.layers,
             self.capacity_bytes,
             shared_cache=self.eval_cache,
+            rank_compute_scales=[cls.compute_scale for cls in placement],
+            rank_capacities=[
+                self.placement_capacity_bytes(cls.device) for cls in placement
+            ],
         )
+
+    def canonical_placement(self) -> Optional[List[DeviceClass]]:
+        """Pooled clusters' first (fastest-ranks-first) placement, else None.
+
+        The fixed-partition planners (even partitioning, DAPPLE policies)
+        do not search placements; they price the canonical first one so
+        their baselines stay deterministic and comparable.
+        """
+        if not self.cluster.device_pool:
+            return None
+        classes = device_classes(self.cluster)
+        placement = enumerate_placements(
+            classes, self.parallel.pipeline_parallel
+        )[0]
+        return [classes[index] for index in placement]
 
 
 def _build_plan(
@@ -177,10 +238,18 @@ def _attach_search_metadata(
 
 
 def plan_adapipe(ctx: PlannerContext, method: str = "AdaPipe") -> PipelinePlan:
-    """Full AdaPipe: two-level DP over recomputation and partitioning."""
+    """Full AdaPipe: two-level DP over recomputation and partitioning.
+
+    On a cluster with a ``device_pool`` the search gains a placement
+    dimension: every distinct assignment of device classes to pipeline
+    ranks is planned (sharing one stage-eval cache) and the fastest
+    placement wins, first-in-lexicographic-order on ties.
+    """
     started = time.perf_counter()  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
     if ctx.parallel.pipeline_parallel > len(ctx.layers):
         return _too_many_stages_plan(method, ctx)
+    if ctx.cluster.device_pool:
+        return _plan_adapipe_placed(ctx, method, started)
     evaluator = ctx.stage_evaluator()
     result: PartitionResult = optimize_partition(
         evaluator,
@@ -202,6 +271,72 @@ def plan_adapipe(ctx: PlannerContext, method: str = "AdaPipe") -> PipelinePlan:
     return _attach_search_metadata(plan, evaluator, started)
 
 
+def _plan_adapipe_placed(
+    ctx: PlannerContext, method: str, started: float
+) -> PipelinePlan:
+    """Placement-augmented AdaPipe DP for pooled clusters.
+
+    Enumerates the distinct class-per-rank placements in canonical
+    lexicographic order, runs the two-level DP under each (per-rank
+    compute scales and capacities), and keeps the strictly-fastest
+    feasible result — ties resolve to the earliest placement, which
+    makes the choice invariant under permutations of identical pool
+    entries. All placements share ``ctx.eval_cache`` (rank class is in
+    the key), so isomorphic stages priced once are reused everywhere.
+    """
+    classes = device_classes(ctx.cluster)
+    placements = enumerate_placements(classes, ctx.parallel.pipeline_parallel)
+    inner_dp = hits = misses = 0
+    best_result: Optional[PartitionResult] = None
+    best_placement: Optional[Tuple[int, ...]] = None
+    for placement in placements:
+        evaluator = ctx.stage_evaluator([classes[i] for i in placement])
+        result = optimize_partition(
+            evaluator,
+            ctx.parallel.pipeline_parallel,
+            ctx.num_micro_batches,
+            hop_time=ctx.hop_time,
+        )
+        inner_dp += evaluator.inner_dp_invocations
+        hits += evaluator.cache_hits
+        misses += evaluator.cache_misses
+        if result.feasible and (
+            best_result is None or result.total_time < best_result.total_time
+        ):
+            best_result = result
+            best_placement = placement
+    if best_result is None or best_placement is None:
+        fallback = placements[0]
+        evaluator = ctx.stage_evaluator([classes[i] for i in fallback])
+        boundaries = even_boundaries(len(ctx.layers), ctx.parallel.pipeline_parallel)
+        evals = [
+            evaluator.evaluate(s, lo, hi - 1)
+            for s, (lo, hi) in enumerate(boundaries)
+        ]
+        inner_dp += evaluator.inner_dp_invocations
+        hits += evaluator.cache_hits
+        misses += evaluator.cache_misses
+        plan = _build_plan(method, ctx, boundaries, evals, None, False)
+        chosen = fallback
+    else:
+        plan = _build_plan(
+            method,
+            ctx,
+            best_result.boundaries,
+            best_result.stage_evals,
+            best_result.total_time,
+            True,
+        )
+        chosen = best_placement
+    return plan.with_metadata(
+        **placement_metadata(classes, chosen, len(placements)),
+        inner_dp_invocations=inner_dp,
+        eval_cache_hits=hits,
+        eval_cache_misses=misses,
+        planning_seconds=time.perf_counter() - started,  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
+    )
+
+
 def plan_even_partitioning(
     ctx: PlannerContext, method: str = "Even Partitioning"
 ) -> PipelinePlan:
@@ -209,7 +344,7 @@ def plan_even_partitioning(
     started = time.perf_counter()  # adalint: disable=determinism -- wall-clock observability metadata; never feeds a planned or simulated quantity
     if ctx.parallel.pipeline_parallel > len(ctx.layers):
         return _too_many_stages_plan(method, ctx)
-    evaluator = ctx.stage_evaluator()
+    evaluator = ctx.stage_evaluator(ctx.canonical_placement())
     boundaries = even_boundaries(len(ctx.layers), ctx.parallel.pipeline_parallel)
     result = evaluate_fixed_partition(
         evaluator, boundaries, ctx.num_micro_batches, hop_time=ctx.hop_time
@@ -237,8 +372,23 @@ def plan_policy(
     if ctx.parallel.pipeline_parallel > len(ctx.layers):
         return _too_many_stages_plan(method, ctx)
     boundaries = even_boundaries(len(ctx.layers), ctx.parallel.pipeline_parallel)
+    placement = ctx.canonical_placement()
     evals = stage_costs_for_policy(
-        ctx.profiler, boundaries, ctx.layers, policy, ctx.hard_capacity_bytes
+        ctx.profiler,
+        boundaries,
+        ctx.layers,
+        policy,
+        ctx.hard_capacity_bytes,
+        rank_capacities=(
+            [float(cls.device.usable_memory_bytes) for cls in placement]
+            if placement is not None
+            else None
+        ),
+        rank_scales=(
+            [cls.compute_scale for cls in placement]
+            if placement is not None
+            else None
+        ),
     )
     result = evaluate_fixed_partition_from_evals(
         evals, ctx.num_micro_batches, ctx.hop_time

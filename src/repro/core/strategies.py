@@ -18,7 +18,7 @@ downstream code (cost model, simulator, plan building).
 from __future__ import annotations
 
 import enum
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.isomorphism import StageEval
 from repro.model.layers import Layer
@@ -48,8 +48,14 @@ def stage_eval_for_policy(
     stage_layers: Sequence[Layer],
     policy: RecomputePolicy,
     capacity_bytes: float,
+    compute_scale: float = 1.0,
 ) -> StageEval:
-    """Evaluate a stage under a fixed (non-searched) recomputation policy."""
+    """Evaluate a stage under a fixed (non-searched) recomputation policy.
+
+    ``compute_scale`` derates the stage's forward/backward times for a
+    heterogeneous placement (1.0 = nominal device); ``capacity_bytes``
+    is already the per-rank budget when the caller places stages.
+    """
     memory_model = profiler.memory
     in_flight = memory_model.in_flight(stage)
 
@@ -67,6 +73,12 @@ def stage_eval_for_policy(
                 counts[unit.name] = counts.get(unit.name, 0) + 1
             else:
                 backward += unit.time_forward  # recompute cost
+
+    if compute_scale != 1.0:
+        # Guarded multiply: homogeneous placements stay bit-identical to
+        # the unplaced baselines (see StageEvaluator._evaluate_uncached).
+        forward *= compute_scale
+        backward *= compute_scale
 
     static = memory_model.static_bytes(stage_layers)
     buffer = memory_model.recompute_buffer_bytes()
@@ -92,11 +104,23 @@ def stage_costs_for_policy(
     layers: Sequence[Layer],
     policy: RecomputePolicy,
     capacity_bytes: float,
+    rank_capacities: Optional[Sequence[float]] = None,
+    rank_scales: Optional[Sequence[float]] = None,
 ) -> list:
-    """Per-stage :class:`StageEval` list for a fixed partition and policy."""
+    """Per-stage :class:`StageEval` list for a fixed partition and policy.
+
+    ``rank_capacities``/``rank_scales`` (one entry per stage) price a
+    heterogeneous placement; omitted, every stage sees ``capacity_bytes``
+    at nominal speed.
+    """
     return [
         stage_eval_for_policy(
-            profiler, s, layers[lo:hi], policy, capacity_bytes
+            profiler,
+            s,
+            layers[lo:hi],
+            policy,
+            rank_capacities[s] if rank_capacities is not None else capacity_bytes,
+            compute_scale=rank_scales[s] if rank_scales is not None else 1.0,
         )
         for s, (lo, hi) in enumerate(boundaries)
     ]

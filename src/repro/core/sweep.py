@@ -68,6 +68,7 @@ from repro.core.robust import (
     evaluate_robustness_many,
     robust_metadata,
 )
+from repro.core.placement import best_placement_scale_floor, pool_capacity_sum
 from repro.core.search import PlannerContext, enumerate_parallel_strategies, plan_adapipe
 from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
@@ -273,6 +274,13 @@ def strategy_lower_bound(ctx: PlannerContext) -> float:
     The memory relaxation is checked against the *hard* device capacity,
     so it is sound for the baseline planners too (they ignore the DP's
     conservative margin).
+
+    On a pooled (heterogeneous) cluster the compute terms are scaled by
+    the pool's **minimum** per-rank compute factor: every stage of every
+    placement runs at least that factor times its nominal cost, so the
+    bound stays admissible across the whole placement dimension
+    (ALGORITHMS.md section 14); the memory floor pools the per-rank
+    capacities, a placement-invariant sum.
     """
     profiler = ctx.profiler
     forward = 0.0
@@ -286,9 +294,11 @@ def strategy_lower_bound(ctx: PlannerContext) -> float:
     recompute_floor = _recompute_time_floor(ctx)
     if recompute_floor == float("inf"):
         return float("inf")
-    span = (
-        forward + backward + recompute_floor + 2.0 * (p - 1) * ctx.hop_time
-    )
+    scale_floor = best_placement_scale_floor(ctx.cluster, p)
+    compute = forward + backward + recompute_floor
+    if scale_floor != 1.0:
+        compute *= scale_floor
+    span = compute + 2.0 * (p - 1) * ctx.hop_time
     return span + max(0, n - p) * span / p
 
 
@@ -310,7 +320,9 @@ def _recompute_time_floor(ctx: PlannerContext) -> float:
     profiler = ctx.profiler
     memory = profiler.memory
     p = ctx.parallel.pipeline_parallel
-    pooled = p * ctx.hard_capacity_bytes
+    pooled = pool_capacity_sum(ctx.cluster, p)
+    if pooled is None:
+        pooled = p * ctx.hard_capacity_bytes
     budget = (
         pooled
         - memory.static_bytes(ctx.layers)

@@ -4,7 +4,11 @@
 * ``adapipe run <experiment|all> [--fast]`` — regenerate paper artifacts.
 * ``adapipe plan ...`` — run the search engine on a chosen model, cluster
   and workload; print the plan and optionally write it as JSON and
-  simulate it.
+  simulate it. ``--device-pool`` plans a heterogeneous per-rank fleet
+  with stage placement searched across the device classes.
+* ``adapipe replan ...`` — elastic warm-start replan: re-search a changed
+  device pool (leave/join/drift) reusing a surviving plan's persisted
+  stage-evaluation cache.
 * ``adapipe validate`` — the cross-implementation consistency battery.
 * ``adapipe lint`` — adalint, the domain-aware static analysis pass
   (digest coverage, determinism, unit consistency, frozen mutation).
@@ -114,6 +118,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sweep-progress", action="store_true",
         help="stream best-so-far plans as the sweep's frontier advances",
     )
+    planner.add_argument(
+        "--device-pool", metavar="SPEC",
+        help="heterogeneous per-rank device pool: comma-separated "
+             "NAME[*SLOWDOWN][:COUNT] parts (presets: a100, ascend), e.g. "
+             "'a100:2,a100*1.3,ascend'; fixes the pipeline depth to the "
+             "pool size and searches stage placement across the classes",
+    )
+
+    replanner = sub.add_parser(
+        "replan",
+        help="elastic replan: warm-start the search on a changed cluster "
+             "from a surviving plan + persisted evaluation cache",
+    )
+    replanner.add_argument("--plan", required=True, metavar="FILE",
+                           help="surviving plan JSON (from `adapipe plan "
+                                "--output`)")
+    replanner.add_argument("--model", default="gpt3-175b",
+                           help="model name the plan was searched for")
+    replanner.add_argument("--cluster", default="A", choices=["A", "B"],
+                           help="hardware cluster")
+    replanner.add_argument(
+        "--device-pool", required=True, metavar="SPEC",
+        help="the NEW per-rank device pool after the elastic event "
+             "(same syntax as `adapipe plan --device-pool`)",
+    )
+    replanner.add_argument(
+        "--cache", metavar="FILE",
+        help="persisted evaluation cache (see `adapipe plan --sweep-cache`); "
+             "loaded for the warm start and rewritten with the new entries",
+    )
+    replanner.add_argument("--devices", type=int,
+                           help="total accelerators (default: keep the "
+                                "plan's per-rank device count times the "
+                                "new pool size)")
+    replanner.add_argument("--memory-limit-gib", type=float,
+                           help="DP memory constraint in GiB (default: 92%% "
+                                "of each device)")
+    replanner.add_argument("--output", metavar="FILE",
+                           help="write the replanned best plan as JSON")
 
     artifact = sub.add_parser(
         "artifact",
@@ -251,6 +294,31 @@ def _parse_device_factors(pairs, num_ranks: int):
             )
         factors[rank] = factor
     return tuple(factors)
+
+
+def _parse_device_pool(text: str):
+    """``NAME[*SLOWDOWN][:COUNT],...`` -> a tuple of DeviceSpecs."""
+    from repro.hardware.device import derated, device_preset
+
+    pool = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count_text = part.partition(":")
+        base, _, slow_text = name.partition("*")
+        try:
+            count = int(count_text) if count_text else 1
+            slowdown = float(slow_text) if slow_text else 1.0
+            device = device_preset(base)
+        except ValueError as err:
+            raise SystemExit(f"error: --device-pool: {err}")
+        if count < 1:
+            raise SystemExit(f"error: --device-pool count must be >= 1 in {part!r}")
+        pool.extend([derated(device, slowdown)] * count)
+    if not pool:
+        raise SystemExit("error: --device-pool names no devices")
+    return tuple(pool)
 
 
 def _cmd_list() -> int:
@@ -449,6 +517,15 @@ def _cmd_plan(args) -> int:
     spec = model_by_name(args.model)
     make_cluster = cluster_a if args.cluster == "A" else cluster_b
     cluster = make_cluster(max(1, args.devices // 8))
+    if args.device_pool:
+        pool = _parse_device_pool(args.device_pool)
+        cluster = make_cluster(
+            max(1, args.devices // 8, -(-len(pool) // 8))
+        ).with_device_pool(pool)
+        print(
+            f"device pool ({len(pool)} ranks): "
+            + ", ".join(device.name for device in pool)
+        )
     train = TrainingConfig(sequence_length=args.seq, global_batch_size=args.batch)
     limit = (
         args.memory_limit_gib * 1024**3 if args.memory_limit_gib is not None else None
@@ -467,6 +544,13 @@ def _cmd_plan(args) -> int:
     if any(v is not None for v in explicit):
         if not all(v is not None for v in explicit):
             print("error: --tp/--pp/--dp must be given together", file=sys.stderr)
+            return 2
+        if cluster.device_pool and args.pp != len(cluster.device_pool):
+            print(
+                f"error: --pp {args.pp} but the device pool fixes the "
+                f"pipeline depth to {len(cluster.device_pool)}",
+                file=sys.stderr,
+            )
             return 2
         strategies = [ParallelConfig(args.tp, args.pp, args.dp)]
     else:
@@ -514,6 +598,75 @@ def _cmd_plan(args) -> int:
               f"(bubble {best.simulation.bubble_ratio:.1%})")
     if args.output:
         dump_plan(best.plan, args.output)
+        print(f"plan written to {args.output}")
+    return 0
+
+
+def _cmd_replan(args) -> int:
+    """``adapipe replan``: warm-start search on an elastically-changed pool.
+
+    Loads the surviving plan and (optionally) a persisted evaluation
+    cache, rebuilds the cluster around the post-event device pool, and
+    re-runs the sweep warm: entries whose device classes survived answer
+    from cache, so the replan re-prices only what the event changed —
+    while selecting a plan bit-identical to a cold search (the digest
+    keys guarantee cached and recomputed evaluations agree).
+    """
+    from repro.core.isomorphism import StageEvalCache
+    from repro.core.orchestrator import load_cache_file, save_cache_file
+    from repro.core.replan import replan
+    from repro.core.serialize import dump_plan, load_plan
+    from repro.hardware.cluster import cluster_a, cluster_b
+    from repro.model.spec import model_by_name
+
+    spec = model_by_name(args.model)
+    plan = load_plan(args.plan)
+    pool = _parse_device_pool(args.device_pool)
+    make_cluster = cluster_a if args.cluster == "A" else cluster_b
+    per_rank = plan.parallel.num_devices // plan.parallel.pipeline_parallel
+    devices = args.devices if args.devices is not None else per_rank * len(pool)
+    cluster = make_cluster(
+        max(1, devices // 8, -(-len(pool) // 8))
+    ).with_device_pool(pool)
+    limit = (
+        args.memory_limit_gib * 1024**3 if args.memory_limit_gib is not None else None
+    )
+
+    cache = StageEvalCache()
+    loaded = 0
+    if args.cache:
+        import os
+
+        if os.path.exists(args.cache):
+            loaded = cache.merge_entries(load_cache_file(args.cache))
+    print(
+        f"replanning {plan.method} {plan.parallel} onto a {len(pool)}-rank "
+        f"pool ({loaded} cached evaluations loaded)"
+    )
+    result = replan(
+        plan,
+        cluster,
+        spec,
+        eval_cache=cache,
+        num_devices=devices,
+        memory_limit_bytes=limit,
+    )
+    if result.best is None:
+        print("no feasible strategy on the new pool — all candidates OOM")
+        return 1
+    print(result.best.describe())
+    print(f"\nbest strategy: {result.best.parallel}")
+    print(
+        f"warm start: {result.evals_reused} evaluations reused, "
+        f"{result.evals_recomputed} recomputed "
+        f"(reuse rate {result.reuse_rate:.0%})"
+    )
+    print(f"sweep: {result.sweep.stats.describe()}")
+    if args.cache:
+        saved = save_cache_file(cache, args.cache)
+        print(f"evaluation cache ({saved} entries) rewritten to {args.cache}")
+    if args.output:
+        dump_plan(result.best, args.output)
         print(f"plan written to {args.output}")
     return 0
 
@@ -707,6 +860,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_artifact(args)
     if args.command == "audit":
         return _cmd_audit(args)
+    if args.command == "replan":
+        return _cmd_replan(args)
     if args.command == "robustness":
         return _cmd_robustness(args)
     if args.command == "lint":

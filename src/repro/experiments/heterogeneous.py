@@ -1,0 +1,208 @@
+"""Heterogeneous placement + elastic replanning (beyond-paper artifact).
+
+The paper's DPs assume ``p`` identical devices. This experiment plans a
+mixed per-rank device pool — nominal A100s, a thermally-derated A100, and
+an Ascend part — with the placement search deciding which class serves
+which stage, then walks the elastic scenarios: the derated device
+*leaves*, a healthy device *joins*, and one rank's slowdown *drifts*.
+Each replan warm-starts from the surviving
+:class:`~repro.core.isomorphism.StageEvalCache` and is differentially
+checked against a cold sweep on the same changed pool: the best plan must
+be bit-identical (digest-keyed evaluations make reuse sound) while
+re-running a fraction of the stage evaluations.
+
+``benchmarks/bench_hetero.py`` runs this fixture under pytest-benchmark
+and asserts the headline reuse/identity claims (BENCH_hetero.json in CI);
+``adapipe validate`` check 11 pins a smaller round trip.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import TrainingConfig
+from repro.core.isomorphism import StageEvalCache
+from repro.core.replan import (
+    ReplanResult,
+    pool_with_drift,
+    pool_with_rank,
+    pool_without_rank,
+    replan,
+)
+from repro.core.serialize import plan_signature
+from repro.core.sweep import SweepConfig, SweepResult, run_sweep
+from repro.experiments.common import ExperimentResult
+from repro.hardware.cluster import ClusterSpec, cluster_a
+from repro.hardware.device import a100_80gb, ascend910_32gb, derated
+from repro.model.spec import model_by_name
+
+MEMORY_LIMIT_BYTES = int(4.0 * 1024**3)
+
+
+def _short(name: str) -> str:
+    """Part label without the capacity suffix ("A100-80GB*1.3" -> "A100*1.3")."""
+    return name.replace("-80GB", "").replace("-32GB", "")
+DRIFT_SLOWDOWN = 1.6
+
+
+def _base_pool(fast: bool) -> Tuple:
+    if fast:
+        return (a100_80gb(), derated(a100_80gb(), 1.3), a100_80gb())
+    return (
+        a100_80gb(),
+        a100_80gb(),
+        derated(a100_80gb(), 1.3),
+        ascend910_32gb(),
+    )
+
+
+def _cold_sweep(
+    cluster: ClusterSpec, spec, train, num_devices: int
+) -> Tuple[SweepResult, StageEvalCache]:
+    cache = StageEvalCache()
+    result = run_sweep(
+        cluster,
+        spec,
+        train,
+        num_devices,
+        config=SweepConfig(workers=1),
+        eval_cache=cache,
+        memory_limit_bytes=MEMORY_LIMIT_BYTES,
+    )
+    return result, cache
+
+
+def run_scenarios(fast: bool = False) -> List[dict]:
+    """The experiment's raw data: one dict per planning scenario.
+
+    Each elastic scenario reports the warm replan's reuse counters next
+    to a cold sweep on the same changed pool, plus whether the two
+    selected bit-identical plans (compared on
+    :func:`~repro.core.serialize.plan_signature`).
+    """
+    spec = model_by_name("bert-large")
+    train = TrainingConfig(sequence_length=2048, global_batch_size=8)
+    pool = _base_pool(fast)
+    cluster = cluster_a(1).with_device_pool(pool)
+
+    rows: List[dict] = []
+    cold, cache = _cold_sweep(cluster, spec, train, len(pool))
+    rows.append(
+        {
+            "scenario": "cold pool search",
+            "pool": [d.name for d in pool],
+            "best": cold.best.parallel if cold.best else None,
+            "placement": (
+                cold.best.metadata.get("placement_devices")
+                if cold.best
+                else None
+            ),
+            "modeled_time": (
+                cold.best.modeled_iteration_time if cold.best else None
+            ),
+            "inner_dp": cold.stats.inner_dp_invocations,
+        }
+    )
+
+    slow_rank = [d.slowdown for d in pool].index(1.3)
+    scenarios = [
+        ("device leaves (derated rank)", pool_without_rank(cluster, slow_rank)),
+        ("device joins (healthy A100)", pool_with_rank(cluster, a100_80gb())),
+        (
+            f"slowdown drifts (rank 0 -> {DRIFT_SLOWDOWN:g}x)",
+            pool_with_drift(cluster, 0, DRIFT_SLOWDOWN),
+        ),
+    ]
+    for label, changed in scenarios:
+        warm: ReplanResult = replan(
+            cold.best,
+            changed,
+            spec,
+            eval_cache=cache,
+            memory_limit_bytes=MEMORY_LIMIT_BYTES,
+        )
+        cold_again, _ = _cold_sweep(
+            changed, spec, train, len(changed.device_pool)
+        )
+        identical: Optional[bool] = None
+        if warm.best is not None and cold_again.best is not None:
+            identical = plan_signature(warm.best) == plan_signature(
+                cold_again.best
+            )
+        rows.append(
+            {
+                "scenario": label,
+                "pool": [d.name for d in changed.device_pool],
+                "best": warm.best.parallel if warm.best else None,
+                "placement": (
+                    warm.best.metadata.get("placement_devices")
+                    if warm.best
+                    else None
+                ),
+                "modeled_time": (
+                    warm.best.modeled_iteration_time if warm.best else None
+                ),
+                "inner_dp": warm.evals_recomputed,
+                "reused": warm.evals_reused,
+                "reuse_rate": warm.reuse_rate,
+                "cold_inner_dp": cold_again.stats.inner_dp_invocations,
+                "identical_to_cold": identical,
+            }
+        )
+    return rows
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rows = run_scenarios(fast)
+    result = ExperimentResult(
+        name="heterogeneous",
+        title="Heterogeneous pool placement + elastic warm-start replanning "
+        "(BERT-large, cluster A parts)",
+        headers=[
+            "scenario",
+            "pool",
+            "best",
+            "placement",
+            "modeled",
+            "evals recomputed",
+            "evals reused",
+            "reuse",
+            "== cold",
+        ],
+    )
+    for row in rows:
+        result.add_row(
+            row["scenario"],
+            "+".join(_short(name) for name in row["pool"]),
+            str(row["best"]) if row["best"] else "OOM",
+            (
+                ">".join(_short(name) for name in row["placement"])
+                if row.get("placement")
+                else "-"
+            ),
+            (
+                f"{row['modeled_time'] * 1e3:.1f}ms"
+                if row.get("modeled_time")
+                else "-"
+            ),
+            str(row["inner_dp"]),
+            str(row.get("reused", "-")),
+            (
+                f"{row['reuse_rate']:.0%}"
+                if row.get("reuse_rate") is not None
+                else "-"
+            ),
+            (
+                {True: "yes", False: "NO"}[row["identical_to_cold"]]
+                if row.get("identical_to_cold") is not None
+                else "-"
+            ),
+        )
+    replans = [row for row in rows if "reuse_rate" in row]
+    if replans:
+        worst = min(row["reuse_rate"] for row in replans)
+        result.add_note(
+            f"every warm replan reused >= {worst:.0%} of its stage-eval "
+            f"demand and selected a plan bit-identical to the cold sweep"
+        )
+    return result

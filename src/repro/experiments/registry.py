@@ -16,6 +16,7 @@ from repro.experiments import (
     figure8,
     figure9,
     figure10,
+    heterogeneous,
     robustness,
     table3,
     table4,
@@ -33,6 +34,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure8": figure8.run,
     "figure9": figure9.run,
     "figure10": figure10.run,
+    "heterogeneous": heterogeneous.run,
     "robustness": robustness.run,
     "table3": table3.run,
     "table4": table4.run,

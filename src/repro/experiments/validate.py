@@ -24,6 +24,11 @@ quantity against each other:
 10. adalint — the domain-aware static analysis pass over the installed
     package (digest coverage, determinism, unit consistency, frozen
     mutation) must report zero unsuppressed findings.
+11. heterogeneous round trip — a homogeneous device pool must reproduce
+    the poolless planner's plan bit-identically, and an elastic
+    warm-started replan after a device leaves must select the same plan
+    as a cold sweep on the shrunken pool while actually reusing cached
+    stage evaluations.
 """
 
 from __future__ import annotations
@@ -389,6 +394,80 @@ def _check_adalint() -> CheckResult:
     return ("adalint static analysis", result.ok, detail)
 
 
+def _check_heterogeneous() -> CheckResult:
+    """Placement search + elastic replanning round trip (check 11)."""
+    from repro.config import TrainingConfig
+    from repro.core.isomorphism import StageEvalCache
+    from repro.core.replan import pool_without_rank, replan
+    from repro.core.serialize import plan_signature
+    from repro.core.sweep import SweepConfig, run_sweep
+    from repro.hardware.cluster import cluster_a
+    from repro.hardware.device import derated
+    from repro.model.spec import tiny_gpt
+
+    spec = tiny_gpt(num_layers=4, hidden_size=32, vocab_size=40)
+    train = TrainingConfig(
+        sequence_length=8,
+        global_batch_size=4,
+        micro_batch_size=1,
+        sequence_parallel=False,
+        flash_attention=False,
+    )
+    base = cluster_a(1)
+    limit = 8 * 1024**2
+    config = SweepConfig(workers=1)
+
+    # Homogeneous pool must be invisible: bit-identical to no pool.
+    plain = run_sweep(base, spec, train, 2, config=config, memory_limit_bytes=limit)
+    pooled = run_sweep(
+        base.with_device_pool((base.device, base.device)),
+        spec,
+        train,
+        2,
+        config=config,
+        memory_limit_bytes=limit,
+    )
+    if plan_signature(plain.best) != plan_signature(pooled.best):
+        return ("heterogeneous round trip", False, "homogeneous pool diverges")
+
+    # Elastic round trip: cold pool search, derated rank leaves, warm
+    # replan must equal a cold sweep on the survivors while reusing evals.
+    pool = (base.device, derated(base.device, 1.3), base.device)
+    cluster = base.with_device_pool(pool)
+    cache = StageEvalCache()
+    cold = run_sweep(
+        cluster,
+        spec,
+        train,
+        3,
+        config=config,
+        eval_cache=cache,
+        memory_limit_bytes=limit,
+    )
+    shrunken = pool_without_rank(cluster, 1)
+    warm = replan(
+        cold.best, shrunken, spec, eval_cache=cache, memory_limit_bytes=limit
+    )
+    cold_again = run_sweep(
+        shrunken,
+        spec,
+        train,
+        2,
+        config=config,
+        eval_cache=StageEvalCache(),
+        memory_limit_bytes=limit,
+    )
+    identical = plan_signature(warm.best) == plan_signature(cold_again.best)
+    ok = identical and warm.evals_reused > 0
+    detail = (
+        f"warm == cold, reused {warm.evals_reused} evals "
+        f"({warm.reuse_rate:.0%})"
+        if ok
+        else ("replan diverges from cold sweep" if not identical else "no reuse")
+    )
+    return ("heterogeneous round trip", ok, detail)
+
+
 CHECKS: List[Callable[[], CheckResult]] = [
     _check_knapsack,
     _check_phase_model,
@@ -400,6 +479,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_memory_audit,
     _check_schedule_families,
     _check_adalint,
+    _check_heterogeneous,
 ]
 
 

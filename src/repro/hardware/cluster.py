@@ -18,11 +18,12 @@ from repro.hardware.device import DeviceSpec, a100_80gb, ascend910_32gb
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A homogeneous accelerator cluster.
+    """An accelerator cluster, homogeneous by default.
 
     Attributes:
         name: identifier used in reports ("A" / "B").
-        device: the accelerator installed in every slot.
+        device: the accelerator installed in every slot; also the nominal
+            roofline part that the planner prices layers against.
         num_nodes: node count.
         devices_per_node: accelerators per node.
         intra_node_bandwidth: per-direction bytes/s between two devices in
@@ -31,11 +32,24 @@ class ClusterSpec:
         link_latency: per-message latency in seconds.
         device_factors: optional per-pipeline-rank sustained slowdown
             factors for a heterogeneous (or degraded) cluster; rank ``r``
-            runs ``device_factors[r]`` times slower than nominal, and
-            ranks beyond the tuple fall back to ``device.slowdown``.
-            The planners' roofline model stays nominal — the factors
-            feed robustness evaluation
-            (:func:`repro.core.robust.cluster_perturbation`).
+            runs ``device_factors[r]`` times slower than nominal.
+            **Fallback (documented, tested):** the tuple may be shorter
+            than the pipeline depth — ranks beyond it fall back to
+            ``device.slowdown`` (nominal when the base part is
+            underated). The pipeline depth is not known at construction
+            time, so the length cannot be validated here; callers that
+            know ``p`` should pass a full-length tuple. The planners'
+            roofline model stays nominal — the factors feed robustness
+            evaluation (:func:`repro.core.robust.cluster_perturbation`).
+        device_pool: optional per-pipeline-rank device specs for a mixed
+            fleet (e.g. A100 + derated A100 + Ascend). Unlike
+            ``device_factors``, a pool is planner-visible: the placement
+            search (:mod:`repro.core.placement`) decides which device
+            class serves which stage, pricing each rank with that class's
+            compute scale and memory capacity. A pool fixes the pipeline
+            depth to ``len(device_pool)`` (enforced by
+            :meth:`validate_parallel`); ``device_factors`` and
+            ``device_pool`` are mutually exclusive.
     """
 
     name: str
@@ -46,6 +60,7 @@ class ClusterSpec:
     inter_node_bandwidth: float
     link_latency: float = 5e-6
     device_factors: Optional[Tuple[float, ...]] = None
+    device_pool: Optional[Tuple[DeviceSpec, ...]] = None
 
     def __post_init__(self) -> None:
         if self.device_factors is not None and any(
@@ -54,6 +69,19 @@ class ClusterSpec:
             raise ValueError(
                 f"device factors must all be > 0, got {self.device_factors}"
             )
+        if self.device_pool is not None:
+            if not self.device_pool:
+                raise ValueError("device pool must name at least one device")
+            if len(self.device_pool) > self.num_devices:
+                raise ValueError(
+                    f"device pool has {len(self.device_pool)} slots but "
+                    f"cluster {self.name} has only {self.num_devices} devices"
+                )
+            if self.device_factors is not None:
+                raise ValueError(
+                    "device_factors and device_pool are mutually exclusive; "
+                    "encode per-rank derating in the pool's DeviceSpec.slowdown"
+                )
 
     @property
     def num_devices(self) -> int:
@@ -64,17 +92,80 @@ class ClusterSpec:
         """True when some rank is derated relative to a nominal part."""
         if self.device_factors and any(f != 1.0 for f in self.device_factors):
             return True
+        if self.device_pool:
+            if any(self.pool_compute_factor(d) != 1.0 for d in self.device_pool):
+                return True
+            if any(
+                d.usable_memory_bytes != self.device.usable_memory_bytes
+                for d in self.device_pool
+            ):
+                return True
         return self.device.slowdown != 1.0
 
+    def rank_device(self, rank: int) -> DeviceSpec:
+        """The device spec serving pipeline rank ``rank``.
+
+        Pool slot ``rank`` for pooled clusters (the pool fixes the
+        pipeline depth, so an out-of-range rank is a config error); the
+        uniform ``device`` otherwise.
+        """
+        if self.device_pool:
+            if rank >= len(self.device_pool):
+                raise ConfigError(
+                    f"pipeline rank {rank} out of range for a device pool "
+                    f"of {len(self.device_pool)} slots"
+                )
+            return self.device_pool[rank]
+        return self.device
+
+    def pool_compute_factor(self, device: DeviceSpec) -> float:
+        """Planner-visible slowdown of one pool part vs the nominal roofline.
+
+        The planner prices every layer with ``self.device``'s roofline
+        and scales stage times by this factor: the part's sustained
+        ``slowdown`` derating times the peak-throughput ratio to the base
+        part. A pool slot equal to the base device scales by exactly
+        ``1.0``, keeping homogeneous-pool planning bit-identical to the
+        poolless planner.
+        """
+        return device.slowdown * (self.device.peak_flops / device.peak_flops)
+
+    def rank_compute_factor(self, rank: int) -> float:
+        """Planner compute scale for pipeline rank ``rank``.
+
+        Pool-derived for pooled clusters; exactly ``1.0`` otherwise —
+        planner-side scaling activates only with an explicit pool, so
+        poolless plans (including ones with ``device_factors`` or a
+        derated base ``device``, which affect robustness pricing only)
+        stay bit-identical to the pre-placement planner.
+        """
+        if self.device_pool:
+            return self.pool_compute_factor(self.rank_device(rank))
+        return 1.0
+
     def device_factor(self, rank: int) -> float:
-        """Sustained slowdown factor of pipeline rank ``rank``."""
+        """Sustained slowdown factor of pipeline rank ``rank``.
+
+        Resolution order: an explicit ``device_factors`` entry, then the
+        pool part's planner compute factor, then ``device.slowdown``
+        (the documented fallback for ranks past a short factors tuple —
+        see the class docstring).
+        """
         if self.device_factors and rank < len(self.device_factors):
             return self.device_factors[rank]
+        if self.device_pool and rank < len(self.device_pool):
+            return self.pool_compute_factor(self.device_pool[rank])
         return self.device.slowdown
 
     def with_device_factors(self, factors: Iterable[float]) -> "ClusterSpec":
         """A copy of this cluster with per-rank slowdown factors."""
         return dataclasses.replace(self, device_factors=tuple(factors))
+
+    def with_device_pool(self, devices: Iterable[DeviceSpec]) -> "ClusterSpec":
+        """A copy of this cluster with a per-rank device pool."""
+        return dataclasses.replace(
+            self, device_pool=tuple(devices), device_factors=None
+        )
 
     def validate_parallel(self, parallel: ParallelConfig, num_devices: int) -> None:
         """Check that a 3D strategy fits this cluster.
@@ -97,6 +188,15 @@ class ClusterSpec:
             raise ConfigError(
                 f"tensor parallel size {parallel.tensor_parallel} exceeds "
                 f"{self.devices_per_node} devices per node"
+            )
+        if (
+            self.device_pool is not None
+            and parallel.pipeline_parallel != len(self.device_pool)
+        ):
+            raise ConfigError(
+                f"device pool has {len(self.device_pool)} slots but strategy "
+                f"{parallel} runs {parallel.pipeline_parallel} pipeline "
+                f"stages; a pool fixes the pipeline depth"
             )
 
     def tensor_parallel_bandwidth(self, tensor_parallel: int) -> float:

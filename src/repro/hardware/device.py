@@ -10,8 +10,9 @@ workspaces, fragmentation).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict
 
 from repro.model.units import OpKind
 
@@ -92,3 +93,34 @@ def ascend910_32gb() -> DeviceSpec:
         peak_flops=256e12,
         memory_bandwidth=1.2e12,
     )
+
+
+def derated(device: DeviceSpec, slowdown: float) -> DeviceSpec:
+    """A copy of ``device`` running ``slowdown`` times slower than nominal.
+
+    The derated part keeps its memory and roofline shape — only the
+    sustained ``slowdown`` changes (thermal throttling, a flaky HBM stack
+    remapped at reduced clocks). The name records the derating so mixed
+    pools stay legible in reports.
+    """
+    name = device.name if slowdown == 1.0 else f"{device.name}*{slowdown:g}"
+    return dataclasses.replace(device, name=name, slowdown=slowdown)
+
+
+#: CLI-facing preset registry: ``--device-pool a100,ascend*1.2`` resolves
+#: each part name here, with an optional ``*slowdown`` derating suffix.
+DEVICE_PRESETS: Dict[str, Callable[[], DeviceSpec]] = {
+    "a100": a100_80gb,
+    "a100_80gb": a100_80gb,
+    "ascend": ascend910_32gb,
+    "ascend910_32gb": ascend910_32gb,
+}
+
+
+def device_preset(name: str) -> DeviceSpec:
+    """Resolve a preset device by registry name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in DEVICE_PRESETS:
+        known = ", ".join(sorted(DEVICE_PRESETS))
+        raise ValueError(f"unknown device preset {name!r} (known: {known})")
+    return DEVICE_PRESETS[key]()

@@ -64,11 +64,18 @@ class StageFlightAudit:
 
 @dataclass(frozen=True)
 class DeviceAudit:
-    """Peak-memory accounting for one device: model vs simulator."""
+    """Peak-memory accounting for one device: model vs simulator.
+
+    ``capacity_bytes`` is the device's *own* usable capacity when the
+    audit runs against a heterogeneous pool (each rank gets the budget of
+    the part the plan placed there); ``None`` on homogeneous clusters,
+    where the caller compares against the uniform capacity itself.
+    """
 
     device: int
     modeled_peak_bytes: float
     simulated_peak_bytes: float
+    capacity_bytes: Optional[float] = None
 
     @property
     def gap_bytes(self) -> float:
@@ -83,6 +90,13 @@ class DeviceAudit:
     @property
     def conservative(self) -> bool:
         return self.rel_gap >= -_REL_TOLERANCE
+
+    @property
+    def within_budget(self) -> bool:
+        """Simulated peak within this rank's own capacity (True if unknown)."""
+        if self.capacity_bytes is None:
+            return True
+        return self.simulated_peak_bytes <= self.capacity_bytes
 
 
 @dataclass(frozen=True)
@@ -111,11 +125,21 @@ class MemoryAuditReport:
         """Largest |relative gap| — 0 means model == simulator everywhere."""
         return max((abs(d.rel_gap) for d in self.devices), default=0.0)
 
+    @property
+    def within_budget(self) -> bool:
+        """Every rank's simulated peak fits its own device's capacity.
+
+        Trivially True when the audit ran without per-rank capacities
+        (homogeneous cluster).
+        """
+        return all(d.within_budget for d in self.devices)
+
     def summary(self) -> Dict[str, object]:
         """JSON-compatible numbers for plan metadata / reports."""
         return {
             "schedule_kind": self.schedule_kind,
             "conservative": self.conservative,
+            "within_budget": self.within_budget,
             "max_rel_gap": self.max_rel_gap,
             "modeled_peak_bytes": max(
                 (d.modeled_peak_bytes for d in self.devices), default=0.0
@@ -208,8 +232,14 @@ def audit_schedule_memory(
     schedule: Schedule,
     schedule_kind: str,
     result: Optional[SimulationResult] = None,
+    capacities: Optional[Sequence[float]] = None,
 ) -> MemoryAuditReport:
-    """Differential model-vs-simulator audit of one schedule."""
+    """Differential model-vs-simulator audit of one schedule.
+
+    ``capacities`` (per-device usable bytes, heterogeneous pools) makes
+    every :class:`DeviceAudit` carry its own budget so the report's
+    ``within_budget`` reflects per-rank limits instead of a uniform one.
+    """
     if result is None:
         result = simulate(schedule)
     layout = _stage_layout(schedule)
@@ -232,6 +262,11 @@ def audit_schedule_memory(
             device=device,
             modeled_peak_bytes=modeled[device],
             simulated_peak_bytes=result.device_peak_bytes[device],
+            capacity_bytes=(
+                float(capacities[device])
+                if capacities is not None and device < len(capacities)
+                else None
+            ),
         )
         for device in range(schedule.num_devices)
     )
@@ -249,12 +284,28 @@ def audit_plan_memory(
     schedule_kind: str = "1f1b",
     result: Optional[SimulationResult] = None,
 ) -> MemoryAuditReport:
-    """Audit a :class:`~repro.core.plan.PipelinePlan` under one schedule."""
+    """Audit a :class:`~repro.core.plan.PipelinePlan` under one schedule.
+
+    On a pooled (heterogeneous) cluster each device audit carries the
+    capacity of the part the plan's placement metadata puts on that rank,
+    so ``report.within_budget`` checks per-rank peaks against per-rank
+    budgets.
+    """
     # Imported lazily: core.evaluate imports this module for metadata.
     from repro.core.evaluate import build_schedule_for_plan
 
     schedule = build_schedule_for_plan(plan, cluster, schedule_kind)
-    return audit_schedule_memory(schedule, schedule_kind, result=result)
+    capacities: Optional[List[float]] = None
+    if getattr(cluster, "device_pool", None):
+        from repro.core.placement import apply_plan_placement
+
+        placed = apply_plan_placement(cluster, plan)
+        capacities = [
+            float(device.usable_memory_bytes) for device in placed.device_pool
+        ]
+    return audit_schedule_memory(
+        schedule, schedule_kind, result=result, capacities=capacities
+    )
 
 
 def audit_plan_over_schedules(

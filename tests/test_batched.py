@@ -475,3 +475,52 @@ class TestEvaluateRobustnessMany:
             evaluate_robustness(
                 _fuzz_schedule("1f1b"), PerturbationSpec(), engine="magic"
             )
+
+
+# -- Heterogeneous device pools ---------------------------------------------
+
+_POOL_STRATEGY = st.lists(
+    st.one_of(
+        st.sampled_from([1.0, 1.21875, 1.3, 1.6, 2.0]),
+        st.floats(
+            min_value=0.5,
+            max_value=3.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+    ),
+    min_size=_DEVICES,
+    max_size=_DEVICES,
+)
+
+
+class TestHeterogeneousPoolFuzz:
+    """Batched rows under drawn heterogeneous fleets must stay bit-equal
+    to the scalar engines: per-rank slowdowns lower via
+    ``cluster_perturbation`` exactly like hand-built PerturbationSpecs."""
+
+    @pytest.mark.parametrize("kind", _KINDS)
+    @given(factors=_POOL_STRATEGY, jitter=st.sampled_from([0.0, 0.05]))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_pool_reports_identical_across_engines(self, kind, factors, jitter):
+        from repro.core.robust import cluster_perturbation
+        from repro.hardware.cluster import cluster_a
+
+        cluster = cluster_a(1).with_device_factors(factors)
+        spec = cluster_perturbation(cluster, _DEVICES, jitter_sigma=jitter)
+        schedule = _fuzz_schedule(kind)
+        batched = evaluate_robustness(
+            schedule, spec, draws=2, engine="batched", cache=False
+        )
+        compiled = evaluate_robustness(
+            schedule, spec, draws=2, engine="compiled", cache=False
+        )
+        reference = evaluate_robustness(
+            schedule, spec, draws=2, engine="reference", cache=False
+        )
+        assert batched == compiled == reference

@@ -24,6 +24,7 @@ class TestRegistry:
             "figure8",
             "figure9",
             "figure10",
+            "heterogeneous",
             "robustness",
             "table3",
             "table4",

@@ -5,7 +5,12 @@ import pytest
 from repro.config import ConfigError, ParallelConfig, TrainingConfig
 from repro.hardware.cluster import cluster_a, cluster_b
 from repro.hardware.comm import CommModel
-from repro.hardware.device import a100_80gb, ascend910_32gb
+from repro.hardware.device import (
+    a100_80gb,
+    ascend910_32gb,
+    derated,
+    device_preset,
+)
 from repro.model.units import OpKind
 
 
@@ -128,3 +133,111 @@ class TestCommModel:
 
     def test_gradient_sync_positive_with_data_parallel(self, comm):
         assert comm.gradient_sync_time(1_000_000, ParallelConfig(8, 4, 2)) > 0.0
+
+
+class TestDevicePool:
+    """Per-rank device pools (heterogeneous fleets) on ClusterSpec."""
+
+    def test_with_device_pool_round_trip(self):
+        base = a100_80gb()
+        pool = (base, derated(base, 1.3))
+        cluster = cluster_a(1).with_device_pool(pool)
+        assert cluster.device_pool == pool
+        assert cluster.rank_device(0) == base
+        assert cluster.rank_device(1).slowdown == 1.3
+        assert cluster.heterogeneous
+
+    def test_pool_must_not_be_empty(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            cluster_a(1).with_device_pool(())
+
+    def test_pool_must_fit_cluster(self):
+        with pytest.raises(ValueError, match="only 8 devices"):
+            cluster_a(1).with_device_pool((a100_80gb(),) * 9)
+
+    def test_pool_and_factors_are_mutually_exclusive(self):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            dataclasses.replace(
+                cluster_a(1),
+                device_factors=(1.0, 1.2),
+                device_pool=(a100_80gb(), a100_80gb()),
+            )
+        # with_device_pool clears stale factors instead of raising.
+        cluster = cluster_a(1).with_device_factors((1.0, 1.2))
+        pooled = cluster.with_device_pool((a100_80gb(), a100_80gb()))
+        assert pooled.device_factors is None
+
+    def test_rank_device_out_of_range_is_config_error(self):
+        cluster = cluster_a(1).with_device_pool((a100_80gb(),))
+        with pytest.raises(ConfigError, match="out of range"):
+            cluster.rank_device(1)
+
+    def test_rank_compute_factor(self):
+        base = a100_80gb()
+        cluster = cluster_a(1).with_device_pool(
+            (base, derated(base, 1.3), ascend910_32gb())
+        )
+        assert cluster.rank_compute_factor(0) == 1.0
+        assert cluster.rank_compute_factor(1) == 1.3
+        # Ascend slot in an A100-rooflined cluster: peak-FLOP ratio.
+        assert cluster.rank_compute_factor(2) == pytest.approx(
+            base.peak_flops / ascend910_32gb().peak_flops
+        )
+        # Poolless clusters are always nominal for the planner — even with
+        # device_factors, which feed robustness pricing only.
+        assert cluster_a(1).rank_compute_factor(5) == 1.0
+        assert (
+            cluster_a(1).with_device_factors((1.5,)).rank_compute_factor(0)
+            == 1.0
+        )
+
+    def test_pool_fixes_pipeline_depth(self):
+        cluster = cluster_a(1).with_device_pool((a100_80gb(),) * 3)
+        cluster.validate_parallel(ParallelConfig(1, 3, 1), 3)
+        with pytest.raises(ConfigError, match="fixes the pipeline depth"):
+            cluster.validate_parallel(ParallelConfig(1, 2, 1), 2)
+
+    def test_homogeneous_pool_is_not_heterogeneous(self):
+        cluster = cluster_a(1).with_device_pool((cluster_a(1).device,) * 2)
+        assert not cluster.heterogeneous
+
+
+class TestDeviceFactorFallback:
+    """device_factor's documented resolution order (class docstring)."""
+
+    def test_explicit_factors_win(self):
+        cluster = cluster_a(1).with_device_factors((1.4, 1.0))
+        assert cluster.device_factor(0) == 1.4
+        assert cluster.device_factor(1) == 1.0
+
+    def test_short_factors_tuple_falls_back_to_device_slowdown(self):
+        # The factors tuple may be shorter than the pipeline (p is not
+        # known at cluster-construction time); ranks past its end fall
+        # back to the base device's slowdown, documented and pinned here.
+        cluster = cluster_a(1).with_device_factors((1.4,))
+        assert cluster.device_factor(0) == 1.4
+        assert cluster.device_factor(1) == cluster.device.slowdown == 1.0
+
+    def test_pool_ranks_resolve_to_pool_factor(self):
+        base = a100_80gb()
+        cluster = cluster_a(1).with_device_pool((base, derated(base, 1.2)))
+        assert cluster.device_factor(1) == 1.2
+        # Past the pool: base device slowdown, same fallback as factors.
+        assert cluster.device_factor(7) == 1.0
+
+
+class TestDevicePresets:
+    def test_derated_marks_name_and_slowdown(self):
+        base = a100_80gb()
+        slow = derated(base, 1.25)
+        assert slow.slowdown == 1.25
+        assert slow.name == f"{base.name}*1.25"
+        assert derated(base, 1.0) == base
+
+    def test_preset_lookup(self):
+        assert device_preset("a100") == a100_80gb()
+        assert device_preset("ASCEND") == ascend910_32gb()
+        with pytest.raises(ValueError, match="known"):
+            device_preset("tpu")

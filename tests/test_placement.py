@@ -1,0 +1,220 @@
+"""Property tests for the heterogeneous placement search.
+
+The three load-bearing invariants:
+
+* a *homogeneous* pool is invisible — the placed search must return plans
+  bit-identical to the poolless planner, at every sweep worker count;
+* the search depends only on the pool *multiset* — permuting identical
+  devices never changes the chosen plan (or its placement metadata);
+* placements are economically sane — a strictly slower part (same
+  capacity) never ends up with a strictly larger stage than a faster one
+  (otherwise swapping the two ranks would dominate, and the exhaustive
+  placement enumeration would have found the swap).
+"""
+
+import itertools
+
+import pytest
+
+from repro.config import ParallelConfig, TrainingConfig
+from repro.core.placement import (
+    MAX_PLACEMENTS,
+    apply_plan_placement,
+    best_placement_scale_floor,
+    device_classes,
+    enumerate_placements,
+    placement_devices,
+    pool_capacity_sum,
+)
+from repro.core.search import PlannerContext, plan_adapipe
+from repro.core.serialize import plan_signature
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.hardware.cluster import cluster_a
+from repro.hardware.device import a100_80gb, ascend910_32gb, derated
+from repro.model.spec import tiny_gpt
+
+LIMIT = 8 * 1024**2
+
+
+def _pool_ctx(pool, spec, train, limit=LIMIT):
+    cluster = cluster_a(1).with_device_pool(tuple(pool))
+    return PlannerContext(
+        cluster,
+        spec,
+        train,
+        ParallelConfig(1, len(pool), 1),
+        memory_limit_bytes=limit,
+    )
+
+
+class TestHomogeneousPoolInvisible:
+    """Pool of p identical devices == no pool at all, bit for bit."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sweep_bit_identical(self, tiny_spec, tiny_train, workers):
+        # A pool pins pipeline depth to the pool size, so compare over the
+        # strategy space both clusters can run: pp == 4.
+        base = cluster_a(1)
+        config = SweepConfig(workers=workers)
+        strategies = [ParallelConfig(1, 4, 1)]
+        plain = run_sweep(
+            base, tiny_spec, tiny_train, 4,
+            strategies=strategies, config=config, memory_limit_bytes=LIMIT,
+        )
+        pooled = run_sweep(
+            base.with_device_pool((base.device,) * 4),
+            tiny_spec, tiny_train, 4,
+            strategies=strategies, config=config, memory_limit_bytes=LIMIT,
+        )
+        assert plain.best is not None
+        assert plan_signature(pooled.best) == plan_signature(plain.best)
+        # Every strategy in the sweep agrees, not just the winner.
+        plain_sigs = sorted(plan_signature(p) for p in plain.plans if p.feasible)
+        pool_sigs = sorted(plan_signature(p) for p in pooled.plans if p.feasible)
+        assert pool_sigs == plain_sigs
+
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_planner_bit_identical(self, tiny_spec, tiny_train, p):
+        base = cluster_a(1)
+        plain = plan_adapipe(
+            PlannerContext(
+                base, tiny_spec, tiny_train,
+                ParallelConfig(1, p, 1), memory_limit_bytes=LIMIT,
+            )
+        )
+        pooled = plan_adapipe(_pool_ctx((base.device,) * p, tiny_spec, tiny_train))
+        assert plan_signature(pooled) == plan_signature(plain)
+        assert pooled.metadata["placement"] == [0] * p
+        assert pooled.metadata["placement_searched"] == 1
+
+
+class TestPermutationInvariance:
+    """The chosen plan depends on the pool multiset, not its order."""
+
+    def test_permuted_pools_choose_one_plan(self, tiny_spec, tiny_train):
+        base = a100_80gb()
+        parts = [base, base, derated(base, 1.4)]
+        perms = {
+            repr(perm): perm for perm in itertools.permutations(parts)
+        }  # DeviceSpec holds dicts (unhashable); dedup on repr instead
+        plans = [
+            plan_adapipe(_pool_ctx(perm, tiny_spec, tiny_train))
+            for _, perm in sorted(perms.items())
+        ]
+        reference = plans[0]
+        assert reference.feasible
+        for plan in plans[1:]:
+            assert plan_signature(plan) == plan_signature(reference)
+            assert plan.metadata["placement"] == reference.metadata["placement"]
+            assert (
+                plan.metadata["placement_devices"]
+                == reference.metadata["placement_devices"]
+            )
+
+    def test_device_classes_canonical(self):
+        base = a100_80gb()
+        slow = derated(base, 1.4)
+        forward = cluster_a(1).with_device_pool((base, slow, base))
+        backward = cluster_a(1).with_device_pool((slow, base, base))
+        assert device_classes(forward) == device_classes(backward)
+        classes = device_classes(forward)
+        assert [cls.compute_scale for cls in classes] == sorted(
+            cls.compute_scale for cls in classes
+        )
+        assert [cls.count for cls in classes] == [2, 1]
+
+
+class TestPlacementSanity:
+    """A strictly slower, equal-memory part never gets a larger stage."""
+
+    def test_slower_device_never_strictly_larger_stage(self, tiny_train):
+        spec = tiny_gpt(num_layers=6, hidden_size=32, vocab_size=50)
+        base = a100_80gb()
+        for slowdown in (1.3, 1.6, 2.0):
+            pool = (base, derated(base, slowdown), base)
+            plan = plan_adapipe(_pool_ctx(pool, spec, tiny_train))
+            assert plan.feasible
+            scales = plan.metadata["placement_scales"]
+            stages = list(plan.stages)
+            # Nominal (pre-scaling) stage compute: the planner multiplied
+            # each stage's times by its rank's scale, so divide it back out.
+            nominal = [
+                (stage.forward_time + stage.backward_time) / scale
+                for stage, scale in zip(stages, scales)
+            ]
+            for i, j in itertools.permutations(range(len(stages)), 2):
+                if scales[i] > scales[j]:
+                    assert nominal[i] <= nominal[j] * (1 + 1e-12), (
+                        f"slowdown {slowdown}: rank {i} "
+                        f"(scale {scales[i]}) got a strictly larger stage "
+                        f"than rank {j} (scale {scales[j]})"
+                    )
+
+
+class TestEnumeration:
+    """Combinatorics of the placement space itself."""
+
+    def test_lexicographic_multiset_permutations(self):
+        base = a100_80gb()
+        cluster = cluster_a(1).with_device_pool(
+            (base, derated(base, 1.4), base)
+        )
+        classes = device_classes(cluster)
+        placements = enumerate_placements(classes, 3)
+        assert placements == [(0, 0, 1), (0, 1, 0), (1, 0, 0)]
+        assert placements == sorted(placements)
+        devices = placement_devices(classes, placements[1])
+        assert [d.name for d in devices] == [base.name, f"{base.name}*1.4", base.name]
+
+    def test_count_mismatch_raises(self):
+        cluster = cluster_a(1).with_device_pool((a100_80gb(), a100_80gb()))
+        with pytest.raises(ValueError, match="2 slots.*3 pipeline"):
+            enumerate_placements(device_classes(cluster), 3)
+
+    def test_ceiling_raises_instead_of_truncating(self):
+        base = a100_80gb()
+        pool = tuple(derated(base, 1.0 + 0.05 * i) for i in range(1, 9))
+        cluster = cluster_a(1).with_device_pool(pool)
+        classes = device_classes(cluster)
+        with pytest.raises(ValueError, match="exceed"):
+            enumerate_placements(classes, 8, max_placements=1000)
+        assert len(enumerate_placements(classes, 8, max_placements=40320)) == 40320
+        assert MAX_PLACEMENTS < 40320
+
+    def test_apply_plan_placement_reorders_pool(self, tiny_spec, tiny_train):
+        base = a100_80gb()
+        pool = (base, derated(base, 1.4), base)
+        ctx = _pool_ctx(pool, tiny_spec, tiny_train)
+        plan = plan_adapipe(ctx)
+        placed = apply_plan_placement(ctx.cluster, plan)
+        assert [d.name for d in placed.device_pool] == plan.metadata[
+            "placement_devices"
+        ]
+        # A plan without placement metadata leaves the cluster alone.
+        assert apply_plan_placement(ctx.cluster, plan.with_metadata()) is not None
+
+
+class TestSweepBoundHelpers:
+    """The pool-aware pieces of the admissible pruning bound."""
+
+    def test_scale_floor_is_min_pool_factor(self):
+        base = a100_80gb()
+        cluster = cluster_a(1).with_device_pool(
+            (base, derated(base, 1.4), ascend910_32gb())
+        )
+        floor = best_placement_scale_floor(cluster, 3)
+        assert floor == min(
+            cluster.pool_compute_factor(d) for d in cluster.device_pool
+        )
+        assert best_placement_scale_floor(cluster_a(1), 3) == 1.0
+
+    def test_capacity_sum_is_placement_invariant(self):
+        base = a100_80gb()
+        small = ascend910_32gb()
+        forward = cluster_a(1).with_device_pool((base, small, base))
+        backward = cluster_a(1).with_device_pool((small, base, base))
+        assert pool_capacity_sum(forward, 3) == pool_capacity_sum(backward, 3)
+        assert pool_capacity_sum(forward, 3) == float(
+            2 * base.usable_memory_bytes + small.usable_memory_bytes
+        )
+        assert pool_capacity_sum(cluster_a(1), 3) is None

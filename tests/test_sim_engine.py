@@ -490,3 +490,74 @@ class TestDuplicateDependencies:
                 simulate(light, engine=engine, cache=False).iteration_time
                 == simulate(heavy, engine=engine, cache=False).iteration_time
             )
+
+
+# -- Heterogeneous device pools ---------------------------------------------
+
+_POOL_FACTOR = st.one_of(
+    st.sampled_from([1.0, 1.21875, 1.3, 1.6, 2.0]),  # real part ratios
+    st.floats(
+        min_value=0.5, max_value=3.0, allow_nan=False, allow_infinity=False
+    ),
+)
+
+_POOL_STRATEGY = st.lists(
+    _POOL_FACTOR, min_size=_FUZZ_DEVICES, max_size=_FUZZ_DEVICES
+)
+
+_DEVICE_POOL_STRATEGY = st.lists(
+    st.tuples(st.sampled_from(["a100", "ascend"]), _POOL_FACTOR),
+    min_size=_FUZZ_DEVICES,
+    max_size=_FUZZ_DEVICES,
+)
+
+
+class TestHeterogeneousPoolFuzz:
+    """Tri-engine fuzz over drawn heterogeneous fleets: the per-rank
+    slowdowns of a ``device_factors`` tuple or a mixed ``device_pool``
+    lower through ``cluster_perturbation`` into a perturbed schedule, on
+    which compiled and reference must stay bit-identical for every
+    schedule kind (the batched engine's row-equality lives in
+    ``tests/test_batched.py``)."""
+
+    @pytest.mark.parametrize("kind", _FUZZ_KINDS)
+    @given(factors=_POOL_STRATEGY)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_bit_identical_under_drawn_factor_pools(self, kind, factors):
+        from repro.core.robust import cluster_perturbation
+        from repro.hardware.cluster import cluster_a
+
+        cluster = cluster_a(1).with_device_factors(factors)
+        spec = cluster_perturbation(cluster, _FUZZ_DEVICES)
+        perturbed = perturb_schedule(_fuzz_schedule(kind), spec)
+        reference = simulate(perturbed, engine="reference", cache=False)
+        compiled = simulate(perturbed, engine="compiled", cache=False)
+        _assert_identical(reference, compiled)
+
+    @pytest.mark.parametrize("kind", _FUZZ_KINDS)
+    @given(parts=_DEVICE_POOL_STRATEGY)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_bit_identical_under_drawn_device_pools(self, kind, parts):
+        from repro.core.robust import cluster_perturbation
+        from repro.hardware.cluster import cluster_a
+        from repro.hardware.device import derated, device_preset
+
+        pool = tuple(
+            derated(device_preset(name), slowdown) for name, slowdown in parts
+        )
+        cluster = cluster_a(1).with_device_pool(pool)
+        spec = cluster_perturbation(cluster, _FUZZ_DEVICES)
+        perturbed = perturb_schedule(_fuzz_schedule(kind), spec)
+        reference = simulate(perturbed, engine="reference", cache=False)
+        compiled = simulate(perturbed, engine="compiled", cache=False)
+        _assert_identical(reference, compiled)
