@@ -1,12 +1,16 @@
 """adalint: domain-aware static analysis for the AdaPipe reproduction.
 
-A small AST-based lint framework plus four rules proving, on every file at
+An AST-based lint framework plus seven rules proving, on every file at
 every CI run, the invariants the repo's correctness rests on but no test
-suite can exhaustively cover:
+suite can exhaustively cover.
+
+The original file-local families (PR 5):
 
 * **digest-coverage** — every field of a dataclass feeding a content
   digest/fingerprint (simulation cache, stage-eval fingerprint, plan
-  serialization) is hashed or allowlisted with a reason;
+  serialization) is hashed or allowlisted with a reason; since v2 the
+  read set is *transitive* over the project call graph, so digests may
+  delegate to helpers;
 * **determinism** — no module-level/unseeded RNG, no wall-clock reads
   outside the measurement layers, no iteration over sets without
   ``sorted()``;
@@ -17,9 +21,23 @@ suite can exhaustively cover:
 * **frozen-mutation** — ``object.__setattr__`` only inside
   ``__post_init__``.
 
-Entry points: ``adapipe lint`` (CLI), check 9 of ``adapipe validate``,
-and :func:`run_lint` for programmatic use. See ``docs/ALGORITHMS.md``
-section 10 for each rule's soundness argument.
+The interprocedural families (v2), built on the project symbol table /
+import graph (:mod:`repro.analysis.project`), call graph
+(:mod:`repro.analysis.callgraph`) and read-set/purity dataflow
+(:mod:`repro.analysis.dataflow`):
+
+* **registry-completeness** — every member of a contracted registry
+  (``SCHEDULE_KINDS``, ``TaskKind``, experiments, baseline methods,
+  robustness engines) appears at each declared registration site;
+* **transform-purity** — nothing reachable from the §9 duration
+  transforms mutates arguments, writes module state, or performs I/O;
+* **float-order-divergence** — the paired lowering expressions the
+  tri-engine bit-equivalence rests on share one canonical op order.
+
+Entry points: ``adapipe lint`` (CLI; text/JSON/SARIF reporters), checks
+9 and 12 of ``adapipe validate``, and :func:`run_lint` for programmatic
+use. See ``docs/ALGORITHMS.md`` sections 10 and 15 for each rule's
+soundness argument.
 """
 
 from repro.analysis.findings import SEVERITIES, Finding
@@ -29,18 +47,22 @@ from repro.analysis.framework import (
     LintResult,
     Rule,
     SourceModule,
+    clear_parse_cache,
     default_rules,
     load_baseline,
     parse_suppressions,
     register,
     registered_rule_names,
+    rule_description,
     run_lint,
 )
 from repro.analysis.reporters import (
     REPORT_VERSION,
     render_json,
+    render_sarif,
     render_text,
     result_to_dict,
+    result_to_sarif,
 )
 
 __all__ = [
@@ -52,13 +74,17 @@ __all__ = [
     "Rule",
     "SEVERITIES",
     "SourceModule",
+    "clear_parse_cache",
     "default_rules",
     "load_baseline",
     "parse_suppressions",
     "register",
     "registered_rule_names",
     "render_json",
+    "render_sarif",
     "render_text",
     "result_to_dict",
+    "result_to_sarif",
+    "rule_description",
     "run_lint",
 ]

@@ -1,0 +1,223 @@
+"""Call-graph construction over a :class:`~repro.analysis.project.ProjectIndex`.
+
+Resolution is intentionally *syntactic plus import-table*: a call site is
+mapped to a project function when its callee expression names one
+directly, without type inference or heap modelling. The forms resolved
+(§15 of ALGORITHMS.md gives the soundness argument):
+
+* ``helper(...)`` — a bare name: a function in the same module, or a
+  from-imported symbol resolved through the import table;
+* ``module.helper(...)`` — an attribute on an imported module alias;
+* ``self.method(...)`` — a method of the enclosing class (when the call
+  site is itself inside a method);
+* ``ClassName.method(...)`` — an explicit class-qualified method in the
+  same module or an imported class;
+* ``ClassName(...)`` — constructor calls resolve to ``__init__`` when
+  the class is local or imported and defines one;
+* ``param.method(...)`` where the parameter is annotated with a project
+  class — resolved through the annotation (this is what lets the read-set
+  analysis follow ``task.key.stage`` style accessors and the purity
+  analysis follow ``schedule.with_durations(...)``).
+
+Unresolvable callees (builtins, numpy, dynamic dispatch) are simply
+absent from the graph; each analysis documents how it degrades there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.project import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = ["CallGraph", "annotation_class", "build_call_graph"]
+
+
+def annotation_class(annotation: Optional[ast.expr]) -> Optional[str]:
+    """Terminal class name of a parameter annotation, if any.
+
+    Handles ``Schedule``, ``tasks.Schedule``, quoted forward references,
+    and ``Optional[Schedule]`` / ``"Schedule | None"``-style wrappers by
+    unwrapping one subscript level.
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(annotation, ast.Subscript):
+        # Optional[X], Sequence[X]: only Optional is transparent enough
+        # to resolve safely; container element types are not the receiver.
+        base = annotation.value
+        if isinstance(base, ast.Name) and base.id == "Optional":
+            return annotation_class(annotation.slice)
+        if isinstance(base, ast.Attribute) and base.attr == "Optional":
+            return annotation_class(annotation.slice)
+        return None
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        for side in (annotation.left, annotation.right):
+            name = annotation_class(side)
+            if name is not None and name != "None":
+                return name
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    return None
+
+
+def _param_annotations(func: ast.FunctionDef) -> Dict[str, str]:
+    """Parameter name -> annotated class name (terminal component)."""
+    table: Dict[str, str] = {}
+    args = func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        name = annotation_class(arg.annotation)
+        if name is not None:
+            table[arg.arg] = name
+    return table
+
+
+class CallGraph:
+    """Resolved call edges between project functions."""
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        # (relpath, qualname) -> list of (callee FunctionInfo, call lineno)
+        self.edges: Dict[Tuple[str, str], List[Tuple[FunctionInfo, int]]] = {}
+
+    def callees(self, func: FunctionInfo) -> List[Tuple[FunctionInfo, int]]:
+        return self.edges.get(func.key(), [])
+
+    def reachable(self, roots: Iterable[FunctionInfo]) -> Dict[Tuple[str, str], FunctionInfo]:
+        """BFS closure over call edges, keyed by function identity."""
+        seen: Dict[Tuple[str, str], FunctionInfo] = {}
+        frontier = [root for root in roots]
+        for root in frontier:
+            seen.setdefault(root.key(), root)
+        while frontier:
+            current = frontier.pop()
+            for callee, _line in self.callees(current):
+                if callee.key() not in seen:
+                    seen[callee.key()] = callee
+                    frontier.append(callee)
+        return seen
+
+    def call_chain(
+        self, root: FunctionInfo, target: FunctionInfo
+    ) -> Optional[List[FunctionInfo]]:
+        """Shortest root -> target path, for explanatory finding messages."""
+        if root.key() == target.key():
+            return [root]
+        parents: Dict[Tuple[str, str], FunctionInfo] = {}
+        seen: Set[Tuple[str, str]] = {root.key()}
+        frontier = [root]
+        while frontier:
+            next_frontier: List[FunctionInfo] = []
+            for current in frontier:
+                for callee, _line in self.callees(current):
+                    if callee.key() in seen:
+                        continue
+                    seen.add(callee.key())
+                    parents[callee.key()] = current
+                    if callee.key() == target.key():
+                        chain = [callee]
+                        node = current
+                        while node.key() != root.key():
+                            chain.append(node)
+                            node = parents[node.key()]
+                        chain.append(root)
+                        return list(reversed(chain))
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return None
+
+
+def _resolve_class_method(
+    project: ProjectIndex, module: ModuleInfo, class_name: str, method: str
+) -> Optional[FunctionInfo]:
+    qualname = f"{class_name}.{method}"
+    if class_name in module.classes:
+        return module.function(qualname)
+    resolved = project.resolve_imported(module, class_name)
+    if resolved is not None:
+        target_module, symbol = resolved
+        if symbol is None or symbol == class_name:
+            return target_module.function(qualname)
+        return target_module.function(f"{symbol}.{method}")
+    return None
+
+
+def _resolve_call(
+    project: ProjectIndex,
+    caller: FunctionInfo,
+    call: ast.Call,
+    param_classes: Dict[str, str],
+) -> Optional[FunctionInfo]:
+    module = caller.module
+    callee = call.func
+    if isinstance(callee, ast.Name):
+        name = callee.id
+        local = module.function(name)
+        if local is not None:
+            return local
+        if name in module.classes:
+            return module.function(f"{name}.__init__")
+        resolved = project.resolve_imported(module, name)
+        if resolved is not None:
+            target_module, symbol = resolved
+            if symbol is None:
+                return None  # a bare module alias is not callable here
+            func = target_module.function(symbol)
+            if func is not None:
+                return func
+            if symbol in target_module.classes:
+                return target_module.function(f"{symbol}.__init__")
+        return None
+    if isinstance(callee, ast.Attribute):
+        method = callee.attr
+        receiver = callee.value
+        if isinstance(receiver, ast.Name):
+            base = receiver.id
+            if base == "self" and caller.cls is not None:
+                resolved_self = module.function(f"{caller.cls}.{method}")
+                if resolved_self is not None:
+                    return resolved_self
+                return None
+            # ClassName.method or imported-class.method
+            class_hit = _resolve_class_method(project, module, base, method)
+            if class_hit is not None:
+                return class_hit
+            # module alias: perturb.lower_spec_durations(...)
+            resolved = project.resolve_imported(module, base)
+            if resolved is not None:
+                target_module, symbol = resolved
+                if symbol is None:
+                    return target_module.function(method)
+                # from-imported class used as receiver was handled above;
+                # a from-imported module attribute chain is out of scope.
+                return None
+            # annotated parameter: task.method(...) where task: Task
+            class_name = param_classes.get(base)
+            if class_name is not None:
+                return _resolve_class_method(project, module, class_name, method)
+        return None
+    return None
+
+
+def build_call_graph(project: ProjectIndex) -> CallGraph:
+    graph = CallGraph(project)
+    for module in project.modules.values():
+        for func in module.functions.values():
+            params = _param_annotations(func.node)
+            edges: List[Tuple[FunctionInfo, int]] = []
+            for node in ast.walk(func.node):
+                if isinstance(node, ast.Call):
+                    target = _resolve_call(project, func, node, params)
+                    if target is not None and target.key() != func.key():
+                        edges.append((target, node.lineno))
+            if edges:
+                graph.edges[func.key()] = edges
+    return graph

@@ -25,6 +25,8 @@ class Finding:
             separators, stable across platforms).
         line: 1-based source line the finding anchors to.
         message: human-readable statement of the violated invariant.
+        col: 1-based source column, or 0 when the rule could not anchor
+            the finding to a column (file-level findings, old producers).
     """
 
     rule: str
@@ -32,6 +34,7 @@ class Finding:
     path: str
     line: int
     message: str
+    col: int = 0
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -39,17 +42,20 @@ class Finding:
                 f"severity must be one of {SEVERITIES}, got {self.severity!r}"
             )
 
-    def sort_key(self) -> Tuple[str, int, str]:
-        return (self.path, self.line, self.rule)
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
 
     def location(self) -> str:
+        if self.col > 0:
+            return f"{self.path}:{self.line}:{self.col}"
         return f"{self.path}:{self.line}"
 
     def baseline_key(self) -> Tuple[str, str, str]:
         """Identity used by baseline files.
 
-        Deliberately excludes the line number, so unrelated edits that
-        shift a known finding do not un-baseline it.
+        Deliberately excludes line *and* column, so unrelated edits that
+        shift a known finding do not un-baseline it, and baselines
+        written before columns existed stay valid.
         """
         return (self.rule, self.path, self.message)
 
@@ -59,5 +65,6 @@ class Finding:
             "severity": self.severity,
             "path": self.path,
             "line": self.line,
+            "col": self.col,
             "message": self.message,
         }

@@ -53,13 +53,27 @@ class Rule:
     def check(self, module: "SourceModule", ctx: "LintContext") -> Iterator[Finding]:
         raise NotImplementedError
 
-    def finding(self, module: "SourceModule", line: int, message: str) -> Finding:
+    def finding(
+        self, module: "SourceModule", line: int, message: str, col: int = 0
+    ) -> Finding:
         return Finding(
             rule=self.name,
             severity=self.severity,
             path=module.relpath,
             line=line,
             message=message,
+            col=col,
+        )
+
+    def finding_at(
+        self, module: "SourceModule", node: ast.AST, message: str
+    ) -> Finding:
+        """Finding anchored to an AST node, threading line *and* column."""
+        return self.finding(
+            module,
+            getattr(node, "lineno", 1),
+            message,
+            col=getattr(node, "col_offset", -1) + 1,
         )
 
 
@@ -78,6 +92,19 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 
 def registered_rule_names() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
+
+
+def rule_description(name: str) -> str:
+    """Description of a registered rule; framework meta-rules included."""
+    meta = {
+        "parse-error": "file failed to parse; no rule could run on it",
+        "bare-suppression": "inline suppression without a written reason",
+        "unknown-suppression": "suppression names a rule the registry does not know",
+    }
+    if name in meta:
+        return meta[name]
+    cls = _REGISTRY.get(name)
+    return cls.description if cls is not None else ""
 
 
 def default_rules() -> List[Rule]:
@@ -107,6 +134,42 @@ class SourceModule:
             tree=ast.parse(source, filename=str(path)),
             lines=source.splitlines(),
         )
+
+
+#: Process-wide parse cache keyed (resolved path) -> (mtime_ns, size,
+#: module). Repeated lint runs in one process — ``--changed`` loops, the
+#: validate battery, the test suite — re-parse only files whose stat
+#: signature moved. Entries are small (one AST per file) and the tree
+#: under lint is bounded, so no eviction policy is needed.
+_PARSE_CACHE: Dict[str, Tuple[int, int, "SourceModule"]] = {}
+
+
+def parse_cached(path: Path, relpath: str) -> "SourceModule":
+    """Parse ``path``, reusing the cache when (mtime, size) is unchanged.
+
+    The cached module's ``relpath`` is rewritten to the caller's view:
+    the same file can be ``pipeline/tasks.py`` under one lint root and
+    ``src/repro/pipeline/tasks.py`` under another.
+    """
+    import dataclasses
+
+    key = str(path)
+    stat = path.stat()
+    signature = (stat.st_mtime_ns, stat.st_size)
+    entry = _PARSE_CACHE.get(key)
+    if entry is not None and (entry[0], entry[1]) == signature:
+        module = entry[2]
+    else:
+        module = SourceModule.parse(path, relpath)
+        _PARSE_CACHE[key] = (signature[0], signature[1], module)
+    if module.relpath != relpath:
+        module = dataclasses.replace(module, relpath=relpath)
+    return module
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached parse (tests and benchmarks use this)."""
+    _PARSE_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -149,6 +212,7 @@ class LintContext:
     def __init__(self, root: Path) -> None:
         self.root = root
         self._cache: Dict[Path, Optional[SourceModule]] = {}
+        self._projects: Dict[Path, object] = {}
 
     def module_at(self, path: Path) -> Optional[SourceModule]:
         path = path.resolve()
@@ -158,10 +222,25 @@ class LintContext:
             except ValueError:
                 relpath = path.as_posix()
             try:
-                self._cache[path] = SourceModule.parse(path, relpath)
+                self._cache[path] = parse_cached(path, relpath)
             except (OSError, SyntaxError):
                 self._cache[path] = None
         return self._cache[path]
+
+    def project_at(self, root: Path) -> object:
+        """The :class:`~repro.analysis.project.ProjectIndex` for ``root``.
+
+        Built on first request and shared by every interprocedural rule
+        consulting the same tree in this run. Typed ``object`` here only
+        to keep the framework module import-light; the concrete type is
+        ``ProjectIndex``.
+        """
+        root = root.resolve()
+        if root not in self._projects:
+            from repro.analysis.project import build_project
+
+            self._projects[root] = build_project(self, root)
+        return self._projects[root]
 
 
 @dataclass
@@ -234,6 +313,12 @@ def _lint_root(paths: Sequence[Path]) -> Path:
     return Path(os.path.commonpath([str(path) for path in resolved]))
 
 
+#: Public name for the root-inference rule: the directory findings are
+#: reported relative to, given the paths a run was asked to lint. The CLI
+#: uses it to pin ``--changed`` runs to the same root as full runs.
+default_lint_root = _lint_root
+
+
 def run_lint(
     paths: Sequence[Path],
     rules: Optional[Sequence[Rule]] = None,
@@ -261,7 +346,7 @@ def run_lint(
         except ValueError:
             relpath = path.as_posix()
         try:
-            module = SourceModule.parse(path, relpath)
+            module = parse_cached(path, relpath)
         except SyntaxError as err:
             raw.append(
                 Finding(
@@ -270,6 +355,7 @@ def run_lint(
                     path=relpath,
                     line=err.lineno or 1,
                     message=f"file does not parse: {err.msg}",
+                    col=err.offset or 0,
                 )
             )
             continue

@@ -1,14 +1,25 @@
-"""Text and JSON renderings of a :class:`~repro.analysis.framework.LintResult`."""
+"""Text, JSON, and SARIF renderings of a
+:class:`~repro.analysis.framework.LintResult`."""
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List
 
-from repro.analysis.framework import LintResult
+from repro.analysis.framework import LintResult, rule_description
 
-#: Schema version of the JSON report (bump on breaking shape changes).
-REPORT_VERSION = 1
+#: Schema version of the JSON report. v2 adds the ``col`` field to every
+#: finding (0 = column unknown); consumers of v1 reports keep working
+#: because no field was removed or renamed.
+REPORT_VERSION = 2
+
+#: SARIF constants: the only schema/version pair GitHub code scanning
+#: currently ingests.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult) -> str:
@@ -38,7 +49,7 @@ def result_to_dict(result: LintResult) -> Dict[str, Any]:
           "files_scanned": int,
           "rules": [rule, ...],
           "counts": {"findings": n, "suppressed": n, "baselined": n},
-          "findings": [{rule, severity, path, line, message}, ...],
+          "findings": [{rule, severity, path, line, col, message}, ...],
           "suppressed": [...same shape...],
           "baselined": [...same shape...]
         }
@@ -61,3 +72,69 @@ def result_to_dict(result: LintResult) -> Dict[str, Any]:
 
 def render_json(result: LintResult) -> str:
     return json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+
+
+def result_to_sarif(result: LintResult) -> Dict[str, Any]:
+    """SARIF 2.1.0 document for GitHub code scanning.
+
+    One run, one driver ("adalint"); only live ``findings`` become
+    results — suppressed and baselined findings are accepted exceptions
+    and must not annotate PRs. Severities map ``error`` -> ``error``,
+    ``warning`` -> ``warning`` (SARIF levels share the names).
+    """
+    rule_ids: List[str] = sorted(
+        {finding.rule for finding in result.findings} | set(result.rules)
+    )
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": rule_description(rule_id) or rule_id},
+        }
+        for rule_id in rule_ids
+    ]
+    index_of = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    results = []
+    for finding in result.findings:
+        region: Dict[str, Any] = {"startLine": finding.line}
+        if finding.col > 0:
+            region["startColumn"] = finding.col
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": index_of[finding.rule],
+                "level": finding.severity,
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": region,
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "adalint",
+                        "version": str(REPORT_VERSION),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    return json.dumps(result_to_sarif(result), indent=2, sort_keys=True)

@@ -182,33 +182,33 @@ class DeterminismRule(Rule):
         argless = not node.args and not node.keywords
         if name in SEEDABLE_CONSTRUCTORS:
             if argless:
-                yield self.finding(
+                yield self.finding_at(
                     module,
-                    node.lineno,
+                    node,
                     f"{name}() without a seed draws OS entropy; pass an "
                     "explicit seed so runs are reproducible",
                 )
             return
         tail = name.rsplit(".", 1)[-1]
         if name == f"random.{tail}" and tail in RANDOM_DRAWS:
-            yield self.finding(
+            yield self.finding_at(
                 module,
-                node.lineno,
+                node,
                 f"{name}() uses the process-global RNG; construct a seeded "
                 "random.Random(seed) instead",
             )
         elif name.startswith("numpy.random.") and name.count(".") == 2:
             if tail not in NUMPY_NON_DRAWS:
-                yield self.finding(
+                yield self.finding_at(
                     module,
-                    node.lineno,
+                    node,
                     f"{name}() uses numpy's module-level RNG; use a seeded "
                     "numpy.random.default_rng(seed) generator instead",
                 )
         elif name in WALL_CLOCK_CALLS and not allowed_clock:
-            yield self.finding(
+            yield self.finding_at(
                 module,
-                node.lineno,
+                node,
                 f"{name}() reads the wall clock outside the measurement "
                 "layers; deterministic code must not depend on real time "
                 "(suppress with a reason if this is observability metadata)",
@@ -216,9 +216,9 @@ class DeterminismRule(Rule):
 
     def _check_iteration(self, module: SourceModule, iterable: ast.expr) -> Iterator:
         if _is_set_expression(iterable):
-            yield self.finding(
+            yield self.finding_at(
                 module,
-                iterable.lineno,
+                iterable,
                 "iterating a set visits elements in hash order, which varies "
                 "across runs; wrap the iterable in sorted()",
             )

@@ -10,12 +10,19 @@ shipped exactly this bug class: ``schedule_digest`` ignored
 ``Schedule.link_hops``, so the simulation cache served nominal results to
 link-degraded schedules.
 
-The check is *name-based coverage*: a dataclass field is covered when its
-name is read — as an attribute or bare name — anywhere inside the
-contracted digest function. That over-approximates true dataflow (reading
-``task.weight`` into a discarded local would count), but it is exactly the
-property whose violation produced the historical bug: a field name that
-appears nowhere in the digest function cannot possibly be hashed. Fields
+The check is *transitive read coverage* (v2): a dataclass field is
+covered when its name is read — as an attribute or bare name — anywhere
+in the call-graph closure of the contracted digest function, computed by
+:func:`repro.analysis.dataflow.transitive_reads` over the project index.
+v1 only looked inside the digest function's own body, so a digest that
+delegated hashing to helpers either false-positived on every field or
+forced the helpers inline; v2 follows resolved calls any depth. The set
+still over-approximates true dataflow (reading ``task.weight`` into a
+discarded local anywhere in the closure counts), but it is exactly the
+property whose violation produced the historical bug: a field name read
+*nowhere* in the closure cannot possibly be hashed. When the project
+index cannot supply the function (lone-file lint of an unindexed tree),
+the check degrades to the v1 single-function read set. Fields
 deliberately excluded from a digest must be allowlisted *with a written
 reason*; a reason-less or stale allowance is itself a finding, so the
 exclusion list cannot rot silently.
@@ -265,7 +272,8 @@ class DigestCoverageRule(Rule):
     severity = "error"
     description = (
         "every field of a dataclass feeding a content digest/fingerprint "
-        "must be read by the digest function or allowlisted with a reason"
+        "must be read in the digest function's call-graph closure or "
+        "allowlisted with a reason"
     )
 
     def __init__(self, contracts: Tuple[DigestContract, ...] = DEFAULT_CONTRACTS):
@@ -289,11 +297,25 @@ class DigestCoverageRule(Rule):
                 f"not found in {module.relpath}",
             )
             return
-        read = names_read(func)
         allowed = {allowance.field: allowance for allowance in contract.allow}
         # The tree root this contract resolves against: the linted file's
         # path minus the contract's path suffix.
         tree_root = Path(str(module.path)[: -len(contract.digest_path)])
+
+        # v2: union the read set over the call-graph closure of the digest
+        # function. Falls back to the v1 single-function read set when the
+        # project index cannot locate the function (e.g. the tree root is
+        # not a directory adalint can index).
+        read = names_read(func)
+        project = ctx.project_at(tree_root) if tree_root.is_dir() else None
+        if project is not None:
+            root_fn = project.function(contract.digest_path, contract.digest_name)
+            if root_fn is not None:
+                from repro.analysis.dataflow import transitive_reads
+
+                read, _witnesses = transitive_reads(
+                    project.call_graph(), root_fn
+                )
 
         known_fields: Set[str] = set()
         for source_path, class_name in contract.sources:
@@ -304,6 +326,7 @@ class DigestCoverageRule(Rule):
                     func.lineno,
                     f"contract broken: source file {source_path!r} for class "
                     f"{class_name!r} is missing or unparsable",
+                    col=func.col_offset + 1,
                 )
                 continue
             cls = _find_class(source.tree, class_name)
@@ -313,6 +336,7 @@ class DigestCoverageRule(Rule):
                     func.lineno,
                     f"contract broken: class {class_name!r} not found in "
                     f"{source_path!r}",
+                    col=func.col_offset + 1,
                 )
                 continue
             for field_name in dataclass_fields(cls):
@@ -326,16 +350,19 @@ class DigestCoverageRule(Rule):
                             func.lineno,
                             f"allowlisted digest omission {qualified} carries "
                             "no reason",
+                            col=func.col_offset + 1,
                         )
                     continue
                 if field_name not in read:
                     yield self.finding(
                         module,
                         func.lineno,
-                        f"field {qualified} is never read by digest function "
+                        f"field {qualified} is never read in the call-graph "
+                        f"closure of digest function "
                         f"{contract.digest_name!r} and is not allowlisted — "
                         "a cache keyed by this digest would conflate states "
                         "differing only in that field",
+                        col=func.col_offset + 1,
                     )
         for qualified in allowed:
             if contract.sources and qualified not in known_fields:
@@ -344,6 +371,7 @@ class DigestCoverageRule(Rule):
                     func.lineno,
                     f"stale allowance: {qualified} is not a field of any "
                     "contracted dataclass",
+                    col=func.col_offset + 1,
                 )
         for required in contract.required_names:
             if required not in read:
@@ -352,4 +380,5 @@ class DigestCoverageRule(Rule):
                     func.lineno,
                     f"required input {required!r} is never read by digest "
                     f"function {contract.digest_name!r}",
+                    col=func.col_offset + 1,
                 )

@@ -60,9 +60,9 @@ class FrozenMutationRule(Rule):
                     where = (
                         f"function {enclosing!r}" if enclosing else "module level"
                     )
-                    yield self.finding(
+                    yield self.finding_at(
                         module,
-                        child.lineno,
+                        child,
                         f"object.__setattr__ at {where} mutates a frozen "
                         "object after construction; derived state belongs "
                         "in __post_init__",

@@ -1,0 +1,386 @@
+"""registry-completeness: every registry member registered at every site.
+
+PR 8 added the ``chimera``/``chimerad``/``interleaved`` schedule families
+by hand-editing ~8 registration sites (the schedule builder, the memory
+model's in-flight counter, the memory-audit defaults, the CLI choices,
+the validate battery, two fuzz kind lists, the docs). Nothing checked the
+edit was complete: a kind missing from one site fails late — or worse,
+silently falls through to a default branch. The same shape recurs for
+:class:`~repro.pipeline.tasks.TaskKind`, the experiment registry, the
+baseline-method table, and the robustness engine list.
+
+A :class:`RegistryContract` makes the obligation declarative, mirroring
+PR 5's ``DigestContract``: one *member declaration* (a module-level tuple
+/list of strings, a string-keyed dict, or an enum class — read by
+:func:`repro.analysis.project.registry_members`) plus N *sites* where
+every member must appear. A site names a file (path suffix, resolved
+against the contract tree root with a bounded parent walk for files
+outside it, e.g. ``tests/`` and ``*.md``), an optional function scope,
+and a match mode:
+
+* ``"string"`` — the member's *value* must occur as a string constant in
+  the scope (dispatch comparisons, ``choices=[...]`` lists, kind tuples);
+* ``"attribute"`` — ``SYMBOL.MEMBER`` must occur (enum registries whose
+  sites dispatch on identity, e.g. ``TaskKind.BACKWARD_WEIGHT``);
+* ``"text"`` — the member's value must occur as a substring of the raw
+  file text (documentation sites; the file need not be Python).
+
+Per-site *exemptions* record deliberate gaps with a written reason (the
+memory audit cannot default-include ``interleaved`` because it needs a
+chunked plan); a reason-less or stale exemption is itself a finding, the
+same no-silent-rot policy the digest allowances follow.
+
+The contract *fires* on its ``anchor_path`` — normally the module
+declaring the registry. The firing module only triggers the check; all
+evidence is gathered through the shared project index, so the whole
+contract is checked exactly once per lint run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import LintContext, Rule, SourceModule, register
+from repro.analysis.project import find_function, registry_members
+
+#: How many directory levels above the contract tree root a site path may
+#: resolve (repo-level files like ``tests/`` and ``EXPERIMENTS.md`` sit
+#: two levels above ``src/repro``).
+_PARENT_WALK_LEVELS = 3
+
+
+@dataclass(frozen=True)
+class SiteExemption:
+    """One member deliberately absent from one site, with its reason."""
+
+    member: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class RegistrySite:
+    """One place every registry member must be registered.
+
+    Attributes:
+        path: path suffix of the site file, resolved against the contract
+            tree root, then against up to ``_PARENT_WALK_LEVELS`` parent
+            directories (for ``tests/`` and docs outside the lint tree).
+        scope: function (``"name"`` or ``"Class.method"``) the match is
+            confined to; ``None`` scans the whole module / file.
+        match: ``"string"`` | ``"attribute"`` | ``"text"`` (see module
+            docstring).
+        optional: a missing *file* is skipped instead of reported —
+            for sites that only exist in the full repo checkout, not in
+            an installed package tree. A present file with a missing
+            ``scope`` function is always a broken contract.
+        exempt: members deliberately unregistered here.
+    """
+
+    path: str
+    scope: Optional[str] = None
+    match: str = "string"
+    optional: bool = False
+    exempt: Tuple[SiteExemption, ...] = ()
+
+
+@dataclass(frozen=True)
+class RegistryContract:
+    """Binding of one registry declaration to its registration sites.
+
+    Attributes:
+        name: short label used in finding messages (``"schedule-kinds"``).
+        anchor_path: path suffix whose lint visit triggers the check.
+            Chosen so fixture trees that merely *mirror* one site file do
+            not fire the whole contract (see tests/fixtures/adalint).
+        members_path: path suffix of the module declaring the registry.
+        members_symbol: module-level symbol holding the members (tuple,
+            dict, or enum class name).
+        sites: every place each member must appear.
+    """
+
+    name: str
+    anchor_path: str
+    members_path: str
+    members_symbol: str
+    sites: Tuple[RegistrySite, ...] = ()
+
+
+#: The repo's registries and their registration surfaces. A new schedule
+#: family, experiment, baseline method, or engine added to one of these
+#: declarations makes the tree lint-dirty until every site (or a reasoned
+#: exemption) registers it.
+DEFAULT_REGISTRY_CONTRACTS: Tuple[RegistryContract, ...] = (
+    RegistryContract(
+        name="schedule-kinds",
+        anchor_path="profiler/memory.py",
+        members_path="profiler/memory.py",
+        members_symbol="SCHEDULE_KINDS",
+        sites=(
+            RegistrySite(
+                path="profiler/memory.py", scope="in_flight_micro_batches"
+            ),
+            RegistrySite(
+                path="core/evaluate.py", scope="build_schedule_for_plan"
+            ),
+            RegistrySite(
+                path="pipeline/memory_audit.py",
+                scope="audit_plan_over_schedules",
+                exempt=(
+                    SiteExemption(
+                        "interleaved",
+                        "the audit defaults run un-chunked plans; the "
+                        "interleaved builder requires chunked stages and is "
+                        "audited separately in tests/test_memory_audit.py",
+                    ),
+                ),
+            ),
+            RegistrySite(path="experiments/cli.py", scope="_build_parser"),
+            RegistrySite(
+                path="experiments/validate.py", scope="_check_memory_audit",
+                exempt=(
+                    SiteExemption(
+                        "interleaved",
+                        "same chunked-plan constraint as the memory-audit "
+                        "defaults this check drives",
+                    ),
+                ),
+            ),
+            RegistrySite(path="tests/test_sim_engine.py", optional=True),
+            RegistrySite(path="tests/test_batched.py", optional=True),
+        ),
+    ),
+    RegistryContract(
+        name="task-kinds",
+        # Anchored on compiled.py (not tasks.py): the digest fixtures
+        # mirror pipeline/tasks.py with a trimmed TaskKind and must not
+        # fire this contract.
+        anchor_path="pipeline/compiled.py",
+        members_path="pipeline/tasks.py",
+        members_symbol="TaskKind",
+        sites=(
+            RegistrySite(path="pipeline/compiled.py", match="attribute"),
+            RegistrySite(path="pipeline/simulator.py", match="attribute"),
+        ),
+    ),
+    RegistryContract(
+        name="experiments",
+        anchor_path="experiments/registry.py",
+        members_path="experiments/registry.py",
+        members_symbol="EXPERIMENTS",
+        sites=(
+            RegistrySite(path="EXPERIMENTS.md", match="text", optional=True),
+        ),
+    ),
+    RegistryContract(
+        name="baseline-methods",
+        anchor_path="baselines/methods.py",
+        members_path="baselines/methods.py",
+        members_symbol="ALL_METHODS",
+        sites=(
+            RegistrySite(path="EXPERIMENTS.md", match="text", optional=True),
+        ),
+    ),
+    RegistryContract(
+        name="robust-engines",
+        anchor_path="core/robust.py",
+        members_path="core/robust.py",
+        members_symbol="ROBUST_ENGINES",
+        sites=(
+            RegistrySite(path="experiments/cli.py", scope="_build_parser"),
+            RegistrySite(path="docs/USAGE.md", match="text", optional=True),
+        ),
+    ),
+)
+
+
+def _path_matches(relpath: str, suffix: str) -> bool:
+    return relpath == suffix or relpath.endswith("/" + suffix)
+
+
+def _resolve_site_path(tree_root: Path, site_path: str) -> Optional[Path]:
+    """Site file under the tree root, else under a bounded parent walk."""
+    base = tree_root
+    for _ in range(_PARENT_WALK_LEVELS + 1):
+        candidate = base / site_path
+        if candidate.is_file():
+            return candidate
+        if base.parent == base:
+            break
+        base = base.parent
+    return None
+
+
+def _scope_strings(scope: ast.AST) -> Set[str]:
+    return {
+        node.value
+        for node in ast.walk(scope)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def _scope_attributes(scope: ast.AST, symbol: str) -> Set[str]:
+    return {
+        node.attr
+        for node in ast.walk(scope)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == symbol
+    }
+
+
+@register
+class RegistryCompletenessRule(Rule):
+    name = "registry-completeness"
+    severity = "error"
+    description = (
+        "every member of a contracted registry (schedule kinds, task "
+        "kinds, experiments, methods, engines) must appear at each "
+        "declared registration site or carry a reasoned exemption"
+    )
+
+    def __init__(
+        self,
+        contracts: Tuple[RegistryContract, ...] = DEFAULT_REGISTRY_CONTRACTS,
+    ):
+        self.contracts = contracts
+
+    def check(self, module: SourceModule, ctx: LintContext) -> Iterator[Finding]:
+        for contract in self.contracts:
+            if not _path_matches(module.relpath, contract.anchor_path):
+                continue
+            yield from self._check_contract(module, ctx, contract)
+
+    def _check_contract(
+        self, module: SourceModule, ctx: LintContext, contract: RegistryContract
+    ) -> Iterator[Finding]:
+        tree_root = Path(str(module.path)[: -len(contract.anchor_path)])
+        members_path = _resolve_site_path(tree_root, contract.members_path)
+        members_module = (
+            ctx.module_at(members_path) if members_path is not None else None
+        )
+        if members_module is None:
+            yield self.finding(
+                module,
+                1,
+                f"contract {contract.name!r} broken: members module "
+                f"{contract.members_path!r} is missing or unparsable",
+            )
+            return
+        members = registry_members(members_module, contract.members_symbol)
+        if not members:
+            yield self.finding(
+                module,
+                1,
+                f"contract {contract.name!r} broken: registry "
+                f"{contract.members_symbol!r} not found in "
+                f"{contract.members_path!r} (or its members are not "
+                "statically evident)",
+            )
+            return
+
+        # Findings anchor on the member's declaration line when the
+        # registry lives in the firing module, else on the module head.
+        def anchor(member_line: int) -> int:
+            if _path_matches(module.relpath, contract.members_path):
+                return member_line
+            return 1
+
+        for site in contract.sites:
+            site_path = _resolve_site_path(tree_root, site.path)
+            if site_path is None:
+                if site.optional:
+                    continue
+                yield self.finding(
+                    module,
+                    1,
+                    f"contract {contract.name!r} broken: site file "
+                    f"{site.path!r} not found under {tree_root}",
+                )
+                continue
+
+            exempt = {exemption.member: exemption for exemption in site.exempt}
+            member_values = {member.value for member in members}
+            for exemption in site.exempt:
+                if exemption.member not in member_values:
+                    yield self.finding(
+                        module,
+                        1,
+                        f"stale exemption: {exemption.member!r} is not a "
+                        f"member of {contract.members_symbol!r} (site "
+                        f"{site.path})",
+                    )
+                elif not exemption.reason.strip():
+                    yield self.finding(
+                        module,
+                        1,
+                        f"exemption for {exemption.member!r} at site "
+                        f"{site.path} carries no reason",
+                    )
+
+            if site.match == "text":
+                text = site_path.read_text()
+                covered = {
+                    member.value
+                    for member in members
+                    if member.value in text
+                }
+            else:
+                site_module = ctx.module_at(site_path)
+                if site_module is None:
+                    yield self.finding(
+                        module,
+                        1,
+                        f"contract {contract.name!r} broken: site file "
+                        f"{site.path!r} does not parse",
+                    )
+                    continue
+                scope: Optional[ast.AST] = site_module.tree
+                if site.scope is not None:
+                    scope = find_function(site_module.tree, site.scope)
+                    if scope is None:
+                        yield self.finding(
+                            module,
+                            1,
+                            f"contract {contract.name!r} broken: scope "
+                            f"{site.scope!r} not found in {site.path!r}",
+                        )
+                        continue
+                if site.match == "attribute":
+                    names = _scope_attributes(scope, contract.members_symbol)
+                    covered = {
+                        member.value
+                        for member in members
+                        if member.name in names
+                    }
+                else:
+                    covered = _scope_strings(scope) & member_values
+
+            for member in members:
+                if member.value in covered:
+                    continue
+                if member.value in exempt:
+                    continue
+                where = (
+                    f"{site.path}::{site.scope}" if site.scope else site.path
+                )
+                yield self.finding(
+                    module,
+                    anchor(member.line),
+                    f"registry member {member.value!r} of "
+                    f"{contract.members_symbol} ({contract.name}) is not "
+                    f"registered at site {where} — a kind reaching that "
+                    "code path would fail late or fall through silently",
+                )
+
+
+__all__ = [
+    "DEFAULT_REGISTRY_CONTRACTS",
+    "RegistryCompletenessRule",
+    "RegistryContract",
+    "RegistrySite",
+    "SiteExemption",
+]

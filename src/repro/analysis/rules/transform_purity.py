@@ -1,0 +1,146 @@
+"""transform-purity: duration transforms must be pure functions.
+
+ALGORITHMS.md §9 argues the robustness machinery is sound because
+perturbation is a *pure transform*: ``perturb_schedule`` and
+``lower_spec_durations`` derive new duration vectors from (schedule,
+spec, draw) without touching their inputs, module state, or the outside
+world. Everything downstream leans on that argument — the ensemble cache
+replays digests assuming the schedule object was not mutated in place,
+the batched engine assumes lowering the same spec twice yields the same
+vectors, and the scalar/batched bit-equivalence tests assume no hidden
+state leaks between draws.
+
+This rule machine-checks the argument: for each contracted *root*, every
+function in its call-graph closure is scanned for (a) stores into
+parameters (attribute/subscript assignment, or in-place mutating method
+calls), (b) ``global``/``nonlocal`` declarations, (c) I/O calls (see
+:mod:`repro.analysis.dataflow` for the exact denylist). Findings carry
+the call chain from the root so a violation three helpers deep is
+attributable.
+
+Soundness: the closure only follows *resolved* edges, so a mutation
+hidden behind dynamic dispatch escapes (documented incompleteness, §15);
+conversely every reported mutation is a real store/call in reachable
+code, so findings are not speculative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import LintContext, Rule, SourceModule, register
+
+
+@dataclass(frozen=True)
+class PurityContract:
+    """One pure-transform obligation: roots whose closures must be pure.
+
+    Attributes:
+        anchor_path: path suffix whose lint visit triggers the check (the
+            module declaring the roots).
+        roots: function names (``"name"`` or ``"Class.method"``) in the
+            anchor module.
+    """
+
+    anchor_path: str
+    roots: Tuple[str, ...]
+
+
+#: The §9 transform surface. New perturbation lowering entry points must
+#: be added here (the fuzz tests compare their outputs bit-for-bit, which
+#: only holds if they stay pure).
+DEFAULT_PURITY_CONTRACTS: Tuple[PurityContract, ...] = (
+    PurityContract(
+        anchor_path="pipeline/perturb.py",
+        roots=(
+            "perturb_schedule",
+            "lower_spec_durations",
+            "lower_spec_components",
+            "lowered_link_hops",
+        ),
+    ),
+)
+
+
+def _path_matches(relpath: str, suffix: str) -> bool:
+    return relpath == suffix or relpath.endswith("/" + suffix)
+
+
+@register
+class TransformPurityRule(Rule):
+    name = "transform-purity"
+    severity = "error"
+    description = (
+        "functions reachable from the duration-transform roots "
+        "(perturb_schedule, lower_spec_durations, ...) must not mutate "
+        "arguments, write module state, or perform I/O"
+    )
+
+    def __init__(
+        self,
+        contracts: Tuple[PurityContract, ...] = DEFAULT_PURITY_CONTRACTS,
+    ):
+        self.contracts = contracts
+
+    def check(self, module: SourceModule, ctx: LintContext) -> Iterator[Finding]:
+        for contract in self.contracts:
+            if not _path_matches(module.relpath, contract.anchor_path):
+                continue
+            yield from self._check_contract(module, ctx, contract)
+
+    def _check_contract(
+        self, module: SourceModule, ctx: LintContext, contract: PurityContract
+    ) -> Iterator[Finding]:
+        from repro.analysis.dataflow import check_purity
+
+        tree_root = Path(str(module.path)[: -len(contract.anchor_path)])
+        if not tree_root.is_dir():
+            return
+        project = ctx.project_at(tree_root)
+        graph = project.call_graph()
+        for root_name in contract.roots:
+            root = project.function(contract.anchor_path, root_name)
+            if root is None:
+                yield self.finding(
+                    module,
+                    1,
+                    f"purity contract broken: root {root_name!r} not found "
+                    f"in {contract.anchor_path!r}",
+                )
+                continue
+            report = check_purity(graph, root)
+            for violation in report.violations:
+                chain = report.chains.get(violation.func.key())
+                via = (
+                    " (via "
+                    + " -> ".join(step.qualname for step in chain)
+                    + ")"
+                    if chain is not None and len(chain) > 1
+                    else ""
+                )
+                # Anchor at the violating line when it is in the firing
+                # module; otherwise at the root declaration, with the
+                # violating location spelled out in the message.
+                if _path_matches(violation.func.relpath, contract.anchor_path):
+                    line = violation.line
+                    where = ""
+                else:
+                    line = root.node.lineno
+                    where = f" at {violation.func.relpath}:{violation.line}"
+                yield self.finding(
+                    module,
+                    line,
+                    f"transform root {root_name!r} reaches impure code: "
+                    f"{violation.func.qualname} {violation.detail}"
+                    f"{where}{via} [{violation.kind}]",
+                )
+
+
+__all__ = [
+    "DEFAULT_PURITY_CONTRACTS",
+    "PurityContract",
+    "TransformPurityRule",
+]

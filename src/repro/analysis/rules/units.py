@@ -115,9 +115,9 @@ class UnitConsistencyRule(Rule):
         right_dim = expression_dimension(right)
         if left_dim is None or right_dim is None or left_dim == right_dim:
             return
-        yield self.finding(
+        yield self.finding_at(
             module,
-            getattr(anchor, "lineno", 1),
+            anchor,
             f"mixing dimensions: {ast.unparse(left)!r} is {left_dim} but "
             f"{ast.unparse(right)!r} is {right_dim}; convert explicitly "
             "(any conversion call makes the dimension unknown and passes)",

@@ -11,7 +11,9 @@
   stage-evaluation cache.
 * ``adapipe validate`` — the cross-implementation consistency battery.
 * ``adapipe lint`` — adalint, the domain-aware static analysis pass
-  (digest coverage, determinism, unit consistency, frozen mutation).
+  (digest coverage, determinism, unit consistency, frozen mutation,
+  registry completeness, transform purity, float-order divergence);
+  text/JSON/SARIF reporters, ``--changed`` for git-scoped runs.
 * ``adapipe audit ...`` — differential memory audit: the Section 4.2
   model's per-stage totals vs the simulator's measured peaks, across the
   schedule zoo.
@@ -176,17 +178,29 @@ def _build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="adalint: domain-aware static analysis (digest coverage, "
-             "determinism, unit consistency, frozen mutation)",
+             "determinism, unit consistency, frozen mutation, registry "
+             "completeness, transform purity, float op order)",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to analyse (default: src)",
     )
-    lint.add_argument("--format", choices=["text", "json"], default="text",
-                      help="stdout rendering")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text", help="stdout rendering")
     lint.add_argument(
         "--output", metavar="FILE",
         help="also write the full JSON report to FILE (CI artifact)",
+    )
+    lint.add_argument(
+        "--sarif", metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE (GitHub code "
+             "scanning upload)",
+    )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only files changed vs git HEAD (plus untracked), "
+             "scoped to the given paths; relpaths and baselines stay "
+             "rooted as in a full run",
     )
     lint.add_argument(
         "--baseline", metavar="FILE",
@@ -808,8 +822,63 @@ def _cmd_robustness(args) -> int:
     return 0
 
 
+def _changed_python_files(paths):
+    """Changed-vs-HEAD plus untracked ``.py`` files under ``paths``.
+
+    Returns ``None`` when git is unavailable (callers fall back to a full
+    walk): ``--changed`` is an accelerator, never a correctness gate.
+    """
+    import subprocess
+    from pathlib import Path
+
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True,
+        )
+    except OSError:
+        return None
+    if top.returncode != 0:
+        return None
+    repo = Path(top.stdout.strip())
+    names = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            command, cwd=repo, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            return None
+        names.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+    scopes = [Path(path).resolve() for path in paths]
+    changed = []
+    for name in sorted(names):
+        candidate = (repo / name).resolve()
+        if candidate.suffix != ".py" or not candidate.is_file():
+            continue
+        if any(
+            candidate == scope or scope in candidate.parents
+            for scope in scopes
+        ):
+            changed.append(candidate)
+    return changed
+
+
 def _cmd_lint(args) -> int:
-    from repro.analysis import load_baseline, render_json, render_text, run_lint
+    from pathlib import Path
+
+    from repro.analysis import (
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        run_lint,
+    )
+    from repro.analysis.framework import default_lint_root
 
     if args.list_rules:
         from repro.analysis import default_rules
@@ -819,7 +888,21 @@ def _cmd_lint(args) -> int:
         return 0
 
     baseline = load_baseline(args.baseline) if args.baseline else None
-    result = run_lint(args.paths, baseline=baseline)
+    if args.changed:
+        # Pin the root to the *requested* paths so relpaths (and thus
+        # baseline keys and suppression tables) match a full run's.
+        root = default_lint_root([Path(path) for path in args.paths])
+        files = _changed_python_files(args.paths)
+        if files is None:
+            print(
+                "adalint: git unavailable, --changed falling back to a "
+                "full walk", file=sys.stderr,
+            )
+            result = run_lint(args.paths, baseline=baseline)
+        else:
+            result = run_lint(files, baseline=baseline, root=root)
+    else:
+        result = run_lint(args.paths, baseline=baseline)
 
     if args.write_baseline:
         import json
@@ -833,8 +916,13 @@ def _cmd_lint(args) -> int:
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(render_json(result))
+    if args.sarif:
+        with open(args.sarif, "w") as handle:
+            handle.write(render_sarif(result))
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
     return 0 if result.ok else 1

@@ -23,12 +23,19 @@ quantity against each other:
    and fused-vs-explicit overlap lowering equivalence;
 10. adalint — the domain-aware static analysis pass over the installed
     package (digest coverage, determinism, unit consistency, frozen
-    mutation) must report zero unsuppressed findings.
+    mutation, registry completeness, transform purity, float op order)
+    must report zero unsuppressed findings;
 11. heterogeneous round trip — a homogeneous device pool must reproduce
     the poolless planner's plan bit-identically, and an elastic
     warm-started replan after a device leaves must select the same plan
     as a cold sweep on the shrunken pool while actually reusing cached
-    stage evaluations.
+    stage evaluations;
+12. static-analysis contracts — the interprocedural lint families must
+    still *detect*: synthesized trees with an unregistered schedule
+    kind, a digest omission two calls deep, an argument-mutating
+    transform, and a reassociated lowering expression each produce
+    exactly the planted finding (and the deep-delegating-but-complete
+    digest tree stays clean).
 """
 
 from __future__ import annotations
@@ -468,6 +475,216 @@ def _check_heterogeneous() -> CheckResult:
     return ("heterogeneous round trip", ok, detail)
 
 
+def _check_static_contracts() -> CheckResult:
+    """Detection power of the interprocedural lint families (check 12).
+
+    Check 10 proves the shipped tree is *clean*; this check proves the
+    new rule families still *fire* — each invariant is broken in a
+    synthesized mini-tree and the corresponding rule must report exactly
+    the planted violation, plus one deep-delegation tree that must come
+    out clean (the v1 name-matcher would have false-positived on it).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.analysis import run_lint
+    from repro.analysis.rules import (
+        DigestCoverageRule,
+        FloatOrderContract,
+        FloatOrderRule,
+        FloatSite,
+        PurityContract,
+        RegistryCompletenessRule,
+        TransformPurityRule,
+    )
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+
+        # 1. Registry: "wavefront" declared but unregistered at exactly
+        # one site (the schedule builder).
+        kinds_all = '"1f1b", "2bp", "overlap", "gpipe", "chimera", "chimerad", "interleaved", "wavefront"'
+        kinds_no_wave = kinds_all.replace(', "wavefront"', "")
+        kinds_no_inter = kinds_all.replace('"interleaved", ', "")
+        tree = {
+            "profiler/memory.py": (
+                f"SCHEDULE_KINDS = ({kinds_all})\n\n\n"
+                f"def in_flight_micro_batches(kind):\n    return ({kinds_all})\n"
+            ),
+            "core/evaluate.py": (
+                f"def build_schedule_for_plan(kind):\n    return ({kinds_no_wave})\n"
+            ),
+            "pipeline/memory_audit.py": (
+                f"def audit_plan_over_schedules(kinds=({kinds_no_inter})):\n"
+                "    return kinds\n"
+            ),
+            "experiments/cli.py": (
+                f"def _build_parser():\n    return ({kinds_all})\n"
+            ),
+            "experiments/validate.py": (
+                f"def _check_memory_audit(kinds=({kinds_no_inter})):\n"
+                "    return kinds\n"
+            ),
+        }
+        for relpath, source in tree.items():
+            path = root / "registry" / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        result = run_lint(
+            [root / "registry"], rules=[RegistryCompletenessRule()]
+        )
+        planted = [
+            f for f in result.findings
+            if "wavefront" in f.message and "build_schedule_for_plan" in f.message
+        ]
+        if len(result.findings) != 1 or len(planted) != 1:
+            failures.append(
+                f"registry probe: {[f.message for f in result.findings]}"
+            )
+
+        # 2. Digest coverage v2: link_hops dropped two calls deep must
+        # fire; the sibling tree reading it two calls deep must be clean
+        # (v1's single-function name match could not tell them apart).
+        tasks_src = (
+            "from dataclasses import dataclass\n"
+            "from typing import Tuple\n\n\n"
+            "@dataclass(frozen=True)\n"
+            "class TaskKey:\n"
+            "    stage: int\n\n\n"
+            "@dataclass(frozen=True)\n"
+            "class Task:\n"
+            "    key: TaskKey\n"
+            "    duration: float\n\n\n"
+            "@dataclass(frozen=True)\n"
+            "class Schedule:\n"
+            "    name: str\n"
+            "    num_micro_batches: int\n"
+            "    hop_time: float\n"
+            "    link_hops: Tuple[int, ...]\n"
+            "    tasks: Tuple[Task, ...]\n"
+        )
+
+        def digest_src(read_link_hops: bool) -> str:
+            link = (
+                "    parts.append(tuple(schedule.link_hops))\n"
+                if read_link_hops
+                else ""
+            )
+            return (
+                "from .tasks import Schedule, Task\n\n\n"
+                "def _task_parts(task: Task):\n"
+                "    return (task.key.stage, task.duration)\n\n\n"
+                "def _schedule_parts(schedule: Schedule):\n"
+                "    parts = [schedule.hop_time]\n"
+                f"{link}"
+                "    for task in schedule.tasks:\n"
+                "        parts.append(_task_parts(task))\n"
+                "    return tuple(parts)\n\n\n"
+                "def schedule_digest(schedule: Schedule) -> str:\n"
+                "    return str(hash(_schedule_parts(schedule)))\n"
+            )
+
+        for label, deep_read in (("omits", False), ("covers", True)):
+            base = root / f"digest_{label}" / "pipeline"
+            base.mkdir(parents=True, exist_ok=True)
+            (base / "tasks.py").write_text(tasks_src)
+            (base / "simulator.py").write_text(digest_src(deep_read))
+            result = run_lint(
+                [root / f"digest_{label}"], rules=[DigestCoverageRule()]
+            )
+            if deep_read:
+                if not result.ok:
+                    failures.append(
+                        "digest deep-read probe not clean: "
+                        f"{[f.message for f in result.findings]}"
+                    )
+            else:
+                if [
+                    "Schedule.link_hops" in f.message for f in result.findings
+                ] != [True]:
+                    failures.append(
+                        "digest omission probe: "
+                        f"{[f.message for f in result.findings]}"
+                    )
+
+        # 3. Purity: a transform mutating its argument one call deep.
+        (root / "purity").mkdir()
+        (root / "purity" / "transforms.py").write_text(
+            "def _stamp(out, values):\n"
+            "    out['values'] = values\n"
+            "    return out\n\n\n"
+            "def lower(spec, out):\n"
+            "    return _stamp(out, [spec])\n"
+        )
+        purity_rule = TransformPurityRule(
+            contracts=(
+                PurityContract(anchor_path="transforms.py", roots=("lower",)),
+            )
+        )
+        result = run_lint([root / "purity"], rules=[purity_rule])
+        if ["arg-mutation" in f.message for f in result.findings] != [True]:
+            failures.append(
+                f"purity probe: {[f.message for f in result.findings]}"
+            )
+
+        # 4. Float order: vector side applies delays before the factor.
+        (root / "floats").mkdir()
+        (root / "floats" / "engines.py").write_text(
+            "def scalar_lower(duration, factor, delay):\n"
+            "    duration = duration * factor\n"
+            "    duration = duration + delay\n"
+            "    return duration\n\n\n"
+            "def vector_lower(durations, factors, delays):\n"
+            "    return (durations + delays) * factors\n"
+        )
+        float_rule = FloatOrderRule(
+            contracts=(
+                FloatOrderContract(
+                    name="probe",
+                    anchor_path="engines.py",
+                    expected=("mul(dur, factor)", "add(dur, delay)"),
+                    sites=(
+                        FloatSite(
+                            path="engines.py",
+                            func="scalar_lower",
+                            roles=(
+                                ("duration", "dur"),
+                                ("factor", "factor"),
+                                ("delay", "delay"),
+                            ),
+                        ),
+                        FloatSite(
+                            path="engines.py",
+                            func="vector_lower",
+                            roles=(
+                                ("durations", "dur"),
+                                ("factors", "factor"),
+                                ("delays", "delay"),
+                            ),
+                        ),
+                    ),
+                ),
+            )
+        )
+        result = run_lint([root / "floats"], rules=[float_rule])
+        if [
+            "vector_lower" in f.message for f in result.findings
+        ] != [True]:
+            failures.append(
+                f"float-order probe: {[f.message for f in result.findings]}"
+            )
+
+    ok = not failures
+    detail = (
+        "registry, digest-v2 (fire + deep-read clean), purity, float-order "
+        "probes all detect"
+        if ok
+        else "; ".join(failures)
+    )
+    return ("static-analysis contracts", ok, detail)
+
+
 CHECKS: List[Callable[[], CheckResult]] = [
     _check_knapsack,
     _check_phase_model,
@@ -480,6 +697,7 @@ CHECKS: List[Callable[[], CheckResult]] = [
     _check_schedule_families,
     _check_adalint,
     _check_heterogeneous,
+    _check_static_contracts,
 ]
 
 

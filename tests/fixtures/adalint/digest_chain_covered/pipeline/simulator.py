@@ -1,0 +1,32 @@
+"""Fixture: full digest coverage reached only two calls deep.
+
+``link_hops`` is read inside ``_link_parts``, called from
+``_schedule_parts``, called from ``schedule_digest`` — a v1
+single-function name match would falsely report every field missing;
+the interprocedural read analysis must report this tree clean.
+"""
+
+import hashlib
+
+from .tasks import Schedule, Task
+
+
+def _task_parts(task: Task):
+    return (task.key.stage, task.key.micro_batch, task.duration,
+            tuple((d.stage, d.micro_batch) for d in task.deps))
+
+
+def _link_parts(schedule: Schedule):
+    return tuple(tuple(row) for row in schedule.link_hops)
+
+
+def _schedule_parts(schedule: Schedule):
+    parts = [schedule.num_devices, schedule.hop_time, _link_parts(schedule)]
+    for device in schedule.device_tasks:
+        for task in device:
+            parts.append(_task_parts(task))
+    return tuple(parts)
+
+
+def schedule_digest(schedule: Schedule) -> str:
+    return hashlib.sha256(repr(_schedule_parts(schedule)).encode()).hexdigest()

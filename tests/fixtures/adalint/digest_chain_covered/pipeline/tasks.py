@@ -1,0 +1,27 @@
+"""Trimmed task/schedule dataclasses feeding the fixture digest."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TaskKey:
+    stage: int
+    micro_batch: int
+
+
+@dataclass(frozen=True)
+class Task:
+    key: TaskKey
+    duration: float
+    deps: Tuple["TaskKey", ...]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    name: str
+    num_micro_batches: int
+    num_devices: int
+    hop_time: float
+    link_hops: Tuple[Tuple[int, ...], ...]
+    device_tasks: Tuple[Tuple[Task, ...], ...]

@@ -1,0 +1,28 @@
+"""Fixture: a digest that delegates hashing through two helper calls.
+
+The planted bug: neither the digest, nor ``_schedule_parts``, nor
+``_link_parts`` ever reads ``Schedule.link_hops`` — the historic PR 4
+omission, now hidden two calls deep where a single-function name match
+cannot see the gap is real rather than delegated.
+"""
+
+import hashlib
+
+from .tasks import Schedule, Task
+
+
+def _task_parts(task: Task):
+    return (task.key.stage, task.key.micro_batch, task.duration,
+            tuple((d.stage, d.micro_batch) for d in task.deps))
+
+
+def _schedule_parts(schedule: Schedule):
+    parts = [schedule.num_devices, schedule.hop_time]
+    for device in schedule.device_tasks:
+        for task in device:
+            parts.append(_task_parts(task))
+    return tuple(parts)
+
+
+def schedule_digest(schedule: Schedule) -> str:
+    return hashlib.sha256(repr(_schedule_parts(schedule)).encode()).hexdigest()

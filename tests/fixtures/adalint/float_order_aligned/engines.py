@@ -1,0 +1,13 @@
+"""Fixture: scalar and vector lowering share one canonical op order."""
+
+
+def scalar_lower(duration, factor, delay):
+    duration = duration * factor
+    duration = duration + delay
+    return duration
+
+
+def vector_lower(durations, factors, delays):
+    durations = durations * factors
+    durations = durations + delays
+    return durations

@@ -1,0 +1,18 @@
+"""Fixture: scalar and vector lowering disagree on op order.
+
+The scalar side applies the factor first, then adds delays; the vector
+side folds delays in *before* multiplying. Same algebra over the reals,
+different float rounding — the batched/scalar bit-equivalence tests
+would fail on the last ulp, and the lint gate must catch the edit
+before they do.
+"""
+
+
+def scalar_lower(duration, factor, delay):
+    duration = duration * factor
+    duration = duration + delay
+    return duration
+
+
+def vector_lower(durations, factors, delays):
+    return (durations + delays) * factors

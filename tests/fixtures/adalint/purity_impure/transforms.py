@@ -1,0 +1,17 @@
+"""Fixture: a duration transform that mutates its argument one call deep.
+
+``lower`` looks pure; the violation lives in ``_apply_delays``, which
+stores into the caller's list — exactly the in-place update the §9
+soundness argument forbids (a second draw would see the first draw's
+delays already folded in).
+"""
+
+
+def _apply_delays(durations, delays):
+    for index, delay in enumerate(delays):
+        durations[index] = durations[index] + delay
+    return durations
+
+
+def lower(durations, delays):
+    return _apply_delays(durations, delays)

@@ -1,0 +1,12 @@
+"""Fixture: the same transform, done purely — fresh locals only."""
+
+
+def _apply_delays(durations, delays):
+    lowered = list(durations)
+    for index, delay in enumerate(delays):
+        lowered[index] = lowered[index] + delay
+    return lowered
+
+
+def lower(durations, delays):
+    return _apply_delays(durations, delays)

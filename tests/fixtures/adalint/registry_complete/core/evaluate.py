@@ -1,0 +1,13 @@
+"""Fixture mirror of the schedule-builder site: every kind registered."""
+
+
+def build_schedule_for_plan(plan, cluster, schedule_kind="1f1b"):
+    if schedule_kind in ("1f1b", "2bp", "overlap"):
+        return ("sync", schedule_kind)
+    if schedule_kind in ("gpipe", "chimera", "chimerad"):
+        return ("batch", schedule_kind)
+    if schedule_kind == "interleaved":
+        return ("chunked", schedule_kind)
+    if schedule_kind == "wavefront":
+        return ("wave", schedule_kind)
+    raise ValueError(schedule_kind)

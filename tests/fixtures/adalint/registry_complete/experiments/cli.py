@@ -1,0 +1,5 @@
+"""Fixture mirror of the CLI --schedule choices site."""
+
+
+def _build_parser():
+    return {"schedule_choices": ["1f1b", "2bp", "overlap", "gpipe", "chimera", "chimerad", "interleaved", "wavefront"]}

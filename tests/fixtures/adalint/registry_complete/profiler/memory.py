@@ -1,0 +1,13 @@
+"""Fixture mirror of the schedule-kind registry and its memory-model site."""
+
+SCHEDULE_KINDS = ("1f1b", "2bp", "overlap", "gpipe", "chimera", "chimerad", "interleaved", "wavefront")
+
+
+def in_flight_micro_batches(kind, stage, num_devices, num_micro_batches):
+    if kind in ("1f1b", "2bp", "overlap", "wavefront"):
+        return min(num_micro_batches, num_devices - stage)
+    if kind in ("gpipe", "chimera", "chimerad"):
+        return num_micro_batches
+    if kind == "interleaved":
+        return min(num_micro_batches, 2 * (num_devices - stage))
+    raise ValueError(kind)

@@ -1,0 +1,16 @@
+"""Fixture mirror of the schedule-builder site.
+
+The planted bug: "wavefront" is declared in SCHEDULE_KINDS but this
+builder was never taught about it — a plan requesting it raises at run
+time instead of failing the lint gate.
+"""
+
+
+def build_schedule_for_plan(plan, cluster, schedule_kind="1f1b"):
+    if schedule_kind in ("1f1b", "2bp", "overlap"):
+        return ("sync", schedule_kind)
+    if schedule_kind in ("gpipe", "chimera", "chimerad"):
+        return ("batch", schedule_kind)
+    if schedule_kind == "interleaved":
+        return ("chunked", schedule_kind)
+    raise ValueError(schedule_kind)

@@ -1,0 +1,6 @@
+"""Fixture mirror of the validate-battery memory-audit check site."""
+
+
+def _check_memory_audit():
+    kinds = ("1f1b", "2bp", "overlap", "gpipe", "chimera", "chimerad", "wavefront")
+    return ("memory audit", True, ",".join(kinds))

@@ -1,0 +1,9 @@
+"""Fixture mirror of the memory-audit defaults site.
+
+"interleaved" is deliberately absent (needs a chunked plan); the
+production contract carries a reasoned exemption for it.
+"""
+
+
+def audit_plan_over_schedules(plan, schedule_kinds=("1f1b", "2bp", "overlap", "gpipe", "chimera", "chimerad", "wavefront")):
+    return [(kind, plan) for kind in schedule_kinds]

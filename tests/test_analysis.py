@@ -8,6 +8,7 @@ flagged, and the real ``src/repro`` tree must be clean.
 """
 
 import json
+import shutil
 from pathlib import Path
 
 import pytest
@@ -16,20 +17,32 @@ from repro.analysis import (
     FRAMEWORK_RULES,
     REPORT_VERSION,
     Finding,
+    LintContext,
     default_rules,
     load_baseline,
     parse_suppressions,
     registered_rule_names,
     render_text,
     result_to_dict,
+    result_to_sarif,
     run_lint,
 )
+from repro.analysis.framework import clear_parse_cache, parse_cached
 from repro.analysis.rules import (
+    DEFAULT_FLOAT_CONTRACTS,
     DigestContract,
     DigestCoverageRule,
     FieldAllowance,
+    FloatOrderContract,
+    FloatOrderRule,
+    FloatSite,
+    PurityContract,
+    RegistryCompletenessRule,
+    TransformPurityRule,
 )
 from repro.experiments.cli import main as cli_main
+
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "adalint"
@@ -51,7 +64,10 @@ class TestFramework:
         assert set(registered_rule_names()) == {
             "determinism",
             "digest-coverage",
+            "float-order-divergence",
             "frozen-mutation",
+            "registry-completeness",
+            "transform-purity",
             "unit-consistency",
         }
         assert {rule.name for rule in default_rules()} == set(
@@ -219,7 +235,10 @@ class TestUnitConsistencyRule:
             "def f(peak_bytes, wait_seconds):\n"
             "    peak_bytes += wait_seconds\n"
             "    return peak_bytes\n",
-            name="profiler/memory.py",
+            # Any enforced dir works; avoid profiler/memory.py, which is
+            # the schedule-kind registry anchor and would add a broken-
+            # contract finding for this registry-less snippet.
+            name="profiler/activation.py",
         )
         assert _rules_fired(result) == {"unit-consistency"}
 
@@ -346,6 +365,166 @@ class TestDigestCoverageRule:
         assert result.findings[0].path == "pipeline/simulator.py"
 
 
+class TestRegistryCompletenessRule:
+    def test_unregistered_kind_fires(self):
+        # "wavefront" is declared in the kind registry but missing from
+        # exactly one consumer: the schedule builder's dispatch.
+        result = run_lint([FIXTURES / "registry_unregistered"])
+        assert [f.rule for f in result.findings] == ["registry-completeness"]
+        finding = result.findings[0]
+        assert finding.path == "profiler/memory.py"
+        assert "wavefront" in finding.message
+        assert "build_schedule_for_plan" in finding.message
+
+    def test_fully_registered_tree_is_clean(self):
+        result = run_lint([FIXTURES / "registry_complete"])
+        assert result.ok and result.findings == []
+
+    def test_default_contracts_declare_reasons_for_exemptions(self):
+        for rule in default_rules():
+            if not isinstance(rule, RegistryCompletenessRule):
+                continue
+            for contract in rule.contracts:
+                for site in contract.sites:
+                    for exemption in site.exempt:
+                        assert exemption.reason.strip(), (
+                            contract.name, site.path, exemption.member
+                        )
+
+
+class TestDigestCoverageV2:
+    def test_deep_omission_fires_across_call_boundaries(self):
+        # link_hops is read nowhere in the closure of schedule_digest,
+        # which spans two helper calls — a file-local scan of the digest
+        # function body alone could not name the field with confidence.
+        result = run_lint([FIXTURES / "digest_chain_omission"])
+        assert [f.rule for f in result.findings] == ["digest-coverage"]
+        finding = result.findings[0]
+        assert "Schedule.link_hops" in finding.message
+        assert "call-graph closure" in finding.message
+        assert finding.path == "pipeline/simulator.py"
+
+    def test_deep_reads_count_as_coverage(self):
+        # The covered twin reads link_hops two calls below schedule_digest.
+        # v1's single-function analysis would flag it; the interprocedural
+        # pass must not.
+        result = run_lint([FIXTURES / "digest_chain_covered"])
+        assert result.ok and result.findings == []
+
+
+def _purity_rules():
+    contract = PurityContract(anchor_path="transforms.py", roots=("lower",))
+    return [TransformPurityRule(contracts=(contract,))]
+
+
+class TestTransformPurityRule:
+    def test_mutation_one_call_deep_fires(self):
+        result = run_lint([FIXTURES / "purity_impure"], rules=_purity_rules())
+        assert [f.rule for f in result.findings] == ["transform-purity"]
+        finding = result.findings[0]
+        assert "arg-mutation" in finding.message
+        assert "_apply_delays" in finding.message
+
+    def test_copy_then_write_is_clean(self):
+        result = run_lint([FIXTURES / "purity_pure"], rules=_purity_rules())
+        assert result.ok and result.findings == []
+
+
+def _float_rules():
+    contract = FloatOrderContract(
+        name="engines",
+        anchor_path="engines.py",
+        expected=("mul(dur, factor)", "add(dur, delay)"),
+        sites=(
+            FloatSite(
+                path="engines.py",
+                func="scalar_lower",
+                roles=(
+                    ("duration", "dur"),
+                    ("factor", "factor"),
+                    ("delay", "delay"),
+                ),
+            ),
+            FloatSite(
+                path="engines.py",
+                func="vector_lower",
+                roles=(
+                    ("durations", "dur"),
+                    ("factors", "factor"),
+                    ("delays", "delay"),
+                ),
+            ),
+        ),
+    )
+    return [FloatOrderRule(contracts=(contract,))]
+
+
+class TestFloatOrderRule:
+    def test_reassociated_vector_side_fires(self):
+        result = run_lint(
+            [FIXTURES / "float_order_divergent"], rules=_float_rules()
+        )
+        assert [f.rule for f in result.findings] == ["float-order-divergence"]
+        finding = result.findings[0]
+        assert "vector_lower" in finding.message
+        assert "mul(add(dur, delay), factor)" in finding.message
+
+    def test_aligned_engines_are_clean(self):
+        result = run_lint(
+            [FIXTURES / "float_order_aligned"], rules=_float_rules()
+        )
+        assert result.ok and result.findings == []
+
+    def test_default_contracts_are_non_vacuous_on_real_tree(self):
+        # Guard against silent rot: every declared site must resolve to a
+        # real function whose extracted fingerprint equals the contract's
+        # expected tuple. A rename that broke a site would surface as a
+        # lint finding too, but assert it here with the exact site named.
+        from repro.analysis.rules.float_order import extract_fingerprint
+
+        ctx = LintContext(root=SRC_REPRO)
+        project = ctx.project_at(SRC_REPRO)
+        for contract in DEFAULT_FLOAT_CONTRACTS:
+            for site in contract.sites:
+                info = project.function(site.path, site.func)
+                assert info is not None, (contract.name, site.path, site.func)
+                fingerprint = extract_fingerprint(info.node, site.role_map())
+                assert fingerprint == contract.expected, (
+                    contract.name, site.func, fingerprint
+                )
+
+
+class TestParseCache:
+    def test_unchanged_file_is_parsed_once(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text("x = 1\n")
+        clear_parse_cache()
+        first = parse_cached(path, "m.py")
+        assert parse_cached(path, "m.py") is first
+
+    def test_rewrite_invalidates(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text("x = 1\n")
+        clear_parse_cache()
+        first = parse_cached(path, "m.py")
+        path.write_text("x = 2  # changed\n")
+        second = parse_cached(path, "m.py")
+        assert second is not first
+        assert "changed" in second.source
+
+    def test_relpath_view_rewritten_without_reparse(self, tmp_path):
+        # Two runs rooted differently share the parse but each sees its
+        # own relative path (baseline keys depend on it).
+        path = tmp_path / "pkg" / "m.py"
+        path.parent.mkdir()
+        path.write_text("x = 1\n")
+        clear_parse_cache()
+        wide = parse_cached(path, "pkg/m.py")
+        narrow = parse_cached(path, "m.py")
+        assert narrow.tree is wide.tree
+        assert (wide.relpath, narrow.relpath) == ("pkg/m.py", "m.py")
+
+
 class TestReporters:
     def _result(self, tmp_path):
         return _lint_file(tmp_path, "import time\nt = time.time()\n")
@@ -361,15 +540,58 @@ class TestReporters:
             "baselined": 0,
         }
         (entry,) = payload["findings"]
-        assert set(entry) == {"rule", "severity", "path", "line", "message"}
+        assert set(entry) == {"rule", "severity", "path", "line", "col", "message"}
         assert entry["rule"] == "determinism" and entry["line"] == 2
+        # The col satellite: the AST node's column reaches the report.
+        assert entry["col"] == 5
         json.dumps(payload)  # must be serializable as-is
 
     def test_text_rendering(self, tmp_path):
         text = render_text(self._result(tmp_path))
-        assert "snippet.py:2: error [determinism]" in text
+        assert "snippet.py:2:5: error [determinism]" in text
         clean = render_text(_lint_file(tmp_path / "other", "x = 1\n"))
         assert "clean" in clean
+
+    def test_col_absent_renders_without_column(self):
+        finding = Finding(
+            rule="determinism", severity="error", path="a.py", line=3,
+            message="m",
+        )
+        assert finding.col == 0 and finding.location() == "a.py:3"
+
+    def test_baseline_tolerates_missing_col(self, tmp_path):
+        # Baselines written before columns existed carry no "col" key;
+        # matching is on (rule, path, message) and must still mute.
+        result = self._result(tmp_path)
+        stripped = [
+            {k: v for k, v in f.to_dict().items() if k != "col"}
+            for f in result.findings
+        ]
+        report = tmp_path / "old_baseline.json"
+        report.write_text(json.dumps({"findings": stripped}))
+        muted = run_lint([tmp_path], baseline=load_baseline(report))
+        assert muted.ok and [f.rule for f in muted.baselined] == ["determinism"]
+
+    def test_sarif_schema(self, tmp_path):
+        document = result_to_sarif(self._result(tmp_path))
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "adalint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "determinism" in rule_ids
+        (entry,) = run["results"]
+        assert entry["ruleId"] == "determinism"
+        assert entry["level"] == "error"
+        assert rule_ids[entry["ruleIndex"]] == "determinism"
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "snippet.py"
+        assert location["region"] == {"startLine": 2, "startColumn": 5}
+        json.dumps(document)
+
+    def test_sarif_clean_run_has_no_results(self, tmp_path):
+        document = result_to_sarif(_lint_file(tmp_path, "x = 1\n"))
+        assert document["runs"][0]["results"] == []
 
 
 class TestCli:
@@ -407,6 +629,106 @@ class TestCli:
         out = capsys.readouterr().out
         for name in registered_rule_names():
             assert name in out
+
+    def test_sarif_format_and_artifact(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        sarif_file = tmp_path / "lint.sarif"
+        code = cli_main(
+            ["lint", str(tmp_path), "--format", "sarif",
+             "--sarif", str(sarif_file)]
+        )
+        assert code == 1
+        stdout_doc = json.loads(capsys.readouterr().out)
+        file_doc = json.loads(sarif_file.read_text())
+        assert stdout_doc == file_doc
+        assert file_doc["version"] == "2.1.0"
+        (entry,) = file_doc["runs"][0]["results"]
+        assert entry["ruleId"] == "determinism"
+
+    def test_changed_lints_only_dirty_files(self, tmp_path, monkeypatch,
+                                            capsys):
+        import subprocess
+
+        git = shutil.which("git")
+        if git is None:
+            pytest.skip("git not available")
+        repo = tmp_path / "proj"
+        (repo / "pkg").mkdir(parents=True)
+        env_patch = {
+            "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+        }
+        for key, value in env_patch.items():
+            monkeypatch.setenv(key, value)
+        subprocess.run([git, "init", "-q"], cwd=repo, check=True)
+        # A committed file with a finding: clean working tree, so a
+        # --changed run must NOT visit (or report) it.
+        (repo / "pkg" / "committed.py").write_text(
+            "import time\nt = time.time()\n"
+        )
+        subprocess.run([git, "add", "."], cwd=repo, check=True)
+        subprocess.run(
+            [git, "commit", "-q", "-m", "seed"], cwd=repo, check=True
+        )
+        # An untracked file with a different finding: must be visited.
+        (repo / "pkg" / "fresh.py").write_text(
+            "import random\nx = random.random()\n"
+        )
+        monkeypatch.chdir(repo)
+        code = cli_main(
+            ["lint", str(repo / "pkg"), "--changed", "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_scanned"] == 1
+        (finding,) = payload["findings"]
+        # Relpaths stay rooted as in a full run of the same paths.
+        assert finding["path"] == "fresh.py"
+
+    def test_changed_clean_worktree_scans_nothing(self, tmp_path,
+                                                  monkeypatch, capsys):
+        import subprocess
+
+        git = shutil.which("git")
+        if git is None:
+            pytest.skip("git not available")
+        repo = tmp_path / "proj"
+        repo.mkdir()
+        monkeypatch.setenv("GIT_AUTHOR_NAME", "t")
+        monkeypatch.setenv("GIT_AUTHOR_EMAIL", "t@t")
+        monkeypatch.setenv("GIT_COMMITTER_NAME", "t")
+        monkeypatch.setenv("GIT_COMMITTER_EMAIL", "t@t")
+        subprocess.run([git, "init", "-q"], cwd=repo, check=True)
+        (repo / "bad.py").write_text("import time\nt = time.time()\n")
+        subprocess.run([git, "add", "."], cwd=repo, check=True)
+        subprocess.run(
+            [git, "commit", "-q", "-m", "seed"], cwd=repo, check=True
+        )
+        monkeypatch.chdir(repo)
+        assert cli_main(["lint", str(repo), "--changed"]) == 0
+        out = capsys.readouterr().out
+        assert "0 file(s)" in out or "clean" in out
+
+
+class TestDocsSync:
+    def test_usage_rule_table_matches_registry(self):
+        from repro.analysis.docs_sync import diff_rules
+
+        assert diff_rules(REPO_ROOT / "docs" / "USAGE.md") == []
+
+    def test_missing_and_phantom_rules_are_drift(self, tmp_path):
+        from repro.analysis.docs_sync import diff_rules
+
+        doc = tmp_path / "USAGE.md"
+        doc.write_text(
+            "| Rule | Severity | What |\n| --- | --- | --- |\n"
+            "| `determinism` | error | x |\n"
+            "| `no-such-rule` | error | x |\n"
+        )
+        problems = diff_rules(doc)
+        assert any("digest-coverage" in p and "missing" in p for p in problems)
+        assert any("no-such-rule" in p and "not registered" in p
+                   for p in problems)
 
 
 class TestRepositoryIsClean:
